@@ -1,0 +1,8 @@
+//! `cargo bench` target regenerating experiment `e13-stream` (see DESIGN.md's
+//! experiment index). Prints the measured table; JSON goes to results/.
+fn main() {
+    // cargo bench passes --bench; ignore all flags.
+    let cfg = vira_bench::BenchConfig::default();
+    let results = vira_bench::run_ids(&["e13-stream".to_string()], &cfg);
+    let _ = vira_bench::write_json(&results, std::path::Path::new("results"));
+}

@@ -1,0 +1,6 @@
+//! `cargo bench` target regenerating experiment `e16-compression`.
+fn main() {
+    let cfg = vira_bench::BenchConfig::default();
+    let results = vira_bench::run_ids(&["e16-compression".to_string()], &cfg);
+    let _ = vira_bench::write_json(&results, std::path::Path::new("results"));
+}

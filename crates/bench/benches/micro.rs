@@ -1,0 +1,165 @@
+//! Criterion micro-benchmarks of the extraction and DMS kernels that sit
+//! in the framework's inner loops: the *real* (undilated) computational
+//! costs, complementing the modeled-time experiment benches.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use vira_dms::cache::{CachePayload, MemoryCache};
+use vira_dms::name::ItemId;
+use vira_dms::policy::policy_by_name;
+use vira_dms::prefetch::{MarkovPrefetch, Prefetcher};
+use vira_extract::bsp::BspTree;
+use vira_extract::eigen::symmetric_eigenvalues;
+use vira_extract::iso::extract_isosurface;
+use vira_extract::lambda2::lambda2_field;
+use vira_extract::locate::BlockLocator;
+use vira_extract::pathline::{trace_pathline, AnalyticSampler, PathlineConfig};
+use vira_grid::block::BlockStepId;
+use vira_grid::field::{BlockData, ScalarField};
+use vira_grid::math::{Mat3, Vec3};
+use vira_grid::synth::test_cube;
+
+fn vortex_block(res: usize) -> BlockData {
+    test_cube(res, 1).generate(BlockStepId::new(0, 0))
+}
+
+fn speed_field(data: &BlockData) -> ScalarField {
+    data.velocity.magnitude()
+}
+
+fn bench_eigen(c: &mut Criterion) {
+    let m = Mat3::from_rows(
+        Vec3::new(4.0, -2.0, 0.5),
+        Vec3::new(-2.0, 1.0, 3.0),
+        Vec3::new(0.5, 3.0, -2.0),
+    );
+    c.bench_function("eigen/symmetric_3x3", |b| {
+        b.iter(|| symmetric_eigenvalues(black_box(&m)))
+    });
+}
+
+fn bench_iso(c: &mut Criterion) {
+    let data = vortex_block(17);
+    let field = speed_field(&data);
+    c.bench_function("iso/extract_block_17cubed", |b| {
+        b.iter(|| extract_isosurface(black_box(&data.grid), black_box(&field), 0.15))
+    });
+}
+
+fn bench_lambda2(c: &mut Criterion) {
+    let data = vortex_block(17);
+    c.bench_function("lambda2/field_block_17cubed", |b| {
+        b.iter(|| lambda2_field(black_box(&data)))
+    });
+}
+
+fn bench_bsp(c: &mut Criterion) {
+    let data = vortex_block(17);
+    let field = speed_field(&data);
+    c.bench_function("bsp/build_block_17cubed", |b| {
+        b.iter(|| BspTree::build(black_box(&data.grid), black_box(&field)))
+    });
+    let tree = BspTree::build(&data.grid, &field);
+    c.bench_function("bsp/traverse_front_to_back", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            tree.traverse_front_to_back(0.15, Vec3::new(5.0, 0.0, 0.0), &field, |_| n += 1);
+            n
+        })
+    });
+}
+
+fn bench_locate(c: &mut Criterion) {
+    let data = vortex_block(17);
+    let locator = BlockLocator::build(&data.grid);
+    let p = Vec3::new(0.31, -0.12, 0.44);
+    c.bench_function("locate/point_cold", |b| {
+        b.iter(|| locator.locate(black_box(&data.grid), black_box(p), None))
+    });
+    c.bench_function("locate/point_with_hint", |b| {
+        b.iter(|| locator.locate(black_box(&data.grid), black_box(p), Some((10, 7, 11))))
+    });
+}
+
+fn bench_pathline(c: &mut Criterion) {
+    c.bench_function("pathline/rigid_rotation_one_turn", |b| {
+        b.iter(|| {
+            let mut s = AnalyticSampler {
+                f: |p: Vec3, _t| Vec3::new(-p.y, p.x, 0.0),
+            };
+            trace_pathline(
+                &mut s,
+                Vec3::new(1.0, 0.0, 0.0),
+                0.0,
+                std::f64::consts::TAU,
+                &PathlineConfig::default(),
+            )
+        })
+    });
+}
+
+struct Blob(usize);
+impl CachePayload for Blob {
+    fn payload_bytes(&self) -> usize {
+        self.0
+    }
+}
+
+fn bench_cache(c: &mut Criterion) {
+    for policy in ["lru", "lfu", "fbr"] {
+        c.bench_function(&format!("cache/{policy}_churn_1000"), |b| {
+            b.iter(|| {
+                let mut cache =
+                    MemoryCache::new(64, policy_by_name(policy).expect("known policy"));
+                for i in 0..1000u64 {
+                    let id = ItemId(i % 128);
+                    if cache.get(id).is_none() {
+                        cache.insert(id, Arc::new(Blob(1)));
+                    }
+                }
+                cache.len()
+            })
+        });
+    }
+}
+
+fn bench_markov(c: &mut Criterion) {
+    c.bench_function("prefetch/markov_advise", |b| {
+        let mut m = MarkovPrefetch::first_order();
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 64;
+            m.advise(BlockStepId::new(i, 0), false)
+        })
+    });
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let data = vortex_block(17);
+    let raw = vira_storage::compress::payload_bytes_f32(&data);
+    c.bench_function("compress/rle_block_payload", |b| {
+        b.iter(|| vira_storage::compress::rle_compress(black_box(&raw)))
+    });
+}
+
+fn bench_dataset_generate(c: &mut Criterion) {
+    let ds = vira_grid::synth::engine(5);
+    c.bench_function("synth/engine_generate_item", |b| {
+        b.iter(|| ds.generate(black_box(BlockStepId::new(3, 7))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_eigen,
+    bench_iso,
+    bench_lambda2,
+    bench_bsp,
+    bench_locate,
+    bench_pathline,
+    bench_cache,
+    bench_markov,
+    bench_compress,
+    bench_dataset_generate
+);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Diagnostic probe for the Fig. 11 OBL-prefetch pipeline.
+use vira_bench::{runner::{proxy_with_prefetcher, Dataset, Harness}, BenchConfig};
+
+fn main() {
+    let mut cfg = BenchConfig::quick();
+    cfg.engine_steps = 16;
+    for pf in ["none", "obl"] {
+        let mut h = Harness::launch(Dataset::Engine, &cfg, 1, proxy_with_prefetcher(pf));
+        let r = h.run("VortexDataMan", &cfg, 1);
+        h.finish();
+        eprintln!("{pf:>5}: total {:.2} read {:.2} compute {:.2} misses {} hits {} pf_issued {} pf_hits {}",
+            r.total_s, r.report.read_s, r.report.compute_s,
+            r.report.cache_misses, r.report.cache_hits,
+            r.report.prefetch_issued, r.report.prefetch_hits);
+    }
+}

@@ -1,0 +1,26 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p vira-bench --release --bin repro              # everything
+//! cargo run -p vira-bench --release --bin repro -- fig06     # one id
+//! VIRA_QUICK=1 cargo run -p vira-bench --bin repro           # smoke run
+//! ```
+//!
+//! JSON records land in `results/`; markdown tables go to stdout.
+
+use vira_bench::{run_ids, write_json, BenchConfig};
+
+fn main() {
+    let ids: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = BenchConfig::default();
+    eprintln!(
+        "[repro] config: engine res {} / {} steps, propfan res {} / {} steps, sweep {:?}",
+        cfg.engine_res, cfg.engine_steps, cfg.propfan_res, cfg.propfan_steps, cfg.worker_sweep
+    );
+    let results = run_ids(&ids, &cfg);
+    let out = std::path::Path::new("results");
+    match write_json(&results, out) {
+        Ok(()) => eprintln!("[repro] wrote {} JSON records to {}", results.len(), out.display()),
+        Err(e) => eprintln!("[repro] could not write results: {e}"),
+    }
+}

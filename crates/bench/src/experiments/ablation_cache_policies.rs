@@ -1,0 +1,144 @@
+//! E12 — the §4.2 replacement-policy study: LRU vs LFU vs FBR miss
+//! counts on CFD request traces.
+//!
+//! The paper: "Standard replacement algorithms such as LRU, LFU and FBR
+//! … have been evaluated with respect to CFD data requests. In this
+//! special case, strategies based on frequency, foremost FBR, turned out
+//! to produce less cache misses."
+//!
+//! The trace models explorative analysis (§1.1's trial-and-error loop):
+//! the user repeatedly re-extracts features over a *hot* region of
+//! interest (same blocks, a few adjacent time steps) while occasional
+//! full-dataset sweeps (animation scrubs) scan every block once.
+
+use crate::config::BenchConfig;
+use crate::result::{ExperimentResult, Row};
+use std::sync::Arc;
+use vira_dms::cache::{CachePayload, MemoryCache};
+use vira_dms::name::ItemId;
+use vira_dms::policy::policy_by_name;
+
+/// A fixed-size stand-in payload (1 "unit" per item; the policies only
+/// see ids).
+struct Unit;
+
+impl CachePayload for Unit {
+    fn payload_bytes(&self) -> usize {
+        1
+    }
+}
+
+/// Builds the explorative-analysis trace over `n_blocks × n_steps`
+/// items: rounds of hot-region re-extraction interleaved with full
+/// scans.
+pub fn exploration_trace(n_blocks: u64, n_steps: u64, rounds: usize) -> Vec<u64> {
+    let item = |block: u64, step: u64| step * n_blocks + block;
+    let hot_blocks: Vec<u64> = (0..n_blocks).take((n_blocks as usize / 4).max(2)).collect();
+    let hot_steps: Vec<u64> = (0..n_steps.min(3)).collect();
+    let mut trace = Vec::new();
+    let mut scan_step = 0u64;
+    for round in 0..rounds {
+        // Several parameter-tweak iterations over the region of interest.
+        for _tweak in 0..3 {
+            for &s in &hot_steps {
+                for &b in &hot_blocks {
+                    trace.push(item(b, s));
+                }
+            }
+        }
+        // An animation scrub: one full step, advancing each round.
+        for b in 0..n_blocks {
+            trace.push(item(b, scan_step));
+        }
+        scan_step = (scan_step + 1) % n_steps;
+        // Occasionally revisit the hot region mid-scan.
+        if round % 2 == 1 {
+            for &b in &hot_blocks {
+                trace.push(item(b, hot_steps[0]));
+            }
+        }
+    }
+    trace
+}
+
+/// Replays a trace against a policy-driven cache of `capacity` items;
+/// returns the miss count.
+pub fn misses_for(policy_name: &str, capacity: usize, trace: &[u64]) -> usize {
+    let policy = policy_by_name(policy_name).expect("known policy");
+    let mut cache: MemoryCache<Unit> = MemoryCache::new(capacity, policy);
+    let mut misses = 0;
+    for &t in trace {
+        let id = ItemId(t);
+        if cache.get(id).is_none() {
+            misses += 1;
+            cache.insert(id, Arc::new(Unit));
+        }
+    }
+    misses
+}
+
+pub fn run(cfg: &BenchConfig) -> ExperimentResult {
+    let mut e = ExperimentResult::new(
+        "e12-policies",
+        "Cache replacement policies on CFD request traces",
+        "§4.2 (policy comparison)",
+    );
+    let n_blocks = 23u64; // Engine block structure
+    let n_steps = cfg.engine_steps as u64;
+    let trace = exploration_trace(n_blocks, n_steps, 12);
+    // Capacities as a fraction of the hot set + scan working set.
+    for capacity in [8usize, 16, 32, 64] {
+        for policy in ["lru", "lfu", "fbr"] {
+            let misses = misses_for(policy, capacity, &trace);
+            e.push(Row::new(
+                policy.to_uppercase(),
+                format!("capacity={capacity} items"),
+                misses as f64,
+                "misses",
+            ));
+        }
+    }
+    e.note(format!(
+        "Explorative-analysis trace: {} requests over {} items (hot-region \
+         re-extraction + full-step scans).",
+        trace.len(),
+        n_blocks * n_steps
+    ));
+    e.note("Paper finding: frequency-based strategies, foremost FBR, miss least.");
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fbr_beats_or_ties_lru_on_the_exploration_trace() {
+        let trace = exploration_trace(23, 16, 10);
+        for capacity in [8, 16, 32] {
+            let lru = misses_for("lru", capacity, &trace);
+            let fbr = misses_for("fbr", capacity, &trace);
+            assert!(
+                fbr <= lru,
+                "capacity {capacity}: FBR {fbr} must not miss more than LRU {lru}"
+            );
+        }
+    }
+
+    #[test]
+    fn bigger_caches_miss_less() {
+        let trace = exploration_trace(23, 16, 10);
+        for policy in ["lru", "lfu", "fbr"] {
+            let small = misses_for(policy, 8, &trace);
+            let big = misses_for(policy, 64, &trace);
+            assert!(big <= small, "{policy}: {big} vs {small}");
+        }
+    }
+
+    #[test]
+    fn trace_touches_all_blocks() {
+        let trace = exploration_trace(5, 4, 4);
+        let distinct: std::collections::HashSet<_> = trace.iter().collect();
+        assert!(distinct.len() >= 5, "scan covers every block of a step");
+    }
+}

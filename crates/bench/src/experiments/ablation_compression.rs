@@ -1,0 +1,92 @@
+//! E16 — the §4.3 compression decision: "Data compression has been
+//! considered, too, but has been found ineffective due to long runtimes
+//! and low compression rates compared to transmission time."
+//!
+//! Measures the PackBits codec on real block payloads of both stand-in
+//! datasets: the achieved ratio, the compression throughput, and the
+//! break-even link bandwidth (below which compressing would pay off)
+//! compared against the modeled file-server bandwidth actually in use.
+
+use crate::config::BenchConfig;
+use crate::result::{ExperimentResult, Row};
+use crate::runner::Dataset;
+use vira_grid::block::BlockStepId;
+use vira_storage::compress::probe_block_compression;
+use vira_storage::device::DeviceProfile;
+
+pub fn run(cfg: &BenchConfig) -> ExperimentResult {
+    let mut e = ExperimentResult::new(
+        "e16-compression",
+        "Block-transfer compression: ratio vs break-even bandwidth",
+        "§4.3 (compression rejected)",
+    );
+    let fileserver_bw = DeviceProfile::file_server().bandwidth_bps;
+    for d in [Dataset::Engine, Dataset::Propfan] {
+        let ds = d.build(cfg);
+        // Average over a handful of blocks of the first step.
+        let n = 6.min(ds.spec.n_blocks);
+        let mut ratio = 0.0;
+        let mut breakeven = 0.0;
+        let mut throughput = 0.0;
+        for b in 0..n {
+            let item = ds.generate(BlockStepId::new(b, 0));
+            let probe = probe_block_compression(&item);
+            ratio += probe.ratio();
+            breakeven += probe.breakeven_bandwidth_bps();
+            throughput += probe.raw_bytes as f64 / probe.compress_wall_s.max(1e-12);
+        }
+        let n = n as f64;
+        e.push(Row::new(d.name(), "compression ratio", ratio / n, ""));
+        e.push(Row::new(
+            d.name(),
+            "compressor throughput [MB/s]",
+            throughput / n / 1e6,
+            "",
+        ));
+        e.push(Row::new(
+            d.name(),
+            "break-even link bandwidth [MB/s]",
+            breakeven / n / 1e6,
+            "",
+        ));
+        e.push(Row::new(
+            d.name(),
+            "modeled file-server bandwidth [MB/s]",
+            fileserver_bw / 1e6,
+            "",
+        ));
+    }
+    e.note(
+        "Compressing pays off only on links slower than the break-even \
+         bandwidth; with ratios near 1 on floating-point CFD payloads the \
+         break-even sits far below the file server's bandwidth — the \
+         paper's conclusion holds.",
+    );
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compression_is_rejected_like_the_paper() {
+        let _guard = crate::timing_lock();
+        let e = run(&BenchConfig::quick());
+        for d in ["Engine", "Propfan"] {
+            let get = |x: &str| {
+                e.rows
+                    .iter()
+                    .find(|r| r.series == d && r.x == x)
+                    .unwrap()
+                    .value
+            };
+            assert!(get("compression ratio") < 2.0, "{d} ratio");
+            assert!(
+                get("break-even link bandwidth [MB/s]")
+                    < get("modeled file-server bandwidth [MB/s]") * 5.0,
+                "{d}: compression would have to pay off only on much slower links"
+            );
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! E6 + E8 — Figures 10 and 12: Propfan λ₂ total runtime and latency,
+//! measured in the same runs.
+//!
+//! Figure 12's headline: streamed first results in a few modeled seconds
+//! versus tens of seconds for the non-streamed command's final package
+//! (§7.2: ~4.2 s vs ~45 s at 16 workers in the paper).
+
+use crate::config::BenchConfig;
+use crate::experiments::fig09_engine_vortex::sweep_vortex;
+use crate::result::ExperimentResult;
+use crate::runner::Dataset;
+
+pub fn run(cfg: &BenchConfig) -> Vec<ExperimentResult> {
+    let (mut runtime, mut latency) = sweep_vortex(cfg, Dataset::Propfan, "fig10", "Figure 10");
+    latency.id = "fig12".into();
+    runtime.note(
+        "λ₂ incorporates extensive floating-point work: runtimes are \
+         significantly higher than the isosurface case (§7.2).",
+    );
+    latency.note(
+        "Streaming presents first vortex fragments long before the \
+         non-streamed command's single final transmission.",
+    );
+    vec![runtime, latency]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streamed_latency_beats_final_delivery() {
+        let _guard = crate::timing_lock();
+        let mut cfg = BenchConfig::quick();
+        cfg.worker_sweep = vec![2];
+        let results = run(&cfg);
+        let fig12 = &results[1];
+        let streamed = fig12.series("StreamedVortex");
+        let dataman = fig12.series("VortexDataMan");
+        assert!(streamed[0].1 < dataman[0].1);
+    }
+}

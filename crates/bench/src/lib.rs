@@ -1,0 +1,91 @@
+//! # vira-bench
+//!
+//! The experiment harness of the Viracocha reproduction: regenerates
+//! every table and figure of the paper's evaluation (§6–§7) plus the
+//! ablations DESIGN.md calls out, reporting modeled seconds produced by
+//! the time-dilation cost model.
+//!
+//! Entry points:
+//!
+//! * `cargo run -p vira-bench --release --bin repro [-- ids…]` — runs
+//!   experiments (default: all), prints markdown tables and writes JSON
+//!   records under `results/`.
+//! * `cargo bench` — runs the same experiments as `harness = false`
+//!   bench targets, plus Criterion micro-benchmarks of the extraction
+//!   kernels.
+//!
+//! `VIRA_QUICK=1` switches to a scaled-down smoke configuration.
+
+pub mod config;
+pub mod experiments;
+pub mod result;
+pub mod runner;
+
+pub use config::BenchConfig;
+pub use result::{ExperimentResult, Row};
+pub use runner::{Dataset, Harness, RunRecord};
+
+use std::path::Path;
+
+/// Timing-sensitive tests (anything that interprets dilated sleeps) must
+/// not run concurrently with each other — parallel test threads distort
+/// each other's wall-clock measurements on small hosts. Tests grab this
+/// process-wide lock.
+#[doc(hidden)]
+pub fn timing_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Runs a set of experiment ids (or all when empty), printing each
+/// result and collecting them.
+pub fn run_ids(ids: &[String], cfg: &BenchConfig) -> Vec<ExperimentResult> {
+    let selected: Vec<String> = if ids.is_empty() {
+        experiments::all_ids().iter().map(|s| s.to_string()).collect()
+    } else {
+        ids.to_vec()
+    };
+    let mut all = Vec::new();
+    for id in &selected {
+        let t0 = std::time::Instant::now();
+        match experiments::run_experiment(id, cfg) {
+            Some(results) => {
+                eprintln!(
+                    "[repro] {id} finished in {:.1}s wall",
+                    t0.elapsed().as_secs_f64()
+                );
+                for r in results {
+                    println!("{}", r.to_markdown());
+                    all.push(r);
+                }
+            }
+            None => eprintln!(
+                "[repro] unknown experiment id '{id}' (known: {:?})",
+                experiments::all_ids()
+            ),
+        }
+    }
+    all
+}
+
+/// Writes experiment results as JSON files under `dir`.
+pub fn write_json(results: &[ExperimentResult], dir: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    for r in results {
+        let path = dir.join(format!("{}.json", r.id));
+        std::fs::write(path, serde_json::to_string_pretty(r).expect("serializable"))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_id_is_reported_not_fatal() {
+        let cfg = BenchConfig::quick();
+        let out = run_ids(&["does-not-exist".into()], &cfg);
+        assert!(out.is_empty());
+    }
+}

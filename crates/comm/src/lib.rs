@@ -1,0 +1,23 @@
+//! # vira-comm
+//!
+//! Layer 1 of Viracocha's three-layer architecture: a generic
+//! communication interface that hides the actual transport (§3 of the
+//! paper). Layers 2 and 3 (scheduler/workers/DMS and the extraction
+//! commands, in the `viracocha` crate) operate only on these abstractions.
+//!
+//! * [`transport`] — the [`transport::Transport`] trait and the in-process
+//!   rank world [`transport::LocalWorld`] standing in for MPI.
+//! * [`endpoint`] — tag-selective receives with buffering.
+//! * [`collective`] — work-group gather / broadcast / barrier.
+//! * [`link`] — the framed client link standing in for TCP/IP between the
+//!   visualization host and the scheduler.
+
+pub mod collective;
+pub mod endpoint;
+pub mod link;
+pub mod transport;
+
+pub use collective::{barrier, broadcast, gather, Group};
+pub use endpoint::Endpoint;
+pub use link::{client_server_link, ClientSide, EventSender, ServerSide};
+pub use transport::{tags, CommError, LocalEndpoint, LocalWorld, Message, Rank, Tag, Transport};

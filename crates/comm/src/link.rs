@@ -1,0 +1,191 @@
+//! The visualization-client link.
+//!
+//! In the paper, ViSTA FlowLib talks to the Viracocha scheduler over
+//! TCP/IP while the back-end processes talk MPI. Per the layered design,
+//! the protocol is hidden: this module provides a framed, bidirectional,
+//! in-process byte link with the same interface a socket implementation
+//! would have.
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::time::Duration;
+
+use crate::transport::CommError;
+
+/// Frames flowing from the client to the back-end (requests).
+/// Frames flowing back are events (job status, streamed packets, finals).
+/// Both directions carry opaque `Bytes`; layers 2/3 define the encoding.
+const LINK_DEPTH: usize = 4096;
+
+/// Client-side handle: submit requests, receive events.
+pub struct ClientSide {
+    to_server: Sender<Bytes>,
+    from_server: Receiver<Bytes>,
+}
+
+/// Back-end-side handle: receive requests, emit events.
+pub struct ServerSide {
+    from_client: Receiver<Bytes>,
+    to_client: Sender<Bytes>,
+}
+
+/// Creates a connected client/server link pair.
+pub fn client_server_link() -> (ClientSide, ServerSide) {
+    let (req_tx, req_rx) = bounded(LINK_DEPTH);
+    let (ev_tx, ev_rx) = bounded(LINK_DEPTH);
+    (
+        ClientSide {
+            to_server: req_tx,
+            from_server: ev_rx,
+        },
+        ServerSide {
+            from_client: req_rx,
+            to_client: ev_tx,
+        },
+    )
+}
+
+fn map_try<TOk>(r: Result<TOk, TryRecvError>) -> Result<Option<TOk>, CommError> {
+    match r {
+        Ok(v) => Ok(Some(v)),
+        Err(TryRecvError::Empty) => Ok(None),
+        Err(TryRecvError::Disconnected) => Err(CommError::Disconnected),
+    }
+}
+
+fn map_timeout<TOk>(r: Result<TOk, RecvTimeoutError>) -> Result<TOk, CommError> {
+    match r {
+        Ok(v) => Ok(v),
+        Err(RecvTimeoutError::Timeout) => Err(CommError::Timeout),
+        Err(RecvTimeoutError::Disconnected) => Err(CommError::Disconnected),
+    }
+}
+
+impl ClientSide {
+    /// Sends a request frame to the back-end. Blocks if the link buffer is
+    /// full (back-pressure).
+    pub fn request(&self, frame: Bytes) -> Result<(), CommError> {
+        self.to_server
+            .send(frame)
+            .map_err(|_| CommError::Disconnected)
+    }
+
+    /// Blocks for the next event frame.
+    pub fn next_event(&self) -> Result<Bytes, CommError> {
+        self.from_server.recv().map_err(|_| CommError::Disconnected)
+    }
+
+    /// Non-blocking event poll.
+    pub fn try_next_event(&self) -> Result<Option<Bytes>, CommError> {
+        map_try(self.from_server.try_recv())
+    }
+
+    /// Event receive with a deadline.
+    pub fn next_event_timeout(&self, t: Duration) -> Result<Bytes, CommError> {
+        map_timeout(self.from_server.recv_timeout(t))
+    }
+}
+
+impl ServerSide {
+    /// Blocks for the next request frame.
+    pub fn next_request(&self) -> Result<Bytes, CommError> {
+        self.from_client.recv().map_err(|_| CommError::Disconnected)
+    }
+
+    /// Non-blocking request poll.
+    pub fn try_next_request(&self) -> Result<Option<Bytes>, CommError> {
+        map_try(self.from_client.try_recv())
+    }
+
+    /// Request receive with a deadline.
+    pub fn next_request_timeout(&self, t: Duration) -> Result<Bytes, CommError> {
+        map_timeout(self.from_client.recv_timeout(t))
+    }
+
+    /// Emits an event frame to the client.
+    pub fn emit(&self, frame: Bytes) -> Result<(), CommError> {
+        self.to_client
+            .send(frame)
+            .map_err(|_| CommError::Disconnected)
+    }
+
+    /// Clones the event sender so worker threads can stream partial
+    /// results directly to the visualization client (§5.2: "the direct
+    /// transmission of worker results to the visualization system").
+    pub fn event_sender(&self) -> EventSender {
+        EventSender {
+            tx: self.to_client.clone(),
+        }
+    }
+}
+
+/// A cloneable handle for emitting events toward the client from any
+/// thread.
+#[derive(Clone)]
+pub struct EventSender {
+    tx: Sender<Bytes>,
+}
+
+impl EventSender {
+    pub fn emit(&self, frame: Bytes) -> Result<(), CommError> {
+        self.tx.send(frame).map_err(|_| CommError::Disconnected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_event_roundtrip() {
+        let (client, server) = client_server_link();
+        client.request(Bytes::from_static(b"extract")).unwrap();
+        assert_eq!(&server.next_request().unwrap()[..], b"extract");
+        server.emit(Bytes::from_static(b"result")).unwrap();
+        assert_eq!(&client.next_event().unwrap()[..], b"result");
+    }
+
+    #[test]
+    fn try_and_timeout_variants() {
+        let (client, server) = client_server_link();
+        assert_eq!(server.try_next_request().unwrap(), None);
+        assert_eq!(client.try_next_event().unwrap(), None);
+        assert_eq!(
+            client
+                .next_event_timeout(Duration::from_millis(10))
+                .unwrap_err(),
+            CommError::Timeout
+        );
+        assert_eq!(
+            server
+                .next_request_timeout(Duration::from_millis(10))
+                .unwrap_err(),
+            CommError::Timeout
+        );
+    }
+
+    #[test]
+    fn disconnect_is_detected() {
+        let (client, server) = client_server_link();
+        drop(server);
+        assert_eq!(
+            client.request(Bytes::new()).unwrap_err(),
+            CommError::Disconnected
+        );
+        assert_eq!(client.next_event().unwrap_err(), CommError::Disconnected);
+    }
+
+    #[test]
+    fn event_sender_clones_stream_to_same_client() {
+        let (client, server) = client_server_link();
+        let s1 = server.event_sender();
+        let s2 = server.event_sender();
+        let h1 = std::thread::spawn(move || s1.emit(Bytes::from_static(b"a")).unwrap());
+        let h2 = std::thread::spawn(move || s2.emit(Bytes::from_static(b"b")).unwrap());
+        h1.join().unwrap();
+        h2.join().unwrap();
+        let mut got = vec![client.next_event().unwrap(), client.next_event().unwrap()];
+        got.sort();
+        assert_eq!(got, vec![Bytes::from_static(b"a"), Bytes::from_static(b"b")]);
+    }
+}

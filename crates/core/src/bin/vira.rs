@@ -1,0 +1,230 @@
+//! `vira` — command-line driver for the Viracocha back-end.
+//!
+//! ```text
+//! vira commands                         list registered commands
+//! vira datasets                         list built-in synthetic datasets
+//! vira suggest --dataset engine         suggest an iso level (|u| field)
+//! vira run --dataset engine --command IsoDataMan --workers 4 \
+//!          --param iso=15 --param n_steps=4 [--res 7] [--dilation 0.01] \
+//!          [--save surface.obj|surface.vtk] [--save-lines traces.vtk]
+//! ```
+//!
+//! Argument parsing is deliberately dependency-free.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use vira_extract::stats::suggest_iso_level;
+use vira_grid::block::BlockStepId;
+use vira_grid::synth::{self, SyntheticDataset};
+use vira_storage::source::CachedSynthSource;
+use vira_vista::{CommandParams, SubmitSpec, VistaClient};
+use viracocha::{default_registry, Viracocha, ViracochaConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  vira commands\n  vira datasets\n  vira suggest --dataset <engine|propfan|cube> [--res N] [--exceed F]\n  vira run --dataset <engine|propfan|cube> --command <Name> [--workers N]\n           [--res N] [--dilation F] [--param key=value]..."
+    );
+    std::process::exit(2);
+}
+
+/// Minimal flag parser: `--key value` pairs plus repeatable `--param
+/// key=value`.
+struct Args {
+    flags: HashMap<String, String>,
+    params: Vec<(String, String)>,
+}
+
+fn parse_args(args: &[String]) -> Args {
+    let mut flags = HashMap::new();
+    let mut params = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            eprintln!("unexpected argument '{a}'");
+            usage();
+        };
+        let Some(value) = it.next() else {
+            eprintln!("flag --{key} needs a value");
+            usage();
+        };
+        if key == "param" {
+            let Some((k, v)) = value.split_once('=') else {
+                eprintln!("--param expects key=value, got '{value}'");
+                usage();
+            };
+            params.push((k.to_string(), v.to_string()));
+        } else {
+            flags.insert(key.to_string(), value.clone());
+        }
+    }
+    Args { flags, params }
+}
+
+fn build_dataset(name: &str, res: usize) -> Arc<SyntheticDataset> {
+    match name {
+        "engine" => Arc::new(synth::engine(res)),
+        "propfan" => Arc::new(synth::propfan(res)),
+        "cube" => Arc::new(synth::test_cube(res, 4)),
+        other => {
+            eprintln!("unknown dataset '{other}' (engine | propfan | cube)");
+            usage();
+        }
+    }
+}
+
+fn cmd_commands() {
+    println!("registered commands:");
+    for name in default_registry().names() {
+        println!("  {name}");
+    }
+}
+
+fn cmd_datasets() {
+    println!("built-in synthetic datasets (see vira_grid::synth):");
+    for (key, ds) in [
+        ("engine", synth::engine(5)),
+        ("propfan", synth::propfan(4)),
+        ("cube", synth::test_cube(8, 4)),
+    ] {
+        let s = &ds.spec;
+        println!(
+            "  {key:<8} \"{}\": {} blocks × {} steps, nominal {:.2} GB",
+            s.name,
+            s.n_blocks,
+            s.n_steps,
+            s.nominal_disk_bytes as f64 / (1u64 << 30) as f64
+        );
+    }
+}
+
+fn cmd_suggest(args: Args) {
+    let dataset = args.flags.get("dataset").cloned().unwrap_or_else(|| usage());
+    let res: usize = args
+        .flags
+        .get("res")
+        .map(|v| v.parse().expect("--res must be an integer"))
+        .unwrap_or(6);
+    let exceed: f64 = args
+        .flags
+        .get("exceed")
+        .map(|v| v.parse().expect("--exceed must be a number"))
+        .unwrap_or(0.1);
+    let ds = build_dataset(&dataset, res);
+    // Velocity-magnitude fields of the first time step, block by block.
+    let fields: Vec<_> = (0..ds.spec.n_blocks)
+        .map(|b| ds.generate(BlockStepId::new(b, 0)).velocity.magnitude())
+        .collect();
+    match suggest_iso_level(fields.iter(), exceed, 256) {
+        Some(iso) => println!(
+            "suggested |u| iso level for '{dataset}' (exceeded by ~{:.0} % of samples): {iso:.4}",
+            exceed * 100.0
+        ),
+        None => println!("no suggestion (degenerate field)"),
+    }
+}
+
+fn cmd_run(args: Args) {
+    let dataset = args.flags.get("dataset").cloned().unwrap_or_else(|| usage());
+    let command = args.flags.get("command").cloned().unwrap_or_else(|| usage());
+    let workers: usize = args
+        .flags
+        .get("workers")
+        .map(|v| v.parse().expect("--workers must be an integer"))
+        .unwrap_or(2);
+    let res: usize = args
+        .flags
+        .get("res")
+        .map(|v| v.parse().expect("--res must be an integer"))
+        .unwrap_or(6);
+    let dilation: f64 = args
+        .flags
+        .get("dilation")
+        .map(|v| v.parse().expect("--dilation must be a number"))
+        .unwrap_or(0.0);
+
+    let mut config = ViracochaConfig::for_tests(workers);
+    config.dilation = dilation;
+    config.proxy.prefetcher = "obl".into();
+    let (backend, link) = Viracocha::launch(config);
+    let ds = build_dataset(&dataset, res);
+    let ds_name = ds.spec.name.clone();
+    let source = Arc::new(CachedSynthSource::new(ds));
+    backend.register_dataset(source, false);
+
+    let mut params = CommandParams::new();
+    for (k, v) in args.params {
+        params = params.set(&k, v);
+    }
+    let mut client = VistaClient::new(link);
+    let t0 = std::time::Instant::now();
+    match client.run(&SubmitSpec {
+        command: command.clone(),
+        dataset: ds_name,
+        params,
+        workers,
+    }) {
+        Ok(out) => {
+            println!("command    : {command} on '{dataset}' with {workers} workers");
+            println!("wall time  : {:.3} s", t0.elapsed().as_secs_f64());
+            println!("modeled    : {:.3} s total", out.report.total_runtime_s);
+            println!(
+                "breakdown  : read {:.3} s / compute {:.3} s / send {:.3} s",
+                out.report.read_s, out.report.compute_s, out.report.send_s
+            );
+            println!(
+                "dms        : {} hits / {} misses / {} prefetches ({} useful)",
+                out.report.cache_hits,
+                out.report.cache_misses,
+                out.report.prefetch_issued,
+                out.report.prefetch_hits
+            );
+            println!(
+                "geometry   : {} triangles, {} polylines, {} streamed packets",
+                out.triangles.n_triangles(),
+                out.polylines.len(),
+                out.packets.len()
+            );
+            if let Some(first) = out.first_result_wall {
+                println!("first data : {:.3} s wall after submit", first.as_secs_f64());
+            }
+            if let Some(path) = args.flags.get("save") {
+                match vira_extract::export::save_soup(&out.triangles, std::path::Path::new(path)) {
+                    Ok(()) => println!("saved      : {} ({} triangles)", path, out.triangles.n_triangles()),
+                    Err(e) => eprintln!("could not save {path}: {e}"),
+                }
+            }
+            if let Some(path) = args.flags.get("save-lines") {
+                let save = std::fs::File::create(path).and_then(|f| {
+                    let mut w = std::io::BufWriter::new(f);
+                    vira_extract::export::write_vtk_polylines(&out.polylines, "viracocha traces", &mut w)
+                });
+                match save {
+                    Ok(()) => println!("saved      : {} ({} polylines)", path, out.polylines.len()),
+                    Err(e) => eprintln!("could not save {path}: {e}"),
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("job failed: {e}");
+            let _ = client.shutdown();
+            backend.join();
+            std::process::exit(1);
+        }
+    }
+    let _ = client.shutdown();
+    backend.join();
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((sub, rest)) = argv.split_first() else {
+        usage();
+    };
+    match sub.as_str() {
+        "commands" => cmd_commands(),
+        "datasets" => cmd_datasets(),
+        "suggest" => cmd_suggest(parse_args(rest)),
+        "run" => cmd_run(parse_args(rest)),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,151 @@
+//! Streamlines and streaklines — the particle-trace extensions the
+//! paper's future work (§9) names next to pathlines.
+//!
+//! * **Streamlines**: instantaneous field lines of a single time level
+//!   (the unsteady sampler frozen at one instant).
+//! * **Streaklines**: the locus of all particles continuously released
+//!   from a seed during a time interval, observed at the interval's end.
+//!
+//! Both run through the DMS like `PathlinesDataMan` and report progress
+//! per seed (§9's progress-indicator suggestion).
+
+use super::seed_points;
+use crate::command::{Command, CommandError, CommandOutput, JobCtx};
+use vira_extract::pathline::{
+    trace_pathline, trace_streakline, MultiBlockSampler, PathlineConfig, SteadySampler,
+    TimeScheme,
+};
+use vira_grid::block::BlockStepId;
+use vira_grid::field::SharedBlockData;
+use vira_grid::math::Vec3;
+
+fn my_seeds(ctx: &JobCtx<'_>) -> Vec<Vec3> {
+    let n_seeds = ctx.params.get_usize("n_seeds").unwrap_or(16);
+    let rngseed = ctx
+        .params
+        .get("rngseed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+    seed_points(ctx, n_seeds, rngseed)
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| i % ctx.group.len() == ctx.my_index())
+        .map(|(_, s)| s)
+        .collect()
+}
+
+fn integrator_cfg(ctx: &JobCtx<'_>, scheme: TimeScheme) -> PathlineConfig {
+    let dt = ctx.spec.dt;
+    PathlineConfig {
+        h_init: ctx.params.get_f64("h_init").unwrap_or(dt / 4.0),
+        h_min: dt * 1e-6,
+        h_max: dt,
+        tol: ctx.params.get_f64("tol").unwrap_or(1e-5),
+        max_steps: ctx.params.get_usize("max_steps").unwrap_or(20_000),
+        scheme,
+    }
+}
+
+/// Instantaneous streamlines of one time level.
+///
+/// Parameters: `step` (time level, default 0), `n_seeds`, `rngseed`,
+/// `t_span` (pseudo-time integration horizon, default 2·n_steps·dt).
+pub struct Streamlines;
+
+impl Command for Streamlines {
+    fn name(&self) -> &'static str {
+        "Streamlines"
+    }
+
+    fn execute(&self, ctx: &mut JobCtx<'_>) -> Result<CommandOutput, CommandError> {
+        let step = ctx.params.get_usize("step").unwrap_or(0) as u32;
+        if step >= ctx.spec.n_steps {
+            return Err(CommandError::BadParams(format!(
+                "step {step} out of range (dataset has {})",
+                ctx.spec.n_steps
+            )));
+        }
+        let t_span = ctx
+            .params
+            .get_f64("t_span")
+            .unwrap_or(2.0 * ctx.spec.n_steps as f64 * ctx.spec.dt);
+        let topo = ctx.server.topology(&ctx.dataset).ok_or_else(|| {
+            CommandError::BadParams(format!("dataset {} has no topology metadata", ctx.dataset))
+        })?;
+        let cfg = integrator_cfg(ctx, TimeScheme::VelocityInterp);
+        let cost_per_seed = ctx.costs.pathline_s_per_step * 20.0;
+        let frozen_t = step as f64 * ctx.spec.dt;
+
+        let seeds = my_seeds(ctx);
+        let total = seeds.len().max(1);
+        let mut out = CommandOutput::default();
+        for (n, seed) in seeds.into_iter().enumerate() {
+            if ctx.is_cancelled() {
+                break;
+            }
+            let ctx_ref: &JobCtx<'_> = ctx;
+            let fetch = |id: BlockStepId| -> Option<SharedBlockData> {
+                // Streamlines only ever touch the frozen level.
+                ctx_ref.load_block(BlockStepId::new(id.block, step)).ok()
+            };
+            let inner = MultiBlockSampler::new(fetch, topo.clone(), ctx_ref.spec.n_steps, ctx_ref.spec.dt);
+            let mut sampler = SteadySampler::new(inner, frozen_t);
+            ctx.charge_compute(cost_per_seed);
+            let r = trace_pathline(&mut sampler, seed, 0.0, t_span, &cfg);
+            if r.line.len() > 1 {
+                out.polylines.push(r.line);
+            }
+            ctx.report_progress((n + 1) as f32 / total as f32)?;
+        }
+        Ok(out)
+    }
+}
+
+/// Streaklines over `[t0, t1]` with `releases` particles per seed.
+pub struct Streaklines;
+
+impl Command for Streaklines {
+    fn name(&self) -> &'static str {
+        "Streaklines"
+    }
+
+    fn execute(&self, ctx: &mut JobCtx<'_>) -> Result<CommandOutput, CommandError> {
+        let t0 = ctx.params.get_f64("t0").unwrap_or(0.0);
+        let t1 = ctx
+            .params
+            .get_f64("t1")
+            .unwrap_or((ctx.spec.n_steps.saturating_sub(1)) as f64 * ctx.spec.dt);
+        let releases = ctx.params.get_usize("releases").unwrap_or(20).max(1);
+        if t1 <= t0 {
+            return Err(CommandError::BadParams(format!(
+                "invalid time span [{t0}, {t1}]"
+            )));
+        }
+        let topo = ctx.server.topology(&ctx.dataset).ok_or_else(|| {
+            CommandError::BadParams(format!("dataset {} has no topology metadata", ctx.dataset))
+        })?;
+        let cfg = integrator_cfg(ctx, TimeScheme::VelocityInterp);
+        // A streakline costs roughly `releases` short pathlines.
+        let cost_per_seed = ctx.costs.pathline_s_per_step * 10.0 * releases as f64;
+
+        let seeds = my_seeds(ctx);
+        let total = seeds.len().max(1);
+        let mut out = CommandOutput::default();
+        for (n, seed) in seeds.into_iter().enumerate() {
+            if ctx.is_cancelled() {
+                break;
+            }
+            let ctx_ref: &JobCtx<'_> = ctx;
+            let fetch = |id: BlockStepId| ctx_ref.load_block(id).ok();
+            let mut sampler =
+                MultiBlockSampler::new(fetch, topo.clone(), ctx_ref.spec.n_steps, ctx_ref.spec.dt);
+            ctx.charge_compute(cost_per_seed);
+            let line = trace_streakline(&mut sampler, seed, t0, t1, releases, &cfg);
+            if line.len() > 1 {
+                out.polylines.push(line);
+            }
+            ctx.report_progress((n + 1) as f32 / total as f32)?;
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,95 @@
+//! Isosurface commands on the velocity magnitude: the paper's
+//! `SimpleIso` (no data management) and `IsoDataMan` (DMS-enabled)
+//! baselines, plus a collective-I/O variant for the §4.3 ablation.
+
+use super::{require_f64, steps_of};
+use crate::command::{Command, CommandError, CommandOutput, JobCtx};
+use vira_extract::iso::extract_isosurface;
+
+fn extract_items(
+    ctx: &mut JobCtx<'_>,
+    use_dms: bool,
+    collective: bool,
+) -> Result<CommandOutput, CommandError> {
+    let iso = require_f64(ctx, "iso")?;
+    let mut out = CommandOutput::default();
+    let order: Vec<_> = (0..ctx.spec.n_blocks).collect();
+    let compute_per_item = ctx.costs.iso_s_per_cell * ctx.nominal_cells();
+    let steps = steps_of(ctx);
+    let total_items = (steps.len() * ctx.my_blocks(0, &order).len()).max(1);
+    let mut done = 0usize;
+    for step in steps {
+        for id in ctx.my_blocks(step, &order) {
+            if ctx.is_cancelled() {
+                return Ok(out);
+            }
+            let data = if collective && !ctx.proxy.is_cached(&ctx.dataset, id) {
+                // Cold item: all group members fetch their items in one
+                // coordinated operation.
+                ctx.server.collective_read(
+                    &ctx.dataset,
+                    id,
+                    ctx.group.len(),
+                    &ctx.meter,
+                )?
+            } else if use_dms {
+                ctx.load_block(id)?
+            } else {
+                ctx.direct_read(id)?
+            };
+            ctx.charge_compute(compute_per_item);
+            let field = data.velocity.magnitude();
+            let (soup, _stats) = extract_isosurface(&data.grid, &field, iso);
+            out.triangles.extend_from(&soup);
+            done += 1;
+            // Coarse progress ticks: every ~5 % of this worker's share.
+            if done.is_multiple_of((total_items / 20).max(1)) || done == total_items {
+                ctx.report_progress(done as f32 / total_items as f32)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Isosurface extraction without any data management (paper Fig. 6/7
+/// baseline): every item is read straight from the file server.
+pub struct SimpleIso;
+
+impl Command for SimpleIso {
+    fn name(&self) -> &'static str {
+        "SimpleIso"
+    }
+
+    fn execute(&self, ctx: &mut JobCtx<'_>) -> Result<CommandOutput, CommandError> {
+        extract_items(ctx, false, false)
+    }
+}
+
+/// Isosurface extraction through the DMS: caches, prefetching and
+/// adaptive loading strategies.
+pub struct IsoDataMan;
+
+impl Command for IsoDataMan {
+    fn name(&self) -> &'static str {
+        "IsoDataMan"
+    }
+
+    fn execute(&self, ctx: &mut JobCtx<'_>) -> Result<CommandOutput, CommandError> {
+        extract_items(ctx, true, false)
+    }
+}
+
+/// Isosurface extraction using collective I/O for cold items (§4.3:
+/// "applicable when multiple processors collectively access a file …
+/// mostly at cold starts").
+pub struct CollectiveIso;
+
+impl Command for CollectiveIso {
+    fn name(&self) -> &'static str {
+        "CollectiveIso"
+    }
+
+    fn execute(&self, ctx: &mut JobCtx<'_>) -> Result<CommandOutput, CommandError> {
+        extract_items(ctx, true, true)
+    }
+}

@@ -1,0 +1,166 @@
+//! The built-in post-processing commands — the paper's evaluation
+//! workloads (§6.3) plus the progressive extension (§5.3) and a
+//! collective-I/O variant (§4.3).
+//!
+//! | Command | Data path | Streaming |
+//! |---|---|---|
+//! | `SimpleIso` | direct file-server reads | no |
+//! | `IsoDataMan` | DMS | no |
+//! | `ViewerIso` | DMS | view-dependent, BSP front-to-back |
+//! | `CollectiveIso` | collective I/O on cold items | no |
+//! | `SimpleVortex` | direct reads | no |
+//! | `VortexDataMan` | DMS | no |
+//! | `StreamedVortex` | DMS | cell-wise λ₂ batches |
+//! | `SimplePathlines` | direct reads (job-local map) | no |
+//! | `PathlinesDataMan` | DMS (Markov-friendly) | per-trace packets |
+//! | `ProgressiveIso` | DMS | coarse-to-fine levels |
+//! | `Streamlines` | DMS (frozen level) | no |
+//! | `Streaklines` | DMS | no |
+//!
+//! Shared parameter conventions: `iso` (scalar level on \|u\|),
+//! `threshold` (λ₂ level), `viewpoint` ("x,y,z"), `batch` (triangles per
+//! streamed packet), `n_steps` (limit the number of processed time
+//! steps), `step0` (first step), pathlines: `n_seeds`, `t0`, `t1`,
+//! `rngseed`, `scheme`.
+
+mod admin;
+mod field_lines;
+mod iso;
+mod pathlines;
+mod progressive;
+mod viewer;
+mod vortex;
+
+pub use admin::ClearCache;
+pub use field_lines::{Streaklines, Streamlines};
+pub use iso::{CollectiveIso, IsoDataMan, SimpleIso};
+pub use pathlines::{PathlinesDataMan, SimplePathlines};
+pub use progressive::ProgressiveIso;
+pub use viewer::ViewerIso;
+pub use vortex::{SimpleVortex, StreamedVortex, VortexDataMan};
+
+use crate::command::{CommandError, CommandRegistry, JobCtx};
+use std::sync::Arc;
+use vira_grid::block::BlockId;
+use vira_grid::math::Vec3;
+
+/// Registers every built-in command.
+pub fn default_registry() -> CommandRegistry {
+    let mut r = CommandRegistry::new();
+    r.register(Arc::new(ClearCache));
+    r.register(Arc::new(SimpleIso));
+    r.register(Arc::new(IsoDataMan));
+    r.register(Arc::new(ViewerIso));
+    r.register(Arc::new(CollectiveIso));
+    r.register(Arc::new(SimpleVortex));
+    r.register(Arc::new(VortexDataMan));
+    r.register(Arc::new(StreamedVortex));
+    r.register(Arc::new(SimplePathlines));
+    r.register(Arc::new(PathlinesDataMan));
+    r.register(Arc::new(ProgressiveIso));
+    r.register(Arc::new(Streamlines));
+    r.register(Arc::new(Streaklines));
+    r
+}
+
+/// Required f64 parameter.
+pub(crate) fn require_f64(ctx: &JobCtx<'_>, key: &str) -> Result<f64, CommandError> {
+    ctx.params
+        .get_f64(key)
+        .ok_or_else(|| CommandError::BadParams(format!("missing parameter '{key}'")))
+}
+
+/// Triangles per streamed packet.
+pub(crate) fn batch_size(ctx: &JobCtx<'_>) -> usize {
+    ctx.params.get_usize("batch").unwrap_or(2000).max(1)
+}
+
+/// The time steps this job processes: `step0 ..` limited by `n_steps`
+/// (default: the whole unsteady dataset, as in the paper's evaluation).
+pub(crate) fn steps_of(ctx: &JobCtx<'_>) -> Vec<u32> {
+    let step0 = ctx.params.get_usize("step0").unwrap_or(0) as u32;
+    let limit = ctx
+        .params
+        .get_usize("n_steps")
+        .unwrap_or(ctx.spec.n_steps as usize) as u32;
+    (step0..ctx.spec.n_steps.min(step0 + limit)).collect()
+}
+
+/// Block ids sorted front-to-back with respect to a viewpoint (by
+/// bounding-box distance); falls back to id order when the server has no
+/// geometry metadata for the dataset.
+pub(crate) fn front_to_back_order(ctx: &JobCtx<'_>, viewpoint: Vec3) -> Vec<BlockId> {
+    let ids: Vec<BlockId> = (0..ctx.spec.n_blocks).collect();
+    let Some(bboxes) = ctx.server.block_bboxes(&ctx.dataset) else {
+        return ids;
+    };
+    let mut with_d: Vec<(f64, BlockId)> = ids
+        .iter()
+        .map(|&b| (bboxes[b as usize].distance_sq(viewpoint), b))
+        .collect();
+    with_d.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    with_d.into_iter().map(|(_, b)| b).collect()
+}
+
+/// Deterministic seed points inside the dataset's bounding box (shrunk
+/// toward the centre so seeds start well inside the flow). Plain LCG —
+/// no RNG dependency needed, and reproducible across runs.
+pub(crate) fn seed_points(ctx: &JobCtx<'_>, n: usize, rngseed: u64) -> Vec<Vec3> {
+    let bbox = match ctx.server.block_bboxes(&ctx.dataset) {
+        Some(bs) => {
+            let mut u = vira_grid::math::Aabb::EMPTY;
+            for b in bs.iter() {
+                u.expand(b.min);
+                u.expand(b.max);
+            }
+            u
+        }
+        None => vira_grid::math::Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0)),
+    };
+    let c = bbox.center();
+    let half = bbox.diagonal() * 0.5 * 0.6; // stay inside
+    let mut state = rngseed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0 // [-1, 1)
+    };
+    (0..n)
+        .map(|_| {
+            Vec3::new(
+                c.x + half.x * next(),
+                c.y + half.y * next(),
+                c.z + half.z * next(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_all_builtin_commands() {
+        let r = default_registry();
+        assert_eq!(
+            r.names(),
+            vec![
+                "ClearCache",
+                "CollectiveIso",
+                "IsoDataMan",
+                "PathlinesDataMan",
+                "ProgressiveIso",
+                "SimpleIso",
+                "SimplePathlines",
+                "SimpleVortex",
+                "Streaklines",
+                "StreamedVortex",
+                "Streamlines",
+                "ViewerIso",
+                "VortexDataMan",
+            ]
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Pathline commands (paper §6.3, §7.3).
+//!
+//! Seed points are distributed round-robin over the group; every trace
+//! integrates with adaptive RK4 over the dataset's full time span. The
+//! data access pattern — non-uniform, time-advancing block requests —
+//! is exactly the workload the Markov prefetcher is built for: with the
+//! DMS variant every block request goes through the proxy, so a learning
+//! pass followed by a traced pass reproduces the paper's Figure 14.
+
+use super::seed_points;
+use crate::command::{Command, CommandError, CommandOutput, JobCtx};
+use vira_extract::pathline::{
+    trace_pathline, FieldSampler, MultiBlockSampler, PathlineConfig, TimeScheme,
+};
+use vira_grid::block::BlockStepId;
+use vira_grid::field::SharedBlockData;
+use vira_grid::math::Vec3;
+
+/// Wraps a sampler so every velocity evaluation charges a slice of the
+/// modeled integration cost — spreading compute over the trace so that
+/// prefetch I/O genuinely overlaps it.
+struct ChargedSampler<'c, 'a, S: FieldSampler> {
+    inner: S,
+    ctx: &'c JobCtx<'a>,
+    cost_per_eval: f64,
+}
+
+impl<S: FieldSampler> FieldSampler for ChargedSampler<'_, '_, S> {
+    fn velocity(&mut self, p: Vec3, t: f64) -> Option<Vec3> {
+        self.ctx.charge_compute(self.cost_per_eval);
+        self.inner.velocity(p, t)
+    }
+
+    fn velocity_at_level(&mut self, p: Vec3, t: f64, hi: bool) -> Option<Vec3> {
+        self.ctx.charge_compute(self.cost_per_eval);
+        self.inner.velocity_at_level(p, t, hi)
+    }
+
+    fn level_alpha(&self, t: f64) -> f64 {
+        self.inner.level_alpha(t)
+    }
+}
+
+fn pathline_cfg(ctx: &JobCtx<'_>) -> PathlineConfig {
+    let dt = ctx.spec.dt;
+    let scheme = match ctx.params.get("scheme") {
+        Some("adjacent-levels") => TimeScheme::AdjacentLevels,
+        _ => TimeScheme::VelocityInterp,
+    };
+    PathlineConfig {
+        h_init: ctx.params.get_f64("h_init").unwrap_or(dt / 4.0),
+        h_min: dt * 1e-6,
+        h_max: dt,
+        tol: ctx.params.get_f64("tol").unwrap_or(1e-5),
+        max_steps: ctx.params.get_usize("max_steps").unwrap_or(20_000),
+        scheme,
+    }
+}
+
+fn run_pathlines(ctx: &mut JobCtx<'_>, use_dms: bool) -> Result<CommandOutput, CommandError> {
+    let n_seeds = ctx.params.get_usize("n_seeds").unwrap_or(16);
+    let rngseed = ctx
+        .params
+        .get("rngseed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+    let t0 = ctx.params.get_f64("t0").unwrap_or(0.0);
+    let t1 = ctx
+        .params
+        .get_f64("t1")
+        .unwrap_or((ctx.spec.n_steps.saturating_sub(1)) as f64 * ctx.spec.dt);
+    if t1 <= t0 {
+        return Err(CommandError::BadParams(format!(
+            "invalid time span [{t0}, {t1}]"
+        )));
+    }
+    let topo = ctx.server.topology(&ctx.dataset).ok_or_else(|| {
+        CommandError::BadParams(format!("dataset {} has no topology metadata", ctx.dataset))
+    })?;
+    let cfg = pathline_cfg(ctx);
+    // 12 velocity evaluations per step-doubled RK4 triple.
+    let cost_per_eval = ctx.costs.pathline_s_per_step / 12.0;
+
+    let seeds = seed_points(ctx, n_seeds, rngseed);
+    let mine: Vec<Vec3> = seeds
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| i % ctx.group.len() == ctx.my_index())
+        .map(|(_, s)| s)
+        .collect();
+
+    let mut out = CommandOutput::default();
+    for seed in mine {
+        if ctx.is_cancelled() {
+            break;
+        }
+        // Borrow-friendly fetcher: captures ctx immutably.
+        let ctx_ref: &JobCtx<'_> = ctx;
+        let result = if use_dms {
+            let fetch = |id: BlockStepId| ctx_ref.load_block(id).ok();
+            let sampler = MultiBlockSampler::new(fetch, topo.clone(), ctx_ref.spec.n_steps, ctx_ref.spec.dt);
+            let mut charged = ChargedSampler {
+                inner: sampler,
+                ctx: ctx_ref,
+                cost_per_eval,
+            };
+            trace_pathline(&mut charged, seed, t0, t1, &cfg)
+        } else {
+            // No data management at all: every trace re-reads its items
+            // from the file server (the sampler holds an item only for
+            // the duration of one trace).
+            let fetch = |id: BlockStepId| -> Option<SharedBlockData> {
+                ctx_ref.direct_read(id).ok()
+            };
+            let sampler = MultiBlockSampler::new(fetch, topo.clone(), ctx_ref.spec.n_steps, ctx_ref.spec.dt);
+            let mut charged = ChargedSampler {
+                inner: sampler,
+                ctx: ctx_ref,
+                cost_per_eval,
+            };
+            trace_pathline(&mut charged, seed, t0, t1, &cfg)
+        };
+        if result.line.len() > 1 {
+            out.polylines.push(result.line);
+        }
+    }
+    Ok(out)
+}
+
+/// Pathline integration without data management: every trace loads its
+/// blocks from the file server anew — the Fig. 13 baseline with its poor
+/// scalability under load imbalance.
+pub struct SimplePathlines;
+
+impl Command for SimplePathlines {
+    fn name(&self) -> &'static str {
+        "SimplePathlines"
+    }
+
+    fn execute(&self, ctx: &mut JobCtx<'_>) -> Result<CommandOutput, CommandError> {
+        run_pathlines(ctx, false)
+    }
+}
+
+/// Pathline integration through the DMS: cached blocks are reused across
+/// commands and the (Markov) prefetcher overlaps block loading with the
+/// numerical integration.
+pub struct PathlinesDataMan;
+
+impl Command for PathlinesDataMan {
+    fn name(&self) -> &'static str {
+        "PathlinesDataMan"
+    }
+
+    fn execute(&self, ctx: &mut JobCtx<'_>) -> Result<CommandOutput, CommandError> {
+        run_pathlines(ctx, true)
+    }
+}

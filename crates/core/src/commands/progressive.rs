@@ -1,0 +1,63 @@
+//! `ProgressiveIso` — progressive multi-resolution isosurface extraction
+//! (paper §5.3 / future work §9).
+//!
+//! Each block's isosurface is extracted on a subsampling pyramid from
+//! coarse to fine; every level is streamed to the client the moment it
+//! is available. The base level gives the user a near-immediate
+//! impression of the final result; the finest level is the exact
+//! surface. The extra levels make the total computation cost exceed a
+//! single-pass extraction — the latency/overhead trade-off quantified by
+//! the `ablation_progressive` experiment.
+
+use super::{batch_size, require_f64, steps_of};
+use crate::command::{Command, CommandError, CommandOutput, JobCtx};
+use vira_extract::multires::progressive_isosurface;
+
+pub struct ProgressiveIso;
+
+impl Command for ProgressiveIso {
+    fn name(&self) -> &'static str {
+        "ProgressiveIso"
+    }
+
+    fn execute(&self, ctx: &mut JobCtx<'_>) -> Result<CommandOutput, CommandError> {
+        let iso = require_f64(ctx, "iso")?;
+        let levels = ctx.params.get_usize("levels").unwrap_or(3).max(1);
+        let batch = batch_size(ctx);
+        let order: Vec<_> = (0..ctx.spec.n_blocks).collect();
+        let nominal = ctx.nominal_cells();
+
+        for step in steps_of(ctx) {
+            for id in ctx.my_blocks(step, &order) {
+                if ctx.is_cancelled() {
+                    return Ok(CommandOutput::default());
+                }
+                let data = ctx.load_block(id)?;
+                let field = data.velocity.magnitude();
+                let mut stream_err: Option<CommandError> = None;
+                progressive_isosurface(&data.grid, &field, iso, levels, |level| {
+                    if stream_err.is_some() {
+                        return;
+                    }
+                    // A level subsampled by stride s has ~1/s³ of the
+                    // nominal cells; charge the level's share before its
+                    // surface goes out.
+                    let frac = 1.0 / (level.stride as f64).powi(3);
+                    ctx.charge_compute(ctx.costs.iso_s_per_cell * nominal * frac);
+                    let mut remaining = level.surface.clone();
+                    while !remaining.is_empty() {
+                        let chunk = remaining.drain_front(batch);
+                        if let Err(e) = ctx.stream_triangles(&chunk) {
+                            stream_err = Some(e);
+                            return;
+                        }
+                    }
+                });
+                if let Some(e) = stream_err {
+                    return Err(e);
+                }
+            }
+        }
+        Ok(CommandOutput::default())
+    }
+}

@@ -1,0 +1,69 @@
+//! Framework configuration.
+
+use vira_dms::proxy::ProxyConfig;
+use vira_dms::server::ServerConfig;
+use vira_storage::costmodel::ComputeCosts;
+
+/// Configuration of one Viracocha back-end instance.
+#[derive(Debug, Clone)]
+pub struct ViracochaConfig {
+    /// Number of worker processes (the scheduler is separate).
+    pub n_workers: usize,
+    /// Time dilation: wall seconds slept per modeled second. `0.0`
+    /// disables sleeping (pure accounting — the unit-test mode).
+    pub dilation: f64,
+    /// Modeled per-cell / per-byte compute and transmission costs.
+    pub costs: ComputeCosts,
+    /// Per-node data-proxy configuration (caches, prefetcher).
+    pub proxy: ProxyConfig,
+    /// Data-server configuration (strategy selection, cooperative cache).
+    pub server: ServerConfig,
+}
+
+impl Default for ViracochaConfig {
+    fn default() -> Self {
+        ViracochaConfig {
+            n_workers: 4,
+            dilation: 0.0,
+            costs: ComputeCosts::default(),
+            proxy: ProxyConfig::default(),
+            server: ServerConfig::default(),
+        }
+    }
+}
+
+impl ViracochaConfig {
+    /// Convenience: a config for fast deterministic tests — no dilation,
+    /// generous memory cache, no prefetching.
+    pub fn for_tests(n_workers: usize) -> Self {
+        ViracochaConfig {
+            n_workers,
+            dilation: 0.0,
+            proxy: ProxyConfig {
+                prefetcher: "none".into(),
+                ..ProxyConfig::default()
+            },
+            ..ViracochaConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ViracochaConfig::default();
+        assert!(c.n_workers >= 1);
+        assert_eq!(c.dilation, 0.0);
+        assert!(c.costs.iso_s_per_cell > 0.0);
+    }
+
+    #[test]
+    fn test_config_disables_prefetching() {
+        let c = ViracochaConfig::for_tests(2);
+        assert_eq!(c.n_workers, 2);
+        assert_eq!(c.proxy.prefetcher, "none");
+    }
+}

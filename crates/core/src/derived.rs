@@ -1,0 +1,244 @@
+//! Caching of **derived** data items.
+//!
+//! The DMS naming scheme deliberately distinguishes items by type and
+//! parameters, not just by source file (§4): *"distinct data items may
+//! be derived from the same file"*. The λ₂ workflow is the motivating
+//! case — the scalar field is expensive to compute but independent of
+//! the threshold, while the explorative loop (§1.1) keeps re-extracting
+//! with new thresholds: *"in practice a value about zero is used … this
+//! accurate adjustment depends on the data set."*
+//!
+//! [`DerivedFieldCache`] memoizes derived scalar fields per worker node,
+//! keyed by the DMS item identity of `(dataset, type, block, step)`,
+//! with LRU eviction under a byte budget. `VortexDataMan` uses it when
+//! the `cache_fields` parameter is set; the `ablation_derived` bench
+//! quantifies the effect on a threshold sweep.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use vira_grid::block::BlockStepId;
+use vira_grid::field::ScalarField;
+
+/// Key of a derived field: which dataset, which derivation, which item.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Key {
+    dataset: String,
+    kind: &'static str,
+    id: BlockStepId,
+}
+
+struct Entry {
+    field: Arc<ScalarField>,
+    bytes: usize,
+    last_use: u64,
+}
+
+/// A byte-bounded LRU cache of derived scalar fields (one per worker
+/// node, shared across jobs like the data proxy's caches).
+pub struct DerivedFieldCache {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<Key, Entry>,
+    used_bytes: usize,
+    capacity_bytes: usize,
+    stamp: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl DerivedFieldCache {
+    pub fn new(capacity_bytes: usize) -> DerivedFieldCache {
+        DerivedFieldCache {
+            inner: Mutex::new(Inner {
+                capacity_bytes,
+                ..Inner::default()
+            }),
+        }
+    }
+
+    /// Returns the cached field or computes and caches it.
+    pub fn get_or_compute(
+        &self,
+        dataset: &str,
+        kind: &'static str,
+        id: BlockStepId,
+        compute: impl FnOnce() -> ScalarField,
+    ) -> Arc<ScalarField> {
+        let key = Key {
+            dataset: dataset.to_string(),
+            kind,
+            id,
+        };
+        {
+            let mut g = self.inner.lock();
+            g.stamp += 1;
+            let stamp = g.stamp;
+            if g.map.contains_key(&key) {
+                g.hits += 1;
+                let e = g.map.get_mut(&key).expect("just checked");
+                e.last_use = stamp;
+                return e.field.clone();
+            }
+            g.misses += 1;
+        }
+        // Compute outside the lock: other items stay retrievable while
+        // this (potentially long) derivation runs.
+        let field = Arc::new(compute());
+        let bytes = field.values.len() * std::mem::size_of::<f64>();
+        let mut g = self.inner.lock();
+        g.stamp += 1;
+        let stamp = g.stamp;
+        // Another thread may have computed the same key concurrently:
+        // keep the existing entry, drop our duplicate.
+        if g.map.contains_key(&key) {
+            let e = g.map.get_mut(&key).expect("just checked");
+            e.last_use = stamp;
+            return e.field.clone();
+        }
+        while g.used_bytes + bytes > g.capacity_bytes && !g.map.is_empty() {
+            let victim = g
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty map");
+            if let Some(e) = g.map.remove(&victim) {
+                g.used_bytes -= e.bytes;
+            }
+        }
+        g.used_bytes += bytes;
+        g.map.insert(
+            key,
+            Entry {
+                field: field.clone(),
+                bytes,
+                last_use: stamp,
+            },
+        );
+        field
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        let g = self.inner.lock();
+        (g.hits, g.misses)
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn used_bytes(&self) -> usize {
+        self.inner.lock().used_bytes
+    }
+
+    /// Drops every cached field.
+    pub fn clear(&self) {
+        let mut g = self.inner.lock();
+        g.map.clear();
+        g.used_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vira_grid::block::BlockDims;
+
+    fn field(v: f64) -> ScalarField {
+        ScalarField::from_fn(BlockDims::new(4, 4, 4), |_, _, _| v)
+    }
+
+    fn bs(b: u32, s: u32) -> BlockStepId {
+        BlockStepId::new(b, s)
+    }
+
+    #[test]
+    fn second_lookup_hits_without_recompute() {
+        let cache = DerivedFieldCache::new(1 << 20);
+        let mut computes = 0;
+        for _ in 0..3 {
+            let f = cache.get_or_compute("Engine", "lambda2", bs(0, 0), || {
+                computes += 1;
+                field(1.0)
+            });
+            assert_eq!(f.values[0], 1.0);
+        }
+        assert_eq!(computes, 1);
+        assert_eq!(cache.stats(), (2, 1));
+    }
+
+    #[test]
+    fn distinct_items_do_not_collide() {
+        let cache = DerivedFieldCache::new(1 << 20);
+        let a = cache.get_or_compute("Engine", "lambda2", bs(0, 0), || field(1.0));
+        let b = cache.get_or_compute("Engine", "lambda2", bs(1, 0), || field(2.0));
+        let c = cache.get_or_compute("Engine", "speed", bs(0, 0), || field(3.0));
+        let d = cache.get_or_compute("Propfan", "lambda2", bs(0, 0), || field(4.0));
+        assert_eq!(
+            (a.values[0], b.values[0], c.values[0], d.values[0]),
+            (1.0, 2.0, 3.0, 4.0)
+        );
+        assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn lru_eviction_under_byte_budget() {
+        // Each 4³ field is 512 bytes; capacity for two.
+        let cache = DerivedFieldCache::new(1100);
+        cache.get_or_compute("E", "f", bs(0, 0), || field(0.0));
+        cache.get_or_compute("E", "f", bs(1, 0), || field(1.0));
+        // Touch item 0 so item 1 is the LRU victim.
+        cache.get_or_compute("E", "f", bs(0, 0), || unreachable!("cached"));
+        cache.get_or_compute("E", "f", bs(2, 0), || field(2.0));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.used_bytes() <= 1100);
+        // Item 1 was evicted: recompute happens.
+        let mut recomputed = false;
+        cache.get_or_compute("E", "f", bs(1, 0), || {
+            recomputed = true;
+            field(1.0)
+        });
+        assert!(recomputed);
+    }
+
+    #[test]
+    fn clear_empties_the_cache() {
+        let cache = DerivedFieldCache::new(1 << 20);
+        cache.get_or_compute("E", "f", bs(0, 0), || field(0.0));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.used_bytes(), 0);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache = Arc::new(DerivedFieldCache::new(1 << 20));
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let cache = cache.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50u32 {
+                    let f = cache.get_or_compute("E", "f", bs(i % 8, 0), || {
+                        field((i % 8) as f64)
+                    });
+                    assert_eq!(f.values[0], (i % 8) as f64, "thread {t}");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let (hits, misses) = cache.stats();
+        assert_eq!(hits + misses, 200);
+        assert!(misses >= 8);
+    }
+}

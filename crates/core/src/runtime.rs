@@ -1,0 +1,163 @@
+//! Assembly of one Viracocha back-end instance: the communication world,
+//! the data server, the scheduler thread and the worker threads.
+
+use crate::command::{CancelSet, CommandRegistry};
+use crate::commands::default_registry;
+use crate::config::ViracochaConfig;
+use crate::scheduler::{scheduler_main, SchedulerSetup};
+use crate::worker::{worker_main, WorkerSetup};
+use parking_lot::RwLock;
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use vira_comm::endpoint::Endpoint;
+use vira_comm::link::{client_server_link, ClientSide};
+use vira_comm::transport::LocalWorld;
+use vira_dms::server::{DataServer, SharedCache};
+use vira_storage::costmodel::{SharedChannel, SimClock};
+use vira_storage::source::DataSource;
+
+/// A running Viracocha back-end.
+///
+/// The visualization client talks to it through the [`ClientSide`] link
+/// returned by [`Viracocha::launch`] (typically wrapped in a
+/// `vira_vista::VistaClient`). Datasets are registered through
+/// [`Viracocha::register_dataset`] at any time before the first job that
+/// uses them.
+pub struct Viracocha {
+    server: Arc<DataServer>,
+    clock: Arc<SimClock>,
+    registry: Arc<CommandRegistry>,
+    scheduler: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Viracocha {
+    /// Launches a back-end with the built-in command registry.
+    pub fn launch(config: ViracochaConfig) -> (Viracocha, ClientSide) {
+        Self::launch_with_registry(config, default_registry())
+    }
+
+    /// Launches a back-end with a custom command registry — the paper's
+    /// layer-3 extensibility: "this design allows the reuse of the
+    /// Viracocha framework for purposes different from CFD
+    /// post-processing by simply exchanging this topmost layer".
+    pub fn launch_with_registry(
+        config: ViracochaConfig,
+        registry: CommandRegistry,
+    ) -> (Viracocha, ClientSide) {
+        assert!(config.n_workers >= 1, "need at least one worker");
+        let clock = SimClock::new(config.dilation);
+        let server = DataServer::new(clock.clone(), config.server.clone());
+        let registry = Arc::new(registry);
+        let cancels: CancelSet = Arc::new(RwLock::new(HashSet::new()));
+        let (client_side, server_side) = client_server_link();
+        let events = server_side.event_sender();
+        let uplink = SharedChannel::new();
+
+        let mut world = LocalWorld::create(config.n_workers + 1);
+        let mut workers = Vec::with_capacity(config.n_workers);
+        // Spawn workers for ranks 1..=n; rank 0 stays with the scheduler.
+        for endpoint in world.drain(1..) {
+            let rank = {
+                use vira_comm::transport::Transport;
+                endpoint.rank()
+            };
+            let setup = WorkerSetup {
+                endpoint: Endpoint::new(endpoint),
+                server: server.clone(),
+                clock: clock.clone(),
+                registry: registry.clone(),
+                config: config.clone(),
+                events: events.clone(),
+                cancels: cancels.clone(),
+                uplink: uplink.clone(),
+            };
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("vira-worker-{rank}"))
+                    .spawn(move || worker_main(setup))
+                    .expect("failed to spawn worker"),
+            );
+        }
+        let sched_endpoint = world.pop().expect("rank 0 endpoint");
+        let setup = SchedulerSetup {
+            endpoint: Endpoint::new(sched_endpoint),
+            link: server_side,
+            server: server.clone(),
+            clock: clock.clone(),
+            registry: registry.clone(),
+            cancels,
+            n_workers: config.n_workers,
+        };
+        let scheduler = std::thread::Builder::new()
+            .name("vira-scheduler".into())
+            .spawn(move || scheduler_main(setup))
+            .expect("failed to spawn scheduler");
+
+        (
+            Viracocha {
+                server,
+                clock,
+                registry,
+                scheduler: Some(scheduler),
+                workers,
+            },
+            client_side,
+        )
+    }
+
+    /// The central data server (dataset registry, name service, peer
+    /// directory).
+    pub fn server(&self) -> &Arc<DataServer> {
+        &self.server
+    }
+
+    /// The simulation clock used for modeled-time accounting.
+    pub fn clock(&self) -> &Arc<SimClock> {
+        &self.clock
+    }
+
+    /// Registered command names.
+    pub fn commands(&self) -> Vec<&'static str> {
+        self.registry.names()
+    }
+
+    /// Registers a dataset with the data server. `replicated` makes it
+    /// additionally available on node-local disks (the "direct loading
+    /// from hard disk" strategy).
+    pub fn register_dataset(&self, source: Arc<dyn DataSource>, replicated: bool) {
+        self.server.register_dataset(source, replicated);
+    }
+
+    /// Per-node caches of all proxies — exposed for experiments that
+    /// need cold-cache runs.
+    pub fn peer_cache_of(&self, node: usize) -> Option<SharedCache> {
+        // The server holds the registered cache handles.
+        self.server.peer_cache_handle(node)
+    }
+
+    /// Waits for the back-end to exit (after the client sent `Shutdown`
+    /// or dropped its link).
+    pub fn join(mut self) {
+        if let Some(s) = self.scheduler.take() {
+            let _ = s.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Viracocha {
+    fn drop(&mut self) {
+        // Best effort: if the user forgot to join, detach cleanly. The
+        // scheduler exits when the client link drops.
+        if let Some(s) = self.scheduler.take() {
+            let _ = s.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! The scheduler (layer 2, paper §3 / Figure 2).
+//!
+//! Receives commands from the visualization client over the client link,
+//! forms work groups "as soon as enough processes are available",
+//! dispatches the parallel task, and forwards the master worker's merged
+//! package back to the client. Multiple jobs run concurrently on
+//! disjoint work groups; submissions wait FIFO while workers are busy.
+
+use crate::command::{CancelSet, CommandRegistry};
+use crate::wire;
+use bytes::Bytes;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use vira_comm::endpoint::Endpoint;
+use vira_comm::link::ServerSide;
+use vira_comm::transport::{tags, CommError, LocalEndpoint, Rank};
+use vira_dms::server::DataServer;
+use vira_storage::costmodel::SimClock;
+use vira_vista::protocol::{
+    decode_request, encode_event, ClientRequest, EventHeader, JobId, JobReport, PayloadKind,
+};
+
+/// A submission waiting for enough free workers.
+struct QueuedJob {
+    job: JobId,
+    command: String,
+    dataset: String,
+    params: vira_vista::protocol::CommandParams,
+    workers: usize,
+}
+
+struct RunningJob {
+    group: Vec<Rank>,
+    accepted_at: Instant,
+}
+
+/// Everything the scheduler thread needs.
+pub struct SchedulerSetup {
+    pub endpoint: Endpoint<LocalEndpoint>,
+    pub link: ServerSide,
+    pub server: Arc<DataServer>,
+    pub clock: Arc<SimClock>,
+    pub registry: Arc<CommandRegistry>,
+    pub cancels: CancelSet,
+    pub n_workers: usize,
+}
+
+/// The scheduler main loop; returns after a client `Shutdown` once all
+/// running jobs have drained.
+pub fn scheduler_main(setup: SchedulerSetup) {
+    let SchedulerSetup {
+        mut endpoint,
+        link,
+        server,
+        clock,
+        registry,
+        cancels,
+        n_workers,
+    } = setup;
+    let mut free: Vec<bool> = vec![true; n_workers + 1];
+    free[0] = false; // rank 0 is the scheduler itself
+    let mut queue: VecDeque<QueuedJob> = VecDeque::new();
+    let mut running: HashMap<JobId, RunningJob> = HashMap::new();
+    let mut shutting_down = false;
+
+    loop {
+        let mut progressed = false;
+
+        // 1. Client requests.
+        loop {
+            match link.try_next_request() {
+                Ok(Some(frame)) => {
+                    progressed = true;
+                    match decode_request(frame) {
+                        Ok(ClientRequest::Submit {
+                            job,
+                            command,
+                            dataset,
+                            params,
+                            workers,
+                        }) => {
+                            if shutting_down {
+                                let _ = link.emit(encode_event(
+                                    &EventHeader::JobRejected {
+                                        job,
+                                        reason: "back-end is shutting down".into(),
+                                    },
+                                    Bytes::new(),
+                                ));
+                                continue;
+                            }
+                            if registry.get(&command).is_none() {
+                                let _ = link.emit(encode_event(
+                                    &EventHeader::JobRejected {
+                                        job,
+                                        reason: format!("unknown command '{command}'"),
+                                    },
+                                    Bytes::new(),
+                                ));
+                                continue;
+                            }
+                            if server.dataset_spec(&dataset).is_none() {
+                                let _ = link.emit(encode_event(
+                                    &EventHeader::JobRejected {
+                                        job,
+                                        reason: format!("dataset '{dataset}' not registered"),
+                                    },
+                                    Bytes::new(),
+                                ));
+                                continue;
+                            }
+                            queue.push_back(QueuedJob {
+                                job,
+                                command,
+                                dataset,
+                                params,
+                                workers: workers.clamp(1, n_workers),
+                            });
+                        }
+                        Ok(ClientRequest::Cancel { job }) => {
+                            cancels.write().insert(job);
+                            // A job still in the queue is dropped outright.
+                            if let Some(pos) = queue.iter().position(|q| q.job == job) {
+                                queue.remove(pos);
+                                let _ = link.emit(encode_event(
+                                    &EventHeader::Final {
+                                        job,
+                                        kind: PayloadKind::None,
+                                        n_items: 0,
+                                        report: JobReport::default(),
+                                    },
+                                    Bytes::new(),
+                                ));
+                            }
+                        }
+                        Ok(ClientRequest::Shutdown) => {
+                            shutting_down = true;
+                            // Jobs still waiting for workers are rejected
+                            // explicitly so their clients never hang.
+                            for q in queue.drain(..) {
+                                let _ = link.emit(encode_event(
+                                    &EventHeader::JobRejected {
+                                        job: q.job,
+                                        reason: "back-end is shutting down".into(),
+                                    },
+                                    Bytes::new(),
+                                ));
+                            }
+                        }
+                        Err(_) => { /* malformed request: ignore */ }
+                    }
+                }
+                Ok(None) => break,
+                Err(CommError::Disconnected) => {
+                    // Client went away: treat as shutdown (nobody is
+                    // listening for rejections anymore).
+                    shutting_down = true;
+                    queue.clear();
+                    break;
+                }
+                Err(_) => break,
+            }
+        }
+
+        // 2. Worker completions.
+        while let Ok(Some(msg)) = endpoint.try_recv_any() {
+            progressed = true;
+            if msg.tag != tags::JOB_DONE {
+                continue;
+            }
+            let Some((done, payload)) = wire::decode_done(msg.payload) else {
+                continue;
+            };
+            let Some(run) = running.remove(&done.job) else {
+                continue;
+            };
+            for &r in &run.group {
+                free[r] = true;
+            }
+            cancels.write().remove(&done.job);
+            let total_runtime_s = clock.wall_to_modeled(run.accepted_at.elapsed());
+            if let Some(err) = done.error {
+                let _ = link.emit(encode_event(
+                    &EventHeader::Error {
+                        job: done.job,
+                        message: err,
+                    },
+                    Bytes::new(),
+                ));
+                continue;
+            }
+            let report = JobReport {
+                total_runtime_s,
+                read_s: done.read_s,
+                compute_s: done.compute_s,
+                send_s: done.send_s,
+                demand_requests: done.dms.demand_requests,
+                cache_hits: done.dms.l1_hits + done.dms.l2_hits,
+                cache_misses: done.dms.misses,
+                prefetch_issued: done.dms.prefetch_issued,
+                prefetch_hits: done.dms.prefetch_hits,
+                triangles: if done.kind == PayloadKind::Triangles {
+                    done.n_items as u64
+                } else {
+                    0
+                },
+                polylines: if done.kind == PayloadKind::Polylines {
+                    done.n_items as u64
+                } else {
+                    0
+                },
+            };
+            let _ = link.emit(encode_event(
+                &EventHeader::Final {
+                    job: done.job,
+                    kind: done.kind,
+                    n_items: done.n_items,
+                    report,
+                },
+                payload,
+            ));
+        }
+
+        // 3. Dispatch: FIFO, as soon as enough workers are free.
+        while let Some(next) = queue.front() {
+            let free_ranks: Vec<Rank> = (1..=n_workers).filter(|&r| free[r]).collect();
+            if free_ranks.len() < next.workers {
+                break;
+            }
+            let q = queue.pop_front().expect("front just checked");
+            let group: Vec<Rank> = free_ranks.into_iter().take(q.workers).collect();
+            for &r in &group {
+                free[r] = false;
+            }
+            let msg = wire::CommandMsg {
+                job: q.job,
+                command: q.command,
+                dataset: q.dataset,
+                params: q.params,
+                group: group.clone(),
+            };
+            let frame = wire::encode_command(&msg);
+            for &r in &group {
+                let _ = endpoint.send(r, tags::COMMAND, frame.clone());
+            }
+            let _ = link.emit(encode_event(
+                &EventHeader::JobAccepted {
+                    job: msg.job,
+                    workers: group.len(),
+                },
+                Bytes::new(),
+            ));
+            running.insert(
+                msg.job,
+                RunningJob {
+                    group,
+                    accepted_at: Instant::now(),
+                },
+            );
+            progressed = true;
+        }
+
+        // 4. Exit once shut down and drained.
+        if shutting_down && running.is_empty() {
+            for r in 1..=n_workers {
+                let _ = endpoint.send(r, tags::SHUTDOWN, Bytes::new());
+            }
+            return;
+        }
+
+        // 5. Idle wait: block briefly on worker traffic so the loop does
+        // not spin.
+        if !progressed {
+            match endpoint.recv_tag_timeout(tags::JOB_DONE, Duration::from_micros(500)) {
+                Ok(m) => {
+                    // Re-inject for the normal handling path above.
+                    let _ = endpoint.send(0, tags::JOB_DONE, m.payload);
+                }
+                Err(CommError::Timeout) => {}
+                Err(_) => return,
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Internal message encodings between scheduler, workers and master
+//! workers (layer 2 traffic riding on the layer-1 transport).
+//!
+//! Same framing as the client protocol: `u32` JSON-header length, JSON
+//! header, binary payload.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+use vira_comm::transport::Rank;
+use vira_dms::stats::DmsStatsSnapshot;
+use vira_vista::protocol::{CommandParams, JobId, PayloadKind};
+
+/// Scheduler → worker: run a command as part of a work group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommandMsg {
+    pub job: JobId,
+    pub command: String,
+    pub dataset: String,
+    pub params: CommandParams,
+    /// Ranks of the work group (sorted; the first is the master worker).
+    pub group: Vec<Rank>,
+}
+
+/// Worker → master: this worker's share of the result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartialHeader {
+    pub job: JobId,
+    pub kind: PayloadKind,
+    pub n_items: u32,
+    /// Modeled seconds charged by this worker, per category.
+    pub read_s: f64,
+    pub compute_s: f64,
+    pub send_s: f64,
+    /// This worker's DMS counters for the job window.
+    pub dms: DmsStatsSnapshot,
+    /// Set when the command failed on this worker.
+    pub error: Option<String>,
+}
+
+/// Master → scheduler: the merged job result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DoneHeader {
+    pub job: JobId,
+    pub kind: PayloadKind,
+    pub n_items: u32,
+    /// Aggregated worker accounting.
+    pub read_s: f64,
+    pub compute_s: f64,
+    pub send_s: f64,
+    pub dms: DmsStatsSnapshot,
+    pub error: Option<String>,
+}
+
+fn encode<T: Serialize>(header: &T, payload: &Bytes) -> Bytes {
+    let json = serde_json::to_vec(header).expect("wire headers always serialize");
+    let mut buf = BytesMut::with_capacity(4 + json.len() + payload.len());
+    buf.put_u32_le(json.len() as u32);
+    buf.put_slice(&json);
+    buf.put_slice(payload);
+    buf.freeze()
+}
+
+fn decode<T: for<'de> Deserialize<'de>>(mut frame: Bytes) -> Option<(T, Bytes)> {
+    if frame.remaining() < 4 {
+        return None;
+    }
+    let len = frame.get_u32_le() as usize;
+    if frame.remaining() < len {
+        return None;
+    }
+    let json = frame.split_to(len);
+    let header = serde_json::from_slice(&json).ok()?;
+    Some((header, frame))
+}
+
+pub fn encode_command(msg: &CommandMsg) -> Bytes {
+    encode(msg, &Bytes::new())
+}
+
+pub fn decode_command(frame: Bytes) -> Option<CommandMsg> {
+    decode(frame).map(|(h, _)| h)
+}
+
+pub fn encode_partial(header: &PartialHeader, payload: Bytes) -> Bytes {
+    encode(header, &payload)
+}
+
+pub fn decode_partial(frame: Bytes) -> Option<(PartialHeader, Bytes)> {
+    decode(frame)
+}
+
+pub fn encode_done(header: &DoneHeader, payload: Bytes) -> Bytes {
+    encode(header, &payload)
+}
+
+pub fn decode_done(frame: Bytes) -> Option<(DoneHeader, Bytes)> {
+    decode(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_roundtrip() {
+        let msg = CommandMsg {
+            job: 3,
+            command: "ViewerIso".into(),
+            dataset: "Engine".into(),
+            params: CommandParams::new().set("iso", 0.4),
+            group: vec![1, 2, 5],
+        };
+        assert_eq!(decode_command(encode_command(&msg)).unwrap(), msg);
+    }
+
+    #[test]
+    fn partial_roundtrip_with_payload() {
+        let h = PartialHeader {
+            job: 1,
+            kind: PayloadKind::Triangles,
+            n_items: 2,
+            read_s: 1.0,
+            compute_s: 2.0,
+            send_s: 0.1,
+            dms: DmsStatsSnapshot::default(),
+            error: None,
+        };
+        let payload = Bytes::from_static(b"geometry");
+        let (h2, p2) = decode_partial(encode_partial(&h, payload.clone())).unwrap();
+        assert_eq!(h2, h);
+        assert_eq!(p2, payload);
+    }
+
+    #[test]
+    fn done_roundtrip_with_error() {
+        let h = DoneHeader {
+            job: 9,
+            kind: PayloadKind::None,
+            n_items: 0,
+            read_s: 0.0,
+            compute_s: 0.0,
+            send_s: 0.0,
+            dms: DmsStatsSnapshot::default(),
+            error: Some("worker 3 failed".into()),
+        };
+        let (h2, p) = decode_done(encode_done(&h, Bytes::new())).unwrap();
+        assert_eq!(h2, h);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn malformed_frames_yield_none() {
+        assert!(decode_command(Bytes::from_static(b"x")).is_none());
+        assert!(decode_partial(Bytes::from_static(b"\x10\x00\x00\x00nope")).is_none());
+    }
+}

@@ -1,0 +1,317 @@
+//! Worker processes (layer 2, paper §3).
+//!
+//! Each worker owns its data proxy (per-node caches persist **across**
+//! jobs — the whole point of the DMS) and loops on scheduler commands:
+//! execute the command, then either forward this worker's partial result
+//! to the group's master worker, or — as the master — collect all
+//! partials, merge them into one package, and hand the merged result to
+//! the scheduler for delivery to the visualization client.
+
+use crate::command::{encode_output, CancelSet, CommandOutput, CommandRegistry, JobCtx};
+use crate::config::ViracochaConfig;
+use crate::wire;
+use bytes::Bytes;
+use std::sync::Arc;
+use vira_comm::collective::Group;
+use vira_comm::endpoint::Endpoint;
+use vira_comm::link::EventSender;
+use vira_comm::transport::{tags, LocalEndpoint};
+use vira_dms::proxy::{DataProxy, ProxyConfig};
+use vira_dms::server::DataServer;
+use vira_dms::stats::DmsStatsSnapshot;
+use vira_extract::mesh::TriangleSoup;
+use vira_storage::costmodel::{CostCategory, Meter, SharedChannel, SimClock};
+use vira_vista::protocol::PayloadKind;
+
+/// Everything a worker thread needs at startup.
+pub struct WorkerSetup {
+    pub endpoint: Endpoint<LocalEndpoint>,
+    pub server: Arc<DataServer>,
+    pub clock: Arc<SimClock>,
+    pub registry: Arc<CommandRegistry>,
+    pub config: ViracochaConfig,
+    pub events: EventSender,
+    pub cancels: CancelSet,
+    /// The back-end's single serialized client uplink.
+    pub uplink: Arc<SharedChannel>,
+}
+
+/// Builds this node's proxy configuration (unique spill dir per rank).
+fn proxy_config_for(rank: usize, base: &ProxyConfig) -> ProxyConfig {
+    let mut cfg = base.clone();
+    if let Some(l2) = cfg.l2.as_mut() {
+        l2.spill_dir = l2.spill_dir.join(format!("node{rank}"));
+    }
+    cfg
+}
+
+/// The worker main loop. Returns when the scheduler sends `SHUTDOWN`.
+pub fn worker_main(setup: WorkerSetup) {
+    let WorkerSetup {
+        mut endpoint,
+        server,
+        clock,
+        registry,
+        config,
+        events,
+        cancels,
+        uplink,
+    } = setup;
+    let rank = endpoint.rank();
+    let proxy = DataProxy::new(rank, server.clone(), proxy_config_for(rank, &config.proxy));
+    // Derived-field memoization (λ₂ fields across threshold tweaks);
+    // sized like the primary data cache.
+    let derived = crate::derived::DerivedFieldCache::new(config.proxy.l1_capacity_bytes);
+
+    loop {
+        let msg = match endpoint.recv_any() {
+            Ok(m) => m,
+            Err(_) => return, // world torn down
+        };
+        match msg.tag {
+            tags::SHUTDOWN => return,
+            tags::COMMAND => {
+                let Some(cmd_msg) = wire::decode_command(msg.payload) else {
+                    continue;
+                };
+                run_job(
+                    &mut endpoint,
+                    &proxy,
+                    &derived,
+                    &server,
+                    &clock,
+                    &registry,
+                    &config,
+                    &events,
+                    &cancels,
+                    &uplink,
+                    cmd_msg,
+                );
+            }
+            _ => {
+                // Unexpected traffic (stale partials after errors): drop.
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_job(
+    endpoint: &mut Endpoint<LocalEndpoint>,
+    proxy: &DataProxy,
+    derived: &crate::derived::DerivedFieldCache,
+    server: &Arc<DataServer>,
+    clock: &Arc<SimClock>,
+    registry: &Arc<CommandRegistry>,
+    config: &ViracochaConfig,
+    events: &EventSender,
+    cancels: &CancelSet,
+    uplink: &Arc<SharedChannel>,
+    msg: wire::CommandMsg,
+) {
+    let rank = endpoint.rank();
+    let group = Group::new(msg.group.clone());
+    let meter = Meter::new();
+    let dms_before = proxy.stats().snapshot();
+
+    // Per-job context and execution.
+    let (output, error) = match (
+        registry.get(&msg.command),
+        server.dataset_spec(&msg.dataset),
+    ) {
+        (Some(cmd), Some(spec)) => {
+            let mut ctx = JobCtx {
+                job: msg.job,
+                dataset: msg.dataset.clone(),
+                spec,
+                params: msg.params.clone(),
+                group: group.clone(),
+                rank,
+                proxy,
+                derived,
+                server: server.clone(),
+                meter: meter.clone(),
+                clock: clock.clone(),
+                costs: config.costs,
+                events: events.clone(),
+                cancels: cancels.clone(),
+                uplink: uplink.clone(),
+                seq: 0,
+            };
+            match cmd.execute(&mut ctx) {
+                Ok(out) => (out, None),
+                Err(e) => (CommandOutput::default(), Some(e.to_string())),
+            }
+        }
+        (None, _) => (
+            CommandOutput::default(),
+            Some(format!("unknown command '{}'", msg.command)),
+        ),
+        (_, None) => (
+            CommandOutput::default(),
+            Some(format!("dataset '{}' not registered", msg.dataset)),
+        ),
+    };
+
+    // DMS counters attributable to this job on this node.
+    let dms_after = proxy.stats().snapshot();
+    let dms = diff_stats(&dms_before, &dms_after);
+
+    let send_scale = |out: &CommandOutput| -> f64 {
+        match out.kind() {
+            PayloadKind::Triangles => server
+                .dataset_spec(&msg.dataset)
+                .map(|spec| {
+                    let actual = spec.block_dims.n_cells().max(1) as f64;
+                    (spec.nominal_cells_per_item() as f64 / actual).max(1.0)
+                })
+                .unwrap_or(1.0),
+            _ => 1.0,
+        }
+    };
+    if rank != group.root() {
+        // Ship the partial to the master worker; modeled cost of the
+        // transfer is part of the job's Send share.
+        let n = (output.n_items() as f64 * send_scale(&output)) as usize;
+        charge_send(&meter, clock, config, n);
+        let frame = encode_output(msg.job, &output, &meter, dms, error);
+        let _ = endpoint.send(group.root(), tags::PARTIAL_RESULT, frame);
+        return;
+    }
+
+    // Master worker: gather the other members' partials and merge.
+    let mut merged = output;
+    let mut total_read = meter.total(CostCategory::Read);
+    let mut total_compute = meter.total(CostCategory::Compute);
+    let mut total_send = meter.total(CostCategory::Send);
+    let mut total_dms = dms;
+    let mut first_error = error;
+    for _ in 1..group.len() {
+        let Ok(m) = endpoint.recv_tag(tags::PARTIAL_RESULT) else {
+            break;
+        };
+        let Some((header, payload)) = wire::decode_partial(m.payload) else {
+            continue;
+        };
+        if header.job != msg.job {
+            continue; // stale partial from an aborted job
+        }
+        total_read += header.read_s;
+        total_compute += header.compute_s;
+        total_send += header.send_s;
+        total_dms = total_dms.merge(&header.dms);
+        if let Some(e) = header.error {
+            first_error.get_or_insert(e);
+        }
+        match header.kind {
+            PayloadKind::Triangles => {
+                if let Some(soup) = TriangleSoup::from_bytes(payload) {
+                    merged.triangles.extend_from(&soup);
+                }
+            }
+            PayloadKind::Polylines => {
+                if let Ok(lines) = vira_vista::protocol::decode_polylines(payload) {
+                    merged.polylines.extend(lines);
+                }
+            }
+            PayloadKind::None => {}
+        }
+    }
+
+    // The master transmits the merged package over the client uplink;
+    // charge its send cost (including queueing behind streamed packets).
+    let n = (merged.n_items() as f64 * send_scale(&merged)) as usize;
+    let modeled = config.costs.send_latency_s + n as f64 * config.costs.send_s_per_triangle;
+    let booked = if clock.dilation() > 0.0 {
+        let delay_wall = uplink.reserve(modeled * clock.dilation());
+        delay_wall / clock.dilation()
+    } else {
+        modeled
+    };
+    meter.charge(clock, CostCategory::Send, booked);
+    total_send += booked;
+
+    let kind = merged.kind();
+    let payload = match kind {
+        PayloadKind::Triangles => merged.triangles.to_bytes(),
+        PayloadKind::Polylines => vira_vista::protocol::encode_polylines(&merged.polylines),
+        PayloadKind::None => Bytes::new(),
+    };
+    let done = wire::DoneHeader {
+        job: msg.job,
+        kind,
+        n_items: merged.n_items(),
+        read_s: total_read,
+        compute_s: total_compute,
+        send_s: total_send,
+        dms: total_dms,
+        error: first_error,
+    };
+    let _ = endpoint.send(0, tags::JOB_DONE, wire::encode_done(&done, payload));
+}
+
+fn charge_send(meter: &Meter, clock: &SimClock, config: &ViracochaConfig, n_items: usize) {
+    let t = config.costs.send_latency_s + n_items as f64 * config.costs.send_s_per_triangle;
+    meter.charge(clock, CostCategory::Send, t);
+}
+
+/// Per-job DMS counter window (`after - before`, saturating).
+fn diff_stats(before: &DmsStatsSnapshot, after: &DmsStatsSnapshot) -> DmsStatsSnapshot {
+    DmsStatsSnapshot {
+        demand_requests: after.demand_requests.saturating_sub(before.demand_requests),
+        l1_hits: after.l1_hits.saturating_sub(before.l1_hits),
+        l2_hits: after.l2_hits.saturating_sub(before.l2_hits),
+        misses: after.misses.saturating_sub(before.misses),
+        prefetch_waits: after.prefetch_waits.saturating_sub(before.prefetch_waits),
+        prefetch_issued: after.prefetch_issued.saturating_sub(before.prefetch_issued),
+        prefetch_redundant: after
+            .prefetch_redundant
+            .saturating_sub(before.prefetch_redundant),
+        prefetch_hits: after.prefetch_hits.saturating_sub(before.prefetch_hits),
+        loads_by_strategy: [
+            after.loads_by_strategy[0].saturating_sub(before.loads_by_strategy[0]),
+            after.loads_by_strategy[1].saturating_sub(before.loads_by_strategy[1]),
+            after.loads_by_strategy[2].saturating_sub(before.loads_by_strategy[2]),
+            after.loads_by_strategy[3].saturating_sub(before.loads_by_strategy[3]),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_diff_is_elementwise() {
+        let a = DmsStatsSnapshot {
+            demand_requests: 10,
+            l1_hits: 4,
+            ..DmsStatsSnapshot::default()
+        };
+        let b = DmsStatsSnapshot {
+            demand_requests: 25,
+            l1_hits: 5,
+            misses: 3,
+            ..a
+        };
+        let d = diff_stats(&a, &b);
+        assert_eq!(d.demand_requests, 15);
+        assert_eq!(d.l1_hits, 1);
+        assert_eq!(d.misses, 3);
+    }
+
+    #[test]
+    fn proxy_config_spill_dirs_are_per_rank() {
+        let base = ProxyConfig {
+            l2: Some(vira_dms::proxy::L2Config {
+                capacity_bytes: 1,
+                policy: "lru".into(),
+                spill_dir: std::path::PathBuf::from("/tmp/spill"),
+            }),
+            ..ProxyConfig::default()
+        };
+        let a = proxy_config_for(1, &base);
+        let b = proxy_config_for(2, &base);
+        assert_ne!(a.l2.unwrap().spill_dir, b.l2.unwrap().spill_dir);
+    }
+}

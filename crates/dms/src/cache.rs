@@ -1,0 +1,588 @@
+//! The two-tiered data cache of the DMS (paper §4.2): a primary cache in
+//! main memory and an optional secondary cache on a local hard drive.
+//! When the primary cache is full, selected blocks are moved down to the
+//! secondary cache rather than dropped.
+//!
+//! The cache handles opaque payloads — "the DMS handles raw data without
+//! any information about its type or structure" (§4); size accounting and
+//! (for the disk tier) serialization are delegated to the payload type
+//! via [`CachePayload`] and [`DiskCodec`].
+
+use crate::name::ItemId;
+use crate::policy::ReplacementPolicy;
+use std::collections::HashMap;
+use std::fs::{self, File};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::PathBuf;
+use std::sync::Arc;
+use vira_grid::field::BlockData;
+
+/// Anything the cache can hold: must report its own size.
+pub trait CachePayload: Send + Sync {
+    /// In-memory footprint in bytes, used for capacity accounting.
+    fn payload_bytes(&self) -> usize;
+}
+
+impl CachePayload for BlockData {
+    fn payload_bytes(&self) -> usize {
+        self.memory_bytes()
+    }
+}
+
+/// Serializer for the disk tier. Application-layer types supply their own
+/// encoding (the DMS itself is format-agnostic).
+pub trait DiskCodec<P>: Send + Sync {
+    fn encode(&self, payload: &P, w: &mut dyn Write) -> io::Result<()>;
+    fn decode(&self, r: &mut dyn Read) -> io::Result<P>;
+}
+
+/// Codec for raw CFD data items using the `vira-grid` binary format.
+pub struct BlockDataCodec;
+
+impl DiskCodec<BlockData> for BlockDataCodec {
+    fn encode(&self, payload: &BlockData, mut w: &mut dyn Write) -> io::Result<()> {
+        vira_grid::io::write_block_data(&mut w, payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    fn decode(&self, mut r: &mut dyn Read) -> io::Result<BlockData> {
+        vira_grid::io::read_block_data(&mut r)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+/// Which tier served a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    Memory,
+    Disk,
+}
+
+/// The primary (main-memory) cache tier.
+pub struct MemoryCache<P: CachePayload> {
+    map: HashMap<ItemId, Arc<P>>,
+    policy: Box<dyn ReplacementPolicy>,
+    capacity_bytes: usize,
+    used_bytes: usize,
+}
+
+impl<P: CachePayload> MemoryCache<P> {
+    pub fn new(capacity_bytes: usize, policy: Box<dyn ReplacementPolicy>) -> Self {
+        MemoryCache {
+            map: HashMap::new(),
+            policy,
+            capacity_bytes,
+            used_bytes: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    pub fn contains(&self, id: ItemId) -> bool {
+        self.map.contains_key(&id)
+    }
+
+    /// Resident item ids (arbitrary order).
+    pub fn resident(&self) -> impl Iterator<Item = ItemId> + '_ {
+        self.map.keys().copied()
+    }
+
+    /// Looks up an item, updating recency/frequency metadata on hit.
+    pub fn get(&mut self, id: ItemId) -> Option<Arc<P>> {
+        let hit = self.map.get(&id).cloned();
+        if hit.is_some() {
+            self.policy.on_access(id);
+        }
+        hit
+    }
+
+    /// Inserts an item, evicting as needed. Returns the evicted items so
+    /// the caller can demote them to the secondary tier.
+    ///
+    /// The new item is always admitted, even if it alone exceeds capacity
+    /// (the computation needs it regardless); eviction then empties the
+    /// rest of the cache.
+    pub fn insert(&mut self, id: ItemId, payload: Arc<P>) -> Vec<(ItemId, Arc<P>)> {
+        if self.map.contains_key(&id) {
+            // Refresh metadata only; payloads are immutable.
+            self.policy.on_access(id);
+            return Vec::new();
+        }
+        let size = payload.payload_bytes();
+        let mut evicted = Vec::new();
+        while self.used_bytes + size > self.capacity_bytes && !self.map.is_empty() {
+            let victim = self
+                .policy
+                .evict_candidate()
+                .expect("non-empty cache must yield a victim");
+            let v = self.remove(victim).expect("victim must be resident");
+            evicted.push((victim, v));
+        }
+        self.map.insert(id, payload);
+        self.used_bytes += size;
+        self.policy.on_insert(id);
+        evicted
+    }
+
+    /// Removes an item without treating it as an eviction decision.
+    pub fn remove(&mut self, id: ItemId) -> Option<Arc<P>> {
+        let p = self.map.remove(&id)?;
+        self.used_bytes -= p.payload_bytes();
+        self.policy.on_remove(id);
+        Some(p)
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        let ids: Vec<_> = self.map.keys().copied().collect();
+        for id in ids {
+            self.remove(id);
+        }
+    }
+}
+
+/// The secondary (local-disk) cache tier: spilled items are serialized to
+/// files in a spill directory.
+pub struct DiskCache<P: CachePayload> {
+    dir: PathBuf,
+    codec: Arc<dyn DiskCodec<P>>,
+    map: HashMap<ItemId, (PathBuf, usize)>,
+    policy: Box<dyn ReplacementPolicy>,
+    capacity_bytes: usize,
+    used_bytes: usize,
+}
+
+impl<P: CachePayload> DiskCache<P> {
+    /// Creates the spill directory if needed.
+    pub fn new(
+        dir: PathBuf,
+        capacity_bytes: usize,
+        policy: Box<dyn ReplacementPolicy>,
+        codec: Arc<dyn DiskCodec<P>>,
+    ) -> io::Result<Self> {
+        fs::create_dir_all(&dir)?;
+        Ok(DiskCache {
+            dir,
+            codec,
+            map: HashMap::new(),
+            policy,
+            capacity_bytes,
+            used_bytes: 0,
+        })
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    pub fn contains(&self, id: ItemId) -> bool {
+        self.map.contains_key(&id)
+    }
+
+    fn spill_path(&self, id: ItemId) -> PathBuf {
+        self.dir.join(format!("spill_{}.vbk", id.0))
+    }
+
+    /// Writes an item to the spill area, evicting (deleting) old spill
+    /// files as needed. Items larger than the whole tier are refused.
+    /// Returns the ids of items evicted to make room.
+    pub fn insert(&mut self, id: ItemId, payload: &P) -> io::Result<Vec<ItemId>> {
+        if self.map.contains_key(&id) {
+            self.policy.on_access(id);
+            return Ok(Vec::new());
+        }
+        let path = self.spill_path(id);
+        {
+            let mut w = BufWriter::new(File::create(&path)?);
+            self.codec.encode(payload, &mut w)?;
+            w.flush()?;
+        }
+        let size = fs::metadata(&path)?.len() as usize;
+        if size > self.capacity_bytes {
+            fs::remove_file(&path)?;
+            return Err(io::Error::new(
+                io::ErrorKind::OutOfMemory,
+                "item exceeds disk-cache capacity",
+            ));
+        }
+        let mut evicted = Vec::new();
+        while self.used_bytes + size > self.capacity_bytes && !self.map.is_empty() {
+            let victim = self
+                .policy
+                .evict_candidate()
+                .expect("non-empty cache must yield a victim");
+            self.remove(victim)?;
+            evicted.push(victim);
+        }
+        self.map.insert(id, (path, size));
+        self.used_bytes += size;
+        self.policy.on_insert(id);
+        Ok(evicted)
+    }
+
+    /// Reads an item back from the spill area.
+    pub fn get(&mut self, id: ItemId) -> io::Result<Option<P>> {
+        let Some((path, _)) = self.map.get(&id) else {
+            return Ok(None);
+        };
+        let mut r = BufReader::new(File::open(path)?);
+        let p = self.codec.decode(&mut r)?;
+        self.policy.on_access(id);
+        Ok(Some(p))
+    }
+
+    /// Deletes an item's spill file.
+    pub fn remove(&mut self, id: ItemId) -> io::Result<()> {
+        if let Some((path, size)) = self.map.remove(&id) {
+            self.used_bytes -= size;
+            self.policy.on_remove(id);
+            let _ = fs::remove_file(path);
+        }
+        Ok(())
+    }
+
+    /// Removes all spill files.
+    pub fn clear(&mut self) -> io::Result<()> {
+        let ids: Vec<_> = self.map.keys().copied().collect();
+        for id in ids {
+            self.remove(id)?;
+        }
+        Ok(())
+    }
+}
+
+impl<P: CachePayload> Drop for DiskCache<P> {
+    fn drop(&mut self) {
+        let _ = self.clear();
+        let _ = fs::remove_dir(&self.dir); // only removed if now empty
+    }
+}
+
+/// The combined two-tier cache used by a data proxy.
+pub struct TieredCache<P: CachePayload> {
+    l1: MemoryCache<P>,
+    l2: Option<DiskCache<P>>,
+    /// Items that have left both tiers since the last
+    /// [`drain_dropped`](Self::drain_dropped) call.
+    dropped_log: Vec<ItemId>,
+}
+
+impl<P: CachePayload> TieredCache<P> {
+    pub fn new(l1: MemoryCache<P>, l2: Option<DiskCache<P>>) -> Self {
+        TieredCache {
+            l1,
+            l2,
+            dropped_log: Vec::new(),
+        }
+    }
+
+    /// Ids that have been fully dropped (from both tiers) since the last
+    /// call; the proxy reports these to the data server so the peer
+    /// directory stays accurate.
+    pub fn drain_dropped(&mut self) -> Vec<ItemId> {
+        std::mem::take(&mut self.dropped_log)
+    }
+
+    pub fn l1(&self) -> &MemoryCache<P> {
+        &self.l1
+    }
+
+    pub fn l2(&self) -> Option<&DiskCache<P>> {
+        self.l2.as_ref()
+    }
+
+    /// Which tier currently holds `id`, if any.
+    pub fn locate(&self, id: ItemId) -> Option<Tier> {
+        if self.l1.contains(id) {
+            Some(Tier::Memory)
+        } else if self.l2.as_ref().is_some_and(|l2| l2.contains(id)) {
+            Some(Tier::Disk)
+        } else {
+            None
+        }
+    }
+
+    /// Looks an item up in both tiers. A disk hit is promoted back into
+    /// memory (which may demote something else).
+    pub fn get(&mut self, id: ItemId) -> io::Result<Option<(Arc<P>, Tier)>> {
+        if let Some(p) = self.l1.get(id) {
+            return Ok(Some((p, Tier::Memory)));
+        }
+        if let Some(l2) = self.l2.as_mut() {
+            if let Some(p) = l2.get(id)? {
+                l2.remove(id)?;
+                let p = Arc::new(p);
+                self.insert(id, p.clone())?;
+                return Ok(Some((p, Tier::Disk)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Inserts into L1, demoting L1 evictions into L2 when present.
+    /// Items that leave the cache entirely are recorded in the dropped
+    /// log (see [`drain_dropped`](Self::drain_dropped)).
+    pub fn insert(&mut self, id: ItemId, payload: Arc<P>) -> io::Result<()> {
+        let demoted = self.l1.insert(id, payload);
+        if let Some(l2) = self.l2.as_mut() {
+            for (vid, v) in demoted {
+                // An item too large for the disk tier is dropped — it can
+                // always be reloaded from its source.
+                match l2.insert(vid, &v) {
+                    Ok(evicted) => self.dropped_log.extend(evicted),
+                    Err(e) if e.kind() == io::ErrorKind::OutOfMemory => {
+                        self.dropped_log.push(vid)
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        } else {
+            self.dropped_log
+                .extend(demoted.into_iter().map(|(vid, _)| vid));
+        }
+        Ok(())
+    }
+
+    /// Evicts an item from both tiers.
+    pub fn remove(&mut self, id: ItemId) -> io::Result<()> {
+        self.l1.remove(id);
+        if let Some(l2) = self.l2.as_mut() {
+            l2.remove(id)?;
+        }
+        Ok(())
+    }
+
+    pub fn clear(&mut self) -> io::Result<()> {
+        self.l1.clear();
+        if let Some(l2) = self.l2.as_mut() {
+            l2.clear()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{FbrPolicy, LruPolicy};
+
+    /// A trivially sized payload for cache tests.
+    #[derive(Debug, Clone, PartialEq)]
+    struct Blob(Vec<u8>);
+
+    impl CachePayload for Blob {
+        fn payload_bytes(&self) -> usize {
+            self.0.len()
+        }
+    }
+
+    struct BlobCodec;
+
+    impl DiskCodec<Blob> for BlobCodec {
+        fn encode(&self, p: &Blob, w: &mut dyn Write) -> io::Result<()> {
+            w.write_all(&p.0)
+        }
+
+        fn decode(&self, r: &mut dyn Read) -> io::Result<Blob> {
+            let mut v = Vec::new();
+            r.read_to_end(&mut v)?;
+            Ok(Blob(v))
+        }
+    }
+
+    fn blob(n: usize) -> Arc<Blob> {
+        Arc::new(Blob(vec![0xAB; n]))
+    }
+
+    fn spill_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("vira_dms_cache_{tag}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn memory_cache_hit_and_miss() {
+        let mut c = MemoryCache::new(100, Box::new(LruPolicy::new()));
+        assert!(c.get(ItemId(1)).is_none());
+        c.insert(ItemId(1), blob(10));
+        assert!(c.get(ItemId(1)).is_some());
+        assert_eq!(c.used_bytes(), 10);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn memory_cache_evicts_at_capacity() {
+        let mut c = MemoryCache::new(25, Box::new(LruPolicy::new()));
+        c.insert(ItemId(1), blob(10));
+        c.insert(ItemId(2), blob(10));
+        let evicted = c.insert(ItemId(3), blob(10));
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].0, ItemId(1), "LRU victim");
+        assert!(c.used_bytes() <= 25);
+        assert!(!c.contains(ItemId(1)));
+    }
+
+    #[test]
+    fn oversized_item_is_admitted_alone() {
+        let mut c = MemoryCache::new(10, Box::new(LruPolicy::new()));
+        c.insert(ItemId(1), blob(5));
+        let evicted = c.insert(ItemId(2), blob(50));
+        assert_eq!(evicted.len(), 1);
+        assert!(c.contains(ItemId(2)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn reinsert_does_not_double_count() {
+        let mut c = MemoryCache::new(100, Box::new(LruPolicy::new()));
+        c.insert(ItemId(1), blob(10));
+        c.insert(ItemId(1), blob(10));
+        assert_eq!(c.used_bytes(), 10);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn remove_releases_bytes() {
+        let mut c = MemoryCache::new(100, Box::new(FbrPolicy::new()));
+        c.insert(ItemId(1), blob(30));
+        assert!(c.remove(ItemId(1)).is_some());
+        assert_eq!(c.used_bytes(), 0);
+        assert!(c.remove(ItemId(1)).is_none());
+    }
+
+    #[test]
+    fn disk_cache_roundtrip() {
+        let dir = spill_dir("roundtrip");
+        let mut c = DiskCache::new(
+            dir.clone(),
+            1000,
+            Box::new(LruPolicy::new()),
+            Arc::new(BlobCodec),
+        )
+        .unwrap();
+        c.insert(ItemId(1), &Blob(vec![1, 2, 3])).unwrap();
+        assert_eq!(c.get(ItemId(1)).unwrap().unwrap(), Blob(vec![1, 2, 3]));
+        assert_eq!(c.get(ItemId(2)).unwrap(), None);
+        assert_eq!(c.len(), 1);
+        assert!(c.used_bytes() > 0);
+        drop(c);
+        assert!(!dir.exists(), "spill dir cleaned up on drop");
+    }
+
+    #[test]
+    fn disk_cache_evicts_files() {
+        let dir = spill_dir("evict");
+        let mut c = DiskCache::new(
+            dir,
+            8,
+            Box::new(LruPolicy::new()),
+            Arc::new(BlobCodec),
+        )
+        .unwrap();
+        c.insert(ItemId(1), &Blob(vec![0; 4])).unwrap();
+        c.insert(ItemId(2), &Blob(vec![0; 4])).unwrap();
+        c.insert(ItemId(3), &Blob(vec![0; 4])).unwrap();
+        assert!(c.used_bytes() <= 8);
+        assert!(!c.contains(ItemId(1)));
+        // Too-large items are refused.
+        assert!(c.insert(ItemId(9), &Blob(vec![0; 64])).is_err());
+    }
+
+    #[test]
+    fn tiered_demotes_and_promotes() {
+        let l1 = MemoryCache::new(20, Box::new(LruPolicy::new()));
+        let l2 = DiskCache::new(
+            spill_dir("tiered"),
+            1000,
+            Box::new(LruPolicy::new()),
+            Arc::new(BlobCodec),
+        )
+        .unwrap();
+        let mut c = TieredCache::new(l1, Some(l2));
+        c.insert(ItemId(1), blob(10)).unwrap();
+        c.insert(ItemId(2), blob(10)).unwrap();
+        // Third insert demotes id 1 to disk.
+        c.insert(ItemId(3), blob(10)).unwrap();
+        assert_eq!(c.locate(ItemId(1)), Some(Tier::Disk));
+        assert_eq!(c.locate(ItemId(3)), Some(Tier::Memory));
+        // Disk hit is promoted back to memory.
+        let (p, tier) = c.get(ItemId(1)).unwrap().unwrap();
+        assert_eq!(tier, Tier::Disk);
+        assert_eq!(p.payload_bytes(), 10);
+        assert_eq!(c.locate(ItemId(1)), Some(Tier::Memory));
+    }
+
+    #[test]
+    fn tiered_without_l2_drops_evictions() {
+        let l1 = MemoryCache::new(15, Box::new(LruPolicy::new()));
+        let mut c = TieredCache::new(l1, None);
+        c.insert(ItemId(1), blob(10)).unwrap();
+        c.insert(ItemId(2), blob(10)).unwrap();
+        assert_eq!(c.locate(ItemId(1)), None);
+        assert_eq!(c.get(ItemId(1)).unwrap(), None);
+        assert_eq!(c.drain_dropped(), vec![ItemId(1)]);
+        assert!(c.drain_dropped().is_empty(), "log drains once");
+    }
+
+    #[test]
+    fn tiered_with_l2_logs_drops_only_when_both_tiers_evict() {
+        let l1 = MemoryCache::new(10, Box::new(LruPolicy::new()));
+        let l2 = DiskCache::new(
+            spill_dir("droplog"),
+            25,
+            Box::new(LruPolicy::new()),
+            Arc::new(BlobCodec),
+        )
+        .unwrap();
+        let mut c = TieredCache::new(l1, Some(l2));
+        // Each blob encodes to 10 bytes: L1 holds 1, L2 holds 2.
+        for n in 1..=3 {
+            c.insert(ItemId(n), blob(10)).unwrap();
+        }
+        // 1 and 2 were demoted to disk; nothing fully dropped yet.
+        assert!(c.drain_dropped().is_empty());
+        c.insert(ItemId(4), blob(10)).unwrap();
+        // Demoting 3 evicts 1 from the disk tier entirely.
+        assert_eq!(c.drain_dropped(), vec![ItemId(1)]);
+    }
+
+    #[test]
+    fn tiered_remove_and_clear() {
+        let l1 = MemoryCache::new(100, Box::new(LruPolicy::new()));
+        let l2 = DiskCache::new(
+            spill_dir("clear"),
+            1000,
+            Box::new(LruPolicy::new()),
+            Arc::new(BlobCodec),
+        )
+        .unwrap();
+        let mut c = TieredCache::new(l1, Some(l2));
+        c.insert(ItemId(1), blob(10)).unwrap();
+        c.insert(ItemId(2), blob(10)).unwrap();
+        c.remove(ItemId(1)).unwrap();
+        assert_eq!(c.locate(ItemId(1)), None);
+        c.clear().unwrap();
+        assert_eq!(c.locate(ItemId(2)), None);
+        assert!(c.l1().is_empty());
+    }
+}

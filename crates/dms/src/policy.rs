@@ -1,0 +1,420 @@
+//! Cache replacement policies.
+//!
+//! Paper §4.2 evaluates LRU, LFU and FBR (frequency-based replacement,
+//! Robinson & Devarakonda 1990) on CFD request streams and finds the
+//! frequency-based strategies — foremost FBR — produce the fewest misses.
+//! Experiment E12 reproduces that comparison.
+
+use crate::name::ItemId;
+use std::collections::HashMap;
+
+/// Interface of a replacement policy. The policy tracks metadata only;
+/// the owning cache decides *when* to evict (capacity) and the policy
+/// answers *what* to evict.
+pub trait ReplacementPolicy: Send {
+    /// A short identifier ("lru", "lfu", "fbr").
+    fn name(&self) -> &'static str;
+
+    /// Called when `id` enters the cache.
+    fn on_insert(&mut self, id: ItemId);
+
+    /// Called on every cache hit for `id`.
+    fn on_access(&mut self, id: ItemId);
+
+    /// Called when `id` leaves the cache for any reason.
+    fn on_remove(&mut self, id: ItemId);
+
+    /// The id this policy would evict next, or `None` when empty.
+    fn evict_candidate(&mut self) -> Option<ItemId>;
+
+    /// Number of tracked items (for invariant checks).
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Least-recently-used: evicts the item whose last access lies furthest
+/// in the past.
+#[derive(Debug, Default)]
+pub struct LruPolicy {
+    stamp: u64,
+    last_use: HashMap<ItemId, u64>,
+}
+
+impl LruPolicy {
+    pub fn new() -> Self {
+        LruPolicy::default()
+    }
+
+    fn touch(&mut self, id: ItemId) {
+        self.stamp += 1;
+        self.last_use.insert(id, self.stamp);
+    }
+}
+
+impl ReplacementPolicy for LruPolicy {
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+
+    fn on_insert(&mut self, id: ItemId) {
+        self.touch(id);
+    }
+
+    fn on_access(&mut self, id: ItemId) {
+        self.touch(id);
+    }
+
+    fn on_remove(&mut self, id: ItemId) {
+        self.last_use.remove(&id);
+    }
+
+    fn evict_candidate(&mut self) -> Option<ItemId> {
+        self.last_use
+            .iter()
+            .min_by_key(|&(_, &t)| t)
+            .map(|(&id, _)| id)
+    }
+
+    fn len(&self) -> usize {
+        self.last_use.len()
+    }
+}
+
+/// Least-frequently-used: evicts the item with the lowest access count,
+/// breaking ties by recency (older goes first).
+#[derive(Debug, Default)]
+pub struct LfuPolicy {
+    stamp: u64,
+    /// id → (count, last-use stamp)
+    entries: HashMap<ItemId, (u64, u64)>,
+}
+
+impl LfuPolicy {
+    pub fn new() -> Self {
+        LfuPolicy::default()
+    }
+}
+
+impl ReplacementPolicy for LfuPolicy {
+    fn name(&self) -> &'static str {
+        "lfu"
+    }
+
+    fn on_insert(&mut self, id: ItemId) {
+        self.stamp += 1;
+        self.entries.insert(id, (1, self.stamp));
+    }
+
+    fn on_access(&mut self, id: ItemId) {
+        self.stamp += 1;
+        let e = self.entries.entry(id).or_insert((0, 0));
+        e.0 += 1;
+        e.1 = self.stamp;
+    }
+
+    fn on_remove(&mut self, id: ItemId) {
+        self.entries.remove(&id);
+    }
+
+    fn evict_candidate(&mut self) -> Option<ItemId> {
+        self.entries
+            .iter()
+            .min_by_key(|&(_, &(count, stamp))| (count, stamp))
+            .map(|(&id, _)| id)
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Frequency-based replacement (Robinson & Devarakonda): a trade-off
+/// between LFU and LRU.
+///
+/// The recency stack is divided into a *new* section (most recent), a
+/// *middle* section and an *old* section. Reference counts are **not**
+/// incremented for hits in the new section — this "factors out locality":
+/// a burst of accesses to a fresh block does not inflate its long-term
+/// frequency. Eviction picks the least-frequently-used block of the old
+/// section (ties broken by recency).
+#[derive(Debug)]
+pub struct FbrPolicy {
+    /// Fraction of the stack forming the new section.
+    new_frac: f64,
+    /// Fraction forming the old section.
+    old_frac: f64,
+    stamp: u64,
+    /// Recency order: front = most recently used.
+    stack: Vec<ItemId>,
+    /// id → (count, last-use stamp)
+    entries: HashMap<ItemId, (u64, u64)>,
+}
+
+impl FbrPolicy {
+    /// Standard section split: new = 25 %, old = 40 % of the stack.
+    pub fn new() -> Self {
+        FbrPolicy::with_sections(0.25, 0.40)
+    }
+
+    pub fn with_sections(new_frac: f64, old_frac: f64) -> Self {
+        assert!(new_frac >= 0.0 && old_frac >= 0.0 && new_frac + old_frac <= 1.0);
+        FbrPolicy {
+            new_frac,
+            old_frac,
+            stamp: 0,
+            stack: Vec::new(),
+            entries: HashMap::new(),
+        }
+    }
+
+    fn stack_position(&self, id: ItemId) -> Option<usize> {
+        self.stack.iter().position(|&x| x == id)
+    }
+
+    fn move_to_front(&mut self, id: ItemId) {
+        if let Some(pos) = self.stack_position(id) {
+            self.stack.remove(pos);
+        }
+        self.stack.insert(0, id);
+    }
+
+    /// Size of the new section for the current stack length (at least 1
+    /// when non-empty so a single item is "new").
+    fn new_section_len(&self) -> usize {
+        ((self.stack.len() as f64 * self.new_frac).floor() as usize).max(1)
+    }
+
+    /// Index where the old section begins.
+    fn old_section_start(&self) -> usize {
+        let old_len = (self.stack.len() as f64 * self.old_frac).ceil() as usize;
+        self.stack.len().saturating_sub(old_len)
+    }
+
+    /// True if the item currently sits in the new section.
+    #[cfg(test)]
+    fn in_new_section(&self, id: ItemId) -> bool {
+        self.stack_position(id)
+            .map(|p| p < self.new_section_len())
+            .unwrap_or(false)
+    }
+}
+
+impl Default for FbrPolicy {
+    fn default() -> Self {
+        FbrPolicy::new()
+    }
+}
+
+impl ReplacementPolicy for FbrPolicy {
+    fn name(&self) -> &'static str {
+        "fbr"
+    }
+
+    fn on_insert(&mut self, id: ItemId) {
+        self.stamp += 1;
+        self.entries.insert(id, (1, self.stamp));
+        self.move_to_front(id);
+    }
+
+    fn on_access(&mut self, id: ItemId) {
+        self.stamp += 1;
+        let in_new = self
+            .stack_position(id)
+            .map(|p| p < self.new_section_len())
+            .unwrap_or(false);
+        let e = self.entries.entry(id).or_insert((1, 0));
+        // Counts are frozen while the block sits in the new section.
+        if !in_new {
+            e.0 += 1;
+        }
+        e.1 = self.stamp;
+        self.move_to_front(id);
+    }
+
+    fn on_remove(&mut self, id: ItemId) {
+        self.entries.remove(&id);
+        if let Some(pos) = self.stack_position(id) {
+            self.stack.remove(pos);
+        }
+    }
+
+    fn evict_candidate(&mut self) -> Option<ItemId> {
+        if self.stack.is_empty() {
+            return None;
+        }
+        let start = self.old_section_start();
+        let old = &self.stack[start..];
+        // Least count wins; ties broken by stack depth (deeper = older).
+        old.iter()
+            .rev()
+            .min_by_key(|&&id| self.entries.get(&id).map(|e| e.0).unwrap_or(0))
+            .copied()
+            .or_else(|| self.stack.last().copied())
+    }
+
+    fn len(&self) -> usize {
+        self.stack.len()
+    }
+}
+
+/// Constructs a policy by name; used by experiment configuration.
+pub fn policy_by_name(name: &str) -> Option<Box<dyn ReplacementPolicy>> {
+    match name {
+        "lru" => Some(Box::new(LruPolicy::new())),
+        "lfu" => Some(Box::new(LfuPolicy::new())),
+        "fbr" => Some(Box::new(FbrPolicy::new())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u64) -> ItemId {
+        ItemId(n)
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut p = LruPolicy::new();
+        p.on_insert(id(1));
+        p.on_insert(id(2));
+        p.on_insert(id(3));
+        p.on_access(id(1)); // 2 is now the oldest
+        assert_eq!(p.evict_candidate(), Some(id(2)));
+        p.on_remove(id(2));
+        assert_eq!(p.evict_candidate(), Some(id(3)));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn lfu_evicts_least_frequent() {
+        let mut p = LfuPolicy::new();
+        p.on_insert(id(1));
+        p.on_insert(id(2));
+        for _ in 0..5 {
+            p.on_access(id(1));
+        }
+        assert_eq!(p.evict_candidate(), Some(id(2)));
+    }
+
+    #[test]
+    fn lfu_breaks_ties_by_age() {
+        let mut p = LfuPolicy::new();
+        p.on_insert(id(1));
+        p.on_insert(id(2)); // same count (1); 1 is older
+        assert_eq!(p.evict_candidate(), Some(id(1)));
+    }
+
+    #[test]
+    fn empty_policies_have_no_candidate() {
+        assert_eq!(LruPolicy::new().evict_candidate(), None);
+        assert_eq!(LfuPolicy::new().evict_candidate(), None);
+        assert_eq!(FbrPolicy::new().evict_candidate(), None);
+    }
+
+    #[test]
+    fn fbr_new_section_freezes_counts() {
+        let mut p = FbrPolicy::with_sections(0.5, 0.25);
+        for n in 0..4 {
+            p.on_insert(id(n));
+        }
+        // id(3) is at the stack front (new section, len 2 of 4).
+        assert!(p.in_new_section(id(3)));
+        let before = p.entries[&id(3)].0;
+        p.on_access(id(3));
+        assert_eq!(p.entries[&id(3)].0, before, "count frozen in new section");
+        // id(0) is at the back (old section); accessing it increments.
+        let before = p.entries[&id(0)].0;
+        p.on_access(id(0));
+        assert_eq!(p.entries[&id(0)].0, before + 1);
+    }
+
+    #[test]
+    fn fbr_evicts_low_count_old_item() {
+        let mut p = FbrPolicy::with_sections(0.25, 0.5);
+        for n in 0..4 {
+            p.on_insert(id(n));
+        }
+        // Access id(0) from the old section several times to raise its
+        // count; id(1) stays cold.
+        for _ in 0..3 {
+            p.on_access(id(0));
+        }
+        // Old section = back half of the stack. id(1) is old with count 1.
+        let victim = p.evict_candidate().unwrap();
+        assert_eq!(victim, id(1));
+    }
+
+    #[test]
+    fn fbr_remove_cleans_both_structures() {
+        let mut p = FbrPolicy::new();
+        p.on_insert(id(1));
+        p.on_insert(id(2));
+        p.on_remove(id(1));
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.evict_candidate(), Some(id(2)));
+        p.on_remove(id(2));
+        assert!(p.is_empty());
+        assert_eq!(p.evict_candidate(), None);
+    }
+
+    #[test]
+    fn policy_by_name_builds_all_three() {
+        for n in ["lru", "lfu", "fbr"] {
+            assert_eq!(policy_by_name(n).unwrap().name(), n);
+        }
+        assert!(policy_by_name("random").is_none());
+    }
+
+    /// The scan-resistance scenario that motivates FBR over LRU: a hot set
+    /// accessed repeatedly plus a one-off scan. FBR keeps the hot set; LRU
+    /// evicts part of it.
+    #[test]
+    fn fbr_is_more_scan_resistant_than_lru() {
+        fn misses(policy: &mut dyn ReplacementPolicy, capacity: usize, trace: &[u64]) -> usize {
+            let mut resident = std::collections::HashSet::new();
+            let mut misses = 0;
+            for &n in trace {
+                let i = id(n);
+                if resident.contains(&i) {
+                    policy.on_access(i);
+                } else {
+                    misses += 1;
+                    while resident.len() >= capacity {
+                        let victim = policy.evict_candidate().unwrap();
+                        policy.on_remove(victim);
+                        resident.remove(&victim);
+                    }
+                    policy.on_insert(i);
+                    resident.insert(i);
+                }
+            }
+            misses
+        }
+
+        // Hot set {0..3} re-accessed between scans over {10..30}.
+        let mut trace = Vec::new();
+        for round in 0..8 {
+            for hot in 0..4u64 {
+                trace.push(hot);
+                trace.push(hot);
+            }
+            for scan in 0..8u64 {
+                trace.push(10 + (round * 8 + scan) % 20);
+            }
+        }
+        let mut lru = LruPolicy::new();
+        let mut fbr = FbrPolicy::new();
+        let m_lru = misses(&mut lru, 6, &trace);
+        let m_fbr = misses(&mut fbr, 6, &trace);
+        assert!(
+            m_fbr <= m_lru,
+            "FBR ({m_fbr}) should not miss more than LRU ({m_lru}) on a scan-heavy trace"
+        );
+    }
+}

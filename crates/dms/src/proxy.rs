@@ -1,0 +1,641 @@
+//! The per-node data proxy (paper §4.1).
+//!
+//! Every computing node owns a proxy responsible for retrieving the data
+//! a command asks for. Proxies act like a black box: system parameters
+//! can be tuned from outside but never the result of a request. Each
+//! proxy owns the node's two-tier cache and a background prefetch loader,
+//! resolves names through the central name server, and asks the data
+//! server which loading strategy to use for every forced load.
+//!
+//! Proxies are *not* arranged in work groups — they communicate across
+//! group boundaries (the cooperative cache), which is why the peer
+//! directory lives in the central server.
+
+use crate::cache::{BlockDataCodec, DiskCache, MemoryCache, Tier, TieredCache};
+use crate::name::{ItemId, ItemName, NameResolver};
+use crate::policy::policy_by_name;
+use crate::prefetch::{prefetcher_by_name, Prefetcher};
+use crate::server::{DataServer, LoadStrategy, NodeId, SharedCache};
+use crate::stats::{DmsStats, StrategyIndex};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use vira_grid::block::BlockStepId;
+use vira_grid::field::SharedBlockData;
+use vira_storage::costmodel::{CostCategory, Meter};
+use vira_storage::source::StorageError;
+
+/// Configuration of one proxy's caches and prefetcher.
+#[derive(Debug, Clone)]
+pub struct ProxyConfig {
+    /// Primary (memory) cache capacity in bytes.
+    pub l1_capacity_bytes: usize,
+    /// Replacement policy of the primary cache ("lru" | "lfu" | "fbr").
+    pub l1_policy: String,
+    /// Optional secondary (local-disk) cache.
+    pub l2: Option<L2Config>,
+    /// System prefetcher ("none" | "obl" | "prefetch-on-miss" | "markov"
+    /// | "markov+obl").
+    pub prefetcher: String,
+}
+
+#[derive(Debug, Clone)]
+pub struct L2Config {
+    pub capacity_bytes: usize,
+    pub policy: String,
+    pub spill_dir: PathBuf,
+}
+
+impl Default for ProxyConfig {
+    fn default() -> Self {
+        ProxyConfig {
+            l1_capacity_bytes: 256 << 20,
+            l1_policy: "fbr".into(),
+            l2: None,
+            prefetcher: "obl".into(),
+        }
+    }
+}
+
+struct PrefetchJob {
+    dataset: String,
+    id: BlockStepId,
+}
+
+struct Core {
+    node: NodeId,
+    server: Arc<DataServer>,
+    resolver: NameResolver,
+    cache: SharedCache,
+    prefetcher_kind: String,
+    prefetchers: Mutex<HashMap<String, Box<dyn Prefetcher>>>,
+    /// Items brought in by prefetch and not yet demanded.
+    prefetched: Mutex<HashSet<ItemId>>,
+    /// Items currently being loaded (demand or prefetch).
+    inflight: Mutex<HashSet<ItemId>>,
+    inflight_cv: Condvar,
+    stats: Arc<DmsStats>,
+    /// Prefetch jobs enqueued but not yet fully processed (for
+    /// [`DataProxy::quiesce`]).
+    pending_jobs: std::sync::atomic::AtomicU64,
+}
+
+impl Core {
+    fn item_id(&self, dataset: &str, id: BlockStepId) -> ItemId {
+        self.resolver.to_id(&ItemName::block_step(dataset, id))
+    }
+
+    /// Runs the prefetcher for `dataset` over one observed request and
+    /// returns its suggestions.
+    fn advise(&self, dataset: &str, id: BlockStepId, was_hit: bool) -> Vec<BlockStepId> {
+        if self.prefetcher_kind == "none" {
+            return Vec::new();
+        }
+        let mut g = self.prefetchers.lock();
+        if !g.contains_key(dataset) {
+            let Some(order) = self.server.sequence_order(dataset) else {
+                return Vec::new();
+            };
+            let Some(p) = prefetcher_by_name(&self.prefetcher_kind, order) else {
+                return Vec::new();
+            };
+            g.insert(dataset.to_string(), p);
+        }
+        g.get_mut(dataset)
+            .map(|p| p.advise(id, was_hit))
+            .unwrap_or_default()
+    }
+
+    /// Forced load of one item through the server-selected strategy, with
+    /// per-strategy failure fallback.
+    fn load(
+        &self,
+        dataset: &str,
+        item: ItemId,
+        id: BlockStepId,
+        meter: &Meter,
+    ) -> Result<SharedBlockData, StorageError> {
+        let mut last_err = None;
+        for _ in 0..3 {
+            let plan = self.server.choose_plan(dataset, item, self.node, meter)?;
+            match self.server.execute_plan(dataset, item, id, plan, meter) {
+                Ok(p) => {
+                    let idx = match plan.strategy {
+                        LoadStrategy::FileServer => StrategyIndex::FileServer,
+                        LoadStrategy::LocalReplica => StrategyIndex::LocalReplica,
+                        LoadStrategy::Peer(_) => StrategyIndex::Peer,
+                    };
+                    self.stats.record_strategy(idx);
+                    return Ok(p);
+                }
+                Err(e) => {
+                    // A stale peer entry is corrected so the next plan
+                    // avoids it; file-server failures flip the server's
+                    // adaptive flag inside execute_plan.
+                    if let LoadStrategy::Peer(peer) = plan.strategy {
+                        self.server.notify_evicted(item, peer);
+                    }
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| StorageError::Unavailable("load failed".into())))
+    }
+
+    /// Inserts a loaded item and synchronizes the server's peer
+    /// directory.
+    fn install(&self, item: ItemId, payload: SharedBlockData) -> Result<(), StorageError> {
+        let dropped = {
+            let mut c = self.cache.lock();
+            c.insert(item, payload)
+                .map_err(|e| StorageError::Unavailable(format!("cache spill failed: {e}")))?;
+            c.drain_dropped()
+        };
+        for d in &dropped {
+            self.server.notify_evicted(*d, self.node);
+            self.prefetched.lock().remove(d);
+        }
+        self.server.notify_cached(item, self.node);
+        Ok(())
+    }
+
+    /// Removes `item` from the in-flight set and wakes waiters.
+    fn finish_inflight(&self, item: ItemId) {
+        let mut fl = self.inflight.lock();
+        fl.remove(&item);
+        drop(fl);
+        self.inflight_cv.notify_all();
+    }
+}
+
+/// The public proxy handle. Owns the background prefetch thread; dropping
+/// the proxy shuts the thread down.
+pub struct DataProxy {
+    core: Arc<Core>,
+    prefetch_tx: Option<crossbeam::channel::Sender<PrefetchJob>>,
+    prefetch_handle: Option<JoinHandle<()>>,
+    prefetch_meter: Arc<Meter>,
+}
+
+impl DataProxy {
+    pub fn new(node: NodeId, server: Arc<DataServer>, config: ProxyConfig) -> DataProxy {
+        let l1_policy =
+            policy_by_name(&config.l1_policy).unwrap_or_else(|| panic!("unknown policy {}", config.l1_policy));
+        let l1 = MemoryCache::new(config.l1_capacity_bytes, l1_policy);
+        let l2 = config.l2.as_ref().map(|l2c| {
+            let policy = policy_by_name(&l2c.policy)
+                .unwrap_or_else(|| panic!("unknown policy {}", l2c.policy));
+            DiskCache::new(
+                l2c.spill_dir.clone(),
+                l2c.capacity_bytes,
+                policy,
+                Arc::new(BlockDataCodec),
+            )
+            .expect("spill dir must be creatable")
+        });
+        let cache: SharedCache = Arc::new(Mutex::new(TieredCache::new(l1, l2)));
+        server.register_proxy(node, cache.clone());
+
+        let core = Arc::new(Core {
+            node,
+            server: server.clone(),
+            resolver: NameResolver::new(server.names().clone()),
+            cache,
+            prefetcher_kind: config.prefetcher.clone(),
+            prefetchers: Mutex::new(HashMap::new()),
+            prefetched: Mutex::new(HashSet::new()),
+            inflight: Mutex::new(HashSet::new()),
+            inflight_cv: Condvar::new(),
+            stats: DmsStats::new(),
+            pending_jobs: std::sync::atomic::AtomicU64::new(0),
+        });
+
+        let prefetch_meter = Meter::new();
+        let (tx, rx) = crossbeam::channel::unbounded::<PrefetchJob>();
+        let thread_core = core.clone();
+        let thread_meter = prefetch_meter.clone();
+        let prefetch_handle = std::thread::Builder::new()
+            .name(format!("vira-prefetch-{node}"))
+            .spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    run_prefetch_job(&thread_core, &job, &thread_meter);
+                    thread_core
+                        .pending_jobs
+                        .fetch_sub(1, std::sync::atomic::Ordering::Release);
+                }
+            })
+            .expect("failed to spawn prefetch thread");
+
+        DataProxy {
+            core,
+            prefetch_tx: Some(tx),
+            prefetch_handle: Some(prefetch_handle),
+            prefetch_meter,
+        }
+    }
+
+    pub fn node(&self) -> NodeId {
+        self.core.node
+    }
+
+    pub fn stats(&self) -> &Arc<DmsStats> {
+        &self.core.stats
+    }
+
+    /// Modeled time spent by the background prefetch loader (overlapped
+    /// with computation, hence not part of any worker's meter).
+    pub fn prefetch_meter(&self) -> &Arc<Meter> {
+        &self.prefetch_meter
+    }
+
+    /// Demand request: returns the item, loading it if necessary.
+    /// The caller's meter is charged for every modeled cost on the
+    /// critical path (L2 promotion, strategy coordination, transfer).
+    pub fn request(
+        &self,
+        dataset: &str,
+        id: BlockStepId,
+        meter: &Meter,
+    ) -> Result<SharedBlockData, StorageError> {
+        let core = &self.core;
+        let item = core.item_id(dataset, id);
+        core.stats.bump(&core.stats.demand_requests);
+        let mut waited = false;
+
+        loop {
+            // 1. Cache lookup.
+            let hit = {
+                let mut c = core.cache.lock();
+                c.get(item)
+                    .map_err(|e| StorageError::Unavailable(format!("cache read failed: {e}")))?
+            };
+            if let Some((payload, tier)) = hit {
+                match tier {
+                    Tier::Memory => {
+                        core.stats.bump(&core.stats.l1_hits);
+                        if let Some(spec) = core.server.dataset_spec(dataset) {
+                            let bw = core.server.config().memory_bandwidth_bps;
+                            meter.charge(
+                                core.server.clock(),
+                                CostCategory::Read,
+                                spec.nominal_item_bytes() as f64 / bw,
+                            );
+                        }
+                    }
+                    Tier::Disk => {
+                        core.stats.bump(&core.stats.l2_hits);
+                        if let Some(spec) = core.server.dataset_spec(dataset) {
+                            meter.charge(
+                                core.server.clock(),
+                                CostCategory::Read,
+                                core.server
+                                    .local_disk_profile()
+                                    .transfer_time(spec.nominal_item_bytes()),
+                            );
+                        }
+                    }
+                }
+                if core.prefetched.lock().remove(&item) {
+                    core.stats.bump(&core.stats.prefetch_hits);
+                }
+                self.enqueue_suggestions(dataset, core.advise(dataset, id, true));
+                return Ok(payload);
+            }
+
+            // 2. Somebody already loading it? Wait and retry the lookup.
+            {
+                let mut fl = core.inflight.lock();
+                if fl.contains(&item) {
+                    if !waited {
+                        core.stats.bump(&core.stats.prefetch_waits);
+                        waited = true;
+                    }
+                    while fl.contains(&item) {
+                        core.inflight_cv.wait(&mut fl);
+                    }
+                    continue;
+                }
+                fl.insert(item);
+                break;
+            }
+        }
+
+        // 3. We own the load.
+        core.stats.bump(&core.stats.misses);
+        let result = core.load(dataset, item, id, meter);
+        if let Ok(payload) = &result {
+            core.install(item, payload.clone())?;
+        }
+        core.finish_inflight(item);
+        self.enqueue_suggestions(dataset, core.advise(dataset, id, false));
+        result
+    }
+
+    /// Code prefetch (paper §4.2: "user initiated code prefetching"):
+    /// the command itself decides the location and time of the hint.
+    pub fn prefetch_hint(&self, dataset: &str, id: BlockStepId) {
+        self.enqueue_suggestions(dataset, vec![id]);
+    }
+
+    fn enqueue_suggestions(&self, dataset: &str, ids: Vec<BlockStepId>) {
+        if let Some(tx) = &self.prefetch_tx {
+            for id in ids {
+                self.core
+                    .pending_jobs
+                    .fetch_add(1, std::sync::atomic::Ordering::Acquire);
+                if tx
+                    .send(PrefetchJob {
+                        dataset: dataset.to_string(),
+                        id,
+                    })
+                    .is_err()
+                {
+                    self.core
+                        .pending_jobs
+                        .fetch_sub(1, std::sync::atomic::Ordering::Release);
+                }
+            }
+        }
+    }
+
+    /// True if the item is resident in either cache tier.
+    pub fn is_cached(&self, dataset: &str, id: BlockStepId) -> bool {
+        let item = self.core.item_id(dataset, id);
+        self.core.cache.lock().locate(item).is_some()
+    }
+
+    /// Empties both cache tiers (e.g. between cold-cache experiments) and
+    /// resets learned prefetcher state if `reset_prefetcher` is set.
+    pub fn clear_cache(&self, reset_prefetcher: bool) {
+        let resident: Vec<ItemId> = {
+            let mut c = self.core.cache.lock();
+            let ids: Vec<ItemId> = c.l1().resident().collect();
+            c.clear().ok();
+            ids
+        };
+        for id in resident {
+            self.core.server.notify_evicted(id, self.core.node);
+        }
+        self.core.prefetched.lock().clear();
+        if reset_prefetcher {
+            for p in self.core.prefetchers.lock().values_mut() {
+                p.reset();
+            }
+        }
+    }
+
+    /// Blocks until the prefetch queue is drained and no prefetch is in
+    /// flight (used by tests for determinism).
+    pub fn quiesce(&self) {
+        use std::sync::atomic::Ordering;
+        loop {
+            let drained = self.core.pending_jobs.load(Ordering::Acquire) == 0;
+            let idle = self.core.inflight.lock().is_empty();
+            if drained && idle {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+    }
+}
+
+fn run_prefetch_job(core: &Core, job: &PrefetchJob, meter: &Meter) {
+    let item = core.item_id(&job.dataset, job.id);
+    if core.cache.lock().locate(item).is_some() {
+        core.stats.bump(&core.stats.prefetch_redundant);
+        return;
+    }
+    {
+        let mut fl = core.inflight.lock();
+        if fl.contains(&item) {
+            core.stats.bump(&core.stats.prefetch_redundant);
+            return;
+        }
+        fl.insert(item);
+    }
+    core.stats.bump(&core.stats.prefetch_issued);
+    match core.load(&job.dataset, item, job.id, meter) {
+        Ok(payload) => {
+            if core.install(item, payload).is_ok() {
+                core.prefetched.lock().insert(item);
+            }
+        }
+        Err(_) => {
+            // Prefetch failures are silent: the demand path will retry
+            // and surface the error if it persists.
+        }
+    }
+    core.finish_inflight(item);
+}
+
+impl Drop for DataProxy {
+    fn drop(&mut self) {
+        self.prefetch_tx.take(); // close the channel; thread exits
+        if let Some(h) = self.prefetch_handle.take() {
+            let _ = h.join();
+        }
+        self.core.server.unregister_proxy(self.core.node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerConfig;
+    use vira_grid::synth::test_cube;
+    use vira_storage::costmodel::SimClock;
+    use vira_storage::source::SynthSource;
+
+    fn setup(prefetcher: &str, l1_bytes: usize) -> (Arc<DataServer>, DataProxy) {
+        let server = DataServer::new(SimClock::instant(), ServerConfig::default());
+        server.register_dataset(Arc::new(SynthSource::new(Arc::new(test_cube(4, 4)))), false);
+        let proxy = DataProxy::new(
+            0,
+            server.clone(),
+            ProxyConfig {
+                l1_capacity_bytes: l1_bytes,
+                l1_policy: "fbr".into(),
+                l2: None,
+                prefetcher: prefetcher.into(),
+            },
+        );
+        (server, proxy)
+    }
+
+    fn bs(b: u32, s: u32) -> BlockStepId {
+        BlockStepId::new(b, s)
+    }
+
+    #[test]
+    fn cold_miss_then_warm_hit() {
+        let (_srv, proxy) = setup("none", 1 << 30);
+        let m = Meter::new();
+        let a = proxy.request("TestCube", bs(0, 0), &m).unwrap();
+        let b = proxy.request("TestCube", bs(0, 0), &m).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "warm hit returns the cached Arc");
+        let s = proxy.stats().snapshot();
+        assert_eq!(s.demand_requests, 2);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.l1_hits, 1);
+    }
+
+    #[test]
+    fn miss_cost_dwarfs_hit_cost() {
+        let (_srv, proxy) = setup("none", 1 << 30);
+        let m = Meter::new();
+        proxy.request("TestCube", bs(0, 0), &m).unwrap();
+        let after_miss = m.total(CostCategory::Read);
+        assert!(after_miss > 0.0);
+        proxy.request("TestCube", bs(0, 0), &m).unwrap();
+        // An L1 hit charges only the memory-access share of the nominal
+        // bytes — far below the device transfer.
+        let hit_cost = m.total(CostCategory::Read) - after_miss;
+        assert!(hit_cost > 0.0, "memory access is not free");
+        assert!(
+            hit_cost < after_miss / 10.0,
+            "hit {hit_cost} vs miss {after_miss}"
+        );
+    }
+
+    #[test]
+    fn obl_prefetch_turns_next_request_into_hit() {
+        let (_srv, proxy) = setup("obl", 1 << 30);
+        let m = Meter::new();
+        proxy.request("TestCube", bs(0, 0), &m).unwrap();
+        proxy.quiesce(); // let the prefetch of step 1 complete
+        assert!(proxy.is_cached("TestCube", bs(0, 1)));
+        proxy.request("TestCube", bs(0, 1), &m).unwrap();
+        let s = proxy.stats().snapshot();
+        assert_eq!(s.misses, 1, "second request was served by the prefetch");
+        assert_eq!(s.prefetch_hits, 1);
+        assert!(s.prefetch_issued >= 1);
+        // The prefetch I/O time landed on the prefetch meter, not ours.
+        assert!(proxy.prefetch_meter().total(CostCategory::Read) > 0.0);
+    }
+
+    #[test]
+    fn eviction_updates_server_directory() {
+        let ds = test_cube(4, 4);
+        let item_bytes = ds.actual_item_bytes();
+        // Capacity for exactly one item.
+        let (srv, proxy) = setup("none", item_bytes + 1);
+        let m = Meter::new();
+        proxy.request("TestCube", bs(0, 0), &m).unwrap();
+        let item0 = srv
+            .names()
+            .lookup(&ItemName::block_step("TestCube", bs(0, 0)))
+            .unwrap();
+        assert_eq!(srv.holders(item0), vec![0]);
+        proxy.request("TestCube", bs(0, 1), &m).unwrap();
+        assert!(srv.holders(item0).is_empty(), "evicted item left directory");
+    }
+
+    #[test]
+    fn clear_cache_resets_state() {
+        let (srv, proxy) = setup("none", 1 << 30);
+        let m = Meter::new();
+        proxy.request("TestCube", bs(0, 0), &m).unwrap();
+        proxy.clear_cache(true);
+        assert!(!proxy.is_cached("TestCube", bs(0, 0)));
+        let item0 = srv
+            .names()
+            .lookup(&ItemName::block_step("TestCube", bs(0, 0)))
+            .unwrap();
+        assert!(srv.holders(item0).is_empty());
+    }
+
+    #[test]
+    fn two_proxies_cooperate_via_peer_transfer() {
+        let server = DataServer::new(SimClock::instant(), ServerConfig::default());
+        server.register_dataset(Arc::new(SynthSource::new(Arc::new(test_cube(4, 4)))), false);
+        let cfg = ProxyConfig {
+            l1_capacity_bytes: 1 << 30,
+            l1_policy: "lru".into(),
+            l2: None,
+            prefetcher: "none".into(),
+        };
+        let p0 = DataProxy::new(0, server.clone(), cfg.clone());
+        let p1 = DataProxy::new(1, server.clone(), cfg);
+        let m = Meter::new();
+        p0.request("TestCube", bs(0, 0), &m).unwrap();
+        p1.request("TestCube", bs(0, 0), &m).unwrap();
+        let s1 = p1.stats().snapshot();
+        assert_eq!(s1.loads_by_strategy[StrategyIndex::Peer as usize], 1);
+        assert_eq!(s1.loads_by_strategy[StrategyIndex::FileServer as usize], 0);
+    }
+
+    #[test]
+    fn l2_spill_and_promote() {
+        let ds = test_cube(4, 4);
+        let item_bytes = ds.actual_item_bytes();
+        let server = DataServer::new(SimClock::instant(), ServerConfig::default());
+        server.register_dataset(Arc::new(SynthSource::new(Arc::new(ds))), false);
+        let spill = std::env::temp_dir().join(format!("vira_proxy_l2_{}", std::process::id()));
+        let proxy = DataProxy::new(
+            0,
+            server,
+            ProxyConfig {
+                l1_capacity_bytes: item_bytes + 1,
+                l1_policy: "lru".into(),
+                l2: Some(L2Config {
+                    capacity_bytes: 1 << 30,
+                    policy: "lru".into(),
+                    spill_dir: spill,
+                }),
+                prefetcher: "none".into(),
+            },
+        );
+        let m = Meter::new();
+        proxy.request("TestCube", bs(0, 0), &m).unwrap();
+        proxy.request("TestCube", bs(0, 1), &m).unwrap(); // demotes step 0 to L2
+        let read_before = m.total(CostCategory::Read);
+        proxy.request("TestCube", bs(0, 0), &m).unwrap(); // L2 hit
+        let s = proxy.stats().snapshot();
+        assert_eq!(s.l2_hits, 1);
+        assert_eq!(s.misses, 2);
+        assert!(
+            m.total(CostCategory::Read) > read_before,
+            "L2 promotion charges the local-disk transfer"
+        );
+    }
+
+    #[test]
+    fn markov_obl_hybrid_prefetches_learned_pattern() {
+        let (_srv, proxy) = setup("markov+obl", 1 << 30);
+        let m = Meter::new();
+        // Teach a backwards walk (OBL would mispredict it).
+        let trace = [bs(0, 3), bs(0, 2), bs(0, 1), bs(0, 0)];
+        for &t in &trace {
+            proxy.request("TestCube", t, &m).unwrap();
+        }
+        proxy.quiesce();
+        proxy.clear_cache(false); // cold cache, learned transitions kept
+        let before = proxy.stats().snapshot().misses;
+        proxy.request("TestCube", trace[0], &m).unwrap();
+        proxy.quiesce();
+        // The markov prediction for 0,3 → 0,2 has been prefetched.
+        assert!(proxy.is_cached("TestCube", trace[1]));
+        proxy.request("TestCube", trace[1], &m).unwrap();
+        let s = proxy.stats().snapshot();
+        assert_eq!(s.misses, before + 1, "only the first request missed");
+    }
+
+    #[test]
+    fn prefetch_hint_is_honored() {
+        let (_srv, proxy) = setup("none", 1 << 30);
+        proxy.prefetch_hint("TestCube", bs(0, 2));
+        proxy.quiesce();
+        assert!(proxy.is_cached("TestCube", bs(0, 2)));
+        assert_eq!(proxy.stats().snapshot().prefetch_issued, 1);
+    }
+
+    #[test]
+    fn out_of_range_request_fails() {
+        let (_srv, proxy) = setup("none", 1 << 30);
+        let m = Meter::new();
+        assert!(proxy.request("TestCube", bs(9, 0), &m).is_err());
+        assert!(proxy.request("Nope", bs(0, 0), &m).is_err());
+    }
+}

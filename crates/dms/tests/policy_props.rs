@@ -1,0 +1,120 @@
+//! Property tests of the replacement policies: structural invariants
+//! that must hold for LRU, LFU and FBR under arbitrary access patterns.
+
+use proptest::prelude::*;
+use vira_dms::name::ItemId;
+use vira_dms::policy::{policy_by_name, ReplacementPolicy};
+
+fn apply_ops(policy: &mut dyn ReplacementPolicy, ops: &[(u8, u64)]) -> Vec<ItemId> {
+    // Mirror of residency, maintained like a capacity-8 cache would.
+    let mut resident: Vec<ItemId> = Vec::new();
+    for &(op, raw) in ops {
+        let id = ItemId(raw % 24);
+        match op % 3 {
+            0 => {
+                // access-or-insert with eviction at capacity 8
+                if resident.contains(&id) {
+                    policy.on_access(id);
+                } else {
+                    while resident.len() >= 8 {
+                        let victim = policy.evict_candidate().expect("non-empty");
+                        policy.on_remove(victim);
+                        resident.retain(|&r| r != victim);
+                    }
+                    policy.on_insert(id);
+                    resident.push(id);
+                }
+            }
+            1 => {
+                if resident.contains(&id) {
+                    policy.on_access(id);
+                }
+            }
+            _ => {
+                if resident.contains(&id) {
+                    policy.on_remove(id);
+                    resident.retain(|&r| r != id);
+                }
+            }
+        }
+    }
+    resident
+}
+
+proptest! {
+    /// The policy's tracked set always equals the true resident set, and
+    /// every eviction candidate is actually resident.
+    #[test]
+    fn policies_track_residency_exactly(
+        policy_idx in 0usize..3,
+        ops in prop::collection::vec((any::<u8>(), any::<u64>()), 1..300),
+    ) {
+        let name = ["lru", "lfu", "fbr"][policy_idx];
+        let mut policy = policy_by_name(name).unwrap();
+        let resident = apply_ops(policy.as_mut(), &ops);
+        prop_assert_eq!(policy.len(), resident.len(), "{}", name);
+        if let Some(victim) = policy.evict_candidate() {
+            prop_assert!(resident.contains(&victim), "{}: victim {:?} not resident", name, victim);
+        } else {
+            prop_assert!(resident.is_empty());
+        }
+    }
+
+    /// Draining a policy via its own candidates empties it without
+    /// repeats.
+    #[test]
+    fn eviction_drain_visits_each_item_once(
+        policy_idx in 0usize..3,
+        ids in prop::collection::hash_set(0u64..64, 1..32),
+    ) {
+        let name = ["lru", "lfu", "fbr"][policy_idx];
+        let mut policy = policy_by_name(name).unwrap();
+        for &id in &ids {
+            policy.on_insert(ItemId(id));
+        }
+        let mut seen = std::collections::HashSet::new();
+        while let Some(victim) = policy.evict_candidate() {
+            prop_assert!(seen.insert(victim), "{}: repeated victim {:?}", name, victim);
+            policy.on_remove(victim);
+        }
+        prop_assert_eq!(seen.len(), ids.len());
+        prop_assert!(policy.is_empty());
+    }
+
+    /// LRU evicts in exact recency order when no re-accesses happen.
+    #[test]
+    fn lru_is_fifo_without_reaccess(ids in prop::collection::vec(0u64..1000, 1..40)) {
+        let mut distinct = Vec::new();
+        for &id in &ids {
+            if !distinct.contains(&id) {
+                distinct.push(id);
+            }
+        }
+        let mut policy = policy_by_name("lru").unwrap();
+        for &id in &distinct {
+            policy.on_insert(ItemId(id));
+        }
+        for &expected in &distinct {
+            let victim = policy.evict_candidate().unwrap();
+            prop_assert_eq!(victim, ItemId(expected));
+            policy.on_remove(victim);
+        }
+    }
+
+    /// LFU never evicts an item with strictly more accesses than another
+    /// resident item.
+    #[test]
+    fn lfu_prefers_low_counts(
+        hot in 0u64..8,
+        cold in 8u64..16,
+        hot_hits in 1usize..6,
+    ) {
+        let mut policy = policy_by_name("lfu").unwrap();
+        policy.on_insert(ItemId(hot));
+        policy.on_insert(ItemId(cold));
+        for _ in 0..hot_hits {
+            policy.on_access(ItemId(hot));
+        }
+        prop_assert_eq!(policy.evict_candidate(), Some(ItemId(cold)));
+    }
+}

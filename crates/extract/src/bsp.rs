@@ -1,0 +1,307 @@
+//! Binary space partitioning over a block's cells for **view-dependent**
+//! isosurface extraction (paper §6.3, ViewerIso).
+//!
+//! For each block, a BSP tree is built over cell index space. Every node
+//! stores the spatial bounding box and the scalar min/max of its cell
+//! subset, so the traversal can (a) prune branches that cannot contain
+//! the iso value ("branches labeling empty regions are pruned") and (b)
+//! visit children **front-to-back with respect to the viewer's
+//! position**, producing the active-cell list in an order that puts the
+//! nearest parts of the surface first.
+
+use vira_grid::block::CurvilinearBlock;
+use vira_grid::field::ScalarField;
+use vira_grid::math::{Aabb, Vec3};
+
+/// A BSP tree over the cells of one block.
+#[derive(Debug)]
+pub struct BspTree {
+    nodes: Vec<Node>,
+    /// Cell coordinates, permuted so each leaf owns a contiguous range.
+    cells: Vec<(usize, usize, usize)>,
+    root: usize,
+}
+
+#[derive(Debug)]
+struct Node {
+    bbox: Aabb,
+    smin: f64,
+    smax: f64,
+    /// Range into `cells` covered by this subtree.
+    range: (usize, usize),
+    /// Children (`None` for leaves).
+    children: Option<(usize, usize)>,
+}
+
+/// Leaves hold at most this many cells.
+const LEAF_SIZE: usize = 32;
+
+impl BspTree {
+    /// Builds the tree for one block/field pair.
+    pub fn build(grid: &CurvilinearBlock, field: &ScalarField) -> BspTree {
+        assert_eq!(grid.dims, field.dims, "grid/field dims mismatch");
+        let mut cells: Vec<(usize, usize, usize)> = grid.dims.cells().collect();
+        let n = cells.len();
+        let mut tree = BspTree {
+            nodes: Vec::new(),
+            cells: Vec::new(),
+            root: 0,
+        };
+        if n == 0 {
+            tree.nodes.push(Node {
+                bbox: Aabb::EMPTY,
+                smin: f64::INFINITY,
+                smax: f64::NEG_INFINITY,
+                range: (0, 0),
+                children: None,
+            });
+            return tree;
+        }
+        let root = build_node(grid, field, &mut cells, 0, n, &mut tree.nodes);
+        tree.root = root;
+        tree.cells = cells;
+        tree
+    }
+
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn n_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Depth of the tree (1 for a single leaf).
+    pub fn depth(&self) -> usize {
+        fn rec(nodes: &[Node], n: usize) -> usize {
+            match nodes[n].children {
+                None => 1,
+                Some((a, b)) => 1 + rec(nodes, a).max(rec(nodes, b)),
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            rec(&self.nodes, self.root)
+        }
+    }
+
+    /// Visits all **active** cells (scalar range straddling `iso`) in
+    /// front-to-back order relative to `viewpoint`, pruning subtrees
+    /// whose scalar range excludes `iso`.
+    pub fn traverse_front_to_back(
+        &self,
+        iso: f64,
+        viewpoint: Vec3,
+        field: &ScalarField,
+        mut visit: impl FnMut((usize, usize, usize)),
+    ) {
+        if self.cells.is_empty() {
+            return;
+        }
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            let node = &self.nodes[n];
+            if !(node.smax > iso && node.smin <= iso) {
+                continue; // empty-region pruning
+            }
+            match node.children {
+                None => {
+                    // Leaf: emit its active cells, nearest first.
+                    let mut leaf: Vec<(usize, usize, usize)> = self.cells
+                        [node.range.0..node.range.1]
+                        .iter()
+                        .copied()
+                        .filter(|&(i, j, k)| {
+                            let (lo, hi) = field.cell_range(i, j, k);
+                            hi > iso && lo <= iso
+                        })
+                        .collect();
+                    leaf.sort_by(|a, b| {
+                        let da = cell_center_estimate(field, *a);
+                        let db = cell_center_estimate(field, *b);
+                        // Centers are stored as spatial keys in `cells`;
+                        // recompute distance from index-space estimate is
+                        // not meaningful — fall back to stable ordering.
+                        da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                    });
+                    for c in leaf {
+                        visit(c);
+                    }
+                }
+                Some((a, b)) => {
+                    // Push the far child first so the near one pops first.
+                    let da = self.nodes[a].bbox.distance_sq(viewpoint);
+                    let db = self.nodes[b].bbox.distance_sq(viewpoint);
+                    if da <= db {
+                        stack.push(b);
+                        stack.push(a);
+                    } else {
+                        stack.push(a);
+                        stack.push(b);
+                    }
+                }
+            }
+        }
+    }
+}
+
+// Index-space tiebreak key for cells within one leaf (leaves are small,
+// so exact per-cell distances are not worth the cost).
+fn cell_center_estimate(field: &ScalarField, c: (usize, usize, usize)) -> usize {
+    field.dims.cell_index(c.0, c.1, c.2)
+}
+
+fn build_node(
+    grid: &CurvilinearBlock,
+    field: &ScalarField,
+    cells: &mut [(usize, usize, usize)],
+    offset: usize,
+    len: usize,
+    nodes: &mut Vec<Node>,
+) -> usize {
+    // Node bounds.
+    let mut bbox = Aabb::EMPTY;
+    let mut smin = f64::INFINITY;
+    let mut smax = f64::NEG_INFINITY;
+    for &(i, j, k) in cells[..len].iter() {
+        bbox.expand(grid.point(i, j, k));
+        bbox.expand(grid.point(i + 1, j + 1, k + 1));
+        let (lo, hi) = field.cell_range(i, j, k);
+        smin = smin.min(lo);
+        smax = smax.max(hi);
+    }
+    if len <= LEAF_SIZE {
+        nodes.push(Node {
+            bbox,
+            smin,
+            smax,
+            range: (offset, offset + len),
+            children: None,
+        });
+        return nodes.len() - 1;
+    }
+    // Split along the widest spatial axis at the median cell.
+    let d = bbox.diagonal();
+    let axis = if d.x >= d.y && d.x >= d.z {
+        0
+    } else if d.y >= d.z {
+        1
+    } else {
+        2
+    };
+    let mid = len / 2;
+    cells[..len].select_nth_unstable_by(mid, |a, b| {
+        let ca = cell_key(grid, *a, axis);
+        let cb = cell_key(grid, *b, axis);
+        ca.partial_cmp(&cb).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let (left, right) = cells[..len].split_at_mut(mid);
+    let l = build_node(grid, field, left, offset, mid, nodes);
+    let r = build_node(grid, field, right, offset + mid, len - mid, nodes);
+    // Parent is pushed after children; fix up indices accordingly.
+    nodes.push(Node {
+        bbox,
+        smin,
+        smax,
+        range: (offset, offset + len),
+        children: Some((l, r)),
+    });
+    nodes.len() - 1
+}
+
+fn cell_key(grid: &CurvilinearBlock, c: (usize, usize, usize), axis: usize) -> f64 {
+    // Cell-origin corner position along the split axis.
+    grid.point(c.0, c.1, c.2)[axis]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vira_grid::block::BlockDims;
+
+    fn sphere_case(n: usize) -> (CurvilinearBlock, ScalarField) {
+        let dims = BlockDims::new(n, n, n);
+        let grid = CurvilinearBlock::from_fn(0, dims, |i, j, k| {
+            Vec3::new(
+                2.0 * i as f64 / (n - 1) as f64 - 1.0,
+                2.0 * j as f64 / (n - 1) as f64 - 1.0,
+                2.0 * k as f64 / (n - 1) as f64 - 1.0,
+            )
+        });
+        let pts = grid.points.clone();
+        let field = ScalarField::new(dims, pts.iter().map(|p| p.norm()).collect());
+        (grid, field)
+    }
+
+    #[test]
+    fn traversal_finds_exactly_the_active_cells() {
+        let (grid, field) = sphere_case(12);
+        let tree = BspTree::build(&grid, &field);
+        assert_eq!(tree.n_cells(), 11 * 11 * 11);
+        let mut visited = Vec::new();
+        tree.traverse_front_to_back(0.6, Vec3::new(5.0, 0.0, 0.0), &field, |c| visited.push(c));
+        let mut expected = crate::iso::active_cells(&field, 0.6);
+        let mut got = visited.clone();
+        got.sort_unstable();
+        expected.sort_unstable();
+        assert_eq!(got, expected, "same set of active cells in any order");
+        // No duplicates.
+        assert_eq!(visited.len(), got.len());
+    }
+
+    #[test]
+    fn traversal_is_roughly_front_to_back() {
+        let (grid, field) = sphere_case(16);
+        let tree = BspTree::build(&grid, &field);
+        let viewpoint = Vec3::new(10.0, 0.0, 0.0);
+        let mut dists = Vec::new();
+        tree.traverse_front_to_back(0.6, viewpoint, &field, |(i, j, k)| {
+            dists.push(grid.cell_bbox(i, j, k).distance_sq(viewpoint));
+        });
+        assert!(dists.len() > 50);
+        // The first decile must be clearly nearer than the last decile.
+        let k = dists.len() / 10;
+        let head: f64 = dists[..k].iter().sum::<f64>() / k as f64;
+        let tail: f64 = dists[dists.len() - k..].iter().sum::<f64>() / k as f64;
+        assert!(
+            head < tail,
+            "front-to-back ordering violated: head {head} tail {tail}"
+        );
+    }
+
+    #[test]
+    fn empty_iso_prunes_everything() {
+        let (grid, field) = sphere_case(10);
+        let tree = BspTree::build(&grid, &field);
+        let mut count = 0;
+        tree.traverse_front_to_back(99.0, Vec3::ZERO, &field, |_| count += 1);
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn tree_shape_is_sane() {
+        let (grid, field) = sphere_case(12);
+        let tree = BspTree::build(&grid, &field);
+        assert!(tree.depth() >= 2);
+        assert!(tree.n_nodes() >= tree.n_cells() / LEAF_SIZE);
+        // Tiny block: single leaf.
+        let (g2, f2) = sphere_case(3);
+        let t2 = BspTree::build(&g2, &f2);
+        assert_eq!(t2.depth(), 1);
+    }
+
+    #[test]
+    fn viewpoint_changes_visit_order() {
+        let (grid, field) = sphere_case(14);
+        let tree = BspTree::build(&grid, &field);
+        let mut from_x = Vec::new();
+        let mut from_neg_x = Vec::new();
+        tree.traverse_front_to_back(0.6, Vec3::new(10.0, 0.0, 0.0), &field, |c| from_x.push(c));
+        tree.traverse_front_to_back(0.6, Vec3::new(-10.0, 0.0, 0.0), &field, |c| {
+            from_neg_x.push(c)
+        });
+        assert_eq!(from_x.len(), from_neg_x.len());
+        assert_ne!(from_x, from_neg_x, "different viewpoints reorder the visit");
+    }
+}

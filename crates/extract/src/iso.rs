@@ -1,0 +1,170 @@
+//! Block-level isosurface extraction.
+//!
+//! The plain extractor walks all cells of a block in storage order; the
+//! active-cell path (min/max pruning) skips cells whose scalar range
+//! cannot contain the iso value. Streaming variants deliver triangles in
+//! batches through a sink callback, which is how the framework's
+//! streamed commands flush partial results (paper §5.1: reorganization of
+//! data; §6.3: "whenever a user-specified number of triangles is
+//! computed, these fragments … are directly streamed").
+
+use crate::mesh::TriangleSoup;
+use crate::tetra::contour_cell;
+use vira_grid::block::CurvilinearBlock;
+use vira_grid::field::ScalarField;
+
+/// Counters reported by an extraction pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IsoStats {
+    pub cells_visited: usize,
+    pub active_cells: usize,
+    pub triangles: usize,
+}
+
+/// Extracts the full isosurface of one block into a fresh soup.
+pub fn extract_isosurface(
+    grid: &CurvilinearBlock,
+    field: &ScalarField,
+    iso: f64,
+) -> (TriangleSoup, IsoStats) {
+    let mut soup = TriangleSoup::new();
+    let stats = extract_streamed(grid, field, iso, usize::MAX, |batch| {
+        soup.extend_from(&batch);
+    });
+    (soup, stats)
+}
+
+/// Extracts the isosurface, flushing `sink` whenever at least
+/// `batch_triangles` triangles have accumulated (and once at the end for
+/// the remainder). Cells are processed in storage order.
+pub fn extract_streamed(
+    grid: &CurvilinearBlock,
+    field: &ScalarField,
+    iso: f64,
+    batch_triangles: usize,
+    mut sink: impl FnMut(TriangleSoup),
+) -> IsoStats {
+    assert_eq!(grid.dims, field.dims, "grid/field dims mismatch");
+    let mut stats = IsoStats::default();
+    let mut pending = TriangleSoup::new();
+    for (i, j, k) in grid.dims.cells() {
+        stats.cells_visited += 1;
+        let (lo, hi) = field.cell_range(i, j, k);
+        if !(hi > iso && lo <= iso) {
+            continue;
+        }
+        stats.active_cells += 1;
+        let corners = grid.cell_corners(i, j, k);
+        let scalars = field.cell_corners(i, j, k);
+        let n = contour_cell(&corners, &scalars, iso, &mut pending);
+        stats.triangles += n;
+        if pending.n_triangles() >= batch_triangles {
+            sink(std::mem::take(&mut pending));
+        }
+    }
+    if !pending.is_empty() {
+        sink(pending);
+    }
+    stats
+}
+
+/// Lists the active cells (cells whose corner range straddles `iso`)
+/// without triangulating — used by the view-dependent pipeline, which
+/// triangulates in BSP traversal order instead of storage order.
+pub fn active_cells(field: &ScalarField, iso: f64) -> Vec<(usize, usize, usize)> {
+    field
+        .dims
+        .cells()
+        .filter(|&(i, j, k)| {
+            let (lo, hi) = field.cell_range(i, j, k);
+            hi > iso && lo <= iso
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vira_grid::block::BlockDims;
+    use vira_grid::math::Vec3;
+
+    /// A uniform n³ grid on [-1,1]³ with the distance-from-origin field.
+    fn sphere_case(n: usize) -> (CurvilinearBlock, ScalarField) {
+        let dims = BlockDims::new(n, n, n);
+        let grid = CurvilinearBlock::from_fn(0, dims, |i, j, k| {
+            Vec3::new(
+                2.0 * i as f64 / (n - 1) as f64 - 1.0,
+                2.0 * j as f64 / (n - 1) as f64 - 1.0,
+                2.0 * k as f64 / (n - 1) as f64 - 1.0,
+            )
+        });
+        let pts = grid.points.clone();
+        let field = ScalarField::new(dims, pts.iter().map(|p| p.norm()).collect());
+        (grid, field)
+    }
+
+    #[test]
+    fn sphere_isosurface_has_expected_area() {
+        let (grid, field) = sphere_case(24);
+        let r = 0.6;
+        let (soup, stats) = extract_isosurface(&grid, &field, r);
+        assert!(stats.triangles > 100);
+        assert_eq!(stats.triangles, soup.n_triangles());
+        assert!(soup.is_finite());
+        // Surface area ≈ 4πr²; tetrahedral faceting stays within ~10 %.
+        let expect = 4.0 * std::f64::consts::PI * r * r;
+        let area = soup.area();
+        assert!(
+            (area - expect).abs() / expect < 0.1,
+            "area {area} vs {expect}"
+        );
+        // All vertices near radius r (within a cell diagonal).
+        let cell = 2.0 / 23.0;
+        for v in &soup.positions {
+            let rr = (v[0] as f64).hypot(v[1] as f64).hypot(v[2] as f64);
+            assert!((rr - r).abs() < cell * 1.8, "vertex radius {rr}");
+        }
+    }
+
+    #[test]
+    fn iso_outside_range_gives_empty_surface() {
+        let (grid, field) = sphere_case(8);
+        let (soup, stats) = extract_isosurface(&grid, &field, 99.0);
+        assert!(soup.is_empty());
+        assert_eq!(stats.active_cells, 0);
+        assert_eq!(stats.cells_visited, 7 * 7 * 7);
+    }
+
+    #[test]
+    fn streamed_batches_concatenate_to_full_surface() {
+        let (grid, field) = sphere_case(16);
+        let (full, full_stats) = extract_isosurface(&grid, &field, 0.7);
+        let mut streamed = TriangleSoup::new();
+        let mut batches = 0;
+        let stats = extract_streamed(&grid, &field, 0.7, 50, |b| {
+            assert!(!b.is_empty());
+            batches += 1;
+            streamed.extend_from(&b);
+        });
+        assert_eq!(stats, full_stats);
+        assert_eq!(streamed, full, "batching must not change geometry");
+        assert!(batches > 1, "expected multiple batches, got {batches}");
+    }
+
+    #[test]
+    fn active_cells_match_triangulated_cells() {
+        let (grid, field) = sphere_case(12);
+        let active = active_cells(&field, 0.5);
+        let (_, stats) = extract_isosurface(&grid, &field, 0.5);
+        assert_eq!(active.len(), stats.active_cells);
+        assert!(!active.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_dims_panic() {
+        let (grid, _) = sphere_case(8);
+        let field = ScalarField::from_fn(BlockDims::new(4, 4, 4), |_, _, _| 0.0);
+        let _ = extract_isosurface(&grid, &field, 0.5);
+    }
+}

@@ -1,0 +1,282 @@
+//! Triangle geometry produced by the extraction algorithms and its wire
+//! encoding — the payload of streamed result packets.
+//!
+//! Geometry is transmitted as `f32` (display precision); computation
+//! happens in `f64`.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use vira_grid::math::{Aabb, Vec3};
+
+/// A bag of triangles: 9 `f32` per triangle (three vertices), no
+/// connectivity. The visualization client concatenates soups from many
+/// partial packets.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TriangleSoup {
+    /// Vertex positions, three consecutive entries per triangle.
+    pub positions: Vec<[f32; 3]>,
+}
+
+impl TriangleSoup {
+    pub fn new() -> Self {
+        TriangleSoup::default()
+    }
+
+    pub fn with_capacity(n_triangles: usize) -> Self {
+        TriangleSoup {
+            positions: Vec::with_capacity(3 * n_triangles),
+        }
+    }
+
+    #[inline]
+    pub fn n_triangles(&self) -> usize {
+        self.positions.len() / 3
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Appends one triangle given `f64` vertices.
+    #[inline]
+    pub fn push_tri(&mut self, a: Vec3, b: Vec3, c: Vec3) {
+        for v in [a, b, c] {
+            self.positions.push([v.x as f32, v.y as f32, v.z as f32]);
+        }
+    }
+
+    /// Appends all triangles of another soup.
+    pub fn extend_from(&mut self, other: &TriangleSoup) {
+        self.positions.extend_from_slice(&other.positions);
+    }
+
+    /// Splits off the first `n` triangles into a new soup (fewer if not
+    /// that many are available).
+    pub fn drain_front(&mut self, n: usize) -> TriangleSoup {
+        let take = (3 * n).min(self.positions.len());
+        let rest = self.positions.split_off(take);
+        TriangleSoup {
+            positions: std::mem::replace(&mut self.positions, rest),
+        }
+    }
+
+    /// Bounding box of all vertices.
+    pub fn bbox(&self) -> Aabb {
+        Aabb::from_points(
+            self.positions
+                .iter()
+                .map(|p| Vec3::new(p[0] as f64, p[1] as f64, p[2] as f64)),
+        )
+    }
+
+    /// Total surface area.
+    pub fn area(&self) -> f64 {
+        let mut a = 0.0;
+        for t in self.positions.chunks_exact(3) {
+            let p0 = Vec3::new(t[0][0] as f64, t[0][1] as f64, t[0][2] as f64);
+            let p1 = Vec3::new(t[1][0] as f64, t[1][1] as f64, t[1][2] as f64);
+            let p2 = Vec3::new(t[2][0] as f64, t[2][1] as f64, t[2][2] as f64);
+            a += 0.5 * (p1 - p0).cross(p2 - p0).norm();
+        }
+        a
+    }
+
+    /// True if every coordinate is finite.
+    pub fn is_finite(&self) -> bool {
+        self.positions
+            .iter()
+            .all(|p| p.iter().all(|c| c.is_finite()))
+    }
+
+    /// Wire encoding: `u32` triangle count, then `9 × f32` per triangle,
+    /// little-endian.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(4 + self.positions.len() * 12);
+        buf.put_u32_le(self.n_triangles() as u32);
+        for p in &self.positions {
+            buf.put_f32_le(p[0]);
+            buf.put_f32_le(p[1]);
+            buf.put_f32_le(p[2]);
+        }
+        buf.freeze()
+    }
+
+    /// Inverse of [`to_bytes`](Self::to_bytes). `None` on malformed input.
+    pub fn from_bytes(mut b: Bytes) -> Option<TriangleSoup> {
+        if b.remaining() < 4 {
+            return None;
+        }
+        let n = b.get_u32_le() as usize;
+        if b.remaining() != n * 36 {
+            return None;
+        }
+        let mut positions = Vec::with_capacity(3 * n);
+        for _ in 0..3 * n {
+            let x = b.get_f32_le();
+            let y = b.get_f32_le();
+            let z = b.get_f32_le();
+            positions.push([x, y, z]);
+        }
+        Some(TriangleSoup { positions })
+    }
+}
+
+/// A traced particle path: positions with their solution times.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Polyline {
+    pub points: Vec<[f32; 3]>,
+    pub times: Vec<f32>,
+}
+
+impl Polyline {
+    pub fn push(&mut self, p: Vec3, t: f64) {
+        self.points.push([p.x as f32, p.y as f32, p.z as f32]);
+        self.times.push(t as f32);
+    }
+
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Total arc length.
+    pub fn arc_length(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| {
+                let d = [
+                    (w[1][0] - w[0][0]) as f64,
+                    (w[1][1] - w[0][1]) as f64,
+                    (w[1][2] - w[0][2]) as f64,
+                ];
+                (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt()
+            })
+            .sum()
+    }
+
+    /// Wire encoding: `u32` point count, then `4 × f32` (xyz + t) per
+    /// point, little-endian.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(4 + self.points.len() * 16);
+        buf.put_u32_le(self.len() as u32);
+        for (p, &t) in self.points.iter().zip(&self.times) {
+            buf.put_f32_le(p[0]);
+            buf.put_f32_le(p[1]);
+            buf.put_f32_le(p[2]);
+            buf.put_f32_le(t);
+        }
+        buf.freeze()
+    }
+
+    pub fn from_bytes(mut b: Bytes) -> Option<Polyline> {
+        if b.remaining() < 4 {
+            return None;
+        }
+        let n = b.get_u32_le() as usize;
+        if b.remaining() != n * 16 {
+            return None;
+        }
+        let mut line = Polyline::default();
+        for _ in 0..n {
+            let x = b.get_f32_le();
+            let y = b.get_f32_le();
+            let z = b.get_f32_le();
+            let t = b.get_f32_le();
+            line.points.push([x, y, z]);
+            line.times.push(t);
+        }
+        Some(line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tri_soup() -> TriangleSoup {
+        let mut s = TriangleSoup::new();
+        s.push_tri(
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+        );
+        s.push_tri(
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::new(2.0, 0.0, 1.0),
+            Vec3::new(0.0, 2.0, 1.0),
+        );
+        s
+    }
+
+    #[test]
+    fn soup_counts_and_area() {
+        let s = tri_soup();
+        assert_eq!(s.n_triangles(), 2);
+        assert!((s.area() - (0.5 + 2.0)).abs() < 1e-9);
+        assert!(s.is_finite());
+    }
+
+    #[test]
+    fn soup_bbox() {
+        let b = tri_soup().bbox();
+        assert_eq!(b.min, Vec3::ZERO);
+        assert_eq!(b.max, Vec3::new(2.0, 2.0, 1.0));
+    }
+
+    #[test]
+    fn soup_roundtrip_bytes() {
+        let s = tri_soup();
+        let b = s.to_bytes();
+        let back = TriangleSoup::from_bytes(b).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn soup_rejects_malformed_bytes() {
+        assert!(TriangleSoup::from_bytes(Bytes::from_static(b"xy")).is_none());
+        let mut good = tri_soup().to_bytes().to_vec();
+        good.pop();
+        assert!(TriangleSoup::from_bytes(Bytes::from(good)).is_none());
+    }
+
+    #[test]
+    fn empty_soup_roundtrip() {
+        let s = TriangleSoup::new();
+        let back = TriangleSoup::from_bytes(s.to_bytes()).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn drain_front_splits() {
+        let mut s = tri_soup();
+        let first = s.drain_front(1);
+        assert_eq!(first.n_triangles(), 1);
+        assert_eq!(s.n_triangles(), 1);
+        let rest = s.drain_front(10);
+        assert_eq!(rest.n_triangles(), 1);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn extend_from_concatenates() {
+        let mut a = tri_soup();
+        let b = tri_soup();
+        a.extend_from(&b);
+        assert_eq!(a.n_triangles(), 4);
+    }
+
+    #[test]
+    fn polyline_roundtrip_and_length() {
+        let mut l = Polyline::default();
+        l.push(Vec3::ZERO, 0.0);
+        l.push(Vec3::new(3.0, 4.0, 0.0), 0.1);
+        l.push(Vec3::new(3.0, 4.0, 12.0), 0.2);
+        assert_eq!(l.len(), 3);
+        assert!((l.arc_length() - 17.0).abs() < 1e-6);
+        let back = Polyline::from_bytes(l.to_bytes()).unwrap();
+        assert_eq!(back, l);
+        assert!(Polyline::from_bytes(Bytes::from_static(b"zz")).is_none());
+    }
+}

@@ -1,0 +1,236 @@
+//! Flow-field data attached to the grid points of one block at one time
+//! step, and the combined [`BlockData`] unit that the data management
+//! system moves around.
+
+use crate::block::{trilinear, trilinear_vec3, BlockDims, BlockStepId, CurvilinearBlock};
+use crate::math::Vec3;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A scalar quantity sampled at every grid point of a block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalarField {
+    pub dims: BlockDims,
+    /// Point samples, `i` fastest; length `dims.n_points()`.
+    pub values: Vec<f64>,
+}
+
+impl ScalarField {
+    pub fn new(dims: BlockDims, values: Vec<f64>) -> Self {
+        assert_eq!(values.len(), dims.n_points(), "scalar field size mismatch");
+        ScalarField { dims, values }
+    }
+
+    /// Builds a field by evaluating `f` at every lattice point.
+    pub fn from_fn(dims: BlockDims, mut f: impl FnMut(usize, usize, usize) -> f64) -> Self {
+        let mut values = Vec::with_capacity(dims.n_points());
+        for k in 0..dims.nk {
+            for j in 0..dims.nj {
+                for i in 0..dims.ni {
+                    values.push(f(i, j, k));
+                }
+            }
+        }
+        ScalarField::new(dims, values)
+    }
+
+    #[inline]
+    pub fn at(&self, i: usize, j: usize, k: usize) -> f64 {
+        self.values[self.dims.point_index(i, j, k)]
+    }
+
+    /// The eight corner samples of cell `(i, j, k)` in trilinear order.
+    #[inline]
+    pub fn cell_corners(&self, i: usize, j: usize, k: usize) -> [f64; 8] {
+        self.dims
+            .cell_corner_indices(i, j, k)
+            .map(|n| self.values[n])
+    }
+
+    /// Trilinear interpolation at local coordinates within a cell.
+    pub fn sample(&self, cell: (usize, usize, usize), u: f64, v: f64, w: f64) -> f64 {
+        trilinear(&self.cell_corners(cell.0, cell.1, cell.2), u, v, w)
+    }
+
+    /// Minimum and maximum sample over the whole block; `None` when empty.
+    pub fn range(&self) -> Option<(f64, f64)> {
+        let mut it = self.values.iter().copied();
+        let first = it.next()?;
+        let mut lo = first;
+        let mut hi = first;
+        for v in it {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Some((lo, hi))
+    }
+
+    /// Minimum and maximum over the eight corners of one cell.
+    pub fn cell_range(&self, i: usize, j: usize, k: usize) -> (f64, f64) {
+        let c = self.cell_corners(i, j, k);
+        let mut lo = c[0];
+        let mut hi = c[0];
+        for &v in &c[1..] {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        (lo, hi)
+    }
+}
+
+/// A vector quantity (typically velocity) sampled at every grid point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VectorField {
+    pub dims: BlockDims,
+    /// Point samples, `i` fastest; length `dims.n_points()`.
+    pub values: Vec<Vec3>,
+}
+
+impl VectorField {
+    pub fn new(dims: BlockDims, values: Vec<Vec3>) -> Self {
+        assert_eq!(values.len(), dims.n_points(), "vector field size mismatch");
+        VectorField { dims, values }
+    }
+
+    pub fn from_fn(dims: BlockDims, mut f: impl FnMut(usize, usize, usize) -> Vec3) -> Self {
+        let mut values = Vec::with_capacity(dims.n_points());
+        for k in 0..dims.nk {
+            for j in 0..dims.nj {
+                for i in 0..dims.ni {
+                    values.push(f(i, j, k));
+                }
+            }
+        }
+        VectorField::new(dims, values)
+    }
+
+    #[inline]
+    pub fn at(&self, i: usize, j: usize, k: usize) -> Vec3 {
+        self.values[self.dims.point_index(i, j, k)]
+    }
+
+    #[inline]
+    pub fn cell_corners(&self, i: usize, j: usize, k: usize) -> [Vec3; 8] {
+        self.dims
+            .cell_corner_indices(i, j, k)
+            .map(|n| self.values[n])
+    }
+
+    /// Trilinear interpolation at local coordinates within a cell.
+    pub fn sample(&self, cell: (usize, usize, usize), u: f64, v: f64, w: f64) -> Vec3 {
+        trilinear_vec3(&self.cell_corners(cell.0, cell.1, cell.2), u, v, w)
+    }
+
+    /// Magnitude field (`|v|` at every point).
+    pub fn magnitude(&self) -> ScalarField {
+        ScalarField {
+            dims: self.dims,
+            values: self.values.iter().map(|v| v.norm()).collect(),
+        }
+    }
+}
+
+/// One complete data item: geometry plus the unsteady flow field of a block
+/// at one time step. This is the minimal unit of data handling in the DMS
+/// (paper §4: "the minimal unit of data handling is a data item").
+///
+/// `BlockData` is shared between caches and workers behind an [`Arc`]; it is
+/// immutable after construction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockData {
+    pub id: BlockStepId,
+    pub grid: CurvilinearBlock,
+    pub velocity: VectorField,
+    /// Physical solution time of this step.
+    pub time: f64,
+}
+
+impl BlockData {
+    pub fn new(id: BlockStepId, grid: CurvilinearBlock, velocity: VectorField, time: f64) -> Self {
+        assert_eq!(grid.dims, velocity.dims, "grid / field dims mismatch");
+        BlockData {
+            id,
+            grid,
+            velocity,
+            time,
+        }
+    }
+
+    /// Bytes of payload this item occupies in memory (geometry + field).
+    pub fn memory_bytes(&self) -> usize {
+        self.grid.geometry_bytes() + self.velocity.values.len() * std::mem::size_of::<Vec3>()
+    }
+
+    pub fn dims(&self) -> BlockDims {
+        self.grid.dims
+    }
+}
+
+/// Shared, immutable handle to a loaded data item.
+pub type SharedBlockData = Arc<BlockData>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockDims;
+
+    fn dims() -> BlockDims {
+        BlockDims::new(3, 3, 3)
+    }
+
+    #[test]
+    fn scalar_field_range() {
+        let f = ScalarField::from_fn(dims(), |i, j, k| (i + 2 * j + 4 * k) as f64);
+        let (lo, hi) = f.range().unwrap();
+        assert_eq!(lo, 0.0);
+        assert_eq!(hi, (2 + 4 + 8) as f64);
+    }
+
+    #[test]
+    fn scalar_cell_range_bounds_samples() {
+        let f = ScalarField::from_fn(dims(), |i, j, k| (i * j + k) as f64);
+        let (lo, hi) = f.cell_range(1, 1, 1);
+        for &(u, v, w) in &[(0.2, 0.8, 0.5), (0.0, 1.0, 1.0), (0.5, 0.5, 0.5)] {
+            let s = f.sample((1, 1, 1), u, v, w);
+            assert!(s >= lo - 1e-12 && s <= hi + 1e-12);
+        }
+    }
+
+    #[test]
+    fn vector_field_sample_linear_exact() {
+        // A linear field is reproduced exactly by trilinear interpolation.
+        let f = VectorField::from_fn(dims(), |i, j, k| {
+            Vec3::new(i as f64, 2.0 * j as f64, -(k as f64))
+        });
+        let s = f.sample((0, 0, 0), 0.25, 0.5, 0.75);
+        assert!((s - Vec3::new(0.25, 1.0, -0.75)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn magnitude_field() {
+        let f = VectorField::from_fn(dims(), |_, _, _| Vec3::new(3.0, 4.0, 0.0));
+        let m = f.magnitude();
+        assert!(m.values.iter().all(|&v| (v - 5.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn block_data_memory_accounting() {
+        let g = CurvilinearBlock::from_fn(7, dims(), |i, j, k| {
+            Vec3::new(i as f64, j as f64, k as f64)
+        });
+        let v = VectorField::from_fn(dims(), |_, _, _| Vec3::ZERO);
+        let bd = BlockData::new(BlockStepId::new(7, 0), g, v, 0.0);
+        // 27 points of geometry + 27 velocity vectors, 24 bytes each.
+        assert_eq!(bd.memory_bytes(), 27 * 24 * 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_dims_panic() {
+        let g = CurvilinearBlock::from_fn(0, BlockDims::new(2, 2, 2), |i, j, k| {
+            Vec3::new(i as f64, j as f64, k as f64)
+        });
+        let v = VectorField::from_fn(dims(), |_, _, _| Vec3::ZERO);
+        let _ = BlockData::new(BlockStepId::new(0, 0), g, v, 0.0);
+    }
+}

@@ -1,0 +1,366 @@
+//! On-disk multi-block dataset format.
+//!
+//! A dataset is a directory containing one binary file per `(block, step)`
+//! data item plus a JSON descriptor. The binary layout (little-endian) is:
+//!
+//! ```text
+//! magic    : [u8; 4] = b"VIRA"
+//! version  : u32     = 1
+//! block    : u32
+//! step     : u32
+//! ni,nj,nk : u32 × 3
+//! time     : f64
+//! points   : ni·nj·nk × 3 × f64      (i fastest)
+//! velocity : ni·nj·nk × 3 × f64
+//! ```
+//!
+//! This is Viracocha's own format; support for arbitrary formats is given
+//! by keeping data and its manipulation methods separate (§4): the DMS
+//! treats items as opaque payloads and delegates to loader callbacks.
+
+use crate::block::{BlockDims, BlockStepId, CurvilinearBlock};
+use crate::field::{BlockData, VectorField};
+use crate::math::Vec3;
+use crate::synth::{DatasetSpec, SyntheticDataset};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs::{self, File};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: [u8; 4] = *b"VIRA";
+const VERSION: u32 = 1;
+
+/// Errors produced by the dataset reader/writer.
+#[derive(Debug)]
+pub enum FormatError {
+    Io(io::Error),
+    BadMagic([u8; 4]),
+    BadVersion(u32),
+    /// Header dims are implausible (zero or would overflow).
+    BadDims {
+        ni: u32,
+        nj: u32,
+        nk: u32,
+    },
+    /// Descriptor JSON was malformed.
+    BadDescriptor(String),
+    /// The requested item lies outside the dataset.
+    OutOfRange(BlockStepId),
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::Io(e) => write!(f, "I/O error: {e}"),
+            FormatError::BadMagic(m) => write!(f, "bad magic {m:?}, not a VIRA file"),
+            FormatError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            FormatError::BadDims { ni, nj, nk } => {
+                write!(f, "implausible block dims {ni}x{nj}x{nk}")
+            }
+            FormatError::BadDescriptor(s) => write!(f, "bad dataset descriptor: {s}"),
+            FormatError::OutOfRange(id) => {
+                write!(f, "item (block {}, step {}) out of range", id.block, id.step)
+            }
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+impl From<io::Error> for FormatError {
+    fn from(e: io::Error) -> Self {
+        FormatError::Io(e)
+    }
+}
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_f64(w: &mut impl Write, v: f64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_f64(r: &mut impl Read) -> io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+fn write_vec3s(w: &mut impl Write, vs: &[Vec3]) -> io::Result<()> {
+    // Buffered element-wise writes; the caller wraps in a BufWriter.
+    for v in vs {
+        write_f64(w, v.x)?;
+        write_f64(w, v.y)?;
+        write_f64(w, v.z)?;
+    }
+    Ok(())
+}
+
+fn read_vec3s(r: &mut impl Read, n: usize) -> io::Result<Vec<Vec3>> {
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x = read_f64(r)?;
+        let y = read_f64(r)?;
+        let z = read_f64(r)?;
+        out.push(Vec3::new(x, y, z));
+    }
+    Ok(out)
+}
+
+/// Serializes one data item to a writer.
+pub fn write_block_data(w: &mut impl Write, item: &BlockData) -> Result<(), FormatError> {
+    w.write_all(&MAGIC)?;
+    write_u32(w, VERSION)?;
+    write_u32(w, item.id.block)?;
+    write_u32(w, item.id.step)?;
+    let d = item.dims();
+    write_u32(w, d.ni as u32)?;
+    write_u32(w, d.nj as u32)?;
+    write_u32(w, d.nk as u32)?;
+    write_f64(w, item.time)?;
+    write_vec3s(w, &item.grid.points)?;
+    write_vec3s(w, &item.velocity.values)?;
+    Ok(())
+}
+
+/// Deserializes one data item from a reader.
+pub fn read_block_data(r: &mut impl Read) -> Result<BlockData, FormatError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(FormatError::BadMagic(magic));
+    }
+    let version = read_u32(r)?;
+    if version != VERSION {
+        return Err(FormatError::BadVersion(version));
+    }
+    let block = read_u32(r)?;
+    let step = read_u32(r)?;
+    let ni = read_u32(r)?;
+    let nj = read_u32(r)?;
+    let nk = read_u32(r)?;
+    // 64M points (≈ 3 GB of f64 triplets) is far beyond any block we write;
+    // treat larger headers as corruption rather than attempting the alloc.
+    let n = (ni as u64) * (nj as u64) * (nk as u64);
+    if ni == 0 || nj == 0 || nk == 0 || n > (1 << 26) {
+        return Err(FormatError::BadDims { ni, nj, nk });
+    }
+    let time = read_f64(r)?;
+    let dims = BlockDims::new(ni as usize, nj as usize, nk as usize);
+    let points = read_vec3s(r, dims.n_points())?;
+    let velocity = read_vec3s(r, dims.n_points())?;
+    Ok(BlockData::new(
+        BlockStepId::new(block, step),
+        CurvilinearBlock::new(block, dims, points),
+        VectorField::new(dims, velocity),
+        time,
+    ))
+}
+
+/// Serialized size in bytes of an item with the given dims.
+pub fn encoded_size(dims: BlockDims) -> u64 {
+    // magic + version + block + step + dims (3×u32) + time
+    let header = 4 + 4 + 4 + 4 + 12 + 8;
+    header + dims.n_points() as u64 * 24 * 2
+}
+
+/// JSON descriptor stored next to the item files.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetDescriptor {
+    pub spec: DatasetSpec,
+    /// Relative file name of every item, indexed `step * n_blocks + block`.
+    pub files: Vec<String>,
+}
+
+/// A dataset laid out on disk, one file per item.
+#[derive(Debug, Clone)]
+pub struct DiskDataset {
+    pub dir: PathBuf,
+    pub descriptor: DatasetDescriptor,
+}
+
+/// File name of one data item.
+pub fn item_file_name(id: BlockStepId) -> String {
+    format!("b{:04}_s{:04}.vbk", id.block, id.step)
+}
+
+impl DiskDataset {
+    /// Writes every item of a synthetic dataset into `dir` (created if
+    /// needed) together with the descriptor, and returns the handle.
+    pub fn write_full(ds: &SyntheticDataset, dir: &Path) -> Result<DiskDataset, FormatError> {
+        Self::write_subset(ds, dir, ds.spec.items_in_file_order())
+    }
+
+    /// Writes only selected items (e.g. a single time step). The descriptor
+    /// still lists the full index; missing items fail at load time.
+    pub fn write_subset(
+        ds: &SyntheticDataset,
+        dir: &Path,
+        items: impl IntoIterator<Item = BlockStepId>,
+    ) -> Result<DiskDataset, FormatError> {
+        fs::create_dir_all(dir)?;
+        for id in items {
+            let item = ds.generate(id);
+            let f = File::create(dir.join(item_file_name(id)))?;
+            let mut w = BufWriter::new(f);
+            write_block_data(&mut w, &item)?;
+            w.flush()?;
+        }
+        let files = ds.spec.items_in_file_order().map(item_file_name).collect();
+        let descriptor = DatasetDescriptor {
+            spec: ds.spec.clone(),
+            files,
+        };
+        let json = serde_json::to_string_pretty(&descriptor)
+            .map_err(|e| FormatError::BadDescriptor(e.to_string()))?;
+        fs::write(dir.join("dataset.json"), json)?;
+        Ok(DiskDataset {
+            dir: dir.to_path_buf(),
+            descriptor,
+        })
+    }
+
+    /// Opens an existing on-disk dataset by reading its descriptor.
+    pub fn open(dir: &Path) -> Result<DiskDataset, FormatError> {
+        let json = fs::read_to_string(dir.join("dataset.json"))?;
+        let descriptor: DatasetDescriptor =
+            serde_json::from_str(&json).map_err(|e| FormatError::BadDescriptor(e.to_string()))?;
+        Ok(DiskDataset {
+            dir: dir.to_path_buf(),
+            descriptor,
+        })
+    }
+
+    pub fn spec(&self) -> &DatasetSpec {
+        &self.descriptor.spec
+    }
+
+    /// Absolute path of one item file.
+    pub fn item_path(&self, id: BlockStepId) -> Result<PathBuf, FormatError> {
+        let spec = self.spec();
+        if id.block >= spec.n_blocks || id.step >= spec.n_steps {
+            return Err(FormatError::OutOfRange(id));
+        }
+        Ok(self.dir.join(item_file_name(id)))
+    }
+
+    /// Loads one item from disk.
+    pub fn load(&self, id: BlockStepId) -> Result<BlockData, FormatError> {
+        let path = self.item_path(id)?;
+        let f = File::open(path)?;
+        let mut r = BufReader::new(f);
+        read_block_data(&mut r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::test_cube;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("vira_grid_io_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn roundtrip_in_memory() {
+        let ds = test_cube(5, 2);
+        let item = ds.generate(BlockStepId::new(0, 1));
+        let mut buf = Vec::new();
+        write_block_data(&mut buf, &item).unwrap();
+        assert_eq!(buf.len() as u64, encoded_size(item.dims()));
+        let back = read_block_data(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, item);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut buf = b"NOPE".to_vec();
+        buf.extend_from_slice(&[0u8; 64]);
+        match read_block_data(&mut buf.as_slice()) {
+            Err(FormatError::BadMagic(m)) => assert_eq!(&m, b"NOPE"),
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let ds = test_cube(3, 1);
+        let item = ds.generate(BlockStepId::new(0, 0));
+        let mut buf = Vec::new();
+        write_block_data(&mut buf, &item).unwrap();
+        buf[4..8].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            read_block_data(&mut buf.as_slice()),
+            Err(FormatError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn implausible_dims_are_rejected() {
+        let ds = test_cube(3, 1);
+        let item = ds.generate(BlockStepId::new(0, 0));
+        let mut buf = Vec::new();
+        write_block_data(&mut buf, &item).unwrap();
+        // ni field lives at offset 16.
+        buf[16..20].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            read_block_data(&mut buf.as_slice()),
+            Err(FormatError::BadDims { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_file_is_an_io_error() {
+        let ds = test_cube(3, 1);
+        let item = ds.generate(BlockStepId::new(0, 0));
+        let mut buf = Vec::new();
+        write_block_data(&mut buf, &item).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(matches!(
+            read_block_data(&mut buf.as_slice()),
+            Err(FormatError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn disk_dataset_roundtrip() {
+        let dir = tmp_dir("roundtrip");
+        let ds = test_cube(4, 3);
+        let disk = DiskDataset::write_full(&ds, &dir).unwrap();
+        let reopened = DiskDataset::open(&dir).unwrap();
+        assert_eq!(reopened.spec().name, "TestCube");
+        for id in ds.spec.items_in_file_order() {
+            let loaded = reopened.load(id).unwrap();
+            assert_eq!(loaded, ds.generate(id));
+        }
+        assert!(disk.item_path(BlockStepId::new(5, 0)).is_err());
+        assert!(disk.item_path(BlockStepId::new(0, 5)).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_item_file_fails_at_load() {
+        let dir = tmp_dir("subset");
+        let ds = test_cube(4, 2);
+        // Write only step 0.
+        let disk =
+            DiskDataset::write_subset(&ds, &dir, (0..1).map(|b| BlockStepId::new(b, 0))).unwrap();
+        assert!(disk.load(BlockStepId::new(0, 0)).is_ok());
+        assert!(matches!(
+            disk.load(BlockStepId::new(0, 1)),
+            Err(FormatError::Io(_))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

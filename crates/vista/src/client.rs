@@ -1,0 +1,464 @@
+//! The visualization-client stand-in.
+//!
+//! In production this would be ViSTA FlowLib: a VR application that
+//! receives streamed geometry, assembles it just in time for the next
+//! rendering loop, and displays it. The stand-in performs everything but
+//! the rendering — packet assembly, validation, and precise timing of
+//! *when* geometry became available, which is the latency measurement of
+//! the paper's Figures 8 and 12.
+
+use crate::protocol::{
+    decode_event, decode_polylines, encode_request, ClientRequest, CommandParams, EventHeader,
+    JobId, JobReport, PayloadKind, ProtocolError,
+};
+use bytes::Bytes;
+use std::time::{Duration, Instant};
+use vira_comm::link::ClientSide;
+use vira_comm::transport::CommError;
+use vira_extract::mesh::{Polyline, TriangleSoup};
+
+/// A submission to the back-end.
+#[derive(Debug, Clone)]
+pub struct SubmitSpec {
+    pub command: String,
+    pub dataset: String,
+    pub params: CommandParams,
+    pub workers: usize,
+}
+
+/// Arrival record of one streamed packet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacketRecord {
+    pub seq: u32,
+    pub from_worker: usize,
+    /// Wall time since submission.
+    pub elapsed: Duration,
+    pub n_items: u32,
+    /// Cumulative items (triangles/polylines) after this packet.
+    pub cumulative_items: u64,
+}
+
+/// One progress report from a worker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgressRecord {
+    pub from_worker: usize,
+    /// Wall time since submission.
+    pub elapsed: Duration,
+    pub fraction: f32,
+}
+
+/// The assembled outcome of one job.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    pub job: JobId,
+    pub triangles: TriangleSoup,
+    pub polylines: Vec<Polyline>,
+    /// Streamed-packet arrival series (empty for non-streamed commands).
+    pub packets: Vec<PacketRecord>,
+    /// Per-worker progress reports in arrival order.
+    pub progress: Vec<ProgressRecord>,
+    /// Wall time from submission until the *first* geometry arrived —
+    /// the latency criterion. For non-streamed commands this equals
+    /// `total_wall`.
+    pub first_result_wall: Option<Duration>,
+    /// Wall time from submission to the final event.
+    pub total_wall: Duration,
+    pub report: JobReport,
+}
+
+/// Client-side errors.
+#[derive(Debug)]
+pub enum ClientError {
+    Comm(CommError),
+    Protocol(ProtocolError),
+    Rejected(String),
+    JobFailed(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Comm(e) => write!(f, "link error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Rejected(r) => write!(f, "job rejected: {r}"),
+            ClientError::JobFailed(m) => write!(f, "job failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<CommError> for ClientError {
+    fn from(e: CommError) -> Self {
+        ClientError::Comm(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+/// The ViSTA FlowLib stand-in.
+pub struct VistaClient {
+    link: ClientSide,
+    next_job: JobId,
+    /// Events of jobs other than the one currently being collected
+    /// (concurrent jobs finish in any order).
+    buffered: std::collections::VecDeque<(EventHeader, Bytes)>,
+}
+
+impl VistaClient {
+    pub fn new(link: ClientSide) -> Self {
+        VistaClient {
+            link,
+            next_job: 1,
+            buffered: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// The next event for `job`: buffered first, then fresh from the
+    /// link (buffering events of other jobs).
+    fn next_event_for(&mut self, job: JobId) -> Result<(EventHeader, Bytes), ClientError> {
+        if let Some(pos) = self.buffered.iter().position(|(h, _)| h.job() == job) {
+            return Ok(self.buffered.remove(pos).expect("position just found"));
+        }
+        loop {
+            let frame = self.link.next_event()?;
+            let (header, payload) = decode_event(frame)?;
+            if header.job() == job {
+                return Ok((header, payload));
+            }
+            self.buffered.push_back((header, payload));
+        }
+    }
+
+    /// Submits a command and blocks until its final result, assembling
+    /// all streamed partials on the way.
+    pub fn run(&mut self, spec: &SubmitSpec) -> Result<JobOutcome, ClientError> {
+        let job = self.submit(spec)?;
+        self.collect(job)
+    }
+
+    /// Sends the submit request; returns the job id for later
+    /// collection.
+    pub fn submit(&mut self, spec: &SubmitSpec) -> Result<JobId, ClientError> {
+        let job = self.next_job;
+        self.next_job += 1;
+        let req = ClientRequest::Submit {
+            job,
+            command: spec.command.clone(),
+            dataset: spec.dataset.clone(),
+            params: spec.params.clone(),
+            workers: spec.workers,
+        };
+        self.link.request(encode_request(&req))?;
+        Ok(job)
+    }
+
+    /// Requests cancellation of a running job.
+    pub fn cancel(&mut self, job: JobId) -> Result<(), ClientError> {
+        self.link
+            .request(encode_request(&ClientRequest::Cancel { job }))?;
+        Ok(())
+    }
+
+    /// Asks the back-end to shut down.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.link.request(encode_request(&ClientRequest::Shutdown))?;
+        Ok(())
+    }
+
+    /// Blocks until `job` finishes, assembling partial packets. Events
+    /// belonging to other jobs are not expected in the single-outstanding
+    /// usage pattern and are skipped.
+    pub fn collect(&mut self, job: JobId) -> Result<JobOutcome, ClientError> {
+        let t0 = Instant::now();
+        let mut triangles = TriangleSoup::new();
+        let mut polylines: Vec<Polyline> = Vec::new();
+        let mut packets = Vec::new();
+        let mut progress = Vec::new();
+        let mut first: Option<Duration> = None;
+        let mut cumulative: u64 = 0;
+        loop {
+            let (header, payload) = self.next_event_for(job)?;
+            match header {
+                EventHeader::JobAccepted { .. } => {}
+                EventHeader::JobRejected { reason, .. } => {
+                    return Err(ClientError::Rejected(reason));
+                }
+                EventHeader::Partial {
+                    seq,
+                    kind,
+                    n_items,
+                    from_worker,
+                    ..
+                } => {
+                    let elapsed = t0.elapsed();
+                    Self::ingest(kind, payload, &mut triangles, &mut polylines)?;
+                    cumulative += n_items as u64;
+                    if n_items > 0 && first.is_none() {
+                        first = Some(elapsed);
+                    }
+                    packets.push(PacketRecord {
+                        seq,
+                        from_worker,
+                        elapsed,
+                        n_items,
+                        cumulative_items: cumulative,
+                    });
+                }
+                EventHeader::Final {
+                    kind,
+                    n_items,
+                    report,
+                    ..
+                } => {
+                    let elapsed = t0.elapsed();
+                    Self::ingest(kind, payload, &mut triangles, &mut polylines)?;
+                    if n_items > 0 && first.is_none() {
+                        first = Some(elapsed);
+                    }
+                    return Ok(JobOutcome {
+                        job,
+                        triangles,
+                        polylines,
+                        packets,
+                        progress,
+                        first_result_wall: first,
+                        total_wall: elapsed,
+                        report,
+                    });
+                }
+                EventHeader::Error { message, .. } => {
+                    return Err(ClientError::JobFailed(message));
+                }
+                EventHeader::Progress {
+                    from_worker,
+                    fraction,
+                    ..
+                } => {
+                    progress.push(ProgressRecord {
+                        from_worker,
+                        elapsed: t0.elapsed(),
+                        fraction,
+                    });
+                }
+            }
+        }
+    }
+
+    fn ingest(
+        kind: PayloadKind,
+        payload: Bytes,
+        triangles: &mut TriangleSoup,
+        polylines: &mut Vec<Polyline>,
+    ) -> Result<(), ClientError> {
+        match kind {
+            PayloadKind::Triangles => {
+                let soup = TriangleSoup::from_bytes(payload).ok_or(ClientError::Protocol(
+                    ProtocolError::Malformed("bad triangle payload".into()),
+                ))?;
+                triangles.extend_from(&soup);
+            }
+            PayloadKind::Polylines => {
+                polylines.extend(decode_polylines(payload)?);
+            }
+            PayloadKind::None => {}
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{decode_request, encode_event, triangle_packet};
+    use vira_comm::link::client_server_link;
+    use vira_grid::math::Vec3;
+
+    fn one_tri() -> TriangleSoup {
+        let mut s = TriangleSoup::new();
+        s.push_tri(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0));
+        s
+    }
+
+    /// A minimal fake back-end: accepts one job, streams two packets,
+    /// finishes.
+    fn fake_backend(streamed: usize) -> (VistaClient, std::thread::JoinHandle<()>) {
+        let (client_side, server_side) = client_server_link();
+        let handle = std::thread::spawn(move || {
+            let frame = server_side.next_request().unwrap();
+            let ClientRequest::Submit { job, .. } = decode_request(frame).unwrap() else {
+                panic!("expected submit");
+            };
+            server_side
+                .emit(encode_event(
+                    &EventHeader::JobAccepted { job, workers: 1 },
+                    Bytes::new(),
+                ))
+                .unwrap();
+            for seq in 0..streamed as u32 {
+                server_side
+                    .emit(triangle_packet(job, seq, 0, &one_tri()))
+                    .unwrap();
+            }
+            server_side
+                .emit(encode_event(
+                    &EventHeader::Final {
+                        job,
+                        kind: PayloadKind::None,
+                        n_items: 0,
+                        report: JobReport {
+                            triangles: streamed as u64,
+                            total_runtime_s: 1.0,
+                            ..JobReport::default()
+                        },
+                    },
+                    Bytes::new(),
+                ))
+                .unwrap();
+        });
+        (VistaClient::new(client_side), handle)
+    }
+
+    fn spec() -> SubmitSpec {
+        SubmitSpec {
+            command: "ViewerIso".into(),
+            dataset: "Engine".into(),
+            params: CommandParams::new().set("iso", 0.5),
+            workers: 2,
+        }
+    }
+
+    #[test]
+    fn streamed_job_assembles_packets() {
+        let (mut client, h) = fake_backend(3);
+        let out = client.run(&spec()).unwrap();
+        h.join().unwrap();
+        assert_eq!(out.triangles.n_triangles(), 3);
+        assert_eq!(out.packets.len(), 3);
+        assert!(out.first_result_wall.is_some());
+        assert!(out.first_result_wall.unwrap() <= out.total_wall);
+        assert_eq!(out.packets.last().unwrap().cumulative_items, 3);
+        assert_eq!(out.report.triangles, 3);
+    }
+
+    #[test]
+    fn unstreamed_job_has_no_packets() {
+        let (mut client, h) = fake_backend(0);
+        let out = client.run(&spec()).unwrap();
+        h.join().unwrap();
+        assert!(out.packets.is_empty());
+        assert!(out.first_result_wall.is_none());
+        assert!(out.triangles.is_empty());
+    }
+
+    #[test]
+    fn rejection_is_an_error() {
+        let (client_side, server_side) = client_server_link();
+        let h = std::thread::spawn(move || {
+            let frame = server_side.next_request().unwrap();
+            let ClientRequest::Submit { job, .. } = decode_request(frame).unwrap() else {
+                panic!("expected submit");
+            };
+            server_side
+                .emit(encode_event(
+                    &EventHeader::JobRejected {
+                        job,
+                        reason: "unknown command".into(),
+                    },
+                    Bytes::new(),
+                ))
+                .unwrap();
+        });
+        let mut client = VistaClient::new(client_side);
+        match client.run(&spec()) {
+            Err(ClientError::Rejected(r)) => assert_eq!(r, "unknown command"),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn backend_error_event_fails_the_job() {
+        let (client_side, server_side) = client_server_link();
+        let h = std::thread::spawn(move || {
+            let frame = server_side.next_request().unwrap();
+            let ClientRequest::Submit { job, .. } = decode_request(frame).unwrap() else {
+                panic!("expected submit");
+            };
+            server_side
+                .emit(encode_event(
+                    &EventHeader::Error {
+                        job,
+                        message: "dataset missing".into(),
+                    },
+                    Bytes::new(),
+                ))
+                .unwrap();
+        });
+        let mut client = VistaClient::new(client_side);
+        assert!(matches!(client.run(&spec()), Err(ClientError::JobFailed(_))));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn progress_events_are_recorded() {
+        let (client_side, server_side) = client_server_link();
+        let h = std::thread::spawn(move || {
+            let frame = server_side.next_request().unwrap();
+            let ClientRequest::Submit { job, .. } = decode_request(frame).unwrap() else {
+                panic!("expected submit");
+            };
+            for (w, f) in [(1usize, 0.5f32), (2, 0.25), (1, 1.0)] {
+                server_side
+                    .emit(encode_event(
+                        &EventHeader::Progress {
+                            job,
+                            from_worker: w,
+                            fraction: f,
+                        },
+                        Bytes::new(),
+                    ))
+                    .unwrap();
+            }
+            server_side
+                .emit(encode_event(
+                    &EventHeader::Final {
+                        job,
+                        kind: PayloadKind::None,
+                        n_items: 0,
+                        report: JobReport::default(),
+                    },
+                    Bytes::new(),
+                ))
+                .unwrap();
+        });
+        let mut client = VistaClient::new(client_side);
+        let out = client.run(&spec()).unwrap();
+        h.join().unwrap();
+        assert_eq!(out.progress.len(), 3);
+        assert_eq!(out.progress[0].from_worker, 1);
+        assert_eq!(out.progress[0].fraction, 0.5);
+        assert_eq!(out.progress[2].fraction, 1.0);
+    }
+
+    #[test]
+    fn job_ids_increment() {
+        let (client_side, _server_side) = client_server_link();
+        let mut client = VistaClient::new(client_side);
+        let a = client.submit(&spec()).unwrap();
+        let b = client.submit(&spec()).unwrap();
+        assert_eq!(b, a + 1);
+    }
+
+    #[test]
+    fn dropped_backend_is_a_comm_error() {
+        let (client_side, server_side) = client_server_link();
+        drop(server_side);
+        let mut client = VistaClient::new(client_side);
+        assert!(matches!(client.run(&spec()), Err(ClientError::Comm(_))));
+    }
+}

@@ -1,0 +1,393 @@
+//! Wire protocol between the visualization client (ViSTA FlowLib) and the
+//! Viracocha scheduler.
+//!
+//! In the paper this link is TCP/IP; here it is the framed byte link of
+//! `vira-comm`. Frames carry a JSON header (small control data) followed
+//! by an optional binary payload (bulk geometry):
+//!
+//! ```text
+//! u32 header_len (LE) | header JSON | payload bytes
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+use vira_extract::mesh::{Polyline, TriangleSoup};
+
+/// Client-assigned job identifier.
+pub type JobId = u64;
+
+/// Loosely typed command parameters (iso value, viewpoint, seeds, …).
+/// Kept as string pairs on the wire; see the typed accessors.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CommandParams(pub Vec<(String, String)>);
+
+impl CommandParams {
+    pub fn new() -> Self {
+        CommandParams::default()
+    }
+
+    pub fn set(mut self, key: &str, value: impl ToString) -> Self {
+        self.0.retain(|(k, _)| k != key);
+        self.0.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    pub fn get_f64(&self, key: &str) -> Option<f64> {
+        self.get(key)?.parse().ok()
+    }
+
+    pub fn get_usize(&self, key: &str) -> Option<usize> {
+        self.get(key)?.parse().ok()
+    }
+
+    /// A vector parameter encoded as "x,y,z".
+    pub fn get_vec3(&self, key: &str) -> Option<[f64; 3]> {
+        let s = self.get(key)?;
+        let mut it = s.split(',').map(|p| p.trim().parse::<f64>());
+        let x = it.next()?.ok()?;
+        let y = it.next()?.ok()?;
+        let z = it.next()?.ok()?;
+        Some([x, y, z])
+    }
+
+    pub fn set_vec3(self, key: &str, v: [f64; 3]) -> Self {
+        self.set(key, format!("{},{},{}", v[0], v[1], v[2]))
+    }
+}
+
+/// Requests from the client to the scheduler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ClientRequest {
+    /// Run a registered command on a dataset.
+    Submit {
+        job: JobId,
+        /// Registered command name (e.g. "IsoDataMan").
+        command: String,
+        dataset: String,
+        params: CommandParams,
+        /// Requested work-group size.
+        workers: usize,
+    },
+    /// Abort a running job ("meaningless extraction processes can be
+    /// discarded immediately", §5).
+    Cancel { job: JobId },
+    /// Orderly shutdown of the back-end.
+    Shutdown,
+}
+
+/// What a result payload contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PayloadKind {
+    Triangles,
+    Polylines,
+    /// No geometry (empty result or control-only event).
+    None,
+}
+
+/// Modeled-time job accounting shipped with the final event. Flat struct
+/// so the client library stays decoupled from the back-end crates.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct JobReport {
+    /// Modeled wall-clock runtime of the job (submission → final merge).
+    pub total_runtime_s: f64,
+    /// Summed modeled time per category across workers.
+    pub read_s: f64,
+    pub compute_s: f64,
+    pub send_s: f64,
+    /// DMS counters summed across the group's proxies.
+    pub demand_requests: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub prefetch_issued: u64,
+    pub prefetch_hits: u64,
+    /// Geometry totals.
+    pub triangles: u64,
+    pub polylines: u64,
+}
+
+/// Events from the scheduler to the client.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventHeader {
+    JobAccepted {
+        job: JobId,
+        workers: usize,
+    },
+    JobRejected {
+        job: JobId,
+        reason: String,
+    },
+    /// A streamed partial result; the payload follows in the same frame.
+    Partial {
+        job: JobId,
+        seq: u32,
+        kind: PayloadKind,
+        /// Triangles or polylines in this packet.
+        n_items: u32,
+        /// Rank of the worker that produced the packet.
+        from_worker: usize,
+    },
+    /// The final result (payload may be empty if everything was
+    /// streamed).
+    Final {
+        job: JobId,
+        kind: PayloadKind,
+        n_items: u32,
+        report: JobReport,
+    },
+    Error {
+        job: JobId,
+        message: String,
+    },
+    /// Computation progress of one worker (the paper's §9 suggestion of
+    /// a progress indicator in the virtual environment).
+    Progress {
+        job: JobId,
+        from_worker: usize,
+        /// Fraction of this worker's share completed, in `[0, 1]`.
+        fraction: f32,
+    },
+}
+
+impl EventHeader {
+    pub fn job(&self) -> JobId {
+        match self {
+            EventHeader::JobAccepted { job, .. }
+            | EventHeader::JobRejected { job, .. }
+            | EventHeader::Partial { job, .. }
+            | EventHeader::Final { job, .. }
+            | EventHeader::Error { job, .. }
+            | EventHeader::Progress { job, .. } => *job,
+        }
+    }
+}
+
+/// Protocol encode/decode failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    Malformed(String),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Malformed(s) => write!(f, "malformed frame: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn encode_frame<T: Serialize>(header: &T, payload: &Bytes) -> Bytes {
+    let json = serde_json::to_vec(header).expect("protocol headers always serialize");
+    let mut buf = BytesMut::with_capacity(4 + json.len() + payload.len());
+    buf.put_u32_le(json.len() as u32);
+    buf.put_slice(&json);
+    buf.put_slice(payload);
+    buf.freeze()
+}
+
+fn decode_frame<T: for<'de> Deserialize<'de>>(mut frame: Bytes) -> Result<(T, Bytes), ProtocolError> {
+    if frame.remaining() < 4 {
+        return Err(ProtocolError::Malformed("frame shorter than header length".into()));
+    }
+    let len = frame.get_u32_le() as usize;
+    if frame.remaining() < len {
+        return Err(ProtocolError::Malformed("truncated header".into()));
+    }
+    let json = frame.split_to(len);
+    let header = serde_json::from_slice(&json)
+        .map_err(|e| ProtocolError::Malformed(format!("bad header JSON: {e}")))?;
+    Ok((header, frame))
+}
+
+/// Encodes a request frame (requests carry no binary payload).
+pub fn encode_request(req: &ClientRequest) -> Bytes {
+    encode_frame(req, &Bytes::new())
+}
+
+/// Decodes a request frame.
+pub fn decode_request(frame: Bytes) -> Result<ClientRequest, ProtocolError> {
+    decode_frame(frame).map(|(h, _)| h)
+}
+
+/// Encodes an event frame with its binary payload.
+pub fn encode_event(header: &EventHeader, payload: Bytes) -> Bytes {
+    encode_frame(header, &payload)
+}
+
+/// Decodes an event frame into header + payload.
+pub fn decode_event(frame: Bytes) -> Result<(EventHeader, Bytes), ProtocolError> {
+    decode_frame(frame)
+}
+
+/// Encodes a list of polylines: `u32` count, then each polyline's own
+/// encoding prefixed by its byte length.
+pub fn encode_polylines(lines: &[Polyline]) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(lines.len() as u32);
+    for l in lines {
+        let b = l.to_bytes();
+        buf.put_u32_le(b.len() as u32);
+        buf.put_slice(&b);
+    }
+    buf.freeze()
+}
+
+/// Inverse of [`encode_polylines`].
+pub fn decode_polylines(mut b: Bytes) -> Result<Vec<Polyline>, ProtocolError> {
+    if b.remaining() < 4 {
+        return Err(ProtocolError::Malformed("missing polyline count".into()));
+    }
+    let n = b.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        if b.remaining() < 4 {
+            return Err(ProtocolError::Malformed("missing polyline length".into()));
+        }
+        let len = b.get_u32_le() as usize;
+        if b.remaining() < len {
+            return Err(ProtocolError::Malformed("truncated polyline".into()));
+        }
+        let chunk = b.split_to(len);
+        let line = Polyline::from_bytes(chunk)
+            .ok_or_else(|| ProtocolError::Malformed("bad polyline body".into()))?;
+        out.push(line);
+    }
+    Ok(out)
+}
+
+/// Convenience: a partial-triangles event frame.
+pub fn triangle_packet(job: JobId, seq: u32, from_worker: usize, soup: &TriangleSoup) -> Bytes {
+    encode_event(
+        &EventHeader::Partial {
+            job,
+            seq,
+            kind: PayloadKind::Triangles,
+            n_items: soup.n_triangles() as u32,
+            from_worker,
+        },
+        soup.to_bytes(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vira_grid::math::Vec3;
+
+    #[test]
+    fn request_roundtrip() {
+        let req = ClientRequest::Submit {
+            job: 7,
+            command: "IsoDataMan".into(),
+            dataset: "Engine".into(),
+            params: CommandParams::new().set("iso", 0.5).set_vec3("viewpoint", [1.0, 2.0, 3.0]),
+            workers: 8,
+        };
+        let back = decode_request(encode_request(&req)).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn params_typed_accessors() {
+        let p = CommandParams::new()
+            .set("iso", 0.25)
+            .set("batch", 500)
+            .set_vec3("viewpoint", [0.0, -1.5, 2.0]);
+        assert_eq!(p.get_f64("iso"), Some(0.25));
+        assert_eq!(p.get_usize("batch"), Some(500));
+        assert_eq!(p.get_vec3("viewpoint"), Some([0.0, -1.5, 2.0]));
+        assert_eq!(p.get("missing"), None);
+        assert_eq!(p.get_f64("viewpoint"), None, "not a scalar");
+        // set() replaces.
+        let p = p.set("iso", 0.3);
+        assert_eq!(p.get_f64("iso"), Some(0.3));
+    }
+
+    #[test]
+    fn event_roundtrip_with_payload() {
+        let mut soup = TriangleSoup::new();
+        soup.push_tri(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0));
+        let frame = triangle_packet(3, 11, 2, &soup);
+        let (header, payload) = decode_event(frame).unwrap();
+        match header {
+            EventHeader::Partial {
+                job,
+                seq,
+                kind,
+                n_items,
+                from_worker,
+            } => {
+                assert_eq!((job, seq, n_items, from_worker), (3, 11, 1, 2));
+                assert_eq!(kind, PayloadKind::Triangles);
+            }
+            other => panic!("wrong header {other:?}"),
+        }
+        assert_eq!(TriangleSoup::from_bytes(payload).unwrap(), soup);
+    }
+
+    #[test]
+    fn final_event_carries_report() {
+        let report = JobReport {
+            total_runtime_s: 12.5,
+            read_s: 3.0,
+            compute_s: 9.0,
+            send_s: 0.5,
+            triangles: 1234,
+            ..JobReport::default()
+        };
+        let frame = encode_event(
+            &EventHeader::Final {
+                job: 1,
+                kind: PayloadKind::None,
+                n_items: 0,
+                report,
+            },
+            Bytes::new(),
+        );
+        let (h, payload) = decode_event(frame).unwrap();
+        assert!(payload.is_empty());
+        match h {
+            EventHeader::Final { report: r, .. } => assert_eq!(r, report),
+            other => panic!("wrong header {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected() {
+        assert!(decode_request(Bytes::from_static(b"xx")).is_err());
+        assert!(decode_event(Bytes::from_static(b"\xFF\xFF\xFF\xFF")).is_err());
+        let mut bad = encode_request(&ClientRequest::Shutdown).to_vec();
+        bad[4] = b'!';
+        assert!(decode_request(Bytes::from(bad)).is_err());
+    }
+
+    #[test]
+    fn polyline_list_roundtrip() {
+        let mut a = Polyline::default();
+        a.push(Vec3::ZERO, 0.0);
+        a.push(Vec3::new(1.0, 0.0, 0.0), 0.5);
+        let mut b = Polyline::default();
+        b.push(Vec3::new(0.0, 2.0, 0.0), 0.1);
+        let lines = vec![a, b, Polyline::default()];
+        let back = decode_polylines(encode_polylines(&lines)).unwrap();
+        assert_eq!(back, lines);
+        assert!(decode_polylines(Bytes::from_static(b"z")).is_err());
+    }
+
+    #[test]
+    fn header_job_accessor() {
+        let h = EventHeader::Error {
+            job: 42,
+            message: "boom".into(),
+        };
+        assert_eq!(h.job(), 42);
+    }
+}

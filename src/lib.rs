@@ -1,0 +1,52 @@
+//! Umbrella crate of the **Viracocha** workspace — a Rust reproduction of
+//! "VIRACOCHA: An Efficient Parallelization Framework for Large-Scale CFD
+//! Post-Processing in Virtual Environments" (SC 2004).
+//!
+//! This crate only hosts the cross-crate integration tests (`tests/`) and
+//! the runnable examples (`examples/`); all functionality lives in the
+//! member crates:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`vira_grid`] | multi-block curvilinear grids, synthetic datasets, on-disk format |
+//! | [`vira_storage`] | storage devices, time-dilation cost model, compression study |
+//! | [`vira_comm`] | layer-1 transport: rank world, collectives, client link |
+//! | [`vira_dms`] | data management: caches, policies, prefetchers, proxies, server |
+//! | [`vira_extract`] | isosurfaces, λ₂, BSP, pathlines/streaklines, welding, export |
+//! | [`vira_vista`] | client protocol, ViSTA FlowLib stand-in, session logs |
+//! | [`viracocha`] | scheduler, workers, commands, runtime assembly |
+//!
+//! ```
+//! use std::sync::Arc;
+//! use viracocha::{Viracocha, ViracochaConfig};
+//! use vira_storage::source::SynthSource;
+//! use vira_vista::{CommandParams, SubmitSpec, VistaClient};
+//!
+//! let (backend, link) = Viracocha::launch(ViracochaConfig::for_tests(2));
+//! backend.register_dataset(
+//!     Arc::new(SynthSource::new(Arc::new(vira_grid::synth::test_cube(8, 2)))),
+//!     false,
+//! );
+//! let mut client = VistaClient::new(link);
+//! let out = client
+//!     .run(&SubmitSpec {
+//!         command: "ViewerIso".into(),
+//!         dataset: "TestCube".into(),
+//!         params: CommandParams::new()
+//!             .set("iso", 0.15)
+//!             .set_vec3("viewpoint", [3.0, 0.0, 0.0]),
+//!         workers: 2,
+//!     })
+//!     .unwrap();
+//! assert!(out.triangles.n_triangles() > 0);
+//! client.shutdown().unwrap();
+//! backend.join();
+//! ```
+
+pub use vira_comm;
+pub use vira_dms;
+pub use vira_extract;
+pub use vira_grid;
+pub use vira_storage;
+pub use vira_vista;
+pub use viracocha;
