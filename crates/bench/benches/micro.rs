@@ -8,11 +8,14 @@ use vira_dms::cache::{CachePayload, MemoryCache};
 use vira_dms::name::ItemId;
 use vira_dms::policy::policy_by_name;
 use vira_dms::prefetch::{MarkovPrefetch, Prefetcher};
+use vira_extract::bricktree::BrickTree;
 use vira_extract::bsp::BspTree;
 use vira_extract::eigen::symmetric_eigenvalues;
-use vira_extract::iso::extract_isosurface;
+use vira_extract::iso::{extract_isosurface, extract_isosurface_with_tree};
 use vira_extract::lambda2::lambda2_field;
 use vira_extract::locate::BlockLocator;
+use vira_extract::mesh::TriangleSoup;
+use vira_extract::tetra::{contour_cell, CELL_TETRAHEDRA};
 use vira_extract::pathline::{trace_pathline, AnalyticSampler, PathlineConfig};
 use vira_grid::block::BlockStepId;
 use vira_grid::field::{BlockData, ScalarField};
@@ -43,6 +46,172 @@ fn bench_iso(c: &mut Criterion) {
     let field = speed_field(&data);
     c.bench_function("iso/extract_block_17cubed", |b| {
         b.iter(|| extract_isosurface(black_box(&data.grid), black_box(&field), 0.15))
+    });
+}
+
+// ---- baseline contouring kernel (pre case-table), for comparison ----
+//
+// The original scan-based marching-tetrahedra kernel allocated three
+// Vecs per crossed tetrahedron. It is kept here verbatim so
+// `tetra/contour_cell_active` vs `tetra/contour_cell_active_baseline`
+// measures exactly what the allocation-free rewrite bought.
+
+fn edge_point(pa: Vec3, pb: Vec3, sa: f64, sb: f64, iso: f64) -> Vec3 {
+    let t = (iso - sa) / (sb - sa);
+    pa.lerp(pb, t.clamp(0.0, 1.0))
+}
+
+fn push_oriented(out: &mut TriangleSoup, a: Vec3, b: Vec3, c: Vec3, toward: Vec3) {
+    let n = (b - a).cross(c - a);
+    if n.dot(toward) < 0.0 {
+        out.push_tri(a, c, b);
+    } else {
+        out.push_tri(a, b, c);
+    }
+}
+
+fn contour_tetra_baseline(p: &[Vec3; 4], s: &[f64; 4], iso: f64, out: &mut TriangleSoup) -> usize {
+    let mut mask = 0usize;
+    for (i, &si) in s.iter().enumerate() {
+        if si > iso {
+            mask |= 1 << i;
+        }
+    }
+    if mask == 0 || mask == 0b1111 {
+        return 0;
+    }
+    let inside: Vec<usize> = (0..4).filter(|&i| mask & (1 << i) != 0).collect();
+    match inside.len() {
+        1 | 3 => {
+            let lone = if inside.len() == 1 {
+                inside[0]
+            } else {
+                (0..4).find(|i| !inside.contains(i)).expect("one outside")
+            };
+            let others: Vec<usize> = (0..4).filter(|&i| i != lone).collect();
+            let v: Vec<Vec3> = others
+                .iter()
+                .map(|&o| edge_point(p[lone], p[o], s[lone], s[o], iso))
+                .collect();
+            let centroid_others = (p[others[0]] + p[others[1]] + p[others[2]]) / 3.0;
+            let toward = if s[lone] > iso {
+                centroid_others - p[lone]
+            } else {
+                p[lone] - centroid_others
+            };
+            push_oriented(out, v[0], v[1], v[2], toward);
+            1
+        }
+        2 => {
+            let (a, b) = (inside[0], inside[1]);
+            let outside: Vec<usize> = (0..4).filter(|&i| i != a && i != b).collect();
+            let (c, d) = (outside[0], outside[1]);
+            let q0 = edge_point(p[a], p[c], s[a], s[c], iso);
+            let q1 = edge_point(p[b], p[c], s[b], s[c], iso);
+            let q2 = edge_point(p[b], p[d], s[b], s[d], iso);
+            let q3 = edge_point(p[a], p[d], s[a], s[d], iso);
+            let toward = (p[c] + p[d] - p[a] - p[b]) * 0.5;
+            push_oriented(out, q0, q1, q2, toward);
+            push_oriented(out, q0, q2, q3, toward);
+            2
+        }
+        _ => unreachable!(),
+    }
+}
+
+fn contour_cell_baseline(
+    corners: &[Vec3; 8],
+    scalars: &[f64; 8],
+    iso: f64,
+    out: &mut TriangleSoup,
+) -> usize {
+    let mut n = 0;
+    for tet in &CELL_TETRAHEDRA {
+        let p = [
+            corners[tet[0]],
+            corners[tet[1]],
+            corners[tet[2]],
+            corners[tet[3]],
+        ];
+        let s = [
+            scalars[tet[0]],
+            scalars[tet[1]],
+            scalars[tet[2]],
+            scalars[tet[3]],
+        ];
+        n += contour_tetra_baseline(&p, &s, iso, out);
+    }
+    n
+}
+
+fn bench_contour(c: &mut Criterion) {
+    // An active cell where all six tetrahedra cross the iso level —
+    // the worst (and hottest) case of the inner loop.
+    let corners = [
+        Vec3::new(0.0, 0.0, 0.0),
+        Vec3::new(1.0, 0.0, 0.0),
+        Vec3::new(0.0, 1.0, 0.0),
+        Vec3::new(1.0, 1.0, 0.0),
+        Vec3::new(0.0, 0.0, 1.0),
+        Vec3::new(1.0, 0.0, 1.0),
+        Vec3::new(0.0, 1.0, 1.0),
+        Vec3::new(1.0, 1.0, 1.0),
+    ];
+    let scalars = [0.1, 0.9, 0.2, 0.8, 0.3, 0.7, 0.4, 0.6];
+    let mut out = TriangleSoup::with_capacity(16);
+    c.bench_function("tetra/contour_cell_active", |b| {
+        b.iter(|| {
+            out.positions.clear();
+            contour_cell(black_box(&corners), black_box(&scalars), 0.5, &mut out)
+        })
+    });
+    c.bench_function("tetra/contour_cell_active_baseline", |b| {
+        b.iter(|| {
+            out.positions.clear();
+            contour_cell_baseline(black_box(&corners), black_box(&scalars), 0.5, &mut out)
+        })
+    });
+}
+
+fn bench_bricktree(c: &mut Criterion) {
+    // A sparse feature — small sphere in a 25³ block — is the case the
+    // bricktree exists for.
+    let data = vortex_block(25);
+    let grid = &data.grid;
+    let field = ScalarField::from_fn(grid.dims, |i, j, k| {
+        (grid.point(i, j, k) - Vec3::splat(0.5)).norm()
+    });
+    let iso = 0.15;
+    c.bench_function("bricktree/build_25cubed", |b| {
+        b.iter(|| BrickTree::build(black_box(&field)))
+    });
+    let tree = BrickTree::build(&field);
+    c.bench_function("bricktree/scan_sparse_25cubed", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            tree.scan_candidates(black_box(iso), |_, _, _| n += 1);
+            n
+        })
+    });
+    c.bench_function("iso/extract_sparse_pruned", |b| {
+        b.iter(|| extract_isosurface_with_tree(grid, black_box(&field), iso, Some(&tree)))
+    });
+    c.bench_function("iso/extract_sparse_unpruned", |b| {
+        b.iter(|| extract_isosurface_with_tree(grid, black_box(&field), iso, None))
+    });
+}
+
+fn bench_mesh_encode(c: &mut Criterion) {
+    let data = vortex_block(17);
+    let field = speed_field(&data);
+    let (soup, _) = extract_isosurface(&data.grid, &field, 0.15);
+    assert!(!soup.is_empty());
+    c.bench_function("mesh/soup_to_bytes", |b| {
+        b.iter(|| black_box(&soup).to_bytes())
+    });
+    let bytes = soup.to_bytes();
+    c.bench_function("mesh/soup_from_bytes", |b| {
+        b.iter(|| TriangleSoup::from_bytes(black_box(bytes.clone())).expect("well-formed"))
     });
 }
 
@@ -153,6 +322,9 @@ criterion_group!(
     benches,
     bench_eigen,
     bench_iso,
+    bench_contour,
+    bench_bricktree,
+    bench_mesh_encode,
     bench_lambda2,
     bench_bsp,
     bench_locate,

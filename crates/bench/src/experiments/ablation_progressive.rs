@@ -33,9 +33,23 @@ pub fn run(cfg: &BenchConfig) -> ExperimentResult {
         e.push(Row::new("total runtime", x.clone(), rec.total_s, "modeled s"));
         e.push(Row::new(
             "compute",
-            x,
+            x.clone(),
             rec.report.compute_s,
             "modeled s",
+        ));
+        // Pruning effectiveness across all pyramid levels: every level
+        // runs through the bricktree-pruned extractor.
+        e.push(Row::new(
+            "cells pruned",
+            x.clone(),
+            rec.report.cells_skipped as f64,
+            "cells",
+        ));
+        e.push(Row::new(
+            "bricks pruned",
+            x,
+            rec.report.bricks_skipped as f64,
+            "bricks",
         ));
     }
     e.note(

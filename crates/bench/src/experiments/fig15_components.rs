@@ -32,6 +32,20 @@ pub fn run(cfg: &BenchConfig) -> ExperimentResult {
         ));
         e.push(Row::new(name, "Read", 100.0 * rec.report.read_s / total, "%"));
         e.push(Row::new(name, "Send", 100.0 * rec.report.send_s / total, "%"));
+        // Bricktree pruning effectiveness: how much of the contouring
+        // scan the min/max hierarchy eliminated.
+        e.push(Row::new(
+            name,
+            "Cells pruned",
+            rec.report.cells_skipped as f64,
+            "cells",
+        ));
+        e.push(Row::new(
+            name,
+            "Bricks pruned",
+            rec.report.bricks_skipped as f64,
+            "bricks",
+        ));
     }
     e.note("Paper: SimpleIso 50/49/1, IsoDataMan 85/5/10 (compute/read/send).");
     e

@@ -62,6 +62,11 @@ impl From<CommError> for CommandError {
 pub struct CommandOutput {
     pub triangles: TriangleSoup,
     pub polylines: Vec<Polyline>,
+    /// Extraction cells this worker never examined thanks to bricktree
+    /// pruning (summed over all items it processed).
+    pub cells_skipped: u64,
+    /// Finest-level bricks skipped whole.
+    pub bricks_skipped: u64,
 }
 
 impl CommandOutput {
@@ -348,6 +353,8 @@ pub(crate) fn encode_output(job: JobId, out: &CommandOutput, meter: &Meter, dms:
         compute_s: meter.total(CostCategory::Compute),
         send_s: meter.total(CostCategory::Send),
         dms,
+        cells_skipped: out.cells_skipped,
+        bricks_skipped: out.bricks_skipped,
         error,
     };
     wire::encode_partial(&header, payload)

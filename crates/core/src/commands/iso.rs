@@ -39,8 +39,10 @@ fn extract_items(
             };
             ctx.charge_compute(compute_per_item);
             let field = data.velocity.magnitude();
-            let (soup, _stats) = extract_isosurface(&data.grid, &field, iso);
+            let (soup, stats) = extract_isosurface(&data.grid, &field, iso);
             out.triangles.extend_from(&soup);
+            out.cells_skipped += stats.cells_skipped as u64;
+            out.bricks_skipped += stats.bricks_skipped as u64;
             done += 1;
             // Coarse progress ticks: every ~5 % of this worker's share.
             if done.is_multiple_of((total_items / 20).max(1)) || done == total_items {

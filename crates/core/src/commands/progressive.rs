@@ -26,16 +26,21 @@ impl Command for ProgressiveIso {
         let batch = batch_size(ctx);
         let order: Vec<_> = (0..ctx.spec.n_blocks).collect();
         let nominal = ctx.nominal_cells();
+        let mut out = CommandOutput::default();
 
         for step in steps_of(ctx) {
             for id in ctx.my_blocks(step, &order) {
                 if ctx.is_cancelled() {
-                    return Ok(CommandOutput::default());
+                    return Ok(out);
                 }
                 let data = ctx.load_block(id)?;
                 let field = data.velocity.magnitude();
                 let mut stream_err: Option<CommandError> = None;
+                let mut cells_skipped = 0u64;
+                let mut bricks_skipped = 0u64;
                 progressive_isosurface(&data.grid, &field, iso, levels, |level| {
+                    cells_skipped += level.stats.cells_skipped as u64;
+                    bricks_skipped += level.stats.bricks_skipped as u64;
                     if stream_err.is_some() {
                         return;
                     }
@@ -56,8 +61,10 @@ impl Command for ProgressiveIso {
                 if let Some(e) = stream_err {
                     return Err(e);
                 }
+                out.cells_skipped += cells_skipped;
+                out.bricks_skipped += bricks_skipped;
             }
         }
-        Ok(CommandOutput::default())
+        Ok(out)
     }
 }

@@ -6,7 +6,7 @@
 use super::{require_f64, steps_of};
 use crate::command::{Command, CommandError, CommandOutput, JobCtx};
 use vira_extract::halo::GhostedBlock;
-use vira_extract::iso::extract_isosurface;
+use vira_extract::iso::{extract_isosurface, extract_isosurface_with_tree};
 use vira_extract::lambda2::{lambda2_field, Lambda2Streamer};
 use vira_grid::block::BlockStepId;
 use vira_grid::field::SharedBlockData;
@@ -70,18 +70,24 @@ fn vortex_items(ctx: &mut JobCtx<'_>, use_dms: bool) -> Result<CommandOutput, Co
                 }
             };
             let kind: &'static str = if ghosts { "lambda2-ghosted" } else { "lambda2" };
-            let field = if cache_fields {
+            let (soup, stats) = if cache_fields {
                 let (hits_before, _) = ctx.derived.stats();
                 let mut derive_err = None;
-                let f = ctx.derived.get_or_compute(&ctx.dataset, kind, id, || {
-                    match derive(ctx) {
-                        Ok(f) => f,
-                        Err(e) => {
-                            derive_err = Some(e);
-                            vira_grid::ScalarField::from_fn(data.dims(), |_, _, _| f64::INFINITY)
-                        }
-                    }
-                });
+                // The bricktree is memoized alongside the field, so a
+                // threshold sweep builds it exactly once per block.
+                let (f, tree) =
+                    ctx.derived
+                        .get_or_compute_with_tree(&ctx.dataset, kind, id, || {
+                            match derive(ctx) {
+                                Ok(f) => f,
+                                Err(e) => {
+                                    derive_err = Some(e);
+                                    vira_grid::ScalarField::from_fn(data.dims(), |_, _, _| {
+                                        f64::INFINITY
+                                    })
+                                }
+                            }
+                        });
                 if let Some(e) = derive_err {
                     return Err(e);
                 }
@@ -93,13 +99,15 @@ fn vortex_items(ctx: &mut JobCtx<'_>, use_dms: bool) -> Result<CommandOutput, Co
                 } else {
                     ctx.charge_compute(iso_cost);
                 }
-                f
+                extract_isosurface_with_tree(&data.grid, &f, threshold, Some(&tree))
             } else {
                 ctx.charge_compute(lambda2_cost);
-                std::sync::Arc::new(derive(ctx)?)
+                let f = derive(ctx)?;
+                extract_isosurface(&data.grid, &f, threshold)
             };
-            let (soup, _stats) = extract_isosurface(&data.grid, &field, threshold);
             out.triangles.extend_from(&soup);
+            out.cells_skipped += stats.cells_skipped as u64;
+            out.bricks_skipped += stats.bricks_skipped as u64;
         }
     }
     Ok(out)
@@ -149,15 +157,25 @@ impl Command for StreamedVortex {
         // the optimized full-field pass (extra bookkeeping per cell).
         let compute_per_item =
             (ctx.costs.lambda2_s_per_cell + 0.1 * ctx.costs.iso_s_per_cell) * ctx.nominal_cells();
+        let mut out = CommandOutput::default();
         for step in steps_of(ctx) {
             for id in ctx.my_blocks(step, &order) {
                 if ctx.is_cancelled() {
-                    return Ok(CommandOutput::default());
+                    return Ok(out);
                 }
                 let data = ctx.load_block(id)?;
                 ctx.charge_compute(compute_per_item);
+                // Prune with the memoized λ₂ field's bricktree when an
+                // earlier full-field pass (VortexDataMan with
+                // `cache_fields`) left one behind; otherwise stay lazy and
+                // scan every cell with compute-on-first-touch.
+                let cached = ctx.derived.peek_tree(&ctx.dataset, "lambda2", id);
+                let streamer = match &cached {
+                    Some((_, tree)) => Lambda2Streamer::with_tree(&data, tree),
+                    None => Lambda2Streamer::new(&data),
+                };
                 let mut stream_err: Option<CommandError> = None;
-                Lambda2Streamer::new(&data).run(threshold, batch, |soup| {
+                let stats = streamer.run(threshold, batch, |soup| {
                     if stream_err.is_none() {
                         if let Err(e) = ctx.stream_triangles(&soup) {
                             stream_err = Some(e);
@@ -167,9 +185,12 @@ impl Command for StreamedVortex {
                 if let Some(e) = stream_err {
                     return Err(e);
                 }
+                out.cells_skipped += stats.cells_skipped as u64;
+                out.bricks_skipped += stats.bricks_skipped as u64;
             }
         }
-        // Everything was streamed; the merged final result is empty.
-        Ok(CommandOutput::default())
+        // Everything was streamed; the merged final result is empty
+        // apart from the pruning counters.
+        Ok(out)
     }
 }

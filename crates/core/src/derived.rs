@@ -17,6 +17,7 @@
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
+use vira_extract::bricktree::BrickTree;
 use vira_grid::block::BlockStepId;
 use vira_grid::field::ScalarField;
 
@@ -30,6 +31,10 @@ struct Key {
 
 struct Entry {
     field: Arc<ScalarField>,
+    /// Min/max bricktree over `field`, built lazily on first pruning
+    /// request. Its footprint (< 5% of the field, see
+    /// `BrickTree::memory_bytes`) is not charged to the byte budget.
+    tree: Option<Arc<BrickTree>>,
     bytes: usize,
     last_use: u64,
 }
@@ -115,11 +120,83 @@ impl DerivedFieldCache {
             key,
             Entry {
                 field: field.clone(),
+                tree: None,
                 bytes,
                 last_use: stamp,
             },
         );
         field
+    }
+
+    /// Like [`get_or_compute`](Self::get_or_compute), but also returns
+    /// the field's min/max bricktree, building and memoizing it on first
+    /// request so a threshold sweep pays the tree construction once.
+    pub fn get_or_compute_with_tree(
+        &self,
+        dataset: &str,
+        kind: &'static str,
+        id: BlockStepId,
+        compute: impl FnOnce() -> ScalarField,
+    ) -> (Arc<ScalarField>, Arc<BrickTree>) {
+        let field = self.get_or_compute(dataset, kind, id, compute);
+        let key = Key {
+            dataset: dataset.to_string(),
+            kind,
+            id,
+        };
+        {
+            let mut g = self.inner.lock();
+            if let Some(e) = g.map.get_mut(&key) {
+                if let Some(t) = &e.tree {
+                    return (field, t.clone());
+                }
+            }
+        }
+        // Build outside the lock (one pass over the field). The field for
+        // a given key is deterministic, so even if the entry was evicted
+        // and recomputed concurrently the tree stays valid for `field`.
+        let tree = Arc::new(BrickTree::build(&field));
+        let mut g = self.inner.lock();
+        if let Some(e) = g.map.get_mut(&key) {
+            let t = e.tree.get_or_insert_with(|| tree.clone());
+            return (field, t.clone());
+        }
+        (field, tree)
+    }
+
+    /// Bricktree for an already-cached field, or `None` when the field is
+    /// not cached. Never computes a field: callers on the lazy streaming
+    /// path use this to prune only when a memoized field is available and
+    /// fall back to an unpruned scan otherwise.
+    pub fn peek_tree(
+        &self,
+        dataset: &str,
+        kind: &'static str,
+        id: BlockStepId,
+    ) -> Option<(Arc<ScalarField>, Arc<BrickTree>)> {
+        let key = Key {
+            dataset: dataset.to_string(),
+            kind,
+            id,
+        };
+        let field = {
+            let mut g = self.inner.lock();
+            g.stamp += 1;
+            let stamp = g.stamp;
+            let e = g.map.get_mut(&key)?;
+            e.last_use = stamp;
+            if let Some(t) = &e.tree {
+                return Some((e.field.clone(), t.clone()));
+            }
+            e.field.clone()
+        };
+        let tree = Arc::new(BrickTree::build(&field));
+        let mut g = self.inner.lock();
+        if let Some(e) = g.map.get_mut(&key) {
+            let t = e.tree.get_or_insert_with(|| tree.clone()).clone();
+            return Some((field, t));
+        }
+        Some((field, tree))
     }
 
     /// `(hits, misses)` since construction.
@@ -208,6 +285,41 @@ mod tests {
             field(1.0)
         });
         assert!(recomputed);
+    }
+
+    #[test]
+    fn tree_is_memoized_alongside_the_field() {
+        let cache = DerivedFieldCache::new(1 << 20);
+        let (f, t1) = cache.get_or_compute_with_tree("E", "f", bs(0, 0), || field(2.0));
+        assert_eq!(t1.root_range(), (2.0, 2.0));
+        assert!(t1.matches(f.dims));
+        let (_, t2) = cache.get_or_compute_with_tree("E", "f", bs(0, 0), || unreachable!());
+        assert!(Arc::ptr_eq(&t1, &t2), "second lookup reuses the tree");
+        // The tree does not count against the byte budget.
+        assert_eq!(cache.used_bytes(), 4 * 4 * 4 * 8);
+    }
+
+    #[test]
+    fn peek_tree_never_computes_a_field() {
+        let cache = DerivedFieldCache::new(1 << 20);
+        assert!(cache.peek_tree("E", "f", bs(0, 0)).is_none());
+        cache.get_or_compute("E", "f", bs(0, 0), || field(3.0));
+        let (f, t) = cache.peek_tree("E", "f", bs(0, 0)).expect("field is cached");
+        assert_eq!(f.values[0], 3.0);
+        assert_eq!(t.root_range(), (3.0, 3.0));
+        // peek builds and memoizes the tree; the with_tree path reuses it.
+        let (_, t2) = cache.get_or_compute_with_tree("E", "f", bs(0, 0), || unreachable!());
+        assert!(Arc::ptr_eq(&t, &t2));
+    }
+
+    #[test]
+    fn eviction_drops_the_tree_with_its_field() {
+        let cache = DerivedFieldCache::new(1100);
+        cache.get_or_compute_with_tree("E", "f", bs(0, 0), || field(0.0));
+        cache.get_or_compute("E", "f", bs(1, 0), || field(1.0));
+        cache.get_or_compute("E", "f", bs(2, 0), || field(2.0));
+        // Item 0 was the LRU victim: its tree is gone too.
+        assert!(cache.peek_tree("E", "f", bs(0, 0)).is_none());
     }
 
     #[test]

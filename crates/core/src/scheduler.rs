@@ -169,57 +169,7 @@ pub fn scheduler_main(setup: SchedulerSetup) {
             if msg.tag != tags::JOB_DONE {
                 continue;
             }
-            let Some((done, payload)) = wire::decode_done(msg.payload) else {
-                continue;
-            };
-            let Some(run) = running.remove(&done.job) else {
-                continue;
-            };
-            for &r in &run.group {
-                free[r] = true;
-            }
-            cancels.write().remove(&done.job);
-            let total_runtime_s = clock.wall_to_modeled(run.accepted_at.elapsed());
-            if let Some(err) = done.error {
-                let _ = link.emit(encode_event(
-                    &EventHeader::Error {
-                        job: done.job,
-                        message: err,
-                    },
-                    Bytes::new(),
-                ));
-                continue;
-            }
-            let report = JobReport {
-                total_runtime_s,
-                read_s: done.read_s,
-                compute_s: done.compute_s,
-                send_s: done.send_s,
-                demand_requests: done.dms.demand_requests,
-                cache_hits: done.dms.l1_hits + done.dms.l2_hits,
-                cache_misses: done.dms.misses,
-                prefetch_issued: done.dms.prefetch_issued,
-                prefetch_hits: done.dms.prefetch_hits,
-                triangles: if done.kind == PayloadKind::Triangles {
-                    done.n_items as u64
-                } else {
-                    0
-                },
-                polylines: if done.kind == PayloadKind::Polylines {
-                    done.n_items as u64
-                } else {
-                    0
-                },
-            };
-            let _ = link.emit(encode_event(
-                &EventHeader::Final {
-                    job: done.job,
-                    kind: done.kind,
-                    n_items: done.n_items,
-                    report,
-                },
-                payload,
-            ));
+            handle_job_done(msg.payload, &mut running, &mut free, &cancels, &clock, &link);
         }
 
         // 3. Dispatch: FIFO, as soon as enough workers are free.
@@ -270,16 +220,83 @@ pub fn scheduler_main(setup: SchedulerSetup) {
         }
 
         // 5. Idle wait: block briefly on worker traffic so the loop does
-        // not spin.
+        // not spin. A completion arriving here is handled inline — the
+        // former re-send-to-self path copied the payload and cost an
+        // extra scheduler round-trip per result.
         if !progressed {
             match endpoint.recv_tag_timeout(tags::JOB_DONE, Duration::from_micros(500)) {
                 Ok(m) => {
-                    // Re-inject for the normal handling path above.
-                    let _ = endpoint.send(0, tags::JOB_DONE, m.payload);
+                    handle_job_done(m.payload, &mut running, &mut free, &cancels, &clock, &link)
                 }
                 Err(CommError::Timeout) => {}
                 Err(_) => return,
             }
         }
     }
+}
+
+/// Handles one `JOB_DONE` frame from a master worker: frees the group's
+/// ranks, clears cancellation state and forwards the merged result (or
+/// the error) to the visualization client.
+fn handle_job_done(
+    frame: Bytes,
+    running: &mut HashMap<JobId, RunningJob>,
+    free: &mut [bool],
+    cancels: &CancelSet,
+    clock: &SimClock,
+    link: &ServerSide,
+) {
+    let Some((done, payload)) = wire::decode_done(frame) else {
+        return;
+    };
+    let Some(run) = running.remove(&done.job) else {
+        return;
+    };
+    for &r in &run.group {
+        free[r] = true;
+    }
+    cancels.write().remove(&done.job);
+    let total_runtime_s = clock.wall_to_modeled(run.accepted_at.elapsed());
+    if let Some(err) = done.error {
+        let _ = link.emit(encode_event(
+            &EventHeader::Error {
+                job: done.job,
+                message: err,
+            },
+            Bytes::new(),
+        ));
+        return;
+    }
+    let report = JobReport {
+        total_runtime_s,
+        read_s: done.read_s,
+        compute_s: done.compute_s,
+        send_s: done.send_s,
+        demand_requests: done.dms.demand_requests,
+        cache_hits: done.dms.l1_hits + done.dms.l2_hits,
+        cache_misses: done.dms.misses,
+        prefetch_issued: done.dms.prefetch_issued,
+        prefetch_hits: done.dms.prefetch_hits,
+        triangles: if done.kind == PayloadKind::Triangles {
+            done.n_items as u64
+        } else {
+            0
+        },
+        polylines: if done.kind == PayloadKind::Polylines {
+            done.n_items as u64
+        } else {
+            0
+        },
+        cells_skipped: done.cells_skipped,
+        bricks_skipped: done.bricks_skipped,
+    };
+    let _ = link.emit(encode_event(
+        &EventHeader::Final {
+            job: done.job,
+            kind: done.kind,
+            n_items: done.n_items,
+            report,
+        },
+        payload,
+    ));
 }

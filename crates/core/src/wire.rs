@@ -33,6 +33,12 @@ pub struct PartialHeader {
     pub send_s: f64,
     /// This worker's DMS counters for the job window.
     pub dms: DmsStatsSnapshot,
+    /// Extraction cells skipped by bricktree pruning (E11/E15 reporting).
+    #[serde(default)]
+    pub cells_skipped: u64,
+    /// Finest-level bricks skipped whole.
+    #[serde(default)]
+    pub bricks_skipped: u64,
     /// Set when the command failed on this worker.
     pub error: Option<String>,
 }
@@ -48,6 +54,11 @@ pub struct DoneHeader {
     pub compute_s: f64,
     pub send_s: f64,
     pub dms: DmsStatsSnapshot,
+    /// Summed bricktree pruning counters of the whole group.
+    #[serde(default)]
+    pub cells_skipped: u64,
+    #[serde(default)]
+    pub bricks_skipped: u64,
     pub error: Option<String>,
 }
 
@@ -123,6 +134,8 @@ mod tests {
             compute_s: 2.0,
             send_s: 0.1,
             dms: DmsStatsSnapshot::default(),
+            cells_skipped: 120,
+            bricks_skipped: 3,
             error: None,
         };
         let payload = Bytes::from_static(b"geometry");
@@ -141,11 +154,43 @@ mod tests {
             compute_s: 0.0,
             send_s: 0.0,
             dms: DmsStatsSnapshot::default(),
+            cells_skipped: 0,
+            bricks_skipped: 0,
             error: Some("worker 3 failed".into()),
         };
         let (h2, p) = decode_done(encode_done(&h, Bytes::new())).unwrap();
         assert_eq!(h2, h);
         assert!(p.is_empty());
+    }
+
+    #[test]
+    fn headers_without_counters_decode_with_zero_defaults() {
+        // Frames from peers predating the pruning counters must still
+        // decode (the fields are #[serde(default)]).
+        let h = PartialHeader {
+            job: 4,
+            kind: PayloadKind::None,
+            n_items: 0,
+            read_s: 0.0,
+            compute_s: 0.0,
+            send_s: 0.0,
+            dms: DmsStatsSnapshot::default(),
+            cells_skipped: 7,
+            bricks_skipped: 7,
+            error: None,
+        };
+        let mut v = serde_json::to_value(&h).unwrap();
+        let obj = v.as_object_mut().unwrap();
+        obj.remove("cells_skipped");
+        obj.remove("bricks_skipped");
+        let json = serde_json::to_vec(&v).unwrap();
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(json.len() as u32);
+        buf.put_slice(&json);
+        let (h2, _) = decode_partial(buf.freeze()).unwrap();
+        assert_eq!(h2.cells_skipped, 0);
+        assert_eq!(h2.bricks_skipped, 0);
+        assert_eq!(h2.job, 4);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use crate::command::{encode_output, CancelSet, CommandOutput, CommandRegistry, JobCtx};
 use crate::config::ViracochaConfig;
 use crate::wire;
-use bytes::Bytes;
+use bytes::{BufMut, Bytes, BytesMut};
 use std::sync::Arc;
 use vira_comm::collective::Group;
 use vira_comm::endpoint::Endpoint;
@@ -19,7 +19,7 @@ use vira_comm::transport::{tags, LocalEndpoint};
 use vira_dms::proxy::{DataProxy, ProxyConfig};
 use vira_dms::server::DataServer;
 use vira_dms::stats::DmsStatsSnapshot;
-use vira_extract::mesh::TriangleSoup;
+use vira_extract::mesh::payload_triangle_count;
 use vira_storage::costmodel::{CostCategory, Meter, SharedChannel, SimClock};
 use vira_vista::protocol::PayloadKind;
 
@@ -157,8 +157,8 @@ fn run_job(
     let dms_after = proxy.stats().snapshot();
     let dms = diff_stats(&dms_before, &dms_after);
 
-    let send_scale = |out: &CommandOutput| -> f64 {
-        match out.kind() {
+    let send_scale = |kind: PayloadKind| -> f64 {
+        match kind {
             PayloadKind::Triangles => server
                 .dataset_spec(&msg.dataset)
                 .map(|spec| {
@@ -172,7 +172,7 @@ fn run_job(
     if rank != group.root() {
         // Ship the partial to the master worker; modeled cost of the
         // transfer is part of the job's Send share.
-        let n = (output.n_items() as f64 * send_scale(&output)) as usize;
+        let n = (output.n_items() as f64 * send_scale(output.kind())) as usize;
         charge_send(&meter, clock, config, n);
         let frame = encode_output(msg.job, &output, &meter, dms, error);
         let _ = endpoint.send(group.root(), tags::PARTIAL_RESULT, frame);
@@ -180,7 +180,17 @@ fn run_job(
     }
 
     // Master worker: gather the other members' partials and merge.
-    let mut merged = output;
+    // Triangle partials carry the same wire layout the merged package
+    // uses, so the master splices their raw vertex blocks into one
+    // growing buffer (count prefix patched at the end) instead of the
+    // former decode → copy → re-encode round-trip per partial.
+    let mut tri_buf = BytesMut::with_capacity(4 + output.triangles.positions.len() * 12);
+    tri_buf.put_u32_le(0); // triangle count, patched below
+    output.triangles.append_payload(&mut tri_buf);
+    let mut tri_count = output.triangles.n_triangles();
+    let mut merged_polylines = output.polylines;
+    let mut cells_skipped = output.cells_skipped;
+    let mut bricks_skipped = output.bricks_skipped;
     let mut total_read = meter.total(CostCategory::Read);
     let mut total_compute = meter.total(CostCategory::Compute);
     let mut total_send = meter.total(CostCategory::Send);
@@ -200,27 +210,46 @@ fn run_job(
         total_compute += header.compute_s;
         total_send += header.send_s;
         total_dms = total_dms.merge(&header.dms);
+        cells_skipped += header.cells_skipped;
+        bricks_skipped += header.bricks_skipped;
         if let Some(e) = header.error {
             first_error.get_or_insert(e);
         }
         match header.kind {
             PayloadKind::Triangles => {
-                if let Some(soup) = TriangleSoup::from_bytes(payload) {
-                    merged.triangles.extend_from(&soup);
+                // Validate the frame, then splice its vertex block
+                // verbatim (everything past the count prefix).
+                if let Some(n) = payload_triangle_count(&payload) {
+                    tri_count += n;
+                    tri_buf.extend_from_slice(&payload[4..]);
                 }
             }
             PayloadKind::Polylines => {
                 if let Ok(lines) = vira_vista::protocol::decode_polylines(payload) {
-                    merged.polylines.extend(lines);
+                    merged_polylines.extend(lines);
                 }
             }
             PayloadKind::None => {}
         }
     }
 
+    // Merged kind and item count mirror `CommandOutput::kind`/`n_items`
+    // (polylines win over triangles).
+    let kind = if !merged_polylines.is_empty() {
+        PayloadKind::Polylines
+    } else if tri_count > 0 {
+        PayloadKind::Triangles
+    } else {
+        PayloadKind::None
+    };
+    let n_items = match kind {
+        PayloadKind::Polylines => merged_polylines.len() as u32,
+        _ => tri_count as u32,
+    };
+
     // The master transmits the merged package over the client uplink;
     // charge its send cost (including queueing behind streamed packets).
-    let n = (merged.n_items() as f64 * send_scale(&merged)) as usize;
+    let n = (n_items as f64 * send_scale(kind)) as usize;
     let modeled = config.costs.send_latency_s + n as f64 * config.costs.send_s_per_triangle;
     let booked = if clock.dilation() > 0.0 {
         let delay_wall = uplink.reserve(modeled * clock.dilation());
@@ -231,20 +260,24 @@ fn run_job(
     meter.charge(clock, CostCategory::Send, booked);
     total_send += booked;
 
-    let kind = merged.kind();
     let payload = match kind {
-        PayloadKind::Triangles => merged.triangles.to_bytes(),
-        PayloadKind::Polylines => vira_vista::protocol::encode_polylines(&merged.polylines),
+        PayloadKind::Triangles => {
+            tri_buf[..4].copy_from_slice(&(tri_count as u32).to_le_bytes());
+            tri_buf.freeze()
+        }
+        PayloadKind::Polylines => vira_vista::protocol::encode_polylines(&merged_polylines),
         PayloadKind::None => Bytes::new(),
     };
     let done = wire::DoneHeader {
         job: msg.job,
         kind,
-        n_items: merged.n_items(),
+        n_items,
         read_s: total_read,
         compute_s: total_compute,
         send_s: total_send,
         dms: total_dms,
+        cells_skipped,
+        bricks_skipped,
         error: first_error,
     };
     let _ = endpoint.send(0, tags::JOB_DONE, wire::encode_done(&done, payload));

@@ -9,6 +9,7 @@
 //! position**, producing the active-cell list in an order that puts the
 //! nearest parts of the surface first.
 
+use crate::bricktree::BrickTree;
 use vira_grid::block::CurvilinearBlock;
 use vira_grid::field::ScalarField;
 use vira_grid::math::{Aabb, Vec3};
@@ -20,6 +21,9 @@ pub struct BspTree {
     /// Cell coordinates, permuted so each leaf owns a contiguous range.
     cells: Vec<(usize, usize, usize)>,
     root: usize,
+    /// Min/max bricktree of the field the tree was built over — a second,
+    /// finer-grained empty-region filter inside leaves.
+    bricks: BrickTree,
 }
 
 #[derive(Debug)]
@@ -46,6 +50,7 @@ impl BspTree {
             nodes: Vec::new(),
             cells: Vec::new(),
             root: 0,
+            bricks: BrickTree::build(field),
         };
         if n == 0 {
             tree.nodes.push(Node {
@@ -69,6 +74,11 @@ impl BspTree {
 
     pub fn n_cells(&self) -> usize {
         self.cells.len()
+    }
+
+    /// The min/max bricktree built alongside the BSP nodes.
+    pub fn bricks(&self) -> &BrickTree {
+        &self.bricks
     }
 
     /// Depth of the tree (1 for a single leaf).
@@ -99,6 +109,10 @@ impl BspTree {
         if self.cells.is_empty() {
             return;
         }
+        assert!(
+            self.bricks.matches(field.dims),
+            "traversal field differs from the build field"
+        );
         let mut stack = vec![self.root];
         while let Some(n) = stack.pop() {
             let node = &self.nodes[n];
@@ -113,8 +127,13 @@ impl BspTree {
                         .iter()
                         .copied()
                         .filter(|&(i, j, k)| {
-                            let (lo, hi) = field.cell_range(i, j, k);
-                            hi > iso && lo <= iso
+                            // Brick pre-test: rejects without reading the
+                            // cell's corners; the exact corner-range check
+                            // runs only on brick survivors.
+                            self.bricks.cell_candidate(i, j, k, iso) && {
+                                let (lo, hi) = field.cell_range(i, j, k);
+                                hi > iso && lo <= iso
+                            }
                         })
                         .collect();
                     leaf.sort_by(|a, b| {
@@ -160,18 +179,23 @@ fn build_node(
     len: usize,
     nodes: &mut Vec<Node>,
 ) -> usize {
-    // Node bounds.
+    // Spatial bounds (needed before the split to pick the widest axis).
     let mut bbox = Aabb::EMPTY;
-    let mut smin = f64::INFINITY;
-    let mut smax = f64::NEG_INFINITY;
     for &(i, j, k) in cells[..len].iter() {
         bbox.expand(grid.point(i, j, k));
         bbox.expand(grid.point(i + 1, j + 1, k + 1));
-        let (lo, hi) = field.cell_range(i, j, k);
-        smin = smin.min(lo);
-        smax = smax.max(hi);
     }
     if len <= LEAF_SIZE {
+        // Scalar ranges are folded over cells at leaves only; internal
+        // nodes derive theirs from their children, saving the O(n log n)
+        // corner scans of the former per-node fold.
+        let mut smin = f64::INFINITY;
+        let mut smax = f64::NEG_INFINITY;
+        for &(i, j, k) in cells[..len].iter() {
+            let (lo, hi) = field.cell_range(i, j, k);
+            smin = smin.min(lo);
+            smax = smax.max(hi);
+        }
         nodes.push(Node {
             bbox,
             smin,
@@ -199,7 +223,9 @@ fn build_node(
     let (left, right) = cells[..len].split_at_mut(mid);
     let l = build_node(grid, field, left, offset, mid, nodes);
     let r = build_node(grid, field, right, offset + mid, len - mid, nodes);
-    // Parent is pushed after children; fix up indices accordingly.
+    // Parent is pushed after children; its scalar range is their union.
+    let smin = nodes[l].smin.min(nodes[r].smin);
+    let smax = nodes[l].smax.max(nodes[r].smax);
     nodes.push(Node {
         bbox,
         smin,

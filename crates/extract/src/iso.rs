@@ -1,34 +1,57 @@
 //! Block-level isosurface extraction.
 //!
-//! The plain extractor walks all cells of a block in storage order; the
-//! active-cell path (min/max pruning) skips cells whose scalar range
-//! cannot contain the iso value. Streaming variants deliver triangles in
-//! batches through a sink callback, which is how the framework's
-//! streamed commands flush partial results (paper §5.1: reorganization of
-//! data; §6.3: "whenever a user-specified number of triangles is
-//! computed, these fragments … are directly streamed").
+//! The extractor walks the cells of a block in storage order; a min/max
+//! [`BrickTree`] skips whole inactive bricks before a single cell of them
+//! is read, and a per-cell corner-range check prunes the survivors.
+//! Because the bricktree scan preserves storage order and its pruning is
+//! conservative, the pruned surface is byte-identical to a plain
+//! full-scan pass. Streaming variants deliver triangles in batches
+//! through a sink callback, which is how the framework's streamed
+//! commands flush partial results (paper §5.1: reorganization of data;
+//! §6.3: "whenever a user-specified number of triangles is computed,
+//! these fragments … are directly streamed").
 
+use crate::bricktree::BrickTree;
 use crate::mesh::TriangleSoup;
 use crate::tetra::contour_cell;
 use vira_grid::block::CurvilinearBlock;
 use vira_grid::field::ScalarField;
 
-/// Counters reported by an extraction pass.
+/// Counters reported by an extraction pass. `cells_visited` counts cells
+/// actually examined; `cells_visited + cells_skipped` always equals the
+/// block's cell count.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IsoStats {
     pub cells_visited: usize,
     pub active_cells: usize,
     pub triangles: usize,
+    /// Cells never examined thanks to bricktree pruning.
+    pub cells_skipped: usize,
+    /// Finest-level bricks skipped whole.
+    pub bricks_skipped: usize,
 }
 
-/// Extracts the full isosurface of one block into a fresh soup.
+/// Extracts the full isosurface of one block into a fresh soup, building
+/// a throwaway bricktree for pruning.
 pub fn extract_isosurface(
     grid: &CurvilinearBlock,
     field: &ScalarField,
     iso: f64,
 ) -> (TriangleSoup, IsoStats) {
+    let tree = BrickTree::build(field);
+    extract_isosurface_with_tree(grid, field, iso, Some(&tree))
+}
+
+/// Like [`extract_isosurface`], but reusing a caller-held bricktree
+/// (`None` disables pruning — the reference full-scan path).
+pub fn extract_isosurface_with_tree(
+    grid: &CurvilinearBlock,
+    field: &ScalarField,
+    iso: f64,
+    tree: Option<&BrickTree>,
+) -> (TriangleSoup, IsoStats) {
     let mut soup = TriangleSoup::new();
-    let stats = extract_streamed(grid, field, iso, usize::MAX, |batch| {
+    let stats = extract_streamed_with_tree(grid, field, iso, tree, usize::MAX, |batch| {
         soup.extend_from(&batch);
     });
     (soup, stats)
@@ -36,22 +59,41 @@ pub fn extract_isosurface(
 
 /// Extracts the isosurface, flushing `sink` whenever at least
 /// `batch_triangles` triangles have accumulated (and once at the end for
-/// the remainder). Cells are processed in storage order.
+/// the remainder). Cells are processed in storage order; a throwaway
+/// bricktree prunes inactive bricks.
 pub fn extract_streamed(
     grid: &CurvilinearBlock,
     field: &ScalarField,
     iso: f64,
     batch_triangles: usize,
+    sink: impl FnMut(TriangleSoup),
+) -> IsoStats {
+    let tree = BrickTree::build(field);
+    extract_streamed_with_tree(grid, field, iso, Some(&tree), batch_triangles, sink)
+}
+
+/// Streaming extraction with a caller-held bricktree (`None` disables
+/// pruning). Surviving cells are visited in storage order either way, so
+/// the concatenated batches are byte-identical across both modes.
+pub fn extract_streamed_with_tree(
+    grid: &CurvilinearBlock,
+    field: &ScalarField,
+    iso: f64,
+    tree: Option<&BrickTree>,
+    batch_triangles: usize,
     mut sink: impl FnMut(TriangleSoup),
 ) -> IsoStats {
     assert_eq!(grid.dims, field.dims, "grid/field dims mismatch");
+    if let Some(t) = tree {
+        assert!(t.matches(grid.dims), "bricktree dims mismatch");
+    }
     let mut stats = IsoStats::default();
     let mut pending = TriangleSoup::new();
-    for (i, j, k) in grid.dims.cells() {
+    let mut visit_cell = |i: usize, j: usize, k: usize| {
         stats.cells_visited += 1;
         let (lo, hi) = field.cell_range(i, j, k);
         if !(hi > iso && lo <= iso) {
-            continue;
+            return;
         }
         stats.active_cells += 1;
         let corners = grid.cell_corners(i, j, k);
@@ -61,7 +103,18 @@ pub fn extract_streamed(
         if pending.n_triangles() >= batch_triangles {
             sink(std::mem::take(&mut pending));
         }
-    }
+    };
+    let pruned = match tree {
+        Some(t) => t.scan_candidates(iso, &mut visit_cell),
+        None => {
+            for (i, j, k) in grid.dims.cells() {
+                visit_cell(i, j, k);
+            }
+            Default::default()
+        }
+    };
+    stats.cells_skipped = pruned.cells_skipped;
+    stats.bricks_skipped = pruned.bricks_skipped;
     if !pending.is_empty() {
         sink(pending);
     }
@@ -70,16 +123,19 @@ pub fn extract_streamed(
 
 /// Lists the active cells (cells whose corner range straddles `iso`)
 /// without triangulating — used by the view-dependent pipeline, which
-/// triangulates in BSP traversal order instead of storage order.
+/// triangulates in BSP traversal order instead of storage order. A
+/// throwaway bricktree skips inactive bricks; the result is identical to
+/// a full scan and in storage order.
 pub fn active_cells(field: &ScalarField, iso: f64) -> Vec<(usize, usize, usize)> {
-    field
-        .dims
-        .cells()
-        .filter(|&(i, j, k)| {
-            let (lo, hi) = field.cell_range(i, j, k);
-            hi > iso && lo <= iso
-        })
-        .collect()
+    let tree = BrickTree::build(field);
+    let mut out = Vec::new();
+    tree.scan_candidates(iso, |i, j, k| {
+        let (lo, hi) = field.cell_range(i, j, k);
+        if hi > iso && lo <= iso {
+            out.push((i, j, k));
+        }
+    });
+    out
 }
 
 #[cfg(test)]
@@ -127,12 +183,51 @@ mod tests {
     }
 
     #[test]
+    fn pruned_extraction_matches_full_scan_exactly() {
+        let (grid, field) = sphere_case(19);
+        for iso in [0.3, 0.6, 0.9, 1.2] {
+            let (pruned, ps) = extract_isosurface(&grid, &field, iso);
+            let (full, fs) = extract_isosurface_with_tree(&grid, &field, iso, None);
+            assert_eq!(pruned, full, "pruning changed geometry at iso {iso}");
+            assert_eq!(ps.active_cells, fs.active_cells);
+            assert_eq!(ps.triangles, fs.triangles);
+            assert_eq!(
+                ps.cells_visited + ps.cells_skipped,
+                grid.dims.n_cells(),
+                "visited + skipped must cover the block"
+            );
+            assert_eq!(fs.cells_skipped, 0);
+            assert_eq!(fs.cells_visited, grid.dims.n_cells());
+        }
+    }
+
+    #[test]
+    fn sparse_iso_level_visits_minority_of_cells() {
+        // The r = 0.3 sphere in a 24³ block is a small feature: the
+        // bricktree must discard the bulk of the volume (acceptance
+        // criterion: < 25 % of cells examined).
+        let (grid, field) = sphere_case(24);
+        let (soup, stats) = extract_isosurface(&grid, &field, 0.3);
+        assert!(!soup.is_empty());
+        let total = grid.dims.n_cells();
+        assert_eq!(stats.cells_visited + stats.cells_skipped, total);
+        assert!(
+            stats.cells_visited * 4 < total,
+            "visited {} of {total} cells",
+            stats.cells_visited
+        );
+        assert!(stats.bricks_skipped > 0);
+    }
+
+    #[test]
     fn iso_outside_range_gives_empty_surface() {
         let (grid, field) = sphere_case(8);
         let (soup, stats) = extract_isosurface(&grid, &field, 99.0);
         assert!(soup.is_empty());
         assert_eq!(stats.active_cells, 0);
-        assert_eq!(stats.cells_visited, 7 * 7 * 7);
+        // The root brick rejects the whole block without touching a cell.
+        assert_eq!(stats.cells_visited, 0);
+        assert_eq!(stats.cells_skipped, 7 * 7 * 7);
     }
 
     #[test]
@@ -158,6 +253,10 @@ mod tests {
         let (_, stats) = extract_isosurface(&grid, &field, 0.5);
         assert_eq!(active.len(), stats.active_cells);
         assert!(!active.is_empty());
+        // Pruning must not disturb the storage order of the listing.
+        let mut sorted = active.clone();
+        sorted.sort_by_key(|&(i, j, k)| field.dims.cell_index(i, j, k));
+        assert_eq!(active, sorted);
     }
 
     #[test]

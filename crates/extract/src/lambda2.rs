@@ -14,24 +14,40 @@
 //!   lazily per grid point (memoized), collecting active cells into a
 //!   list and flushing triangulated batches — the `StreamedVortex`
 //!   approach that avoids materializing the full field before first
-//!   results.
+//!   results. When a [`BrickTree`] over a previously memoized λ₂ field is
+//!   available (derived-field cache hit), the streamer skips whole
+//!   inactive bricks; without one it conservatively computes on first
+//!   touch as before.
 
+use crate::bricktree::BrickTree;
 use crate::eigen::lambda2_of_gradient;
 use crate::mesh::TriangleSoup;
 use crate::tetra::contour_cell;
 use vira_grid::field::{BlockData, ScalarField};
-use vira_grid::math::Mat3;
+use vira_grid::math::{Mat3, Vec3};
+
+/// A value differentiable by the index stencil: subtraction, scaling by
+/// `f64`, and an additive zero for degenerate (single-point) axes.
+pub trait StencilValue:
+    Copy + std::ops::Sub<Output = Self> + std::ops::Mul<f64, Output = Self>
+{
+    const ZERO: Self;
+}
+
+impl StencilValue for f64 {
+    const ZERO: Self = 0.0;
+}
+
+impl StencilValue for Vec3 {
+    const ZERO: Self = Vec3::ZERO;
+}
 
 /// Central-difference derivative stencil along one index axis.
 #[inline]
-fn index_derivative<T, F>(n: usize, idx: usize, sample: F) -> T
-where
-    T: std::ops::Sub<Output = T> + std::ops::Mul<f64, Output = T>,
-    F: Fn(usize) -> T,
-{
+fn index_derivative<T: StencilValue, F: Fn(usize) -> T>(n: usize, idx: usize, sample: F) -> T {
     if n < 2 {
         // Degenerate axis: no variation.
-        return (sample(idx) - sample(idx)) * 0.0;
+        return T::ZERO;
     }
     if idx == 0 {
         sample(1) - sample(0)
@@ -46,12 +62,12 @@ where
 /// rule: `∇u = (∂u/∂ξ)(∂x/∂ξ)⁻¹`. `None` where the geometric Jacobian is
 /// singular.
 pub fn gradient_from_derivatives(
-    dx_di: vira_grid::math::Vec3,
-    dx_dj: vira_grid::math::Vec3,
-    dx_dk: vira_grid::math::Vec3,
-    du_di: vira_grid::math::Vec3,
-    du_dj: vira_grid::math::Vec3,
-    du_dk: vira_grid::math::Vec3,
+    dx_di: Vec3,
+    dx_dj: Vec3,
+    dx_dk: Vec3,
+    du_di: Vec3,
+    du_dj: Vec3,
+    du_dk: Vec3,
 ) -> Option<Mat3> {
     let jac = Mat3::from_cols(dx_di, dx_dj, dx_dk);
     let jac_inv = jac.inverse()?;
@@ -96,6 +112,10 @@ pub struct Lambda2Stats {
     /// λ₂ point evaluations actually performed (≤ number of points; the
     /// memo avoids recomputation across neighbouring cells).
     pub point_evals: usize,
+    /// Cells never examined thanks to bricktree pruning.
+    pub cells_skipped: usize,
+    /// Finest-level bricks skipped whole.
+    pub bricks_skipped: usize,
 }
 
 /// Cell-by-cell streamed λ₂ extraction with lazy, memoized point
@@ -103,6 +123,9 @@ pub struct Lambda2Stats {
 /// practice); triangles are flushed to `sink` every `batch_triangles`.
 pub struct Lambda2Streamer<'a> {
     data: &'a BlockData,
+    /// Bricktree over an already-materialized λ₂ field (derived-field
+    /// cache hit). `None` → no pruning; λ₂ is computed on first touch.
+    tree: Option<&'a BrickTree>,
     /// Memoized λ₂ point values; NaN = not yet computed.
     memo: Vec<f64>,
     stats: Lambda2Stats,
@@ -112,9 +135,22 @@ impl<'a> Lambda2Streamer<'a> {
     pub fn new(data: &'a BlockData) -> Self {
         Lambda2Streamer {
             data,
+            tree: None,
             memo: vec![f64::NAN; data.dims().n_points()],
             stats: Lambda2Stats::default(),
         }
+    }
+
+    /// A streamer that prunes with `tree` — a bricktree built over the
+    /// memoized λ₂ field of this very block (see
+    /// `viracocha::derived::DerivedFieldCache::peek_tree`). Pruning with a
+    /// tree from a different field would silently drop triangles, so the
+    /// dims are asserted.
+    pub fn with_tree(data: &'a BlockData, tree: &'a BrickTree) -> Self {
+        assert!(tree.matches(data.dims()), "bricktree dims mismatch");
+        let mut s = Lambda2Streamer::new(data);
+        s.tree = Some(tree);
+        s
     }
 
     fn value_at(&mut self, i: usize, j: usize, k: usize) -> f64 {
@@ -129,48 +165,72 @@ impl<'a> Lambda2Streamer<'a> {
         v
     }
 
+    fn process_cell(
+        &mut self,
+        i: usize,
+        j: usize,
+        k: usize,
+        threshold: f64,
+        batch_triangles: usize,
+        pending: &mut TriangleSoup,
+        sink: &mut impl FnMut(TriangleSoup),
+    ) {
+        self.stats.cells_visited += 1;
+        // λ₂ at the eight corners, computed lazily.
+        let idxs = [
+            (i, j, k),
+            (i + 1, j, k),
+            (i, j + 1, k),
+            (i + 1, j + 1, k),
+            (i, j, k + 1),
+            (i + 1, j, k + 1),
+            (i, j + 1, k + 1),
+            (i + 1, j + 1, k + 1),
+        ];
+        let mut scalars = [0.0; 8];
+        for (n, &(a, b, c)) in idxs.iter().enumerate() {
+            scalars[n] = self.value_at(a, b, c);
+        }
+        let (lo, hi) = scalars
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &s| {
+                (l.min(s), h.max(s))
+            });
+        if !(hi > threshold && lo <= threshold) {
+            return;
+        }
+        self.stats.active_cells += 1;
+        let corners = self.data.grid.cell_corners(i, j, k);
+        self.stats.triangles += contour_cell(&corners, &scalars, threshold, pending);
+        if pending.n_triangles() >= batch_triangles {
+            sink(std::mem::take(pending));
+        }
+    }
+
     /// Runs the full pass. Vortex boundaries are extracted as the
-    /// iso-surface λ₂ = `threshold`.
+    /// iso-surface λ₂ = `threshold`. With a bricktree, whole inactive
+    /// bricks are skipped (in storage order, so output is byte-identical
+    /// to the unpruned pass).
     pub fn run(
         mut self,
         threshold: f64,
         batch_triangles: usize,
         mut sink: impl FnMut(TriangleSoup),
     ) -> Lambda2Stats {
-        let d = self.data.dims();
         let mut pending = TriangleSoup::new();
-        for (i, j, k) in d.cells() {
-            self.stats.cells_visited += 1;
-            // λ₂ at the eight corners, computed lazily.
-            let idxs = [
-                (i, j, k),
-                (i + 1, j, k),
-                (i, j + 1, k),
-                (i + 1, j + 1, k),
-                (i, j, k + 1),
-                (i + 1, j, k + 1),
-                (i, j + 1, k + 1),
-                (i + 1, j + 1, k + 1),
-            ];
-            let mut scalars = [0.0; 8];
-            for (n, &(a, b, c)) in idxs.iter().enumerate() {
-                scalars[n] = self.value_at(a, b, c);
+        let pruned = match self.tree {
+            Some(tree) => tree.scan_candidates(threshold, |i, j, k| {
+                self.process_cell(i, j, k, threshold, batch_triangles, &mut pending, &mut sink)
+            }),
+            None => {
+                for (i, j, k) in self.data.dims().cells() {
+                    self.process_cell(i, j, k, threshold, batch_triangles, &mut pending, &mut sink);
+                }
+                Default::default()
             }
-            let (lo, hi) = scalars
-                .iter()
-                .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &s| {
-                    (l.min(s), h.max(s))
-                });
-            if !(hi > threshold && lo <= threshold) {
-                continue;
-            }
-            self.stats.active_cells += 1;
-            let corners = self.data.grid.cell_corners(i, j, k);
-            self.stats.triangles += contour_cell(&corners, &scalars, threshold, &mut pending);
-            if pending.n_triangles() >= batch_triangles {
-                sink(std::mem::take(&mut pending));
-            }
-        }
+        };
+        self.stats.cells_skipped = pruned.cells_skipped;
+        self.stats.bricks_skipped = pruned.bricks_skipped;
         if !pending.is_empty() {
             sink(pending);
         }
@@ -182,7 +242,6 @@ impl<'a> Lambda2Streamer<'a> {
 mod tests {
     use super::*;
     use vira_grid::block::BlockStepId;
-    use vira_grid::math::Vec3;
     use vira_grid::synth::test_cube;
 
     fn vortex_block(res: usize) -> BlockData {
@@ -216,6 +275,13 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_axis_derivative_is_zero() {
+        assert_eq!(index_derivative(1, 0, |_| 42.0), 0.0);
+        let v = index_derivative(1, 0, |_| Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(v, Vec3::ZERO);
+    }
+
+    #[test]
     fn lamb_oseen_core_has_negative_lambda2() {
         // The test-cube dataset is a Lamb–Oseen vortex along z through the
         // origin with core radius 0.4: λ₂ < 0 near the axis, ≥ 0 far away.
@@ -240,6 +306,31 @@ mod tests {
         assert_eq!(stats.active_cells, full_stats.active_cells);
         assert_eq!(streamed, full);
         assert!(stats.triangles > 0, "vortex tube must produce a surface");
+    }
+
+    #[test]
+    fn streamer_with_tree_matches_unpruned_streamer() {
+        let data = vortex_block(13);
+        let field = lambda2_field(&data);
+        let tree = BrickTree::build(&field);
+        let mut plain = TriangleSoup::new();
+        let plain_stats = Lambda2Streamer::new(&data).run(-0.05, 64, |b| plain.extend_from(&b));
+        let mut pruned = TriangleSoup::new();
+        let pruned_stats =
+            Lambda2Streamer::with_tree(&data, &tree).run(-0.05, 64, |b| pruned.extend_from(&b));
+        assert_eq!(pruned, plain, "pruning changed vortex geometry");
+        assert_eq!(pruned_stats.triangles, plain_stats.triangles);
+        assert_eq!(pruned_stats.active_cells, plain_stats.active_cells);
+        assert_eq!(
+            pruned_stats.cells_visited + pruned_stats.cells_skipped,
+            data.dims().n_cells()
+        );
+        assert!(
+            pruned_stats.cells_skipped > 0,
+            "vortex tube is localized; some bricks must be skipped"
+        );
+        // Pruning also avoids λ₂ evaluations, not just range checks.
+        assert!(pruned_stats.point_evals < plain_stats.point_evals);
     }
 
     #[test]

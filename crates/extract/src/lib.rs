@@ -6,6 +6,8 @@
 //!
 //! * [`iso`] — isosurface extraction over curvilinear blocks (marching
 //!   tetrahedra, [`tetra`]), plain and streamed.
+//! * [`bricktree`] — per-block min/max brick hierarchies that let every
+//!   extractor skip inactive regions without touching their cells.
 //! * [`bsp`] — per-block BSP trees for view-dependent front-to-back
 //!   extraction with empty-region pruning (the `ViewerIso` command).
 //! * [`lambda2`] / [`eigen`] — λ₂ vortex-region extraction: velocity
@@ -23,6 +25,7 @@
 //! injected (see [`pathline::BlockFetcher`]), so the same kernels run
 //! under unit tests, the parallel framework, and the benchmark harness.
 
+pub mod bricktree;
 pub mod bsp;
 pub mod eigen;
 pub mod export;
@@ -37,15 +40,19 @@ pub mod stats;
 pub mod tetra;
 pub mod weld;
 
+pub use bricktree::{BrickTree, PruneCounters, BRICK};
 pub use bsp::BspTree;
 pub use weld::{compute_normals, weld, EdgeDefects, IndexedMesh};
 pub use eigen::{lambda2_of_gradient, symmetric_eigenvalues};
 pub use export::{save_soup, write_obj, write_vtk_mesh, write_vtk_polylines};
 pub use halo::{GhostLayer, GhostedBlock};
-pub use iso::{active_cells, extract_isosurface, extract_streamed, IsoStats};
+pub use iso::{
+    active_cells, extract_isosurface, extract_isosurface_with_tree, extract_streamed,
+    extract_streamed_with_tree, IsoStats,
+};
 pub use lambda2::{lambda2_at, lambda2_field, velocity_gradient, Lambda2Stats, Lambda2Streamer};
 pub use locate::{invert_trilinear, BlockLocator, CellHit};
-pub use mesh::{Polyline, TriangleSoup};
+pub use mesh::{payload_triangle_count, Polyline, TriangleSoup};
 pub use stats::{suggest_iso_level, FieldSummary, Histogram};
 pub use multires::{coarsen, progressive_isosurface, pyramid, ProgressiveLevel};
 pub use pathline::{

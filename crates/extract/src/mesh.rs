@@ -88,36 +88,75 @@ impl TriangleSoup {
     }
 
     /// Wire encoding: `u32` triangle count, then `9 × f32` per triangle,
-    /// little-endian.
+    /// little-endian. The vertex block is appended in bulk
+    /// ([`append_payload`](Self::append_payload)), not float by float.
     pub fn to_bytes(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(4 + self.positions.len() * 12);
         buf.put_u32_le(self.n_triangles() as u32);
+        self.append_payload(&mut buf);
+        buf.freeze()
+    }
+
+    /// Appends the raw `9 × f32` little-endian vertex block (no count
+    /// prefix) to `buf` — the bulk body shared by
+    /// [`to_bytes`](Self::to_bytes) and the master-side partial-result
+    /// merge, which concatenates vertex blocks from many packets without
+    /// re-encoding.
+    pub fn append_payload(&self, buf: &mut BytesMut) {
+        #[cfg(target_endian = "little")]
+        {
+            // SAFETY: `[f32; 3]` is 12 bytes with no padding, and the Vec
+            // stores them contiguously; on a little-endian target the
+            // in-memory representation already is the wire format.
+            let raw = unsafe {
+                std::slice::from_raw_parts(
+                    self.positions.as_ptr() as *const u8,
+                    self.positions.len() * std::mem::size_of::<[f32; 3]>(),
+                )
+            };
+            buf.extend_from_slice(raw);
+        }
+        #[cfg(not(target_endian = "little"))]
         for p in &self.positions {
             buf.put_f32_le(p[0]);
             buf.put_f32_le(p[1]);
             buf.put_f32_le(p[2]);
         }
-        buf.freeze()
     }
 
-    /// Inverse of [`to_bytes`](Self::to_bytes). `None` on malformed input.
+    /// Inverse of [`to_bytes`](Self::to_bytes). `None` on malformed input
+    /// (short prefix, or body length inconsistent with the count).
     pub fn from_bytes(mut b: Bytes) -> Option<TriangleSoup> {
         if b.remaining() < 4 {
             return None;
         }
         let n = b.get_u32_le() as usize;
-        if b.remaining() != n * 36 {
+        if b.remaining() != n.checked_mul(36)? {
             return None;
         }
+        // Decode in 12-byte vertex chunks instead of per-float gets.
         let mut positions = Vec::with_capacity(3 * n);
-        for _ in 0..3 * n {
-            let x = b.get_f32_le();
-            let y = b.get_f32_le();
-            let z = b.get_f32_le();
-            positions.push([x, y, z]);
+        for v in b.chunks_exact(12) {
+            positions.push([
+                f32::from_le_bytes([v[0], v[1], v[2], v[3]]),
+                f32::from_le_bytes([v[4], v[5], v[6], v[7]]),
+                f32::from_le_bytes([v[8], v[9], v[10], v[11]]),
+            ]);
         }
         Some(TriangleSoup { positions })
     }
+}
+
+/// Validates a wire-encoded soup without decoding it: returns the
+/// triangle count when `payload` is structurally sound (count prefix
+/// consistent with the body length). The master-side merge uses this to
+/// splice vertex blocks from partial packets without a decode round-trip.
+pub fn payload_triangle_count(payload: &[u8]) -> Option<usize> {
+    if payload.len() < 4 {
+        return None;
+    }
+    let n = u32::from_le_bytes(payload[..4].try_into().ok()?) as usize;
+    (payload.len() - 4 == n.checked_mul(36)?).then_some(n)
 }
 
 /// A traced particle path: positions with their solution times.
@@ -231,6 +270,41 @@ mod tests {
         let b = s.to_bytes();
         let back = TriangleSoup::from_bytes(b).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn bulk_encoding_matches_per_float_reference() {
+        let s = tri_soup();
+        let mut reference = BytesMut::new();
+        reference.put_u32_le(s.n_triangles() as u32);
+        for p in &s.positions {
+            reference.put_f32_le(p[0]);
+            reference.put_f32_le(p[1]);
+            reference.put_f32_le(p[2]);
+        }
+        assert_eq!(s.to_bytes(), reference.freeze());
+    }
+
+    #[test]
+    fn append_payload_is_body_of_to_bytes() {
+        let s = tri_soup();
+        let mut body = BytesMut::new();
+        s.append_payload(&mut body);
+        assert_eq!(&s.to_bytes()[4..], &body[..]);
+    }
+
+    #[test]
+    fn payload_triangle_count_validates() {
+        let s = tri_soup();
+        let b = s.to_bytes();
+        assert_eq!(payload_triangle_count(&b), Some(2));
+        assert_eq!(payload_triangle_count(&TriangleSoup::new().to_bytes()), Some(0));
+        assert_eq!(payload_triangle_count(b"xy"), None);
+        assert_eq!(payload_triangle_count(&b[..b.len() - 1]), None);
+        // Count prefix inconsistent with body length.
+        let mut bad = b.to_vec();
+        bad[0] = 9;
+        assert_eq!(payload_triangle_count(&bad), None);
     }
 
     #[test]

@@ -92,7 +92,10 @@ pub struct ProgressiveLevel {
 
 /// Progressive isosurface extraction of one block: extracts the surface
 /// on every pyramid level from coarse to fine, handing each level to
-/// `emit` as soon as it is ready. Returns the per-level records.
+/// `emit` as soon as it is ready. Returns the per-level records. Every
+/// level runs through the bricktree-pruned extractor, so each refinement
+/// pass skips the inactive bricks of its own resolution (the per-level
+/// `stats` report `cells_skipped`/`bricks_skipped`).
 pub fn progressive_isosurface(
     grid: &CurvilinearBlock,
     field: &ScalarField,

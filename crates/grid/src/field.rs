@@ -65,6 +65,31 @@ impl ScalarField {
         Some((lo, hi))
     }
 
+    /// Minimum and maximum over a half-open box of grid points, scanned
+    /// row-wise so the inner loop runs over contiguous slices of
+    /// `values`. This is the bulk primitive behind brick-range
+    /// construction (`vira-extract`'s min/max bricktree).
+    pub fn range_over_points(
+        &self,
+        i: std::ops::Range<usize>,
+        j: std::ops::Range<usize>,
+        k: std::ops::Range<usize>,
+    ) -> (f64, f64) {
+        debug_assert!(i.end <= self.dims.ni && j.end <= self.dims.nj && k.end <= self.dims.nk);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for kk in k {
+            for jj in j.clone() {
+                let base = self.dims.point_index(i.start, jj, kk);
+                for &v in &self.values[base..base + i.len()] {
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+            }
+        }
+        (lo, hi)
+    }
+
     /// Minimum and maximum over the eight corners of one cell.
     pub fn cell_range(&self, i: usize, j: usize, k: usize) -> (f64, f64) {
         let c = self.cell_corners(i, j, k);

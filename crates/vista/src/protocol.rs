@@ -110,6 +110,13 @@ pub struct JobReport {
     /// Geometry totals.
     pub triangles: u64,
     pub polylines: u64,
+    /// Extraction cells skipped by bricktree pruning, summed across the
+    /// work group (absent in frames from older peers → 0).
+    #[serde(default)]
+    pub cells_skipped: u64,
+    /// Finest-level bricks skipped whole.
+    #[serde(default)]
+    pub bricks_skipped: u64,
 }
 
 /// Events from the scheduler to the client.
