@@ -318,6 +318,24 @@ fn bench_dataset_generate(c: &mut Criterion) {
     });
 }
 
+fn bench_obs(c: &mut Criterion) {
+    // The overhead bound the observability layer promises: with tracing
+    // disabled a span is one relaxed atomic load; enabled, an open+drop
+    // pushes one fixed-size record into a thread-local ring.
+    vira_obs::set_enabled(false);
+    c.bench_function("obs/span_disabled", |b| {
+        b.iter(|| vira_obs::span(black_box("bench.span"), "bench"))
+    });
+    vira_obs::set_enabled(true);
+    c.bench_function("obs/span_enabled", |b| {
+        b.iter(|| vira_obs::span(black_box("bench.span"), "bench").arg("i", 1u64))
+    });
+    vira_obs::set_enabled(false);
+    let _ = vira_obs::drain();
+    let counter = vira_obs::counter("obs_bench_scratch_total");
+    c.bench_function("obs/counter_inc", |b| b.iter(|| counter.inc()));
+}
+
 criterion_group!(
     benches,
     bench_eigen,
@@ -332,6 +350,7 @@ criterion_group!(
     bench_cache,
     bench_markov,
     bench_compress,
-    bench_dataset_generate
+    bench_dataset_generate,
+    bench_obs
 );
 criterion_main!(benches);

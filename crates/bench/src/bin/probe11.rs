@@ -8,9 +8,18 @@ fn main() {
         let mut h = Harness::launch(Dataset::Engine, &cfg, 1, proxy_with_prefetcher(pf));
         let r = h.run("VortexDataMan", &cfg, 1);
         h.finish();
-        eprintln!("{pf:>5}: total {:.2} read {:.2} compute {:.2} misses {} hits {} pf_issued {} pf_hits {}",
-            r.total_s, r.report.read_s, r.report.compute_s,
-            r.report.cache_misses, r.report.cache_hits,
-            r.report.prefetch_issued, r.report.prefetch_hits);
+        vira_obs::info(
+            "probe11",
+            &format!("prefetcher '{pf}'"),
+            &[
+                ("total_s", r.total_s.into()),
+                ("read_s", r.report.read_s.into()),
+                ("compute_s", r.report.compute_s.into()),
+                ("misses", r.report.cache_misses.into()),
+                ("hits", r.report.cache_hits.into()),
+                ("pf_issued", r.report.prefetch_issued.into()),
+                ("pf_hits", r.report.prefetch_hits.into()),
+            ],
+        );
     }
 }

@@ -18,6 +18,7 @@
 
 pub mod config;
 pub mod experiments;
+pub mod micro_manifest;
 pub mod result;
 pub mod runner;
 
@@ -40,29 +41,82 @@ pub fn timing_lock() -> std::sync::MutexGuard<'static, ()> {
 /// Runs a set of experiment ids (or all when empty), printing each
 /// result and collecting them.
 pub fn run_ids(ids: &[String], cfg: &BenchConfig) -> Vec<ExperimentResult> {
+    run_ids_traced(ids, cfg, None)
+}
+
+/// Like [`run_ids`], but when `trace_out` is set the observability layer
+/// is enabled and each experiment's spans, events and metric *deltas*
+/// are exported under `trace_out/<id>/` (Chrome trace + JSONL + metrics
+/// dump, each schema-checked before writing).
+pub fn run_ids_traced(
+    ids: &[String],
+    cfg: &BenchConfig,
+    trace_out: Option<&Path>,
+) -> Vec<ExperimentResult> {
     let selected: Vec<String> = if ids.is_empty() {
         experiments::all_ids().iter().map(|s| s.to_string()).collect()
     } else {
         ids.to_vec()
     };
+    if trace_out.is_some() {
+        vira_obs::set_enabled(true);
+        // Discard anything recorded before the first experiment.
+        let _ = vira_obs::trace::drain();
+        let _ = vira_obs::drain_events();
+    }
+    let mut metrics_before = vira_obs::metrics::snapshot();
     let mut all = Vec::new();
     for id in &selected {
         let t0 = std::time::Instant::now();
         match experiments::run_experiment(id, cfg) {
             Some(results) => {
-                eprintln!(
-                    "[repro] {id} finished in {:.1}s wall",
-                    t0.elapsed().as_secs_f64()
+                vira_obs::info(
+                    "repro",
+                    &format!("{id} finished"),
+                    &[("wall_s", t0.elapsed().as_secs_f64().into())],
                 );
                 for r in results {
                     println!("{}", r.to_markdown());
                     all.push(r);
                 }
             }
-            None => eprintln!(
-                "[repro] unknown experiment id '{id}' (known: {:?})",
-                experiments::all_ids()
+            None => vira_obs::warn(
+                "repro",
+                &format!(
+                    "unknown experiment id '{id}' (known: {:?})",
+                    experiments::all_ids()
+                ),
+                &[],
             ),
+        }
+        if let Some(dir) = trace_out {
+            let metrics_now = vira_obs::metrics::snapshot();
+            let delta = metrics_now.delta(&metrics_before);
+            metrics_before = metrics_now;
+            let dump = vira_obs::trace::drain();
+            let (events, dropped_events) = vira_obs::drain_events();
+            match vira_obs::export::write_artifacts(
+                &dir.join(id),
+                &dump,
+                &events,
+                dropped_events,
+                &delta,
+            ) {
+                Ok(s) => vira_obs::info(
+                    "repro",
+                    &format!("trace artifacts for {id} written to {}", dir.join(id).display()),
+                    &[
+                        ("spans", (s.spans as u64).into()),
+                        ("events", (s.events as u64).into()),
+                        ("dropped_spans", s.dropped_spans.into()),
+                    ],
+                ),
+                Err(e) => vira_obs::error(
+                    "repro",
+                    &format!("trace export for {id} failed: {e}"),
+                    &[],
+                ),
+            }
         }
     }
     all

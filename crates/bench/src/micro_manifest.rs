@@ -1,0 +1,171 @@
+//! Provenance handling for `results/BENCH_micro.json`.
+//!
+//! The micro-benchmark manifest records the Criterion bench inventory
+//! plus (optionally) measured per-iteration times. Measurements are
+//! machine-dependent, so the manifest distinguishes real numbers from
+//! placeholders: every entry carries a `status` of `"measured"` or
+//! `"unmeasured"`, derived from whether `measured_ns` is a number or
+//! null. Merging fresh results into the manifest never lets a null
+//! (an unmeasured re-run, a skipped bench) clobber a real measurement.
+
+use serde_json::Value;
+
+/// Status string for an entry with a numeric `measured_ns`.
+pub const MEASURED: &str = "measured";
+/// Status string for an entry whose `measured_ns` is null.
+pub const UNMEASURED: &str = "unmeasured";
+
+/// What [`merge_measurements`] did.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct MergeOutcome {
+    /// Entries whose `measured_ns` was overwritten with a fresh number.
+    pub updated: usize,
+    /// Entries where a fresh null was *refused* because the manifest
+    /// already holds a real measurement.
+    pub kept: usize,
+    /// Fresh entries appended because the manifest had no bench of that
+    /// name.
+    pub added: usize,
+}
+
+fn benches_mut(manifest: &mut Value) -> Option<&mut Vec<Value>> {
+    manifest.get_mut("benches")?.as_array_mut()
+}
+
+fn entry_name(entry: &Value) -> Option<&str> {
+    entry.get("name")?.as_str()
+}
+
+fn is_measured(entry: &Value) -> bool {
+    entry
+        .get("measured_ns")
+        .map(|v| v.is_number())
+        .unwrap_or(false)
+}
+
+/// Stamps every bench entry's `status` field from its `measured_ns`
+/// (`"measured"` for numbers, `"unmeasured"` for null/absent).
+pub fn annotate_status(manifest: &mut Value) {
+    let Some(benches) = benches_mut(manifest) else {
+        return;
+    };
+    for entry in benches.iter_mut() {
+        let status = if is_measured(entry) { MEASURED } else { UNMEASURED };
+        if let Some(obj) = entry.as_object_mut() {
+            obj.insert("status".into(), Value::String(status.into()));
+        }
+    }
+}
+
+/// Merges freshly measured per-iteration times into `manifest`.
+///
+/// `fresh` maps bench names to `Some(ns)` (a real measurement) or `None`
+/// (the bench ran but produced nothing, or was skipped). Real numbers
+/// overwrite; `None` never downgrades an entry that already holds a
+/// measurement — the manifest's provenance rule. Unknown names are
+/// appended as minimal entries. `status` fields are re-derived at the
+/// end.
+pub fn merge_measurements(manifest: &mut Value, fresh: &[(String, Option<u64>)]) -> MergeOutcome {
+    let mut out = MergeOutcome::default();
+    if let Some(benches) = benches_mut(manifest) {
+        for (name, measured) in fresh {
+            let existing = benches
+                .iter_mut()
+                .find(|e| entry_name(e) == Some(name.as_str()));
+            match (existing, measured) {
+                (Some(entry), Some(ns)) => {
+                    if let Some(obj) = entry.as_object_mut() {
+                        obj.insert("measured_ns".into(), Value::from(*ns));
+                        out.updated += 1;
+                    }
+                }
+                (Some(entry), None) => {
+                    // Refuse to null out a real measurement.
+                    if is_measured(entry) {
+                        out.kept += 1;
+                    }
+                }
+                (None, measured) => {
+                    benches.push(serde_json::json!({
+                        "name": name,
+                        "unit": "ns/iter",
+                        "measured_ns": measured,
+                    }));
+                    out.added += 1;
+                }
+            }
+        }
+    }
+    annotate_status(manifest);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest() -> Value {
+        serde_json::json!({
+            "id": "micro",
+            "benches": [
+                {"name": "a/real", "unit": "ns/iter", "measured_ns": 120},
+                {"name": "b/null", "unit": "ns/iter", "measured_ns": null},
+            ]
+        })
+    }
+
+    #[test]
+    fn annotate_derives_status_from_measured_ns() {
+        let mut m = manifest();
+        annotate_status(&mut m);
+        let b = m["benches"].as_array().unwrap();
+        assert_eq!(b[0]["status"], MEASURED);
+        assert_eq!(b[1]["status"], UNMEASURED);
+    }
+
+    #[test]
+    fn null_never_overwrites_a_real_measurement() {
+        let mut m = manifest();
+        let out = merge_measurements(
+            &mut m,
+            &[("a/real".into(), None), ("b/null".into(), None)],
+        );
+        assert_eq!(out, MergeOutcome { updated: 0, kept: 1, added: 0 });
+        assert_eq!(m["benches"][0]["measured_ns"], 120);
+        assert_eq!(m["benches"][0]["status"], MEASURED);
+        assert!(m["benches"][1]["measured_ns"].is_null());
+        assert_eq!(m["benches"][1]["status"], UNMEASURED);
+    }
+
+    #[test]
+    fn fresh_numbers_overwrite_and_unknown_names_append() {
+        let mut m = manifest();
+        let out = merge_measurements(
+            &mut m,
+            &[
+                ("a/real".into(), Some(95)),
+                ("b/null".into(), Some(40)),
+                ("c/new".into(), Some(7)),
+            ],
+        );
+        assert_eq!(out, MergeOutcome { updated: 2, kept: 0, added: 1 });
+        assert_eq!(m["benches"][0]["measured_ns"], 95);
+        assert_eq!(m["benches"][1]["measured_ns"], 40);
+        assert_eq!(m["benches"][1]["status"], MEASURED);
+        let c = &m["benches"][2];
+        assert_eq!(c["name"], "c/new");
+        assert_eq!(c["measured_ns"], 7);
+        assert_eq!(c["status"], MEASURED);
+    }
+
+    #[test]
+    fn shipped_manifest_annotates_cleanly() {
+        // The checked-in manifest must parse and already carry statuses
+        // consistent with its measurements.
+        let text = include_str!("../results/BENCH_micro.json");
+        let mut m: Value = serde_json::from_str(text).expect("BENCH_micro.json parses");
+        let before = m.clone();
+        annotate_status(&mut m);
+        assert_eq!(before, m, "checked-in statuses must match measured_ns");
+    }
+}

@@ -8,9 +8,28 @@
 
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
+use vira_obs as obs;
 
 use crate::transport::CommError;
+
+// Link metrics: frames and bytes crossing the client link in each
+// direction (requests client→server, events server→client).
+static REQ_FRAMES: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static REQ_BYTES: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static EVENT_FRAMES: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static EVENT_BYTES: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+
+fn count_request(frame: &Bytes) {
+    obs::counter_cached(&REQ_FRAMES, "link_request_frames_total").inc();
+    obs::counter_cached(&REQ_BYTES, "link_request_bytes_total").add(frame.len() as u64);
+}
+
+fn count_event(frame: &Bytes) {
+    obs::counter_cached(&EVENT_FRAMES, "link_event_frames_total").inc();
+    obs::counter_cached(&EVENT_BYTES, "link_event_bytes_total").add(frame.len() as u64);
+}
 
 /// Frames flowing from the client to the back-end (requests).
 /// Frames flowing back are events (job status, streamed packets, finals).
@@ -65,6 +84,7 @@ impl ClientSide {
     /// Sends a request frame to the back-end. Blocks if the link buffer is
     /// full (back-pressure).
     pub fn request(&self, frame: Bytes) -> Result<(), CommError> {
+        count_request(&frame);
         self.to_server
             .send(frame)
             .map_err(|_| CommError::Disconnected)
@@ -104,6 +124,7 @@ impl ServerSide {
 
     /// Emits an event frame to the client.
     pub fn emit(&self, frame: Bytes) -> Result<(), CommError> {
+        count_event(&frame);
         self.to_client
             .send(frame)
             .map_err(|_| CommError::Disconnected)
@@ -128,6 +149,7 @@ pub struct EventSender {
 
 impl EventSender {
     pub fn emit(&self, frame: Bytes) -> Result<(), CommError> {
+        count_event(&frame);
         self.tx.send(frame).map_err(|_| CommError::Disconnected)
     }
 }

@@ -6,10 +6,14 @@
 //! vira suggest --dataset engine         suggest an iso level (|u| field)
 //! vira run --dataset engine --command IsoDataMan --workers 4 \
 //!          --param iso=15 --param n_steps=4 [--res 7] [--dilation 0.01] \
-//!          [--save surface.obj|surface.vtk] [--save-lines traces.vtk]
+//!          [--save surface.obj|surface.vtk] [--save-lines traces.vtk] \
+//!          [--trace-out traces/]
 //! ```
 //!
-//! Argument parsing is deliberately dependency-free.
+//! Argument parsing is deliberately dependency-free. Diagnostics go
+//! through the structured event log (vira-obs, echoed to stderr);
+//! result tables stay on stdout. `--trace-out <dir>` records the run
+//! and writes `trace.json` / `events.jsonl` / `metrics.prom` there.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -40,16 +44,20 @@ fn parse_args(args: &[String]) -> Args {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let Some(key) = a.strip_prefix("--") else {
-            eprintln!("unexpected argument '{a}'");
+            vira_obs::error("vira", &format!("unexpected argument '{a}'"), &[]);
             usage();
         };
         let Some(value) = it.next() else {
-            eprintln!("flag --{key} needs a value");
+            vira_obs::error("vira", &format!("flag --{key} needs a value"), &[]);
             usage();
         };
         if key == "param" {
             let Some((k, v)) = value.split_once('=') else {
-                eprintln!("--param expects key=value, got '{value}'");
+                vira_obs::error(
+                    "vira",
+                    &format!("--param expects key=value, got '{value}'"),
+                    &[],
+                );
                 usage();
             };
             params.push((k.to_string(), v.to_string()));
@@ -66,7 +74,11 @@ fn build_dataset(name: &str, res: usize) -> Arc<SyntheticDataset> {
         "propfan" => Arc::new(synth::propfan(res)),
         "cube" => Arc::new(synth::test_cube(res, 4)),
         other => {
-            eprintln!("unknown dataset '{other}' (engine | propfan | cube)");
+            vira_obs::error(
+                "vira",
+                &format!("unknown dataset '{other}' (engine | propfan | cube)"),
+                &[],
+            );
             usage();
         }
     }
@@ -142,6 +154,11 @@ fn cmd_run(args: Args) {
         .map(|v| v.parse().expect("--dilation must be a number"))
         .unwrap_or(0.0);
 
+    let trace_out = args.flags.get("trace-out").map(std::path::PathBuf::from);
+    if trace_out.is_some() {
+        vira_obs::set_enabled(true);
+    }
+
     let mut config = ViracochaConfig::for_tests(workers);
     config.dilation = dilation;
     config.proxy.prefetcher = "obl".into();
@@ -190,7 +207,7 @@ fn cmd_run(args: Args) {
             if let Some(path) = args.flags.get("save") {
                 match vira_extract::export::save_soup(&out.triangles, std::path::Path::new(path)) {
                     Ok(()) => println!("saved      : {} ({} triangles)", path, out.triangles.n_triangles()),
-                    Err(e) => eprintln!("could not save {path}: {e}"),
+                    Err(e) => vira_obs::error("vira", &format!("could not save {path}: {e}"), &[]),
                 }
             }
             if let Some(path) = args.flags.get("save-lines") {
@@ -200,12 +217,12 @@ fn cmd_run(args: Args) {
                 });
                 match save {
                     Ok(()) => println!("saved      : {} ({} polylines)", path, out.polylines.len()),
-                    Err(e) => eprintln!("could not save {path}: {e}"),
+                    Err(e) => vira_obs::error("vira", &format!("could not save {path}: {e}"), &[]),
                 }
             }
         }
         Err(e) => {
-            eprintln!("job failed: {e}");
+            vira_obs::error("vira", &format!("job failed: {e}"), &[]);
             let _ = client.shutdown();
             backend.join();
             std::process::exit(1);
@@ -213,6 +230,21 @@ fn cmd_run(args: Args) {
     }
     let _ = client.shutdown();
     backend.join();
+    if let Some(dir) = trace_out {
+        match vira_obs::export_all(&dir) {
+            Ok(s) => println!(
+                "trace      : {} spans, {} events -> {}",
+                s.spans,
+                s.events,
+                dir.display()
+            ),
+            Err(e) => vira_obs::error(
+                "vira",
+                &format!("trace export to {} failed: {e}", dir.display()),
+                &[],
+            ),
+        }
+    }
 }
 
 fn main() {

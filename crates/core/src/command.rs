@@ -11,7 +11,8 @@
 use crate::wire;
 use parking_lot::RwLock;
 use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use vira_obs as obs;
 use vira_comm::collective::Group;
 use vira_comm::link::EventSender;
 use vira_comm::transport::{CommError, Rank};
@@ -24,6 +25,11 @@ use vira_grid::synth::DatasetSpec;
 use vira_storage::costmodel::{ComputeCosts, CostCategory, Meter, SharedChannel, SimClock};
 use vira_storage::source::StorageError;
 use vira_vista::protocol::{CommandParams, EventHeader, JobId, PayloadKind};
+
+// Worker-side streaming metrics; the client-side mirror lives in
+// vira-vista (`vista_*`), so a lossless link shows matching totals.
+static STREAM_PACKETS: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static STREAM_ITEMS: OnceLock<Arc<obs::Counter>> = OnceLock::new();
 
 /// Failures surfaced by command execution.
 #[derive(Debug)]
@@ -232,6 +238,9 @@ impl<'a> JobCtx<'a> {
             return Ok(());
         }
         self.charge_send(soup.n_triangles());
+        obs::counter_cached(&STREAM_PACKETS, "worker_stream_packets_total").inc();
+        obs::counter_cached(&STREAM_ITEMS, "worker_stream_items_total")
+            .add(soup.n_triangles() as u64);
         let seq = self.seq;
         self.seq += 1;
         self.events
@@ -254,6 +263,8 @@ impl<'a> JobCtx<'a> {
             return Ok(());
         }
         self.charge_send_unscaled(lines.iter().map(|l| l.len()).sum());
+        obs::counter_cached(&STREAM_PACKETS, "worker_stream_packets_total").inc();
+        obs::counter_cached(&STREAM_ITEMS, "worker_stream_items_total").add(lines.len() as u64);
         let seq = self.seq;
         self.seq += 1;
         self.events

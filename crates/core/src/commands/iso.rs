@@ -23,6 +23,10 @@ fn extract_items(
             if ctx.is_cancelled() {
                 return Ok(out);
             }
+            let mut block_span = vira_obs::span("extract.block", "extract")
+                .arg("job", ctx.job)
+                .arg("block", id.block)
+                .arg("step", id.step);
             let data = if collective && !ctx.proxy.is_cached(&ctx.dataset, id) {
                 // Cold item: all group members fetch their items in one
                 // coordinated operation.
@@ -40,6 +44,10 @@ fn extract_items(
             ctx.charge_compute(compute_per_item);
             let field = data.velocity.magnitude();
             let (soup, stats) = extract_isosurface(&data.grid, &field, iso);
+            block_span.set_arg("triangles", soup.n_triangles());
+            block_span.set_arg("cells_skipped", stats.cells_skipped as u64);
+            block_span.set_arg("bricks_skipped", stats.bricks_skipped as u64);
+            drop(block_span);
             out.triangles.extend_from(&soup);
             out.cells_skipped += stats.cells_skipped as u64;
             out.bricks_skipped += stats.bricks_skipped as u64;

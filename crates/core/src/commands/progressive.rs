@@ -33,12 +33,19 @@ impl Command for ProgressiveIso {
                 if ctx.is_cancelled() {
                     return Ok(out);
                 }
+                let mut block_span = vira_obs::span("extract.block", "extract")
+                    .arg("job", ctx.job)
+                    .arg("block", id.block)
+                    .arg("step", id.step);
                 let data = ctx.load_block(id)?;
                 let field = data.velocity.magnitude();
                 let mut stream_err: Option<CommandError> = None;
                 let mut cells_skipped = 0u64;
                 let mut bricks_skipped = 0u64;
                 progressive_isosurface(&data.grid, &field, iso, levels, |level| {
+                    let _level_span = vira_obs::span("extract.level", "extract")
+                        .arg("stride", level.stride as u64)
+                        .arg("triangles", level.surface.n_triangles());
                     cells_skipped += level.stats.cells_skipped as u64;
                     bricks_skipped += level.stats.bricks_skipped as u64;
                     if stream_err.is_some() {
@@ -58,6 +65,9 @@ impl Command for ProgressiveIso {
                         }
                     }
                 });
+                block_span.set_arg("cells_skipped", cells_skipped);
+                block_span.set_arg("bricks_skipped", bricks_skipped);
+                drop(block_span);
                 if let Some(e) = stream_err {
                     return Err(e);
                 }

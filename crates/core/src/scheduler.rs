@@ -10,8 +10,9 @@ use crate::command::{CancelSet, CommandRegistry};
 use crate::wire;
 use bytes::Bytes;
 use std::collections::{HashMap, VecDeque};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
+use vira_obs as obs;
 use vira_comm::endpoint::Endpoint;
 use vira_comm::link::ServerSide;
 use vira_comm::transport::{tags, CommError, LocalEndpoint, Rank};
@@ -28,12 +29,25 @@ struct QueuedJob {
     dataset: String,
     params: vira_vista::protocol::CommandParams,
     workers: usize,
+    submitted_at: Instant,
 }
 
 struct RunningJob {
     group: Vec<Rank>,
     accepted_at: Instant,
+    /// Modeled seconds the job waited in the FIFO queue before dispatch.
+    queue_wait_s: f64,
 }
+
+// Scheduler metrics (see DESIGN.md "Observability layer" for naming).
+static JOBS_SUBMITTED: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static JOBS_REJECTED: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static JOBS_DISPATCHED: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static JOBS_DONE: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static JOBS_FAILED: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static IDLE_WAIT_NS: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static QUEUE_WAIT_NS: OnceLock<Arc<obs::Histogram>> = OnceLock::new();
+static JOB_RUNTIME_NS: OnceLock<Arc<obs::Histogram>> = OnceLock::new();
 
 /// Everything the scheduler thread needs.
 pub struct SchedulerSetup {
@@ -81,6 +95,8 @@ pub fn scheduler_main(setup: SchedulerSetup) {
                             workers,
                         }) => {
                             if shutting_down {
+                                obs::counter_cached(&JOBS_REJECTED, "sched_jobs_rejected_total")
+                                    .inc();
                                 let _ = link.emit(encode_event(
                                     &EventHeader::JobRejected {
                                         job,
@@ -91,6 +107,8 @@ pub fn scheduler_main(setup: SchedulerSetup) {
                                 continue;
                             }
                             if registry.get(&command).is_none() {
+                                obs::counter_cached(&JOBS_REJECTED, "sched_jobs_rejected_total")
+                                    .inc();
                                 let _ = link.emit(encode_event(
                                     &EventHeader::JobRejected {
                                         job,
@@ -101,6 +119,8 @@ pub fn scheduler_main(setup: SchedulerSetup) {
                                 continue;
                             }
                             if server.dataset_spec(&dataset).is_none() {
+                                obs::counter_cached(&JOBS_REJECTED, "sched_jobs_rejected_total")
+                                    .inc();
                                 let _ = link.emit(encode_event(
                                     &EventHeader::JobRejected {
                                         job,
@@ -110,12 +130,15 @@ pub fn scheduler_main(setup: SchedulerSetup) {
                                 ));
                                 continue;
                             }
+                            obs::counter_cached(&JOBS_SUBMITTED, "sched_jobs_submitted_total")
+                                .inc();
                             queue.push_back(QueuedJob {
                                 job,
                                 command,
                                 dataset,
                                 params,
                                 workers: workers.clamp(1, n_workers),
+                                submitted_at: Instant::now(),
                             });
                         }
                         Ok(ClientRequest::Cancel { job }) => {
@@ -139,6 +162,8 @@ pub fn scheduler_main(setup: SchedulerSetup) {
                             // Jobs still waiting for workers are rejected
                             // explicitly so their clients never hang.
                             for q in queue.drain(..) {
+                                obs::counter_cached(&JOBS_REJECTED, "sched_jobs_rejected_total")
+                                    .inc();
                                 let _ = link.emit(encode_event(
                                     &EventHeader::JobRejected {
                                         job: q.job,
@@ -183,6 +208,21 @@ pub fn scheduler_main(setup: SchedulerSetup) {
             for &r in &group {
                 free[r] = false;
             }
+            let dispatched_at = Instant::now();
+            let queue_wait = dispatched_at.duration_since(q.submitted_at);
+            obs::counter_cached(&JOBS_DISPATCHED, "sched_jobs_dispatched_total").inc();
+            obs::histogram_cached(&QUEUE_WAIT_NS, "sched_queue_wait_ns")
+                .record_duration(queue_wait);
+            obs::complete_span(
+                "sched.queued",
+                "sched",
+                q.submitted_at,
+                dispatched_at,
+                &[
+                    ("job", obs::ArgValue::U64(q.job)),
+                    ("workers", obs::ArgValue::U64(q.workers as u64)),
+                ],
+            );
             let msg = wire::CommandMsg {
                 job: q.job,
                 command: q.command,
@@ -191,8 +231,13 @@ pub fn scheduler_main(setup: SchedulerSetup) {
                 group: group.clone(),
             };
             let frame = wire::encode_command(&msg);
-            for &r in &group {
-                let _ = endpoint.send(r, tags::COMMAND, frame.clone());
+            {
+                let _s = obs::span("sched.dispatch", "sched")
+                    .arg("job", msg.job)
+                    .arg("workers", group.len());
+                for &r in &group {
+                    let _ = endpoint.send(r, tags::COMMAND, frame.clone());
+                }
             }
             let _ = link.emit(encode_event(
                 &EventHeader::JobAccepted {
@@ -205,7 +250,8 @@ pub fn scheduler_main(setup: SchedulerSetup) {
                 msg.job,
                 RunningJob {
                     group,
-                    accepted_at: Instant::now(),
+                    accepted_at: dispatched_at,
+                    queue_wait_s: clock.wall_to_modeled(queue_wait),
                 },
             );
             progressed = true;
@@ -224,7 +270,11 @@ pub fn scheduler_main(setup: SchedulerSetup) {
         // former re-send-to-self path copied the payload and cost an
         // extra scheduler round-trip per result.
         if !progressed {
-            match endpoint.recv_tag_timeout(tags::JOB_DONE, Duration::from_micros(500)) {
+            let wait_started = Instant::now();
+            let waited = endpoint.recv_tag_timeout(tags::JOB_DONE, Duration::from_micros(500));
+            obs::counter_cached(&IDLE_WAIT_NS, "sched_idle_wait_ns_total")
+                .add(wait_started.elapsed().as_nanos() as u64);
+            match waited {
                 Ok(m) => {
                     handle_job_done(m.payload, &mut running, &mut free, &cancels, &clock, &link)
                 }
@@ -256,8 +306,23 @@ fn handle_job_done(
         free[r] = true;
     }
     cancels.write().remove(&done.job);
-    let total_runtime_s = clock.wall_to_modeled(run.accepted_at.elapsed());
+    let run_elapsed = run.accepted_at.elapsed();
+    let total_runtime_s = clock.wall_to_modeled(run_elapsed);
+    obs::complete_span(
+        "sched.job",
+        "sched",
+        run.accepted_at,
+        Instant::now(),
+        &[
+            ("job", obs::ArgValue::U64(done.job)),
+            ("workers", obs::ArgValue::U64(run.group.len() as u64)),
+            ("items", obs::ArgValue::U64(done.n_items as u64)),
+        ],
+    );
+    obs::histogram_cached(&JOB_RUNTIME_NS, "sched_job_runtime_ns")
+        .record_duration(run_elapsed);
     if let Some(err) = done.error {
+        obs::counter_cached(&JOBS_FAILED, "sched_jobs_failed_total").inc();
         let _ = link.emit(encode_event(
             &EventHeader::Error {
                 job: done.job,
@@ -267,11 +332,14 @@ fn handle_job_done(
         ));
         return;
     }
+    obs::counter_cached(&JOBS_DONE, "sched_jobs_done_total").inc();
     let report = JobReport {
         total_runtime_s,
         read_s: done.read_s,
         compute_s: done.compute_s,
         send_s: done.send_s,
+        queue_wait_s: run.queue_wait_s,
+        merge_s: done.merge_s,
         demand_requests: done.dms.demand_requests,
         cache_hits: done.dms.l1_hits + done.dms.l2_hits,
         cache_misses: done.dms.misses,

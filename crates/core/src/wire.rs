@@ -53,6 +53,10 @@ pub struct DoneHeader {
     pub read_s: f64,
     pub compute_s: f64,
     pub send_s: f64,
+    /// Modeled seconds the master spent gathering and splicing the
+    /// group's partials (absent in frames from older peers).
+    #[serde(default)]
+    pub merge_s: f64,
     pub dms: DmsStatsSnapshot,
     /// Summed bricktree pruning counters of the whole group.
     #[serde(default)]
@@ -153,6 +157,7 @@ mod tests {
             read_s: 0.0,
             compute_s: 0.0,
             send_s: 0.0,
+            merge_s: 0.25,
             dms: DmsStatsSnapshot::default(),
             cells_skipped: 0,
             bricks_skipped: 0,
@@ -191,6 +196,35 @@ mod tests {
         assert_eq!(h2.cells_skipped, 0);
         assert_eq!(h2.bricks_skipped, 0);
         assert_eq!(h2.job, 4);
+    }
+
+    #[test]
+    fn done_header_without_merge_time_defaults_to_zero() {
+        // Frames from masters predating the per-stage merge timing must
+        // still decode.
+        let h = DoneHeader {
+            job: 11,
+            kind: PayloadKind::Triangles,
+            n_items: 5,
+            read_s: 1.0,
+            compute_s: 2.0,
+            send_s: 0.5,
+            merge_s: 0.125,
+            dms: DmsStatsSnapshot::default(),
+            cells_skipped: 0,
+            bricks_skipped: 0,
+            error: None,
+        };
+        let mut v = serde_json::to_value(&h).unwrap();
+        v.as_object_mut().unwrap().remove("merge_s");
+        let json = serde_json::to_vec(&v).unwrap();
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(json.len() as u32);
+        buf.put_slice(&json);
+        let (h2, _) = decode_done(buf.freeze()).unwrap();
+        assert_eq!(h2.merge_s, 0.0);
+        assert_eq!(h2.read_s, 1.0);
+        assert_eq!(h2.job, 11);
     }
 
     #[test]

@@ -18,7 +18,6 @@ use vira_comm::link::EventSender;
 use vira_comm::transport::{tags, LocalEndpoint};
 use vira_dms::proxy::{DataProxy, ProxyConfig};
 use vira_dms::server::DataServer;
-use vira_dms::stats::DmsStatsSnapshot;
 use vira_extract::mesh::payload_triangle_count;
 use vira_storage::costmodel::{CostCategory, Meter, SharedChannel, SimClock};
 use vira_vista::protocol::PayloadKind;
@@ -113,6 +112,10 @@ fn run_job(
     let group = Group::new(msg.group.clone());
     let meter = Meter::new();
     let dms_before = proxy.stats().snapshot();
+    let mut job_span = vira_obs::span("worker.job", "worker")
+        .arg("job", msg.job)
+        .arg("command", vira_obs::intern(&msg.command))
+        .arg("rank", rank);
 
     // Per-job context and execution.
     let (output, error) = match (
@@ -154,8 +157,8 @@ fn run_job(
     };
 
     // DMS counters attributable to this job on this node.
-    let dms_after = proxy.stats().snapshot();
-    let dms = diff_stats(&dms_before, &dms_after);
+    let dms = proxy.stats().snapshot().delta(&dms_before);
+    job_span.set_arg("items", output.n_items());
 
     let send_scale = |kind: PayloadKind| -> f64 {
         match kind {
@@ -178,6 +181,11 @@ fn run_job(
         let _ = endpoint.send(group.root(), tags::PARTIAL_RESULT, frame);
         return;
     }
+
+    let merge_started = std::time::Instant::now();
+    let merge_span = vira_obs::span("worker.merge", "worker")
+        .arg("job", msg.job)
+        .arg("partials", group.len().saturating_sub(1));
 
     // Master worker: gather the other members' partials and merge.
     // Triangle partials carry the same wire layout the merged package
@@ -268,6 +276,8 @@ fn run_job(
         PayloadKind::Polylines => vira_vista::protocol::encode_polylines(&merged_polylines),
         PayloadKind::None => Bytes::new(),
     };
+    drop(merge_span);
+    let merge_s = clock.wall_to_modeled(merge_started.elapsed());
     let done = wire::DoneHeader {
         job: msg.job,
         kind,
@@ -275,6 +285,7 @@ fn run_job(
         read_s: total_read,
         compute_s: total_compute,
         send_s: total_send,
+        merge_s,
         dms: total_dms,
         cells_skipped,
         bricks_skipped,
@@ -288,34 +299,16 @@ fn charge_send(meter: &Meter, clock: &SimClock, config: &ViracochaConfig, n_item
     meter.charge(clock, CostCategory::Send, t);
 }
 
-/// Per-job DMS counter window (`after - before`, saturating).
-fn diff_stats(before: &DmsStatsSnapshot, after: &DmsStatsSnapshot) -> DmsStatsSnapshot {
-    DmsStatsSnapshot {
-        demand_requests: after.demand_requests.saturating_sub(before.demand_requests),
-        l1_hits: after.l1_hits.saturating_sub(before.l1_hits),
-        l2_hits: after.l2_hits.saturating_sub(before.l2_hits),
-        misses: after.misses.saturating_sub(before.misses),
-        prefetch_waits: after.prefetch_waits.saturating_sub(before.prefetch_waits),
-        prefetch_issued: after.prefetch_issued.saturating_sub(before.prefetch_issued),
-        prefetch_redundant: after
-            .prefetch_redundant
-            .saturating_sub(before.prefetch_redundant),
-        prefetch_hits: after.prefetch_hits.saturating_sub(before.prefetch_hits),
-        loads_by_strategy: [
-            after.loads_by_strategy[0].saturating_sub(before.loads_by_strategy[0]),
-            after.loads_by_strategy[1].saturating_sub(before.loads_by_strategy[1]),
-            after.loads_by_strategy[2].saturating_sub(before.loads_by_strategy[2]),
-            after.loads_by_strategy[3].saturating_sub(before.loads_by_strategy[3]),
-        ],
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vira_dms::stats::DmsStatsSnapshot;
 
     #[test]
-    fn stats_diff_is_elementwise() {
+    fn job_window_uses_snapshot_delta() {
+        // The per-job DMS window is `after.delta(&before)` — kept here as
+        // a wire-level sanity check that worker accounting stays
+        // elementwise and saturating.
         let a = DmsStatsSnapshot {
             demand_requests: 10,
             l1_hits: 4,
@@ -327,7 +320,7 @@ mod tests {
             misses: 3,
             ..a
         };
-        let d = diff_stats(&a, &b);
+        let d = b.delta(&a);
         assert_eq!(d.demand_requests, 15);
         assert_eq!(d.l1_hits, 1);
         assert_eq!(d.misses, 3);

@@ -20,8 +20,9 @@ use crate::stats::{DmsStats, StrategyIndex};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
+use vira_obs as obs;
 use vira_grid::block::BlockStepId;
 use vira_grid::field::SharedBlockData;
 use vira_storage::costmodel::{CostCategory, Meter};
@@ -63,6 +64,21 @@ struct PrefetchJob {
     dataset: String,
     id: BlockStepId,
 }
+
+// Global DMS metrics, bumped adjacent to the per-proxy [`DmsStats`]
+// counters so exported totals stay consistent with snapshots summed
+// over all proxies (see DESIGN.md "Observability layer").
+static DEMAND_REQUESTS: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static L1_HITS: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static L2_HITS: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static MISSES: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static PREFETCH_WAITS: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static PREFETCH_HITS: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static PREFETCH_ISSUED: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static PREFETCH_REDUNDANT: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static LOADS_FILESERVER: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static LOADS_REPLICA: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static LOADS_PEER: OnceLock<Arc<obs::Counter>> = OnceLock::new();
 
 struct Core {
     node: NodeId,
@@ -128,6 +144,18 @@ impl Core {
                         LoadStrategy::Peer(_) => StrategyIndex::Peer,
                     };
                     self.stats.record_strategy(idx);
+                    match idx {
+                        StrategyIndex::FileServer => {
+                            obs::counter_cached(&LOADS_FILESERVER, "dms_loads_fileserver_total")
+                                .inc()
+                        }
+                        StrategyIndex::LocalReplica => {
+                            obs::counter_cached(&LOADS_REPLICA, "dms_loads_replica_total").inc()
+                        }
+                        StrategyIndex::Peer => {
+                            obs::counter_cached(&LOADS_PEER, "dms_loads_peer_total").inc()
+                        }
+                    }
                     return Ok(p);
                 }
                 Err(e) => {
@@ -262,6 +290,11 @@ impl DataProxy {
         let core = &self.core;
         let item = core.item_id(dataset, id);
         core.stats.bump(&core.stats.demand_requests);
+        obs::counter_cached(&DEMAND_REQUESTS, "dms_demand_requests_total").inc();
+        let mut span = obs::span("dms.request", "dms")
+            .arg("dataset", obs::intern(dataset))
+            .arg("block", id.block)
+            .arg("step", id.step);
         let mut waited = false;
 
         loop {
@@ -275,6 +308,8 @@ impl DataProxy {
                 match tier {
                     Tier::Memory => {
                         core.stats.bump(&core.stats.l1_hits);
+                        obs::counter_cached(&L1_HITS, "dms_l1_hits_total").inc();
+                        span.set_arg("tier", "l1");
                         if let Some(spec) = core.server.dataset_spec(dataset) {
                             let bw = core.server.config().memory_bandwidth_bps;
                             meter.charge(
@@ -286,6 +321,8 @@ impl DataProxy {
                     }
                     Tier::Disk => {
                         core.stats.bump(&core.stats.l2_hits);
+                        obs::counter_cached(&L2_HITS, "dms_l2_hits_total").inc();
+                        span.set_arg("tier", "l2");
                         if let Some(spec) = core.server.dataset_spec(dataset) {
                             meter.charge(
                                 core.server.clock(),
@@ -299,6 +336,7 @@ impl DataProxy {
                 }
                 if core.prefetched.lock().remove(&item) {
                     core.stats.bump(&core.stats.prefetch_hits);
+                    obs::counter_cached(&PREFETCH_HITS, "dms_prefetch_hits_total").inc();
                 }
                 self.enqueue_suggestions(dataset, core.advise(dataset, id, true));
                 return Ok(payload);
@@ -310,6 +348,7 @@ impl DataProxy {
                 if fl.contains(&item) {
                     if !waited {
                         core.stats.bump(&core.stats.prefetch_waits);
+                        obs::counter_cached(&PREFETCH_WAITS, "dms_prefetch_waits_total").inc();
                         waited = true;
                     }
                     while fl.contains(&item) {
@@ -324,6 +363,8 @@ impl DataProxy {
 
         // 3. We own the load.
         core.stats.bump(&core.stats.misses);
+        obs::counter_cached(&MISSES, "dms_misses_total").inc();
+        span.set_arg("tier", "miss");
         let result = core.load(dataset, item, id, meter);
         if let Ok(payload) = &result {
             core.install(item, payload.clone())?;
@@ -405,17 +446,24 @@ fn run_prefetch_job(core: &Core, job: &PrefetchJob, meter: &Meter) {
     let item = core.item_id(&job.dataset, job.id);
     if core.cache.lock().locate(item).is_some() {
         core.stats.bump(&core.stats.prefetch_redundant);
+        obs::counter_cached(&PREFETCH_REDUNDANT, "dms_prefetch_redundant_total").inc();
         return;
     }
     {
         let mut fl = core.inflight.lock();
         if fl.contains(&item) {
             core.stats.bump(&core.stats.prefetch_redundant);
+            obs::counter_cached(&PREFETCH_REDUNDANT, "dms_prefetch_redundant_total").inc();
             return;
         }
         fl.insert(item);
     }
     core.stats.bump(&core.stats.prefetch_issued);
+    obs::counter_cached(&PREFETCH_ISSUED, "dms_prefetch_issued_total").inc();
+    let _span = obs::span("dms.prefetch", "dms")
+        .arg("dataset", obs::intern(&job.dataset))
+        .arg("block", job.id.block)
+        .arg("step", job.id.step);
     match core.load(&job.dataset, item, job.id, meter) {
         Ok(payload) => {
             if core.install(item, payload).is_ok() {

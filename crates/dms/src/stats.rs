@@ -131,6 +131,36 @@ impl DmsStatsSnapshot {
         self.prefetch_hits as f64 / self.prefetch_issued as f64
     }
 
+    /// Element-wise saturating difference `self - earlier`: the counter
+    /// activity that happened between two snapshots of the same stats
+    /// (e.g. one job's window on one proxy). Saturates so a `clear()`
+    /// between the snapshots yields zeros rather than wrapping.
+    pub fn delta(&self, earlier: &DmsStatsSnapshot) -> DmsStatsSnapshot {
+        DmsStatsSnapshot {
+            demand_requests: self.demand_requests.saturating_sub(earlier.demand_requests),
+            l1_hits: self.l1_hits.saturating_sub(earlier.l1_hits),
+            l2_hits: self.l2_hits.saturating_sub(earlier.l2_hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            prefetch_waits: self.prefetch_waits.saturating_sub(earlier.prefetch_waits),
+            prefetch_issued: self.prefetch_issued.saturating_sub(earlier.prefetch_issued),
+            prefetch_redundant: self
+                .prefetch_redundant
+                .saturating_sub(earlier.prefetch_redundant),
+            prefetch_hits: self.prefetch_hits.saturating_sub(earlier.prefetch_hits),
+            loads_by_strategy: [
+                self.loads_by_strategy[0].saturating_sub(earlier.loads_by_strategy[0]),
+                self.loads_by_strategy[1].saturating_sub(earlier.loads_by_strategy[1]),
+                self.loads_by_strategy[2].saturating_sub(earlier.loads_by_strategy[2]),
+                self.loads_by_strategy[3].saturating_sub(earlier.loads_by_strategy[3]),
+            ],
+        }
+    }
+
+    /// Total loads across all strategies.
+    pub fn total_loads(&self) -> u64 {
+        self.loads_by_strategy.iter().sum()
+    }
+
     /// Element-wise sum of two snapshots.
     pub fn merge(&self, o: &DmsStatsSnapshot) -> DmsStatsSnapshot {
         DmsStatsSnapshot {
@@ -209,6 +239,33 @@ mod tests {
         assert_eq!(m.demand_requests, 2);
         assert_eq!(m.prefetch_hits, 16);
         assert_eq!(m.loads_by_strategy, [2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn delta_is_elementwise_and_saturating() {
+        let before = DmsStatsSnapshot {
+            demand_requests: 10,
+            l1_hits: 4,
+            loads_by_strategy: [1, 0, 0, 0],
+            ..DmsStatsSnapshot::default()
+        };
+        let after = DmsStatsSnapshot {
+            demand_requests: 25,
+            l1_hits: 5,
+            misses: 3,
+            loads_by_strategy: [2, 1, 0, 0],
+            ..before
+        };
+        let d = after.delta(&before);
+        assert_eq!(d.demand_requests, 15);
+        assert_eq!(d.l1_hits, 1);
+        assert_eq!(d.misses, 3);
+        assert_eq!(d.loads_by_strategy, [1, 1, 0, 0]);
+        assert_eq!(d.total_loads(), 2);
+        // A clear() between snapshots saturates to zero, never wraps.
+        let wrapped = before.delta(&after);
+        assert_eq!(wrapped.demand_requests, 0);
+        assert_eq!(wrapped.l1_hits, 0);
     }
 
     #[test]

@@ -87,6 +87,8 @@ pub fn extract_streamed_with_tree(
     if let Some(t) = tree {
         assert!(t.matches(grid.dims), "bricktree dims mismatch");
     }
+    let mut kernel_span = vira_obs::span("extract.iso_kernel", "extract")
+        .arg("pruned", u64::from(tree.is_some()));
     let mut stats = IsoStats::default();
     let mut pending = TriangleSoup::new();
     let mut visit_cell = |i: usize, j: usize, k: usize| {
@@ -118,6 +120,8 @@ pub fn extract_streamed_with_tree(
     if !pending.is_empty() {
         sink(pending);
     }
+    kernel_span.set_arg("triangles", stats.triangles);
+    kernel_span.set_arg("cells_skipped", stats.cells_skipped);
     stats
 }
 

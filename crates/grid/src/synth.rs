@@ -291,6 +291,9 @@ impl SyntheticDataset {
     pub fn generate(&self, id: BlockStepId) -> BlockData {
         assert!(id.block < self.spec.n_blocks, "block out of range");
         assert!(id.step < self.spec.n_steps, "step out of range");
+        let _span = vira_obs::span("grid.generate", "grid")
+            .arg("block", id.block)
+            .arg("step", id.step);
         let grid = self.blocks[id.block as usize].clone();
         let t = self.time_of_step(id.step);
         let flow = &self.flow;

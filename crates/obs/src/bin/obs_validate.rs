@@ -1,0 +1,70 @@
+//! `obs-validate` — CI helper that checks exported observability
+//! artifacts against the schema self-checks.
+//!
+//! Usage:
+//!   obs-validate <trace-dir>...
+//!
+//! Each directory is expected to contain `events.jsonl` and/or
+//! `trace.json` (as written by `vira_obs::export_all` or the bench
+//! runner's `--trace-out`). Exits non-zero with a diagnostic on the
+//! first invalid artifact; prints a per-file summary otherwise.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use vira_obs::export::{validate_chrome_trace, validate_events_jsonl};
+
+fn check_dir(dir: &Path) -> Result<(), String> {
+    let mut found = 0;
+    // Accept both a flat dir and a dir of per-experiment subdirs.
+    let mut dirs = vec![dir.to_path_buf()];
+    if let Ok(rd) = std::fs::read_dir(dir) {
+        for entry in rd.flatten() {
+            if entry.path().is_dir() {
+                dirs.push(entry.path());
+            }
+        }
+    }
+    for d in dirs {
+        let jsonl = d.join("events.jsonl");
+        if jsonl.is_file() {
+            let text = std::fs::read_to_string(&jsonl)
+                .map_err(|e| format!("{}: {e}", jsonl.display()))?;
+            let n = validate_events_jsonl(&text)
+                .map_err(|e| format!("{}: {e}", jsonl.display()))?;
+            println!("ok {} ({n} events)", jsonl.display());
+            found += 1;
+        }
+        let trace = d.join("trace.json");
+        if trace.is_file() {
+            let text = std::fs::read_to_string(&trace)
+                .map_err(|e| format!("{}: {e}", trace.display()))?;
+            let n = validate_chrome_trace(&text)
+                .map_err(|e| format!("{}: {e}", trace.display()))?;
+            println!("ok {} ({n} spans)", trace.display());
+            found += 1;
+        }
+    }
+    if found == 0 {
+        return Err(format!(
+            "{}: no events.jsonl or trace.json found",
+            dir.display()
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
+        eprintln!("usage: obs-validate <trace-dir>...");
+        return ExitCode::from(2);
+    }
+    for a in &args {
+        if let Err(e) = check_dir(Path::new(a)) {
+            eprintln!("obs-validate: FAIL {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

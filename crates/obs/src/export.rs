@@ -1,0 +1,559 @@
+//! Exporters: Chrome trace-event JSON (`chrome://tracing` / Perfetto),
+//! JSONL event log, and Prometheus-style metrics text — plus the schema
+//! self-checks used by the integration test and the `obs-validate` CI
+//! binary.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::event::{drain_events, EventRecord, Field};
+use crate::json::{self, write_f64, write_str, Json};
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+use crate::trace::{ArgValue, TraceDump};
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event JSON
+// ---------------------------------------------------------------------------
+
+fn write_arg_value(out: &mut String, v: ArgValue) {
+    match v {
+        ArgValue::U64(n) => {
+            out.push_str(&n.to_string());
+        }
+        ArgValue::I64(n) => {
+            out.push_str(&n.to_string());
+        }
+        ArgValue::F64(n) => write_f64(out, n),
+        ArgValue::Str(s) => write_str(out, s),
+        ArgValue::None => out.push_str("null"),
+    }
+}
+
+/// Renders a [`TraceDump`] in the Chrome trace-event JSON object format:
+/// `{"traceEvents": [...], "displayTimeUnit": "ms"}`. Spans become
+/// `ph:"X"` complete events (timestamps in microseconds, as the format
+/// requires); each thread gets a `ph:"M"` `thread_name` metadata event
+/// so workers show up by name.
+pub fn chrome_trace_json(dump: &TraceDump) -> String {
+    let mut out = String::with_capacity(256 + dump.span_count() * 128);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let push_sep = |out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push('\n');
+    };
+    for t in &dump.threads {
+        push_sep(&mut out, &mut first);
+        out.push_str("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":");
+        out.push_str(&t.tid.to_string());
+        out.push_str(",\"args\":{\"name\":");
+        write_str(&mut out, &t.name);
+        out.push_str("}}");
+    }
+    for t in &dump.threads {
+        for s in &t.spans {
+            push_sep(&mut out, &mut first);
+            out.push_str("{\"name\":");
+            write_str(&mut out, s.name);
+            out.push_str(",\"cat\":");
+            write_str(&mut out, if s.cat.is_empty() { "span" } else { s.cat });
+            out.push_str(",\"ph\":\"X\",\"pid\":1,\"tid\":");
+            out.push_str(&t.tid.to_string());
+            out.push_str(",\"ts\":");
+            write_f64(&mut out, s.start_ns as f64 / 1000.0);
+            out.push_str(",\"dur\":");
+            write_f64(&mut out, s.dur_ns as f64 / 1000.0);
+            out.push_str(",\"args\":{");
+            let mut afirst = true;
+            for (k, v) in s.args() {
+                if !afirst {
+                    out.push(',');
+                }
+                afirst = false;
+                write_str(&mut out, k);
+                out.push(':');
+                write_arg_value(&mut out, v);
+            }
+            out.push_str("}}");
+        }
+    }
+    out.push_str("\n]}");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// JSONL event log
+// ---------------------------------------------------------------------------
+
+fn write_field(out: &mut String, f: &Field) {
+    match f {
+        Field::U64(v) => out.push_str(&v.to_string()),
+        Field::I64(v) => out.push_str(&v.to_string()),
+        Field::F64(v) => write_f64(out, *v),
+        Field::Str(v) => write_str(out, v),
+        Field::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+    }
+}
+
+/// One JSON object per line:
+/// `{"ts_ns":..,"level":"info","target":"..","msg":"..","fields":{..}}`.
+pub fn events_jsonl(events: &[EventRecord]) -> String {
+    let mut out = String::with_capacity(events.len() * 128);
+    for e in events {
+        out.push_str("{\"ts_ns\":");
+        out.push_str(&e.ts_ns.to_string());
+        out.push_str(",\"level\":");
+        write_str(&mut out, e.level.as_str());
+        out.push_str(",\"target\":");
+        write_str(&mut out, &e.target);
+        out.push_str(",\"msg\":");
+        write_str(&mut out, &e.message);
+        out.push_str(",\"fields\":{");
+        let mut first = true;
+        for (k, v) in &e.fields {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            write_str(&mut out, k);
+            out.push(':');
+            write_field(&mut out, v);
+        }
+        out.push_str("}}\n");
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text format
+// ---------------------------------------------------------------------------
+
+fn prometheus_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
+    out.push_str(&format!("# TYPE {name} histogram\n"));
+    let mut cum = 0u64;
+    for (i, &b) in h.buckets.iter().enumerate() {
+        if b == 0 {
+            continue;
+        }
+        cum += b;
+        let le = if i >= 63 {
+            u64::MAX
+        } else {
+            (1u64 << (i + 1)) - 1
+        };
+        out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cum}\n"));
+    }
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+    out.push_str(&format!("{name}_sum {}\n", h.sum));
+    out.push_str(&format!("{name}_count {}\n", h.count));
+}
+
+/// Prometheus exposition-format text dump of a metrics snapshot.
+pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+    }
+    for (name, v) in &snap.gauges {
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+    }
+    for (name, h) in &snap.histograms {
+        prometheus_histogram(&mut out, name, h);
+    }
+    out
+}
+
+/// JSON rendering of a metrics snapshot (used by the bench harness to
+/// stash per-experiment metric deltas next to result tables).
+pub fn metrics_json(snap: &MetricsSnapshot) -> String {
+    let mut out = String::from("{\"counters\":{");
+    let mut first = true;
+    for (name, v) in &snap.counters {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        write_str(&mut out, name);
+        out.push(':');
+        out.push_str(&v.to_string());
+    }
+    out.push_str("},\"gauges\":{");
+    first = true;
+    for (name, v) in &snap.gauges {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        write_str(&mut out, name);
+        out.push(':');
+        out.push_str(&v.to_string());
+    }
+    out.push_str("},\"histograms\":{");
+    first = true;
+    for (name, h) in &snap.histograms {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        write_str(&mut out, name);
+        out.push_str(":{\"count\":");
+        out.push_str(&h.count.to_string());
+        out.push_str(",\"sum\":");
+        out.push_str(&h.sum.to_string());
+        out.push_str(",\"p50_ub\":");
+        out.push_str(&h.quantile_upper_bound(0.5).to_string());
+        out.push_str(",\"p99_ub\":");
+        out.push_str(&h.quantile_upper_bound(0.99).to_string());
+        out.push('}');
+    }
+    out.push_str("}}");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Schema self-checks
+// ---------------------------------------------------------------------------
+
+const LEVELS: [&str; 4] = ["debug", "info", "warn", "error"];
+
+/// Validates JSONL event-log text: every non-empty line must be a JSON
+/// object with `ts_ns` (non-negative integer), `level` (known level),
+/// `target`/`msg` (strings), and `fields` (object). Returns the number
+/// of validated lines.
+pub fn validate_events_jsonl(text: &str) -> Result<usize, String> {
+    let mut n = 0;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let obj_err = |what: &str| format!("line {}: {what}", lineno + 1);
+        v.get("ts_ns")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| obj_err("missing/invalid ts_ns"))?;
+        let level = v
+            .get("level")
+            .and_then(Json::as_str)
+            .ok_or_else(|| obj_err("missing level"))?;
+        if !LEVELS.contains(&level) {
+            return Err(obj_err(&format!("unknown level '{level}'")));
+        }
+        v.get("target")
+            .and_then(Json::as_str)
+            .ok_or_else(|| obj_err("missing target"))?;
+        v.get("msg")
+            .and_then(Json::as_str)
+            .ok_or_else(|| obj_err("missing msg"))?;
+        v.get("fields")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| obj_err("missing fields object"))?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// Validates Chrome trace-event JSON: top level must be an object with
+/// a `traceEvents` array; every event needs `name`/`ph` strings and
+/// `pid`/`tid` numbers; `ph:"X"` events additionally need numeric
+/// `ts`/`dur`. Returns the number of `X` (span) events.
+pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    let v = json::parse(text)?;
+    let events = v
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing traceEvents array")?;
+    let mut spans = 0;
+    for (i, e) in events.iter().enumerate() {
+        let err = |what: &str| format!("event {i}: {what}");
+        e.get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| err("missing name"))?;
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| err("missing ph"))?;
+        e.get("pid")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| err("missing pid"))?;
+        e.get("tid")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| err("missing tid"))?;
+        if ph == "X" {
+            e.get("ts")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| err("X event missing ts"))?;
+            e.get("dur")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| err("X event missing dur"))?;
+            spans += 1;
+        }
+    }
+    Ok(spans)
+}
+
+// ---------------------------------------------------------------------------
+// One-call export
+// ---------------------------------------------------------------------------
+
+/// What [`export_all`] wrote and how much it saw.
+#[derive(Debug)]
+pub struct ExportSummary {
+    pub trace_path: PathBuf,
+    pub events_path: PathBuf,
+    pub metrics_path: PathBuf,
+    pub spans: usize,
+    pub events: usize,
+    pub dropped_spans: u64,
+    pub dropped_events: u64,
+}
+
+/// Writes the three artifacts for a drained trace + event batch and a
+/// metrics snapshot into `dir` (created if needed):
+/// `trace.json`, `events.jsonl`, `metrics.prom` (+ `metrics.json`).
+/// Each artifact is run through its schema self-check before being
+/// written; a failure aborts with `InvalidData` (it would mean a bug in
+/// the writers).
+pub fn write_artifacts(
+    dir: &Path,
+    dump: &TraceDump,
+    events: &[EventRecord],
+    dropped_events: u64,
+    snap: &MetricsSnapshot,
+) -> io::Result<ExportSummary> {
+    std::fs::create_dir_all(dir)?;
+    let trace = chrome_trace_json(dump);
+    let spans = validate_chrome_trace(&trace)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("trace self-check: {e}")))?;
+    let jsonl = events_jsonl(events);
+    let n_events = validate_events_jsonl(&jsonl)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("jsonl self-check: {e}")))?;
+    let prom = prometheus_text(snap);
+
+    let trace_path = dir.join("trace.json");
+    let events_path = dir.join("events.jsonl");
+    let metrics_path = dir.join("metrics.prom");
+    std::fs::write(&trace_path, trace)?;
+    std::fs::write(&events_path, jsonl)?;
+    std::fs::write(&metrics_path, prom)?;
+    std::fs::write(dir.join("metrics.json"), metrics_json(snap))?;
+
+    Ok(ExportSummary {
+        trace_path,
+        events_path,
+        metrics_path,
+        spans,
+        events: n_events,
+        dropped_spans: dump.dropped(),
+        dropped_events,
+    })
+}
+
+/// Drains the global tracer and event log, snapshots the global metrics
+/// registry, and writes everything into `dir`.
+pub fn export_all(dir: &Path) -> io::Result<ExportSummary> {
+    let dump = crate::trace::drain();
+    let (events, dropped_events) = drain_events();
+    let snap = crate::metrics::snapshot();
+    write_artifacts(dir, &dump, &events, dropped_events, &snap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Level;
+    use crate::trace::{SpanRecord, ThreadDump};
+
+    fn sample_dump() -> TraceDump {
+        let mut rec = SpanRecord {
+            name: "extract.block",
+            cat: "extract",
+            start_ns: 1_500,
+            dur_ns: 2_000,
+            depth: 1,
+            ..SpanRecord::default()
+        };
+        rec.args[0] = ("block", ArgValue::U64(3));
+        rec.args[1] = ("note", ArgValue::Str("a\"b"));
+        rec.n_args = 2;
+        TraceDump {
+            threads: vec![ThreadDump {
+                tid: 7,
+                name: "vira-worker-0".into(),
+                spans: vec![rec],
+                dropped: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_and_carries_thread_names() {
+        let text = chrome_trace_json(&sample_dump());
+        assert_eq!(validate_chrome_trace(&text).unwrap(), 1);
+        let v = json::parse(&text).unwrap();
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 2, "metadata + span");
+        let meta = &events[0];
+        assert_eq!(meta.get("ph").unwrap().as_str(), Some("M"));
+        assert_eq!(
+            meta.get("args").unwrap().get("name").unwrap().as_str(),
+            Some("vira-worker-0")
+        );
+        let span = &events[1];
+        assert_eq!(span.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(span.get("ts").unwrap().as_f64(), Some(1.5));
+        assert_eq!(span.get("dur").unwrap().as_f64(), Some(2.0));
+        assert_eq!(
+            span.get("args").unwrap().get("block").unwrap().as_u64(),
+            Some(3)
+        );
+        assert_eq!(
+            span.get("args").unwrap().get("note").unwrap().as_str(),
+            Some("a\"b")
+        );
+    }
+
+    #[test]
+    fn empty_dump_is_still_valid() {
+        let text = chrome_trace_json(&TraceDump { threads: vec![] });
+        assert_eq!(validate_chrome_trace(&text).unwrap(), 0);
+    }
+
+    #[test]
+    fn jsonl_roundtrip_and_validation() {
+        let events = vec![
+            EventRecord {
+                ts_ns: 12,
+                level: Level::Info,
+                target: "bench".into(),
+                message: "run \"E11\" done".into(),
+                fields: vec![
+                    ("runs".into(), Field::U64(3)),
+                    ("mean_s".into(), Field::F64(0.25)),
+                    ("warm".into(), Field::Bool(true)),
+                ],
+            },
+            EventRecord {
+                ts_ns: 40,
+                level: Level::Error,
+                target: "vira".into(),
+                message: "bad\nline".into(),
+                fields: vec![],
+            },
+        ];
+        let text = events_jsonl(&events);
+        assert_eq!(text.lines().count(), 2, "newline in message is escaped");
+        assert_eq!(validate_events_jsonl(&text).unwrap(), 2);
+        let first = json::parse(text.lines().next().unwrap()).unwrap();
+        assert_eq!(first.get("msg").unwrap().as_str(), Some("run \"E11\" done"));
+        assert_eq!(
+            first.get("fields").unwrap().get("mean_s").unwrap().as_f64(),
+            Some(0.25)
+        );
+    }
+
+    #[test]
+    fn validators_reject_malformed_input() {
+        assert!(validate_events_jsonl("{\"nope\":1}").is_err());
+        assert!(validate_events_jsonl("not json").is_err());
+        // Unknown level.
+        assert!(validate_events_jsonl(
+            "{\"ts_ns\":1,\"level\":\"loud\",\"target\":\"t\",\"msg\":\"m\",\"fields\":{}}"
+        )
+        .is_err());
+        // Good line still counts around blank lines.
+        assert_eq!(
+            validate_events_jsonl(
+                "\n{\"ts_ns\":1,\"level\":\"info\",\"target\":\"t\",\"msg\":\"m\",\"fields\":{}}\n\n"
+            )
+            .unwrap(),
+            1
+        );
+
+        assert!(validate_chrome_trace("[]").is_err(), "must be an object");
+        assert!(validate_chrome_trace("{\"traceEvents\":[{\"ph\":\"X\"}]}").is_err());
+    }
+
+    #[test]
+    fn prometheus_text_shapes() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.push(("dms_l1_hits_total".into(), 42));
+        snap.gauges.push(("sched_queue_depth".into(), -1));
+        let mut h = HistogramSnapshot::default();
+        h.count = 3;
+        h.sum = 1030;
+        h.buckets[1] = 2; // values 2,3
+        h.buckets[9] = 1; // value ~1000
+        snap.histograms.push(("sched_queue_wait_ns".into(), h));
+        let text = prometheus_text(&snap);
+        assert!(text.contains("# TYPE dms_l1_hits_total counter\ndms_l1_hits_total 42\n"));
+        assert!(text.contains("# TYPE sched_queue_depth gauge\nsched_queue_depth -1\n"));
+        assert!(text.contains("sched_queue_wait_ns_bucket{le=\"3\"} 2\n"));
+        assert!(text.contains("sched_queue_wait_ns_bucket{le=\"1023\"} 3\n"));
+        assert!(text.contains("sched_queue_wait_ns_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("sched_queue_wait_ns_sum 1030\n"));
+        assert!(text.contains("sched_queue_wait_ns_count 3\n"));
+    }
+
+    #[test]
+    fn metrics_json_parses() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.push(("a_total".into(), 1));
+        let mut h = HistogramSnapshot::default();
+        h.count = 1;
+        h.sum = 5;
+        h.buckets[2] = 1;
+        snap.histograms.push(("lat_ns".into(), h));
+        let v = json::parse(&metrics_json(&snap)).unwrap();
+        assert_eq!(
+            v.get("counters").unwrap().get("a_total").unwrap().as_u64(),
+            Some(1)
+        );
+        assert_eq!(
+            v.get("histograms")
+                .unwrap()
+                .get("lat_ns")
+                .unwrap()
+                .get("p99_ub")
+                .unwrap()
+                .as_u64(),
+            Some(8)
+        );
+    }
+
+    #[test]
+    fn write_artifacts_writes_all_files() {
+        let dir = std::env::temp_dir().join(format!(
+            "vira-obs-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let summary = write_artifacts(
+            &dir,
+            &sample_dump(),
+            &[EventRecord {
+                ts_ns: 1,
+                level: Level::Info,
+                target: "t".into(),
+                message: "m".into(),
+                fields: vec![],
+            }],
+            0,
+            &MetricsSnapshot::default(),
+        )
+        .unwrap();
+        assert_eq!(summary.spans, 1);
+        assert_eq!(summary.events, 1);
+        for p in [
+            &summary.trace_path,
+            &summary.events_path,
+            &summary.metrics_path,
+        ] {
+            assert!(p.exists(), "{p:?} missing");
+        }
+        assert!(dir.join("metrics.json").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,46 @@
+//! `vira-obs` — dependency-free observability substrate for Viracocha.
+//!
+//! Three pillars, all usable from any thread with no setup:
+//!
+//! 1. **Spans** ([`trace`]): `let _s = obs::span("sched.dispatch",
+//!    "sched").arg("job", id);` — RAII timing into per-thread lock-free
+//!    ring buffers. Off by default (one relaxed atomic load per span);
+//!    enable with [`set_enabled`]`(true)`. The `off` cargo feature
+//!    compiles the recording path out entirely.
+//! 2. **Metrics** ([`metrics`]): named counters / gauges / log2-bucket
+//!    latency histograms in a global registry. Always on (a metric
+//!    update is a relaxed atomic RMW); hot paths cache handles with
+//!    [`counter_cached`].
+//! 3. **Events** ([`event`]): structured leveled log records replacing
+//!    `eprintln!` diagnostics, echoed to stderr by default.
+//!
+//! [`export::export_all`]`(dir)` drains everything and writes
+//! `trace.json` (Chrome trace-event JSON for `chrome://tracing` or
+//! <https://ui.perfetto.dev>), `events.jsonl`, `metrics.prom`, and
+//! `metrics.json` — each validated against its own schema self-check
+//! before it hits disk.
+//!
+//! The crate intentionally has **zero dependencies** (std only) so it
+//! sits below every other workspace crate and builds in offline
+//! containers. See DESIGN.md "Observability layer" for the span
+//! taxonomy and metric naming convention.
+
+pub mod event;
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod ring;
+pub mod trace;
+
+pub use event::{
+    debug, drain_events, error, event, info, set_stderr_echo, warn, EventRecord, Field, Level,
+};
+pub use export::{export_all, ExportSummary};
+pub use metrics::{
+    counter, counter_cached, gauge, gauge_cached, histogram, histogram_cached, snapshot, Counter,
+    Gauge, Histogram, HistogramSnapshot, MetricsSnapshot,
+};
+pub use trace::{
+    complete_span, drain, enabled, epoch, instant_ns, intern, now_ns, set_enabled, span, ArgValue,
+    SpanGuard, SpanRecord, TraceDump,
+};

@@ -1,0 +1,562 @@
+//! Span-based tracer with per-thread lock-free ring buffers.
+//!
+//! Design:
+//! - Each thread lazily registers a [`ThreadBuf`] (a [`Ring`] of
+//!   [`SpanRecord`]s plus identity) with the global tracer the first time
+//!   it opens a span. Pushing a finished span is a wait-free write into
+//!   the thread's own ring — no locks, no allocation on the hot path.
+//! - [`span`] returns a [`SpanGuard`]; dropping the guard stamps the
+//!   duration and pushes the record. Guards nest: the per-thread depth
+//!   counter is carried in the record so exporters can reconstruct the
+//!   call tree.
+//! - When tracing is disabled (the default), `span` costs a single
+//!   relaxed atomic load. With the `off` cargo feature the recording
+//!   path is compiled out entirely and `span` is an inert no-op the
+//!   optimizer can delete.
+//! - Span names are `&'static str`. Dynamic names (command ids, dataset
+//!   ids) go through [`intern`], a bounded leak-once string table.
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::ring::Ring;
+
+/// Maximum key/value arguments carried inline by a span record.
+pub const MAX_ARGS: usize = 6;
+
+// ---------------------------------------------------------------------------
+// Clock
+// ---------------------------------------------------------------------------
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// The process-wide trace epoch. Pinned on first use; [`set_enabled`]
+/// touches it so that enabling tracing early gives every later
+/// timestamp a common origin.
+pub fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the trace epoch.
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// Converts an `Instant` captured elsewhere into epoch-relative
+/// nanoseconds, saturating to zero for instants before the epoch.
+pub fn instant_ns(t: Instant) -> u64 {
+    t.checked_duration_since(epoch())
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+}
+
+// ---------------------------------------------------------------------------
+// String interning
+// ---------------------------------------------------------------------------
+
+static INTERN: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+
+/// Returns a `'static` copy of `s`, leaking it at most once. Intended
+/// for low-cardinality dynamic names (command ids, dataset ids) that
+/// must live in `Copy` span records.
+pub fn intern(s: &str) -> &'static str {
+    let set = INTERN.get_or_init(|| Mutex::new(HashSet::new()));
+    let mut guard = set.lock().unwrap();
+    if let Some(&existing) = guard.get(s) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    guard.insert(leaked);
+    leaked
+}
+
+// ---------------------------------------------------------------------------
+// Records
+// ---------------------------------------------------------------------------
+
+/// A span argument value. `Copy` so records can live in the ring.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ArgValue {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(&'static str),
+    None,
+}
+
+impl Default for ArgValue {
+    fn default() -> Self {
+        ArgValue::None
+    }
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+impl From<u32> for ArgValue {
+    fn from(v: u32) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+impl From<i64> for ArgValue {
+    fn from(v: i64) -> Self {
+        ArgValue::I64(v)
+    }
+}
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+impl From<&'static str> for ArgValue {
+    fn from(v: &'static str) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// One finished span, as stored in the per-thread ring.
+#[derive(Clone, Copy, Debug)]
+pub struct SpanRecord {
+    pub name: &'static str,
+    /// Category, e.g. `"sched"`, `"dms"`, `"extract"` — becomes the
+    /// Chrome trace `cat` field.
+    pub cat: &'static str,
+    /// Start, nanoseconds since [`epoch`].
+    pub start_ns: u64,
+    pub dur_ns: u64,
+    /// Nesting depth on the owning thread at the time the span opened
+    /// (0 = top level).
+    pub depth: u32,
+    pub n_args: u32,
+    pub args: [(&'static str, ArgValue); MAX_ARGS],
+}
+
+impl Default for SpanRecord {
+    fn default() -> Self {
+        SpanRecord {
+            name: "",
+            cat: "",
+            start_ns: 0,
+            dur_ns: 0,
+            depth: 0,
+            n_args: 0,
+            args: [("", ArgValue::None); MAX_ARGS],
+        }
+    }
+}
+
+impl SpanRecord {
+    /// Iterator over the populated arguments.
+    pub fn args(&self) -> impl Iterator<Item = (&'static str, ArgValue)> + '_ {
+        self.args.iter().take(self.n_args as usize).copied()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Global tracer
+// ---------------------------------------------------------------------------
+
+/// Per-thread buffer registered with the global tracer.
+pub struct ThreadBuf {
+    /// Stable small id assigned at registration (used as Chrome `tid`).
+    pub tid: u64,
+    /// Thread name at registration time (or `thread-<tid>`).
+    pub name: String,
+    ring: Ring<SpanRecord>,
+}
+
+struct Tracer {
+    enabled: AtomicBool,
+    threads: Mutex<Vec<Arc<ThreadBuf>>>,
+    next_tid: AtomicU64,
+}
+
+static TRACER: OnceLock<Tracer> = OnceLock::new();
+
+fn tracer() -> &'static Tracer {
+    TRACER.get_or_init(|| Tracer {
+        enabled: AtomicBool::new(false),
+        threads: Mutex::new(Vec::new()),
+        next_tid: AtomicU64::new(1),
+    })
+}
+
+/// Turns span recording on or off at runtime. Enabling also pins the
+/// trace epoch.
+pub fn set_enabled(on: bool) {
+    if on {
+        epoch();
+    }
+    tracer().enabled.store(on, Ordering::Release);
+}
+
+/// Whether span recording is currently on.
+#[inline]
+pub fn enabled() -> bool {
+    if cfg!(feature = "off") {
+        return false;
+    }
+    tracer().enabled.load(Ordering::Relaxed)
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<LocalState>> = const { RefCell::new(None) };
+}
+
+struct LocalState {
+    buf: Arc<ThreadBuf>,
+    depth: u32,
+}
+
+fn with_local<R>(f: impl FnOnce(&mut LocalState) -> R) -> R {
+    LOCAL.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let state = slot.get_or_insert_with(|| {
+            let t = tracer();
+            let tid = t.next_tid.fetch_add(1, Ordering::Relaxed);
+            let name = std::thread::current()
+                .name()
+                .map(|s| s.to_owned())
+                .unwrap_or_else(|| format!("thread-{tid}"));
+            let buf = Arc::new(ThreadBuf {
+                tid,
+                name,
+                ring: Ring::new(),
+            });
+            t.threads.lock().unwrap().push(buf.clone());
+            LocalState { buf, depth: 0 }
+        });
+        f(state)
+    })
+}
+
+/// A drained view of the whole tracer: one entry per thread that ever
+/// recorded a span, plus the global drop count.
+pub struct TraceDump {
+    pub threads: Vec<ThreadDump>,
+}
+
+pub struct ThreadDump {
+    pub tid: u64,
+    pub name: String,
+    pub spans: Vec<SpanRecord>,
+    pub dropped: u64,
+}
+
+impl TraceDump {
+    pub fn span_count(&self) -> usize {
+        self.threads.iter().map(|t| t.spans.len()).sum()
+    }
+    pub fn dropped(&self) -> u64 {
+        self.threads.iter().map(|t| t.dropped).sum()
+    }
+}
+
+/// Consumes every span recorded since the previous drain, across all
+/// threads. Safe to call while other threads keep recording (their
+/// in-flight spans land in the next drain).
+pub fn drain() -> TraceDump {
+    let threads = tracer().threads.lock().unwrap();
+    let mut out = Vec::with_capacity(threads.len());
+    for buf in threads.iter() {
+        out.push(ThreadDump {
+            tid: buf.tid,
+            name: buf.name.clone(),
+            spans: buf.ring.drain(),
+            dropped: buf.ring.dropped(),
+        });
+    }
+    TraceDump { threads: out }
+}
+
+// ---------------------------------------------------------------------------
+// SpanGuard
+// ---------------------------------------------------------------------------
+
+/// RAII handle for an in-progress span; records on drop.
+pub struct SpanGuard {
+    active: bool,
+    name: &'static str,
+    cat: &'static str,
+    start_ns: u64,
+    depth: u32,
+    n_args: u32,
+    args: [(&'static str, ArgValue); MAX_ARGS],
+}
+
+impl SpanGuard {
+    #[inline]
+    fn inert() -> SpanGuard {
+        SpanGuard {
+            active: false,
+            name: "",
+            cat: "",
+            start_ns: 0,
+            depth: 0,
+            n_args: 0,
+            args: [("", ArgValue::None); MAX_ARGS],
+        }
+    }
+
+    /// Attaches an argument (builder style). Silently ignored past
+    /// [`MAX_ARGS`] or on an inert guard.
+    #[inline]
+    pub fn arg(mut self, key: &'static str, value: impl Into<ArgValue>) -> SpanGuard {
+        self.set_arg(key, value);
+        self
+    }
+
+    /// Attaches an argument after construction (e.g. a result computed
+    /// inside the span).
+    #[inline]
+    pub fn set_arg(&mut self, key: &'static str, value: impl Into<ArgValue>) {
+        if self.active && (self.n_args as usize) < MAX_ARGS {
+            self.args[self.n_args as usize] = (key, value.into());
+            self.n_args += 1;
+        }
+    }
+
+    /// Whether this guard will record anything on drop.
+    #[inline]
+    pub fn is_recording(&self) -> bool {
+        self.active
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let end = now_ns();
+        let rec = SpanRecord {
+            name: self.name,
+            cat: self.cat,
+            start_ns: self.start_ns,
+            dur_ns: end.saturating_sub(self.start_ns),
+            depth: self.depth,
+            n_args: self.n_args,
+            args: self.args,
+        };
+        with_local(|l| {
+            l.depth = l.depth.saturating_sub(1);
+            l.buf.ring.push(rec);
+        });
+    }
+}
+
+/// Opens a span on the current thread. The returned guard records the
+/// span when dropped; bind it (`let _span = ...`) so it lives for the
+/// region being timed.
+#[cfg(not(feature = "off"))]
+#[inline]
+pub fn span(name: &'static str, cat: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::inert();
+    }
+    let depth = with_local(|l| {
+        let d = l.depth;
+        l.depth += 1;
+        d
+    });
+    SpanGuard {
+        active: true,
+        name,
+        cat,
+        start_ns: now_ns(),
+        depth,
+        n_args: 0,
+        args: [("", ArgValue::None); MAX_ARGS],
+    }
+}
+
+/// `off` feature: spans compile to an inert guard with no atomics.
+#[cfg(feature = "off")]
+#[inline(always)]
+pub fn span(_name: &'static str, _cat: &'static str) -> SpanGuard {
+    SpanGuard::inert()
+}
+
+/// Records a span whose start was captured earlier as an `Instant`
+/// (e.g. job queue-wait measured across scheduler loop iterations).
+/// Recorded at depth 0 on the calling thread.
+pub fn complete_span(
+    name: &'static str,
+    cat: &'static str,
+    start: Instant,
+    end: Instant,
+    args: &[(&'static str, ArgValue)],
+) {
+    if !enabled() {
+        return;
+    }
+    let start_ns = instant_ns(start);
+    let end_ns = instant_ns(end);
+    let mut rec = SpanRecord {
+        name,
+        cat,
+        start_ns,
+        dur_ns: end_ns.saturating_sub(start_ns),
+        ..SpanRecord::default()
+    };
+    for &(k, v) in args.iter().take(MAX_ARGS) {
+        rec.args[rec.n_args as usize] = (k, v);
+        rec.n_args += 1;
+    }
+    with_local(|l| l.buf.ring.push(rec));
+}
+
+#[cfg(all(test, not(feature = "off")))]
+mod tests {
+    use super::*;
+
+    // The tracer is global; tests that need it enabled share this lock
+    // so drains don't steal each other's spans.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        let _g = TEST_LOCK.lock().unwrap();
+        set_enabled(false);
+        drain();
+        {
+            let _s = span("noop", "test");
+        }
+        assert_eq!(drain().span_count(), 0);
+    }
+
+    #[test]
+    fn span_nesting_depths() {
+        let _g = TEST_LOCK.lock().unwrap();
+        set_enabled(true);
+        drain();
+        {
+            let _outer = span("outer", "test");
+            {
+                let _mid = span("mid", "test");
+                let _inner = span("inner", "test");
+            }
+            let _sibling = span("sibling", "test");
+        }
+        set_enabled(false);
+        let dump = drain();
+        let all: Vec<SpanRecord> = dump
+            .threads
+            .iter()
+            .flat_map(|t| t.spans.iter().copied())
+            .filter(|s| s.cat == "test")
+            .collect();
+        // Spans close innermost-first.
+        let names: Vec<&str> = all.iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["inner", "mid", "sibling", "outer"]);
+        let depth_of = |n: &str| all.iter().find(|s| s.name == n).unwrap().depth;
+        assert_eq!(depth_of("outer"), 0);
+        assert_eq!(depth_of("mid"), 1);
+        assert_eq!(depth_of("inner"), 2);
+        assert_eq!(depth_of("sibling"), 1);
+        // The outer span encloses the inner ones.
+        let outer = all.iter().find(|s| s.name == "outer").unwrap();
+        let inner = all.iter().find(|s| s.name == "inner").unwrap();
+        assert!(outer.start_ns <= inner.start_ns);
+        assert!(outer.start_ns + outer.dur_ns >= inner.start_ns + inner.dur_ns);
+    }
+
+    #[test]
+    fn span_args_and_overflow() {
+        let _g = TEST_LOCK.lock().unwrap();
+        set_enabled(true);
+        drain();
+        {
+            let mut s = span("argsy", "test")
+                .arg("a", 1u64)
+                .arg("b", 2.5f64)
+                .arg("c", "x");
+            s.set_arg("d", 4u64);
+            s.set_arg("e", 5u64);
+            s.set_arg("f", 6u64);
+            s.set_arg("overflow", 7u64); // beyond MAX_ARGS, dropped
+        }
+        set_enabled(false);
+        let dump = drain();
+        let rec = dump
+            .threads
+            .iter()
+            .flat_map(|t| t.spans.iter())
+            .find(|s| s.name == "argsy")
+            .copied()
+            .unwrap();
+        assert_eq!(rec.n_args as usize, MAX_ARGS);
+        let args: Vec<_> = rec.args().collect();
+        assert_eq!(args[0], ("a", ArgValue::U64(1)));
+        assert_eq!(args[1], ("b", ArgValue::F64(2.5)));
+        assert_eq!(args[2], ("c", ArgValue::Str("x")));
+        assert_eq!(args[3], ("d", ArgValue::U64(4)));
+        assert_eq!(args[5], ("f", ArgValue::U64(6)));
+    }
+
+    #[test]
+    fn complete_span_uses_given_instants() {
+        let _g = TEST_LOCK.lock().unwrap();
+        set_enabled(true);
+        drain();
+        let start = Instant::now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        complete_span(
+            "queued",
+            "test",
+            start,
+            Instant::now(),
+            &[("job", ArgValue::U64(7))],
+        );
+        set_enabled(false);
+        let dump = drain();
+        let rec = dump
+            .threads
+            .iter()
+            .flat_map(|t| t.spans.iter())
+            .find(|s| s.name == "queued")
+            .copied()
+            .unwrap();
+        assert!(rec.dur_ns >= 1_000_000, "dur {} too short", rec.dur_ns);
+        assert_eq!(rec.args().next(), Some(("job", ArgValue::U64(7))));
+    }
+
+    #[test]
+    fn threads_register_separately() {
+        let _g = TEST_LOCK.lock().unwrap();
+        set_enabled(true);
+        drain();
+        let h = std::thread::Builder::new()
+            .name("obs-test-worker".into())
+            .spawn(|| {
+                let _s = span("remote", "test-thread");
+            })
+            .unwrap();
+        h.join().unwrap();
+        set_enabled(false);
+        let dump = drain();
+        let t = dump
+            .threads
+            .iter()
+            .find(|t| t.spans.iter().any(|s| s.name == "remote"))
+            .expect("worker thread registered");
+        assert_eq!(t.name, "obs-test-worker");
+    }
+
+    #[test]
+    fn intern_dedupes() {
+        let a = intern("same-string");
+        let b = intern(&String::from("same-string"));
+        assert!(std::ptr::eq(a, b));
+    }
+}

@@ -17,8 +17,18 @@
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
+use vira_obs as obs;
+
+// Cost-model metrics: modeled nanoseconds charged per category across
+// every meter, plus the wall nanoseconds actually slept by dilated
+// clocks. Comparing the two exposes the simulated-vs-wall-time ratio of
+// a run (see DESIGN.md "Observability layer").
+static MODELED_READ_NS: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static MODELED_COMPUTE_NS: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static MODELED_SEND_NS: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static WALL_SLEPT_NS: OnceLock<Arc<obs::Counter>> = OnceLock::new();
 
 /// The cost categories reported in the paper's Figure 15 component
 /// breakdown.
@@ -97,6 +107,8 @@ impl SimClock {
                 let t0 = Instant::now();
                 std::thread::sleep(Duration::from_secs_f64(owed));
                 let actual = t0.elapsed().as_secs_f64();
+                obs::counter_cached(&WALL_SLEPT_NS, "costmodel_wall_slept_ns_total")
+                    .add((actual * 1e9) as u64);
                 debt.set(owed - actual);
             } else {
                 debt.set(owed);
@@ -221,6 +233,18 @@ impl Meter {
             CostCategory::Send => 2,
         };
         self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        match cat {
+            CostCategory::Read => {
+                obs::counter_cached(&MODELED_READ_NS, "costmodel_read_modeled_ns_total").add(ns)
+            }
+            CostCategory::Compute => {
+                obs::counter_cached(&MODELED_COMPUTE_NS, "costmodel_compute_modeled_ns_total")
+                    .add(ns)
+            }
+            CostCategory::Send => {
+                obs::counter_cached(&MODELED_SEND_NS, "costmodel_send_modeled_ns_total").add(ns)
+            }
+        }
         clock.advance(modeled_secs);
     }
 

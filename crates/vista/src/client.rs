@@ -12,10 +12,19 @@ use crate::protocol::{
     JobId, JobReport, PayloadKind, ProtocolError,
 };
 use bytes::Bytes;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 use vira_comm::link::ClientSide;
 use vira_comm::transport::CommError;
 use vira_extract::mesh::{Polyline, TriangleSoup};
+use vira_obs as obs;
+
+// Streaming metrics (client side of the paper's Fig. 8/12 latency path).
+static PACKETS: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static STREAM_BYTES: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static STREAM_ITEMS: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static JOBS_COLLECTED: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static FIRST_RESULT_NS: OnceLock<Arc<obs::Histogram>> = OnceLock::new();
 
 /// A submission to the back-end.
 #[derive(Debug, Clone)]
@@ -175,6 +184,7 @@ impl VistaClient {
     /// usage pattern and are skipped.
     pub fn collect(&mut self, job: JobId) -> Result<JobOutcome, ClientError> {
         let t0 = Instant::now();
+        let mut span = obs::span("vista.collect", "vista").arg("job", job);
         let mut triangles = TriangleSoup::new();
         let mut polylines: Vec<Polyline> = Vec::new();
         let mut packets = Vec::new();
@@ -196,10 +206,17 @@ impl VistaClient {
                     ..
                 } => {
                     let elapsed = t0.elapsed();
+                    obs::counter_cached(&PACKETS, "vista_packets_total").inc();
+                    obs::counter_cached(&STREAM_BYTES, "vista_stream_bytes_total")
+                        .add(payload.len() as u64);
+                    obs::counter_cached(&STREAM_ITEMS, "vista_stream_items_total")
+                        .add(n_items as u64);
                     Self::ingest(kind, payload, &mut triangles, &mut polylines)?;
                     cumulative += n_items as u64;
                     if n_items > 0 && first.is_none() {
                         first = Some(elapsed);
+                        obs::histogram_cached(&FIRST_RESULT_NS, "vista_first_result_ns")
+                            .record_duration(elapsed);
                     }
                     packets.push(PacketRecord {
                         seq,
@@ -216,10 +233,17 @@ impl VistaClient {
                     ..
                 } => {
                     let elapsed = t0.elapsed();
+                    obs::counter_cached(&STREAM_BYTES, "vista_stream_bytes_total")
+                        .add(payload.len() as u64);
                     Self::ingest(kind, payload, &mut triangles, &mut polylines)?;
                     if n_items > 0 && first.is_none() {
                         first = Some(elapsed);
+                        obs::histogram_cached(&FIRST_RESULT_NS, "vista_first_result_ns")
+                            .record_duration(elapsed);
                     }
+                    obs::counter_cached(&JOBS_COLLECTED, "vista_jobs_collected_total").inc();
+                    span.set_arg("packets", packets.len());
+                    span.set_arg("items", cumulative + n_items as u64);
                     return Ok(JobOutcome {
                         job,
                         triangles,

@@ -101,6 +101,14 @@ pub struct JobReport {
     pub read_s: f64,
     pub compute_s: f64,
     pub send_s: f64,
+    /// Modeled seconds the job spent queued at the scheduler before a
+    /// work group was free (absent in frames from older peers → 0).
+    #[serde(default)]
+    pub queue_wait_s: f64,
+    /// Modeled seconds the master worker spent gathering and merging the
+    /// group's partials.
+    #[serde(default)]
+    pub merge_s: f64,
     /// DMS counters summed across the group's proxies.
     pub demand_requests: u64,
     pub cache_hits: u64,
@@ -347,6 +355,8 @@ mod tests {
             read_s: 3.0,
             compute_s: 9.0,
             send_s: 0.5,
+            queue_wait_s: 0.75,
+            merge_s: 0.125,
             triangles: 1234,
             ..JobReport::default()
         };
@@ -363,6 +373,68 @@ mod tests {
         assert!(payload.is_empty());
         match h {
             EventHeader::Final { report: r, .. } => assert_eq!(r, report),
+            other => panic!("wrong header {other:?}"),
+        }
+    }
+
+    #[test]
+    fn report_without_stage_timings_decodes_with_zero_defaults() {
+        // Final events from schedulers predating the per-stage timing
+        // fields must still decode; the new fields are #[serde(default)].
+        let report = JobReport {
+            total_runtime_s: 2.0,
+            read_s: 1.0,
+            queue_wait_s: 0.5,
+            merge_s: 0.25,
+            triangles: 10,
+            ..JobReport::default()
+        };
+        let mut v = serde_json::to_value(report).unwrap();
+        let obj = v.as_object_mut().unwrap();
+        obj.remove("queue_wait_s");
+        obj.remove("merge_s");
+        let back: JobReport = serde_json::from_value(v).unwrap();
+        assert_eq!(back.queue_wait_s, 0.0);
+        assert_eq!(back.merge_s, 0.0);
+        assert_eq!(back.total_runtime_s, 2.0);
+        assert_eq!(back.triangles, 10);
+    }
+
+    #[test]
+    fn report_roundtrips_through_event_frame_with_stage_timings() {
+        let report = JobReport {
+            total_runtime_s: 5.0,
+            read_s: 1.0,
+            compute_s: 2.0,
+            send_s: 0.5,
+            queue_wait_s: 1.25,
+            merge_s: 0.25,
+            demand_requests: 9,
+            cache_hits: 6,
+            cache_misses: 3,
+            prefetch_issued: 4,
+            prefetch_hits: 2,
+            triangles: 77,
+            polylines: 0,
+            cells_skipped: 1000,
+            bricks_skipped: 12,
+        };
+        let frame = encode_event(
+            &EventHeader::Final {
+                job: 5,
+                kind: PayloadKind::Triangles,
+                n_items: 77,
+                report,
+            },
+            Bytes::new(),
+        );
+        let (h, _) = decode_event(frame).unwrap();
+        match h {
+            EventHeader::Final { report: r, .. } => {
+                assert_eq!(r, report);
+                assert_eq!(r.queue_wait_s, 1.25);
+                assert_eq!(r.merge_s, 0.25);
+            }
             other => panic!("wrong header {other:?}"),
         }
     }
