@@ -51,6 +51,15 @@ impl<T: Transport> Endpoint<T> {
         self.inner.try_recv()
     }
 
+    /// Receives the next message regardless of tag with a deadline,
+    /// honouring the buffer.
+    pub fn recv_any_timeout(&mut self, timeout: Duration) -> Result<Message, CommError> {
+        if let Some(m) = self.buffered.pop_front() {
+            return Ok(m);
+        }
+        self.inner.recv_timeout(timeout)
+    }
+
     /// Blocks until a message with tag `tag` arrives; other messages are
     /// buffered in arrival order.
     pub fn recv_tag(&mut self, tag: Tag) -> Result<Message, CommError> {
@@ -83,6 +92,14 @@ impl<T: Transport> Endpoint<T> {
                 return Ok(m);
             }
             self.buffered.push_back(m);
+            // Clamp to the deadline after buffering a non-matching
+            // message: `recv_timeout` yields an already-queued message
+            // even when `left` has effectively expired, so a flood of
+            // wrong-tag traffic could otherwise stretch the wait one
+            // message at a time without ever timing out.
+            if Instant::now() >= deadline {
+                return Err(CommError::Timeout);
+            }
         }
     }
 
@@ -159,6 +176,59 @@ mod tests {
         let m = b.try_recv_tag(9).unwrap().unwrap();
         assert_eq!(&m.payload[..], b"match");
         assert_eq!(b.buffered_len(), 1);
+    }
+
+    #[test]
+    fn recv_tag_timeout_is_clamped_under_wrong_tag_flood() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let (a, mut b) = pair();
+        // Pre-queue a burst and keep flooding from another thread so a
+        // wrong-tag message is almost always immediately available.
+        for _ in 0..10_000 {
+            a.send(1, 1, Bytes::new()).unwrap();
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let flooder = std::thread::spawn(move || {
+            while !stop2.load(Ordering::Relaxed) {
+                if a.send(1, 1, Bytes::new()).is_err() {
+                    break;
+                }
+            }
+        });
+
+        let timeout = Duration::from_millis(25);
+        let started = Instant::now();
+        let err = b.recv_tag_timeout(99, timeout).unwrap_err();
+        let elapsed = started.elapsed();
+        stop.store(true, Ordering::Relaxed);
+        flooder.join().unwrap();
+
+        assert_eq!(err, CommError::Timeout);
+        // Overshoot is bounded by one message, not by the flood length.
+        assert!(
+            elapsed < timeout + Duration::from_millis(100),
+            "starved past the deadline: waited {elapsed:?} for a {timeout:?} timeout"
+        );
+        // Wrong-tag traffic was buffered, not dropped.
+        assert!(b.buffered_len() > 0);
+    }
+
+    #[test]
+    fn recv_any_timeout_drains_buffer_first_then_times_out() {
+        let (a, mut b) = pair();
+        a.send(1, 1, Bytes::from_static(b"one")).unwrap();
+        a.send(1, 2, Bytes::from_static(b"two")).unwrap();
+        let _ = b.recv_tag(2).unwrap();
+        // tag-1 was buffered; recv_any_timeout must yield it without waiting.
+        let m = b.recv_any_timeout(Duration::from_millis(5)).unwrap();
+        assert_eq!(&m.payload[..], b"one");
+        assert_eq!(
+            b.recv_any_timeout(Duration::from_millis(5)).unwrap_err(),
+            CommError::Timeout
+        );
     }
 
     #[test]

@@ -11,13 +11,17 @@
 //! * [`collective`] — work-group gather / broadcast / barrier.
 //! * [`link`] — the framed client link standing in for TCP/IP between the
 //!   visualization host and the scheduler.
+//! * [`fault`] — deterministic fault injection: [`fault::FaultyTransport`]
+//!   perturbs any transport from a seeded, replayable [`fault::FaultPlan`].
 
 pub mod collective;
 pub mod endpoint;
+pub mod fault;
 pub mod link;
 pub mod transport;
 
 pub use collective::{barrier, broadcast, gather, Group};
 pub use endpoint::Endpoint;
+pub use fault::{FaultPlan, FaultStats, FaultStatsSnapshot, FaultyTransport, LinkFaults};
 pub use link::{client_server_link, ClientSide, EventSender, ServerSide};
 pub use transport::{tags, CommError, LocalEndpoint, LocalWorld, Message, Rank, Tag, Transport};

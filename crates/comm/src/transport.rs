@@ -39,6 +39,10 @@ pub mod tags {
     pub const COLLECTIVE: Tag = 5;
     /// Scheduler → worker: orderly shutdown.
     pub const SHUTDOWN: Tag = 6;
+    /// Scheduler → worker: liveness probe (answered with [`PONG`]).
+    pub const PING: Tag = 7;
+    /// Worker → scheduler: liveness probe reply.
+    pub const PONG: Tag = 8;
     /// First tag available to applications built on the framework.
     pub const USER_BASE: Tag = 1000;
 }

@@ -22,11 +22,11 @@ use vira_grid::block::BlockStepId;
 use vira_grid::synth::{self, SyntheticDataset};
 use vira_storage::source::CachedSynthSource;
 use vira_vista::{CommandParams, SubmitSpec, VistaClient};
-use viracocha::{default_registry, Viracocha, ViracochaConfig};
+use viracocha::{default_registry, FaultPlan, Viracocha, ViracochaConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  vira commands\n  vira datasets\n  vira suggest --dataset <engine|propfan|cube> [--res N] [--exceed F]\n  vira run --dataset <engine|propfan|cube> --command <Name> [--workers N]\n           [--res N] [--dilation F] [--param key=value]..."
+        "usage:\n  vira commands\n  vira datasets\n  vira suggest --dataset <engine|propfan|cube> [--res N] [--exceed F]\n  vira run --dataset <engine|propfan|cube> --command <Name> [--workers N]\n           [--res N] [--dilation F] [--fault-plan <file>] [--param key=value]..."
     );
     std::process::exit(2);
 }
@@ -162,7 +162,21 @@ fn cmd_run(args: Args) {
     let mut config = ViracochaConfig::for_tests(workers);
     config.dilation = dilation;
     config.proxy.prefetcher = "obl".into();
-    let (backend, link) = Viracocha::launch(config);
+    let (backend, link) = match args.flags.get("fault-plan") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                vira_obs::error("vira", &format!("cannot read fault plan {path}: {e}"), &[]);
+                std::process::exit(2);
+            });
+            let plan = FaultPlan::parse_str(&text).unwrap_or_else(|e| {
+                vira_obs::error("vira", &format!("bad fault plan {path}: {e}"), &[]);
+                std::process::exit(2);
+            });
+            println!("fault plan : {path} (seed {})", plan.seed);
+            Viracocha::launch_with_faults(config, plan)
+        }
+        None => Viracocha::launch(config),
+    };
     let ds = build_dataset(&dataset, res);
     let ds_name = ds.spec.name.clone();
     let source = Arc::new(CachedSynthSource::new(ds));
@@ -195,6 +209,12 @@ fn cmd_run(args: Args) {
                 out.report.prefetch_issued,
                 out.report.prefetch_hits
             );
+            if out.report.retries > 0 || out.report.degraded {
+                println!(
+                    "resilience : {} command retransmits, degraded group: {}",
+                    out.report.retries, out.report.degraded
+                );
+            }
             println!(
                 "geometry   : {} triangles, {} polylines, {} streamed packets",
                 out.triangles.n_triangles(),
@@ -227,6 +247,13 @@ fn cmd_run(args: Args) {
             backend.join();
             std::process::exit(1);
         }
+    }
+    if let Some(stats) = backend.fault_stats() {
+        let s = stats.snapshot();
+        println!(
+            "faults     : {} injected ({} dropped / {} duplicated / {} delayed / {} reordered / {} truncated / {} corrupted / {} ranks killed)",
+            s.injected, s.dropped, s.duplicated, s.delayed, s.reordered, s.truncated, s.corrupted, s.killed_ranks
+        );
     }
     let _ = client.shutdown();
     backend.join();

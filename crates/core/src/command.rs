@@ -349,7 +349,14 @@ impl CommandRegistry {
 
 /// Encodes a worker's partial for the master (geometry payload picked by
 /// kind).
-pub(crate) fn encode_output(job: JobId, out: &CommandOutput, meter: &Meter, dms: vira_dms::stats::DmsStatsSnapshot, error: Option<String>) -> bytes::Bytes {
+pub(crate) fn encode_output(
+    job: JobId,
+    attempt: u32,
+    out: &CommandOutput,
+    meter: &Meter,
+    dms: vira_dms::stats::DmsStatsSnapshot,
+    error: Option<String>,
+) -> bytes::Bytes {
     let kind = out.kind();
     let payload = match kind {
         PayloadKind::Triangles => out.triangles.to_bytes(),
@@ -366,6 +373,8 @@ pub(crate) fn encode_output(job: JobId, out: &CommandOutput, meter: &Meter, dms:
         dms,
         cells_skipped: out.cells_skipped,
         bricks_skipped: out.bricks_skipped,
+        attempt,
+        payload_crc: 0, // filled in by encode_partial
         error,
     };
     wire::encode_partial(&header, payload)

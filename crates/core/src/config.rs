@@ -1,8 +1,48 @@
 //! Framework configuration.
 
+use std::time::Duration;
 use vira_dms::proxy::ProxyConfig;
 use vira_dms::server::ServerConfig;
 use vira_storage::costmodel::ComputeCosts;
+
+/// Retry/requeue tuning for the scheduler and the master workers.
+///
+/// The defaults are deliberately generous: on a healthy transport no
+/// timeout ever fires, so fault-free runs behave exactly as before.
+/// The chaos tests shrink these aggressively to drive recovery within
+/// test time.
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// How long the scheduler waits for a job's `JOB_DONE` before the
+    /// first command retransmission.
+    pub dispatch_timeout: Duration,
+    /// Multiplier applied to the timeout after every retransmission.
+    pub backoff_factor: f64,
+    /// Retransmissions before the scheduler suspects a dead rank and
+    /// probes the group.
+    pub max_retransmits: u32,
+    /// How long a probed rank has to answer `PING` with `PONG`.
+    pub probe_timeout: Duration,
+    /// Master-side backstop for a gather that never completes (lost
+    /// partials are normally recovered by command retransmission).
+    pub gather_timeout: Duration,
+    /// Total dispatch attempts (first + requeues) before the job is
+    /// failed back to the client.
+    pub max_attempts: u32,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            dispatch_timeout: Duration::from_secs(5),
+            backoff_factor: 2.0,
+            max_retransmits: 4,
+            probe_timeout: Duration::from_millis(200),
+            gather_timeout: Duration::from_secs(60),
+            max_attempts: 4,
+        }
+    }
+}
 
 /// Configuration of one Viracocha back-end instance.
 #[derive(Debug, Clone)]
@@ -18,6 +58,8 @@ pub struct ViracochaConfig {
     pub proxy: ProxyConfig,
     /// Data-server configuration (strategy selection, cooperative cache).
     pub server: ServerConfig,
+    /// Retry/requeue behaviour under message loss and dead ranks.
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for ViracochaConfig {
@@ -28,6 +70,7 @@ impl Default for ViracochaConfig {
             costs: ComputeCosts::default(),
             proxy: ProxyConfig::default(),
             server: ServerConfig::default(),
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -65,5 +108,15 @@ mod tests {
         let c = ViracochaConfig::for_tests(2);
         assert_eq!(c.n_workers, 2);
         assert_eq!(c.proxy.prefetcher, "none");
+    }
+
+    #[test]
+    fn resilience_defaults_never_trip_on_a_healthy_run() {
+        // Sub-second jobs must stay far away from the first timeout.
+        let r = ResilienceConfig::default();
+        assert!(r.dispatch_timeout >= Duration::from_secs(1));
+        assert!(r.gather_timeout >= r.dispatch_timeout);
+        assert!(r.backoff_factor >= 1.0);
+        assert!(r.max_attempts >= 1);
     }
 }

@@ -11,8 +11,9 @@ use std::collections::HashSet;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use vira_comm::endpoint::Endpoint;
+use vira_comm::fault::{FaultPlan, FaultStats, FaultyTransport};
 use vira_comm::link::{client_server_link, ClientSide};
-use vira_comm::transport::LocalWorld;
+use vira_comm::transport::{LocalWorld, Transport};
 use vira_dms::server::{DataServer, SharedCache};
 use vira_storage::costmodel::{SharedChannel, SimClock};
 use vira_storage::source::DataSource;
@@ -30,6 +31,7 @@ pub struct Viracocha {
     registry: Arc<CommandRegistry>,
     scheduler: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    fault_stats: Option<Arc<FaultStats>>,
 }
 
 impl Viracocha {
@@ -46,7 +48,50 @@ impl Viracocha {
         config: ViracochaConfig,
         registry: CommandRegistry,
     ) -> (Viracocha, ClientSide) {
+        let endpoints = LocalWorld::create(config.n_workers + 1);
+        Self::launch_on_transports(config, registry, endpoints, None)
+    }
+
+    /// Launches a back-end whose every rank-to-rank message passes
+    /// through a [`FaultyTransport`] driven by `plan` — the chaos-test
+    /// entry point. An inert plan behaves exactly like
+    /// [`Viracocha::launch`].
+    pub fn launch_with_faults(
+        config: ViracochaConfig,
+        plan: FaultPlan,
+    ) -> (Viracocha, ClientSide) {
+        Self::launch_faulty_with_registry(config, default_registry(), plan)
+    }
+
+    /// [`Viracocha::launch_with_faults`] with a custom command registry.
+    pub fn launch_faulty_with_registry(
+        config: ViracochaConfig,
+        registry: CommandRegistry,
+        plan: FaultPlan,
+    ) -> (Viracocha, ClientSide) {
+        let plan = Arc::new(plan);
+        let stats = Arc::new(FaultStats::default());
+        let endpoints: Vec<_> = LocalWorld::create(config.n_workers + 1)
+            .into_iter()
+            .map(|e| FaultyTransport::new(e, plan.clone(), stats.clone()))
+            .collect();
+        Self::launch_on_transports(config, registry, endpoints, Some(stats))
+    }
+
+    /// Launches the scheduler and worker threads on pre-built rank
+    /// transports (index = rank; rank 0 is the scheduler).
+    fn launch_on_transports<T: Transport + Send + 'static>(
+        config: ViracochaConfig,
+        registry: CommandRegistry,
+        mut endpoints: Vec<T>,
+        fault_stats: Option<Arc<FaultStats>>,
+    ) -> (Viracocha, ClientSide) {
         assert!(config.n_workers >= 1, "need at least one worker");
+        assert_eq!(
+            endpoints.len(),
+            config.n_workers + 1,
+            "need one transport per rank"
+        );
         let clock = SimClock::new(config.dilation);
         let server = DataServer::new(clock.clone(), config.server.clone());
         let registry = Arc::new(registry);
@@ -55,14 +100,10 @@ impl Viracocha {
         let events = server_side.event_sender();
         let uplink = SharedChannel::new();
 
-        let mut world = LocalWorld::create(config.n_workers + 1);
         let mut workers = Vec::with_capacity(config.n_workers);
         // Spawn workers for ranks 1..=n; rank 0 stays with the scheduler.
-        for endpoint in world.drain(1..) {
-            let rank = {
-                use vira_comm::transport::Transport;
-                endpoint.rank()
-            };
+        for endpoint in endpoints.drain(1..) {
+            let rank = endpoint.rank();
             let setup = WorkerSetup {
                 endpoint: Endpoint::new(endpoint),
                 server: server.clone(),
@@ -80,7 +121,7 @@ impl Viracocha {
                     .expect("failed to spawn worker"),
             );
         }
-        let sched_endpoint = world.pop().expect("rank 0 endpoint");
+        let sched_endpoint = endpoints.pop().expect("rank 0 endpoint");
         let setup = SchedulerSetup {
             endpoint: Endpoint::new(sched_endpoint),
             link: server_side,
@@ -89,6 +130,7 @@ impl Viracocha {
             registry: registry.clone(),
             cancels,
             n_workers: config.n_workers,
+            resilience: config.resilience.clone(),
         };
         let scheduler = std::thread::Builder::new()
             .name("vira-scheduler".into())
@@ -102,6 +144,7 @@ impl Viracocha {
                 registry,
                 scheduler: Some(scheduler),
                 workers,
+                fault_stats,
             },
             client_side,
         )
@@ -121,6 +164,12 @@ impl Viracocha {
     /// Registered command names.
     pub fn commands(&self) -> Vec<&'static str> {
         self.registry.names()
+    }
+
+    /// Injection counters of the fault layer, when the back-end was
+    /// launched with [`Viracocha::launch_with_faults`].
+    pub fn fault_stats(&self) -> Option<&Arc<FaultStats>> {
+        self.fault_stats.as_ref()
     }
 
     /// Registers a dataset with the data server. `replicated` makes it

@@ -7,22 +7,27 @@
 //! disjoint work groups; submissions wait FIFO while workers are busy.
 
 use crate::command::{CancelSet, CommandRegistry};
+use crate::config::ResilienceConfig;
 use crate::wire;
 use bytes::Bytes;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 use vira_obs as obs;
 use vira_comm::endpoint::Endpoint;
 use vira_comm::link::ServerSide;
-use vira_comm::transport::{tags, CommError, LocalEndpoint, Rank};
+use vira_comm::transport::{tags, CommError, LocalEndpoint, Rank, Transport};
 use vira_dms::server::DataServer;
 use vira_storage::costmodel::SimClock;
 use vira_vista::protocol::{
     decode_request, encode_event, ClientRequest, EventHeader, JobId, JobReport, PayloadKind,
 };
 
-/// A submission waiting for enough free workers.
+/// Final/error event frames kept for client resume requests.
+const RECENT_FINALS_CAP: usize = 32;
+
+/// A submission waiting for enough free workers. Requeued jobs return
+/// here with `attempt` bumped and their retry accounting intact.
 struct QueuedJob {
     job: JobId,
     command: String,
@@ -30,6 +35,12 @@ struct QueuedJob {
     params: vira_vista::protocol::CommandParams,
     workers: usize,
     submitted_at: Instant,
+    /// Dispatch attempt (0 for the first dispatch).
+    attempt: u32,
+    /// Command retransmissions across all attempts so far.
+    retries: u64,
+    /// Set once the job was requeued onto a smaller group.
+    degraded: bool,
 }
 
 struct RunningJob {
@@ -37,6 +48,15 @@ struct RunningJob {
     accepted_at: Instant,
     /// Modeled seconds the job waited in the FIFO queue before dispatch.
     queue_wait_s: f64,
+    /// The submission, kept so the job can be requeued on a dead rank.
+    q: QueuedJob,
+    /// The encoded command frame, retransmitted on timeout.
+    frame: Bytes,
+    /// When the next retransmission (or probe) fires.
+    deadline: Instant,
+    /// Current timeout, grown by the backoff factor per retransmit.
+    cur_timeout: Duration,
+    retransmits: u32,
 }
 
 // Scheduler metrics (see DESIGN.md "Observability layer" for naming).
@@ -48,21 +68,26 @@ static JOBS_FAILED: OnceLock<Arc<obs::Counter>> = OnceLock::new();
 static IDLE_WAIT_NS: OnceLock<Arc<obs::Counter>> = OnceLock::new();
 static QUEUE_WAIT_NS: OnceLock<Arc<obs::Histogram>> = OnceLock::new();
 static JOB_RUNTIME_NS: OnceLock<Arc<obs::Histogram>> = OnceLock::new();
+static RETRIES: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static REQUEUES: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static DEAD_RANKS: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static RESENDS: OnceLock<Arc<obs::Counter>> = OnceLock::new();
 
 /// Everything the scheduler thread needs.
-pub struct SchedulerSetup {
-    pub endpoint: Endpoint<LocalEndpoint>,
+pub struct SchedulerSetup<T: Transport = LocalEndpoint> {
+    pub endpoint: Endpoint<T>,
     pub link: ServerSide,
     pub server: Arc<DataServer>,
     pub clock: Arc<SimClock>,
     pub registry: Arc<CommandRegistry>,
     pub cancels: CancelSet,
     pub n_workers: usize,
+    pub resilience: ResilienceConfig,
 }
 
 /// The scheduler main loop; returns after a client `Shutdown` once all
 /// running jobs have drained.
-pub fn scheduler_main(setup: SchedulerSetup) {
+pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
     let SchedulerSetup {
         mut endpoint,
         link,
@@ -71,12 +96,18 @@ pub fn scheduler_main(setup: SchedulerSetup) {
         registry,
         cancels,
         n_workers,
+        resilience,
     } = setup;
     let mut free: Vec<bool> = vec![true; n_workers + 1];
     free[0] = false; // rank 0 is the scheduler itself
     let mut queue: VecDeque<QueuedJob> = VecDeque::new();
     let mut running: HashMap<JobId, RunningJob> = HashMap::new();
     let mut shutting_down = false;
+    // Ranks that failed a liveness probe: permanently excluded.
+    let mut dead: HashSet<Rank> = HashSet::new();
+    let mut probe_nonce: u64 = 0;
+    // Final/error frames of recent jobs, replayed on client resume.
+    let mut recent_finals: VecDeque<(JobId, Bytes)> = VecDeque::new();
 
     loop {
         let mut progressed = false;
@@ -139,6 +170,9 @@ pub fn scheduler_main(setup: SchedulerSetup) {
                                 params,
                                 workers: workers.clamp(1, n_workers),
                                 submitted_at: Instant::now(),
+                                attempt: 0,
+                                retries: 0,
+                                degraded: false,
                             });
                         }
                         Ok(ClientRequest::Cancel { job }) => {
@@ -156,6 +190,32 @@ pub fn scheduler_main(setup: SchedulerSetup) {
                                     Bytes::new(),
                                 ));
                             }
+                        }
+                        Ok(ClientRequest::Ack { .. }) => {
+                            // Streamed partials flow worker → client
+                            // directly ([`StreamSession`] covers the
+                            // session-managed path); the scheduler has
+                            // nothing buffered to trim.
+                        }
+                        Ok(ClientRequest::Resume { job }) => {
+                            if let Some((_, frame)) =
+                                recent_finals.iter().find(|(j, _)| *j == job)
+                            {
+                                obs::counter_cached(&RESENDS, "vista_resend_total").inc();
+                                let _ = link.emit(frame.clone());
+                            } else if !running.contains_key(&job)
+                                && !queue.iter().any(|q| q.job == job)
+                            {
+                                let _ = link.emit(encode_event(
+                                    &EventHeader::Error {
+                                        job,
+                                        message: "unknown job in resume".into(),
+                                    },
+                                    Bytes::new(),
+                                ));
+                            }
+                            // Running/queued jobs need no action: the
+                            // final event is still on its way.
                         }
                         Ok(ClientRequest::Shutdown) => {
                             shutting_down = true;
@@ -194,41 +254,73 @@ pub fn scheduler_main(setup: SchedulerSetup) {
             if msg.tag != tags::JOB_DONE {
                 continue;
             }
-            handle_job_done(msg.payload, &mut running, &mut free, &cancels, &clock, &link);
+            handle_job_done(
+                msg.payload,
+                &mut running,
+                &mut free,
+                &cancels,
+                &clock,
+                &link,
+                &mut recent_finals,
+            );
         }
 
-        // 3. Dispatch: FIFO, as soon as enough workers are free.
+        // 3. Dispatch: FIFO, as soon as enough live workers are free.
+        // Requeued jobs shrink to the surviving worker count.
         while let Some(next) = queue.front() {
-            let free_ranks: Vec<Rank> = (1..=n_workers).filter(|&r| free[r]).collect();
-            if free_ranks.len() < next.workers {
+            let alive: usize = (1..=n_workers).filter(|r| !dead.contains(r)).count();
+            if alive == 0 {
+                let q = queue.pop_front().expect("front just checked");
+                obs::counter_cached(&JOBS_FAILED, "sched_jobs_failed_total").inc();
+                let frame = encode_event(
+                    &EventHeader::Error {
+                        job: q.job,
+                        message: "no live workers left".into(),
+                    },
+                    Bytes::new(),
+                );
+                remember_final(&mut recent_finals, q.job, frame.clone());
+                let _ = link.emit(frame);
+                progressed = true;
+                continue;
+            }
+            let want = next.workers.min(alive);
+            let free_ranks: Vec<Rank> = (1..=n_workers)
+                .filter(|&r| free[r] && !dead.contains(&r))
+                .collect();
+            if free_ranks.len() < want {
                 break;
             }
             let q = queue.pop_front().expect("front just checked");
-            let group: Vec<Rank> = free_ranks.into_iter().take(q.workers).collect();
+            let group: Vec<Rank> = free_ranks.into_iter().take(want).collect();
             for &r in &group {
                 free[r] = false;
             }
             let dispatched_at = Instant::now();
             let queue_wait = dispatched_at.duration_since(q.submitted_at);
             obs::counter_cached(&JOBS_DISPATCHED, "sched_jobs_dispatched_total").inc();
-            obs::histogram_cached(&QUEUE_WAIT_NS, "sched_queue_wait_ns")
-                .record_duration(queue_wait);
-            obs::complete_span(
-                "sched.queued",
-                "sched",
-                q.submitted_at,
-                dispatched_at,
-                &[
-                    ("job", obs::ArgValue::U64(q.job)),
-                    ("workers", obs::ArgValue::U64(q.workers as u64)),
-                ],
-            );
+            if q.attempt == 0 {
+                obs::histogram_cached(&QUEUE_WAIT_NS, "sched_queue_wait_ns")
+                    .record_duration(queue_wait);
+                obs::complete_span(
+                    "sched.queued",
+                    "sched",
+                    q.submitted_at,
+                    dispatched_at,
+                    &[
+                        ("job", obs::ArgValue::U64(q.job)),
+                        ("workers", obs::ArgValue::U64(q.workers as u64)),
+                    ],
+                );
+            }
             let msg = wire::CommandMsg {
                 job: q.job,
-                command: q.command,
-                dataset: q.dataset,
-                params: q.params,
+                command: q.command.clone(),
+                dataset: q.dataset.clone(),
+                params: q.params.clone(),
                 group: group.clone(),
+                attempt: q.attempt,
+                check: 0,
             };
             let frame = wire::encode_command(&msg);
             {
@@ -239,25 +331,143 @@ pub fn scheduler_main(setup: SchedulerSetup) {
                     let _ = endpoint.send(r, tags::COMMAND, frame.clone());
                 }
             }
-            let _ = link.emit(encode_event(
-                &EventHeader::JobAccepted {
-                    job: msg.job,
-                    workers: group.len(),
-                },
-                Bytes::new(),
-            ));
+            if q.attempt == 0 {
+                let _ = link.emit(encode_event(
+                    &EventHeader::JobAccepted {
+                        job: msg.job,
+                        workers: group.len(),
+                    },
+                    Bytes::new(),
+                ));
+            }
             running.insert(
                 msg.job,
                 RunningJob {
                     group,
                     accepted_at: dispatched_at,
                     queue_wait_s: clock.wall_to_modeled(queue_wait),
+                    q,
+                    frame,
+                    deadline: dispatched_at + resilience.dispatch_timeout,
+                    cur_timeout: resilience.dispatch_timeout,
+                    retransmits: 0,
                 },
             );
             progressed = true;
         }
 
-        // 4. Exit once shut down and drained.
+        // 4. Retransmit timed-out commands; once the retransmit budget
+        // is spent, probe the group for dead ranks. The master worker
+        // replays its cached response on a duplicate command, so a
+        // retransmission recovers lost commands, lost partials and lost
+        // completions uniformly.
+        let now = Instant::now();
+        let expired: Vec<JobId> = running
+            .iter()
+            .filter(|(_, r)| now >= r.deadline)
+            .map(|(&j, _)| j)
+            .collect();
+        for job in expired {
+            progressed = true;
+            let run = running.get_mut(&job).expect("collected above");
+            if run.retransmits < resilience.max_retransmits {
+                run.retransmits += 1;
+                run.q.retries += 1;
+                obs::counter_cached(&RETRIES, "sched_retries_total").inc();
+                run.cur_timeout = run.cur_timeout.mul_f64(resilience.backoff_factor);
+                run.deadline = Instant::now() + run.cur_timeout;
+                for &r in &run.group {
+                    let _ = endpoint.send(r, tags::COMMAND, run.frame.clone());
+                }
+                continue;
+            }
+            // Probe: every rank of the group must echo the nonce within
+            // the probe timeout. The nonce filters stale pongs from
+            // earlier probes; unrelated frames arriving meanwhile are
+            // buffered by the endpoint and handled next iteration.
+            // Unanswered ranks are re-pinged every slice — on a lossy
+            // link a single ping would regularly convict live ranks.
+            probe_nonce += 1;
+            let nonce = Bytes::copy_from_slice(&probe_nonce.to_le_bytes());
+            let mut alive_ranks: HashSet<Rank> = HashSet::new();
+            let probe_deadline = Instant::now() + resilience.probe_timeout;
+            'probe: while alive_ranks.len() < run.group.len() {
+                let round_start = Instant::now();
+                if round_start >= probe_deadline {
+                    break;
+                }
+                for &r in &run.group {
+                    if !alive_ranks.contains(&r) {
+                        let _ = endpoint.send(r, tags::PING, nonce.clone());
+                    }
+                }
+                let slice_end =
+                    (round_start + Duration::from_millis(25)).min(probe_deadline);
+                loop {
+                    let left = slice_end.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        break;
+                    }
+                    match endpoint.recv_tag_timeout(tags::PONG, left) {
+                        Ok(m)
+                            if m.payload.as_ref() == nonce.as_ref()
+                                && run.group.contains(&m.from) =>
+                        {
+                            alive_ranks.insert(m.from);
+                            if alive_ranks.len() == run.group.len() {
+                                break 'probe;
+                            }
+                        }
+                        Ok(_) => {} // stale pong from an earlier probe
+                        Err(_) => break,
+                    }
+                }
+            }
+            if alive_ranks.len() == run.group.len() {
+                // Everyone answered: the job is slow, not stuck. Reset
+                // the retransmit budget but keep the grown timeout.
+                run.retransmits = 0;
+                run.deadline = Instant::now() + run.cur_timeout;
+                continue;
+            }
+            // Dead rank(s): exclude them permanently, free the
+            // survivors and requeue the job at the queue front.
+            let run = running.remove(&job).expect("present above");
+            for &r in &run.group {
+                if alive_ranks.contains(&r) {
+                    free[r] = true;
+                } else if dead.insert(r) {
+                    free[r] = false;
+                    obs::counter_cached(&DEAD_RANKS, "sched_dead_ranks_total").inc();
+                }
+            }
+            cancels.write().remove(&job);
+            let mut q = run.q;
+            q.attempt += 1;
+            q.degraded = true;
+            let alive_total = (1..=n_workers).filter(|r| !dead.contains(r)).count();
+            if q.attempt >= resilience.max_attempts || alive_total == 0 {
+                obs::counter_cached(&JOBS_FAILED, "sched_jobs_failed_total").inc();
+                let frame = encode_event(
+                    &EventHeader::Error {
+                        job,
+                        message: format!(
+                            "job abandoned after {} attempts ({} live workers)",
+                            q.attempt, alive_total
+                        ),
+                    },
+                    Bytes::new(),
+                );
+                remember_final(&mut recent_finals, job, frame.clone());
+                let _ = link.emit(frame);
+            } else {
+                obs::counter_cached(&REQUEUES, "sched_requeues_total").inc();
+                q.workers = q.workers.min(alive_total);
+                queue.push_front(q);
+            }
+        }
+
+        // 5. Exit once shut down and drained.
         if shutting_down && running.is_empty() {
             for r in 1..=n_workers {
                 let _ = endpoint.send(r, tags::SHUTDOWN, Bytes::new());
@@ -265,7 +475,7 @@ pub fn scheduler_main(setup: SchedulerSetup) {
             return;
         }
 
-        // 5. Idle wait: block briefly on worker traffic so the loop does
+        // 6. Idle wait: block briefly on worker traffic so the loop does
         // not spin. A completion arriving here is handled inline — the
         // former re-send-to-self path copied the payload and cost an
         // extra scheduler round-trip per result.
@@ -275,9 +485,15 @@ pub fn scheduler_main(setup: SchedulerSetup) {
             obs::counter_cached(&IDLE_WAIT_NS, "sched_idle_wait_ns_total")
                 .add(wait_started.elapsed().as_nanos() as u64);
             match waited {
-                Ok(m) => {
-                    handle_job_done(m.payload, &mut running, &mut free, &cancels, &clock, &link)
-                }
+                Ok(m) => handle_job_done(
+                    m.payload,
+                    &mut running,
+                    &mut free,
+                    &cancels,
+                    &clock,
+                    &link,
+                    &mut recent_finals,
+                ),
                 Err(CommError::Timeout) => {}
                 Err(_) => return,
             }
@@ -285,9 +501,22 @@ pub fn scheduler_main(setup: SchedulerSetup) {
     }
 }
 
+/// Remembers a job's final (or error) event frame for client resume
+/// requests, evicting the oldest entry past the cap.
+fn remember_final(recent: &mut VecDeque<(JobId, Bytes)>, job: JobId, frame: Bytes) {
+    recent.retain(|(j, _)| *j != job);
+    if recent.len() >= RECENT_FINALS_CAP {
+        recent.pop_front();
+    }
+    recent.push_back((job, frame));
+}
+
 /// Handles one `JOB_DONE` frame from a master worker: frees the group's
 /// ranks, clears cancellation state and forwards the merged result (or
-/// the error) to the visualization client.
+/// the error) to the visualization client. Completions from a
+/// superseded attempt (the job was requeued meanwhile) are dropped
+/// without touching the current dispatch.
+#[allow(clippy::too_many_arguments)]
 fn handle_job_done(
     frame: Bytes,
     running: &mut HashMap<JobId, RunningJob>,
@@ -295,10 +524,18 @@ fn handle_job_done(
     cancels: &CancelSet,
     clock: &SimClock,
     link: &ServerSide,
+    recent_finals: &mut VecDeque<(JobId, Bytes)>,
 ) {
     let Some((done, payload)) = wire::decode_done(frame) else {
         return;
     };
+    let stale = match running.get(&done.job) {
+        Some(run) => done.attempt != run.q.attempt,
+        None => true,
+    };
+    if stale {
+        return;
+    }
     let Some(run) = running.remove(&done.job) else {
         return;
     };
@@ -323,13 +560,15 @@ fn handle_job_done(
         .record_duration(run_elapsed);
     if let Some(err) = done.error {
         obs::counter_cached(&JOBS_FAILED, "sched_jobs_failed_total").inc();
-        let _ = link.emit(encode_event(
+        let frame = encode_event(
             &EventHeader::Error {
                 job: done.job,
                 message: err,
             },
             Bytes::new(),
-        ));
+        );
+        remember_final(recent_finals, done.job, frame.clone());
+        let _ = link.emit(frame);
         return;
     }
     obs::counter_cached(&JOBS_DONE, "sched_jobs_done_total").inc();
@@ -357,8 +596,10 @@ fn handle_job_done(
         },
         cells_skipped: done.cells_skipped,
         bricks_skipped: done.bricks_skipped,
+        retries: run.q.retries,
+        degraded: run.q.degraded,
     };
-    let _ = link.emit(encode_event(
+    let frame = encode_event(
         &EventHeader::Final {
             job: done.job,
             kind: done.kind,
@@ -366,5 +607,7 @@ fn handle_job_done(
             report,
         },
         payload,
-    ));
+    );
+    remember_final(recent_finals, done.job, frame.clone());
+    let _ = link.emit(frame);
 }

@@ -19,6 +19,16 @@ pub struct CommandMsg {
     pub params: CommandParams,
     /// Ranks of the work group (sorted; the first is the master worker).
     pub group: Vec<Rank>,
+    /// Dispatch attempt (0 on first dispatch, bumped on every requeue)
+    /// so stale frames from an abandoned attempt can be told apart.
+    #[serde(default)]
+    pub attempt: u32,
+    /// Integrity check over the other fields, filled in by
+    /// [`encode_command`]. A command frame is pure JSON, so a flipped
+    /// bit that still parses could silently change e.g. the iso value;
+    /// the check catches that. `0` means "unchecked" (older peers).
+    #[serde(default)]
+    pub check: u32,
 }
 
 /// Worker → master: this worker's share of the result.
@@ -39,6 +49,13 @@ pub struct PartialHeader {
     /// Finest-level bricks skipped whole.
     #[serde(default)]
     pub bricks_skipped: u64,
+    /// Dispatch attempt this partial answers (mirrors the command).
+    #[serde(default)]
+    pub attempt: u32,
+    /// FNV-1a checksum of the binary payload, filled in by
+    /// [`encode_partial`]; `0` means "unchecked" (older peers).
+    #[serde(default)]
+    pub payload_crc: u32,
     /// Set when the command failed on this worker.
     pub error: Option<String>,
 }
@@ -63,7 +80,54 @@ pub struct DoneHeader {
     pub cells_skipped: u64,
     #[serde(default)]
     pub bricks_skipped: u64,
+    /// Dispatch attempt this result answers (mirrors the command).
+    #[serde(default)]
+    pub attempt: u32,
+    /// FNV-1a checksum of the binary payload, filled in by
+    /// [`encode_done`]; `0` means "unchecked" (older peers).
+    #[serde(default)]
+    pub payload_crc: u32,
     pub error: Option<String>,
+}
+
+/// FNV-1a over a byte slice, used both as the payload checksum on
+/// framed messages and (over a canonical field encoding) as the
+/// command integrity check. A value of `0` is reserved for
+/// "unchecked", so a real hash of zero is nudged to `1` — a harmless
+/// 2⁻³² bias for an error-detection (not cryptographic) code.
+pub fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    if h == 0 {
+        1
+    } else {
+        h
+    }
+}
+
+/// Canonical integrity check over every [`CommandMsg`] field except
+/// `check` itself. Length-prefixed so field boundaries can't alias.
+fn command_check(msg: &CommandMsg) -> u32 {
+    let mut buf = Vec::with_capacity(64);
+    buf.extend_from_slice(&msg.job.to_le_bytes());
+    buf.extend_from_slice(&(msg.command.len() as u32).to_le_bytes());
+    buf.extend_from_slice(msg.command.as_bytes());
+    buf.extend_from_slice(&(msg.dataset.len() as u32).to_le_bytes());
+    buf.extend_from_slice(msg.dataset.as_bytes());
+    for (k, v) in &msg.params.0 {
+        buf.extend_from_slice(&(k.len() as u32).to_le_bytes());
+        buf.extend_from_slice(k.as_bytes());
+        buf.extend_from_slice(&(v.len() as u32).to_le_bytes());
+        buf.extend_from_slice(v.as_bytes());
+    }
+    for &r in &msg.group {
+        buf.extend_from_slice(&(r as u64).to_le_bytes());
+    }
+    buf.extend_from_slice(&msg.attempt.to_le_bytes());
+    fnv1a(&buf)
 }
 
 fn encode<T: Serialize>(header: &T, payload: &Bytes) -> Bytes {
@@ -89,27 +153,52 @@ fn decode<T: for<'de> Deserialize<'de>>(mut frame: Bytes) -> Option<(T, Bytes)> 
 }
 
 pub fn encode_command(msg: &CommandMsg) -> Bytes {
-    encode(msg, &Bytes::new())
+    let mut msg = msg.clone();
+    msg.check = command_check(&msg);
+    encode(&msg, &Bytes::new())
 }
 
+/// Rejects frames whose integrity check no longer matches the fields
+/// (a corrupted-but-still-parseable command must not run with, say, a
+/// silently altered iso value). `check == 0` frames are from older
+/// peers and pass unchecked.
 pub fn decode_command(frame: Bytes) -> Option<CommandMsg> {
-    decode(frame).map(|(h, _)| h)
+    let (msg, _): (CommandMsg, _) = decode(frame)?;
+    if msg.check != 0 && msg.check != command_check(&msg) {
+        return None;
+    }
+    Some(msg)
 }
 
 pub fn encode_partial(header: &PartialHeader, payload: Bytes) -> Bytes {
-    encode(header, &payload)
+    let mut header = header.clone();
+    header.payload_crc = fnv1a(&payload);
+    encode(&header, &payload)
 }
 
+/// Rejects frames whose binary payload fails its checksum (the JSON
+/// header is already guarded by serde strictness; the payload is
+/// where a flipped bit would otherwise slip through as bad geometry).
 pub fn decode_partial(frame: Bytes) -> Option<(PartialHeader, Bytes)> {
-    decode(frame)
+    let (h, p): (PartialHeader, Bytes) = decode(frame)?;
+    if h.payload_crc != 0 && h.payload_crc != fnv1a(&p) {
+        return None;
+    }
+    Some((h, p))
 }
 
 pub fn encode_done(header: &DoneHeader, payload: Bytes) -> Bytes {
-    encode(header, &payload)
+    let mut header = header.clone();
+    header.payload_crc = fnv1a(&payload);
+    encode(&header, &payload)
 }
 
 pub fn decode_done(frame: Bytes) -> Option<(DoneHeader, Bytes)> {
-    decode(frame)
+    let (h, p): (DoneHeader, Bytes) = decode(frame)?;
+    if h.payload_crc != 0 && h.payload_crc != fnv1a(&p) {
+        return None;
+    }
+    Some((h, p))
 }
 
 #[cfg(test)]
@@ -124,8 +213,37 @@ mod tests {
             dataset: "Engine".into(),
             params: CommandParams::new().set("iso", 0.4),
             group: vec![1, 2, 5],
+            attempt: 2,
+            check: 0,
         };
-        assert_eq!(decode_command(encode_command(&msg)).unwrap(), msg);
+        let got = decode_command(encode_command(&msg)).unwrap();
+        assert_ne!(got.check, 0, "encode_command must fill in the check");
+        let mut want = msg;
+        want.check = got.check;
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn tampered_command_fields_are_rejected() {
+        // A bit flip that still parses as JSON must not yield a
+        // command with silently altered fields.
+        let msg = CommandMsg {
+            job: 3,
+            command: "ViewerIso".into(),
+            dataset: "Engine".into(),
+            params: CommandParams::new().set("iso", 0.4),
+            group: vec![1, 2, 5],
+            attempt: 0,
+            check: 0,
+        };
+        let frame = encode_command(&msg);
+        let mut v: serde_json::Value = serde_json::from_slice(&frame[4..]).unwrap();
+        v.as_object_mut().unwrap()["dataset"] = "Rotor".into();
+        let json = serde_json::to_vec(&v).unwrap();
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(json.len() as u32);
+        buf.put_slice(&json);
+        assert!(decode_command(buf.freeze()).is_none());
     }
 
     #[test]
@@ -140,12 +258,40 @@ mod tests {
             dms: DmsStatsSnapshot::default(),
             cells_skipped: 120,
             bricks_skipped: 3,
+            attempt: 1,
+            payload_crc: 0,
             error: None,
         };
         let payload = Bytes::from_static(b"geometry");
         let (h2, p2) = decode_partial(encode_partial(&h, payload.clone())).unwrap();
-        assert_eq!(h2, h);
+        assert_eq!(h2.payload_crc, fnv1a(&payload));
+        let mut want = h;
+        want.payload_crc = h2.payload_crc;
+        assert_eq!(h2, want);
         assert_eq!(p2, payload);
+    }
+
+    #[test]
+    fn corrupted_payload_fails_the_checksum() {
+        let h = PartialHeader {
+            job: 1,
+            kind: PayloadKind::Triangles,
+            n_items: 2,
+            read_s: 0.0,
+            compute_s: 0.0,
+            send_s: 0.0,
+            dms: DmsStatsSnapshot::default(),
+            cells_skipped: 0,
+            bricks_skipped: 0,
+            attempt: 0,
+            payload_crc: 0,
+            error: None,
+        };
+        let frame = encode_partial(&h, Bytes::from_static(b"geometry"));
+        let mut bytes = frame.to_vec();
+        let last = bytes.len() - 1; // inside the binary payload
+        bytes[last] ^= 0x10;
+        assert!(decode_partial(Bytes::from(bytes)).is_none());
     }
 
     #[test]
@@ -161,10 +307,14 @@ mod tests {
             dms: DmsStatsSnapshot::default(),
             cells_skipped: 0,
             bricks_skipped: 0,
+            attempt: 0,
+            payload_crc: 0,
             error: Some("worker 3 failed".into()),
         };
         let (h2, p) = decode_done(encode_done(&h, Bytes::new())).unwrap();
-        assert_eq!(h2, h);
+        let mut want = h;
+        want.payload_crc = h2.payload_crc;
+        assert_eq!(h2, want);
         assert!(p.is_empty());
     }
 
@@ -182,12 +332,18 @@ mod tests {
             dms: DmsStatsSnapshot::default(),
             cells_skipped: 7,
             bricks_skipped: 7,
+            attempt: 0,
+            payload_crc: 0,
             error: None,
         };
         let mut v = serde_json::to_value(&h).unwrap();
         let obj = v.as_object_mut().unwrap();
         obj.remove("cells_skipped");
         obj.remove("bricks_skipped");
+        obj.remove("attempt");
+        obj.remove("payload_crc");
+        // Older peers also predate the DMS fallback counter.
+        v["dms"].as_object_mut().unwrap().remove("fallbacks");
         let json = serde_json::to_vec(&v).unwrap();
         let mut buf = BytesMut::new();
         buf.put_u32_le(json.len() as u32);
@@ -195,6 +351,9 @@ mod tests {
         let (h2, _) = decode_partial(buf.freeze()).unwrap();
         assert_eq!(h2.cells_skipped, 0);
         assert_eq!(h2.bricks_skipped, 0);
+        assert_eq!(h2.attempt, 0);
+        assert_eq!(h2.payload_crc, 0, "absent crc means unchecked");
+        assert_eq!(h2.dms.fallbacks, 0);
         assert_eq!(h2.job, 4);
     }
 
@@ -213,6 +372,8 @@ mod tests {
             dms: DmsStatsSnapshot::default(),
             cells_skipped: 0,
             bricks_skipped: 0,
+            attempt: 0,
+            payload_crc: 0,
             error: None,
         };
         let mut v = serde_json::to_value(&h).unwrap();
@@ -225,6 +386,33 @@ mod tests {
         assert_eq!(h2.merge_s, 0.0);
         assert_eq!(h2.read_s, 1.0);
         assert_eq!(h2.job, 11);
+    }
+
+    #[test]
+    fn commands_without_resilience_fields_decode_unchecked() {
+        // Frames from peers predating attempt/check must still decode.
+        let msg = CommandMsg {
+            job: 8,
+            command: "ViewerCut".into(),
+            dataset: "Engine".into(),
+            params: CommandParams::new(),
+            group: vec![0, 1],
+            attempt: 0,
+            check: 0,
+        };
+        let frame = encode_command(&msg);
+        let mut v: serde_json::Value = serde_json::from_slice(&frame[4..]).unwrap();
+        let obj = v.as_object_mut().unwrap();
+        obj.remove("attempt");
+        obj.remove("check");
+        let json = serde_json::to_vec(&v).unwrap();
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(json.len() as u32);
+        buf.put_slice(&json);
+        let got = decode_command(buf.freeze()).unwrap();
+        assert_eq!(got.attempt, 0);
+        assert_eq!(got.check, 0);
+        assert_eq!(got.job, 8);
     }
 
     #[test]

@@ -11,20 +11,28 @@ use crate::command::{encode_output, CancelSet, CommandOutput, CommandRegistry, J
 use crate::config::ViracochaConfig;
 use crate::wire;
 use bytes::{BufMut, Bytes, BytesMut};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
+use std::time::Instant;
 use vira_comm::collective::Group;
 use vira_comm::endpoint::Endpoint;
 use vira_comm::link::EventSender;
-use vira_comm::transport::{tags, LocalEndpoint};
+use vira_comm::transport::{tags, CommError, LocalEndpoint, Rank, Tag, Transport};
 use vira_dms::proxy::{DataProxy, ProxyConfig};
 use vira_dms::server::DataServer;
 use vira_extract::mesh::payload_triangle_count;
 use vira_storage::costmodel::{CostCategory, Meter, SharedChannel, SimClock};
-use vira_vista::protocol::PayloadKind;
+use vira_vista::protocol::{JobId, PayloadKind};
+
+/// Completed (job, attempt) response frames kept for retransmission.
+/// When a duplicate `COMMAND` arrives — the scheduler's retry after a
+/// lost frame — the worker resends the cached response instead of
+/// recomputing the job.
+const FRAME_CACHE_CAP: usize = 16;
 
 /// Everything a worker thread needs at startup.
-pub struct WorkerSetup {
-    pub endpoint: Endpoint<LocalEndpoint>,
+pub struct WorkerSetup<T: Transport = LocalEndpoint> {
+    pub endpoint: Endpoint<T>,
     pub server: Arc<DataServer>,
     pub clock: Arc<SimClock>,
     pub registry: Arc<CommandRegistry>,
@@ -33,6 +41,17 @@ pub struct WorkerSetup {
     pub cancels: CancelSet,
     /// The back-end's single serialized client uplink.
     pub uplink: Arc<SharedChannel>,
+}
+
+/// How one `run_job` invocation ended.
+enum JobExit {
+    /// The response frame was sent; kept for duplicate-command replay.
+    Sent { dest: Rank, tag: Tag, frame: Bytes },
+    /// A different command arrived mid-gather and takes over (the
+    /// scheduler requeued this job, or dispatched a new one to us).
+    Superseded(Box<wire::CommandMsg>),
+    /// Shutdown (or a torn-down world) arrived mid-gather.
+    Shutdown,
 }
 
 /// Builds this node's proxy configuration (unique spill dir per rank).
@@ -45,7 +64,7 @@ fn proxy_config_for(rank: usize, base: &ProxyConfig) -> ProxyConfig {
 }
 
 /// The worker main loop. Returns when the scheduler sends `SHUTDOWN`.
-pub fn worker_main(setup: WorkerSetup) {
+pub fn worker_main<T: Transport>(setup: WorkerSetup<T>) {
     let WorkerSetup {
         mut endpoint,
         server,
@@ -61,42 +80,75 @@ pub fn worker_main(setup: WorkerSetup) {
     // Derived-field memoization (λ₂ fields across threshold tweaks);
     // sized like the primary data cache.
     let derived = crate::derived::DerivedFieldCache::new(config.proxy.l1_capacity_bytes);
+    // Responses of recently completed (job, attempt) pairs, replayed
+    // when the scheduler retransmits a command whose answer was lost.
+    let mut frame_cache: VecDeque<((JobId, u32), (Rank, Tag, Bytes))> = VecDeque::new();
+    // A command that superseded an abandoned gather, to run next.
+    let mut pending: Option<Box<wire::CommandMsg>> = None;
 
     loop {
-        let msg = match endpoint.recv_any() {
-            Ok(m) => m,
-            Err(_) => return, // world torn down
-        };
-        match msg.tag {
-            tags::SHUTDOWN => return,
-            tags::COMMAND => {
-                let Some(cmd_msg) = wire::decode_command(msg.payload) else {
-                    continue;
+        let cmd_msg = match pending.take() {
+            Some(c) => *c,
+            None => {
+                let msg = match endpoint.recv_any() {
+                    Ok(m) => m,
+                    Err(_) => return, // world torn down
                 };
-                run_job(
-                    &mut endpoint,
-                    &proxy,
-                    &derived,
-                    &server,
-                    &clock,
-                    &registry,
-                    &config,
-                    &events,
-                    &cancels,
-                    &uplink,
-                    cmd_msg,
-                );
+                match msg.tag {
+                    tags::SHUTDOWN => return,
+                    tags::PING => {
+                        // Liveness probe: echo the nonce back.
+                        let _ = endpoint.send(msg.from, tags::PONG, msg.payload);
+                        continue;
+                    }
+                    tags::COMMAND => {
+                        let Some(c) = wire::decode_command(msg.payload) else {
+                            continue;
+                        };
+                        c
+                    }
+                    _ => {
+                        // Unexpected traffic (stale partials after
+                        // errors or abandoned attempts): drop.
+                        continue;
+                    }
+                }
             }
-            _ => {
-                // Unexpected traffic (stale partials after errors): drop.
+        };
+        let key = (cmd_msg.job, cmd_msg.attempt);
+        if let Some((_, (dest, tag, frame))) = frame_cache.iter().find(|(k, _)| *k == key) {
+            // Duplicate command: our response got lost, resend it.
+            let _ = endpoint.send(*dest, *tag, frame.clone());
+            continue;
+        }
+        match run_job(
+            &mut endpoint,
+            &proxy,
+            &derived,
+            &server,
+            &clock,
+            &registry,
+            &config,
+            &events,
+            &cancels,
+            &uplink,
+            cmd_msg,
+        ) {
+            JobExit::Sent { dest, tag, frame } => {
+                if frame_cache.len() >= FRAME_CACHE_CAP {
+                    frame_cache.pop_front();
+                }
+                frame_cache.push_back((key, (dest, tag, frame)));
             }
+            JobExit::Superseded(c) => pending = Some(c),
+            JobExit::Shutdown => return,
         }
     }
 }
 
 #[allow(clippy::too_many_arguments)]
-fn run_job(
-    endpoint: &mut Endpoint<LocalEndpoint>,
+fn run_job<T: Transport>(
+    endpoint: &mut Endpoint<T>,
     proxy: &DataProxy,
     derived: &crate::derived::DerivedFieldCache,
     server: &Arc<DataServer>,
@@ -107,7 +159,7 @@ fn run_job(
     cancels: &CancelSet,
     uplink: &Arc<SharedChannel>,
     msg: wire::CommandMsg,
-) {
+) -> JobExit {
     let rank = endpoint.rank();
     let group = Group::new(msg.group.clone());
     let meter = Meter::new();
@@ -177,21 +229,79 @@ fn run_job(
         // transfer is part of the job's Send share.
         let n = (output.n_items() as f64 * send_scale(output.kind())) as usize;
         charge_send(&meter, clock, config, n);
-        let frame = encode_output(msg.job, &output, &meter, dms, error);
-        let _ = endpoint.send(group.root(), tags::PARTIAL_RESULT, frame);
-        return;
+        let frame = encode_output(msg.job, msg.attempt, &output, &meter, dms, error);
+        let _ = endpoint.send(group.root(), tags::PARTIAL_RESULT, frame.clone());
+        return JobExit::Sent {
+            dest: group.root(),
+            tag: tags::PARTIAL_RESULT,
+            frame,
+        };
     }
 
-    let merge_started = std::time::Instant::now();
+    let merge_started = Instant::now();
     let merge_span = vira_obs::span("worker.merge", "worker")
         .arg("job", msg.job)
         .arg("partials", group.len().saturating_sub(1));
 
-    // Master worker: gather the other members' partials and merge.
+    // Master worker: gather the other members' partials, keyed by
+    // sender rank so retransmitted duplicates collapse, then merge in
+    // canonical rank order (root's own share first) — the merged
+    // payload is byte-identical no matter how lossy the transport was.
+    let mut partials: BTreeMap<Rank, (wire::PartialHeader, Bytes)> = BTreeMap::new();
+    let expected = group.len() - 1;
+    let deadline = merge_started + config.resilience.gather_timeout;
+    let mut first_error = error;
+    while partials.len() < expected {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            first_error.get_or_insert_with(|| {
+                format!(
+                    "gather timed out with {}/{expected} partials",
+                    partials.len()
+                )
+            });
+            break;
+        }
+        let m = match endpoint.recv_any_timeout(left) {
+            Ok(m) => m,
+            Err(CommError::Timeout) => continue, // deadline check above
+            Err(_) => return JobExit::Shutdown,  // world torn down
+        };
+        match m.tag {
+            tags::PARTIAL_RESULT => {
+                let Some((header, payload)) = wire::decode_partial(m.payload) else {
+                    continue; // corrupt frame; retransmission recovers
+                };
+                if header.job != msg.job || header.attempt != msg.attempt {
+                    continue; // stale partial from an abandoned attempt
+                }
+                if group.contains(m.from) && m.from != rank {
+                    partials.entry(m.from).or_insert((header, payload));
+                }
+            }
+            tags::PING => {
+                let _ = endpoint.send(m.from, tags::PONG, m.payload);
+            }
+            tags::COMMAND => {
+                let Some(c) = wire::decode_command(m.payload) else {
+                    continue;
+                };
+                if c.job == msg.job && c.attempt == msg.attempt {
+                    continue; // scheduler retransmit of this very job
+                }
+                // The scheduler moved on (requeue or new dispatch):
+                // abandon this gather and serve the new command.
+                return JobExit::Superseded(Box::new(c));
+            }
+            tags::SHUTDOWN => return JobExit::Shutdown,
+            _ => {}
+        }
+    }
+
     // Triangle partials carry the same wire layout the merged package
     // uses, so the master splices their raw vertex blocks into one
-    // growing buffer (count prefix patched at the end) instead of the
-    // former decode → copy → re-encode round-trip per partial.
+    // growing buffer (count prefix patched at the end) instead of a
+    // decode → copy → re-encode round-trip per partial.
     let mut tri_buf = BytesMut::with_capacity(4 + output.triangles.positions.len() * 12);
     tri_buf.put_u32_le(0); // triangle count, patched below
     output.triangles.append_payload(&mut tri_buf);
@@ -203,17 +313,7 @@ fn run_job(
     let mut total_compute = meter.total(CostCategory::Compute);
     let mut total_send = meter.total(CostCategory::Send);
     let mut total_dms = dms;
-    let mut first_error = error;
-    for _ in 1..group.len() {
-        let Ok(m) = endpoint.recv_tag(tags::PARTIAL_RESULT) else {
-            break;
-        };
-        let Some((header, payload)) = wire::decode_partial(m.payload) else {
-            continue;
-        };
-        if header.job != msg.job {
-            continue; // stale partial from an aborted job
-        }
+    for (_, (header, payload)) in partials {
         total_read += header.read_s;
         total_compute += header.compute_s;
         total_send += header.send_s;
@@ -289,9 +389,17 @@ fn run_job(
         dms: total_dms,
         cells_skipped,
         bricks_skipped,
+        attempt: msg.attempt,
+        payload_crc: 0, // filled in by encode_done
         error: first_error,
     };
-    let _ = endpoint.send(0, tags::JOB_DONE, wire::encode_done(&done, payload));
+    let frame = wire::encode_done(&done, payload);
+    let _ = endpoint.send(0, tags::JOB_DONE, frame.clone());
+    JobExit::Sent {
+        dest: 0,
+        tag: tags::JOB_DONE,
+        frame,
+    }
 }
 
 fn charge_send(meter: &Meter, clock: &SimClock, config: &ViracochaConfig, n_items: usize) {

@@ -1,0 +1,161 @@
+//! Property tests for the layer-2 wire codecs under hostile input:
+//! whatever a faulty transport hands `decode_*`, it must either
+//! decode faithfully or return `None` — never panic, and never return
+//! a frame whose payload no longer matches its checksum.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use vira_core::wire::{
+    decode_command, decode_done, decode_partial, encode_command, encode_done, encode_partial,
+    CommandMsg, DoneHeader, PartialHeader,
+};
+use vira_dms::stats::DmsStatsSnapshot;
+use vira_vista::protocol::{CommandParams, PayloadKind};
+
+fn sample_command(job: u64, attempt: u32) -> CommandMsg {
+    CommandMsg {
+        job,
+        command: "ViewerIso".into(),
+        dataset: "Engine".into(),
+        params: CommandParams::new().set("iso", 0.4),
+        group: vec![0, 1, 2],
+        attempt,
+        check: 0,
+    }
+}
+
+fn sample_partial(job: u64, payload_len: usize) -> (PartialHeader, Bytes) {
+    let h = PartialHeader {
+        job,
+        kind: PayloadKind::Triangles,
+        n_items: 3,
+        read_s: 0.5,
+        compute_s: 1.5,
+        send_s: 0.25,
+        dms: DmsStatsSnapshot::default(),
+        cells_skipped: 11,
+        bricks_skipped: 2,
+        attempt: 1,
+        payload_crc: 0,
+        error: None,
+    };
+    let payload: Vec<u8> = (0..payload_len).map(|i| (i * 7 + 13) as u8).collect();
+    (h, Bytes::from(payload))
+}
+
+proptest! {
+    /// Truncating an encoded frame anywhere must be detected: either
+    /// the framing/JSON no longer parses, or the payload checksum
+    /// catches the shortened body. A truncated frame must never
+    /// decode as if it were intact.
+    #[test]
+    fn truncated_partial_frames_are_rejected(
+        job in 0u64..1000,
+        payload_len in 1usize..128,
+        cut in 0usize..1000,
+    ) {
+        let (h, payload) = sample_partial(job, payload_len);
+        let frame = encode_partial(&h, payload);
+        prop_assume!(cut < frame.len());
+        let truncated = frame.slice(..cut);
+        prop_assert!(decode_partial(truncated).is_none());
+    }
+
+    #[test]
+    fn truncated_done_frames_are_rejected(
+        job in 0u64..1000,
+        payload_len in 1usize..128,
+        cut in 0usize..1000,
+    ) {
+        let (p, payload) = sample_partial(job, payload_len);
+        let h = DoneHeader {
+            job: p.job,
+            kind: p.kind,
+            n_items: p.n_items,
+            read_s: p.read_s,
+            compute_s: p.compute_s,
+            send_s: p.send_s,
+            merge_s: 0.125,
+            dms: p.dms,
+            cells_skipped: p.cells_skipped,
+            bricks_skipped: p.bricks_skipped,
+            attempt: p.attempt,
+            payload_crc: 0,
+            error: None,
+        };
+        let frame = encode_done(&h, payload);
+        prop_assume!(cut < frame.len());
+        prop_assert!(decode_done(frame.slice(..cut)).is_none());
+    }
+
+    /// A truncated command either fails to decode or — when the cut
+    /// happens to land on a still-valid JSON document, which the
+    /// length prefix prevents — never yields altered fields.
+    #[test]
+    fn truncated_command_frames_are_rejected(
+        job in 0u64..1000,
+        attempt in 0u32..8,
+        cut in 0usize..1000,
+    ) {
+        let frame = encode_command(&sample_command(job, attempt));
+        prop_assume!(cut < frame.len());
+        prop_assert!(decode_command(frame.slice(..cut)).is_none());
+    }
+
+    /// Any single bit flip anywhere in a framed partial must not
+    /// panic, and must not surface a frame whose payload fails its
+    /// checksum. (A flip confined to redundant JSON whitespace can
+    /// legitimately still decode; a flip in the binary body cannot.)
+    #[test]
+    fn bitflipped_partial_frames_never_misdecode(
+        job in 0u64..1000,
+        payload_len in 1usize..128,
+        byte in 0usize..4096,
+        bit in 0u8..8,
+    ) {
+        let (h, payload) = sample_partial(job, payload_len);
+        let frame = encode_partial(&h, payload);
+        prop_assume!(byte < frame.len());
+        let mut bytes = frame.to_vec();
+        bytes[byte] ^= 1 << bit;
+        let body_start = frame.len() - payload_len;
+        match decode_partial(Bytes::from(bytes)) {
+            None => {} // rejected: always acceptable
+            Some((h2, p2)) => {
+                // Whatever survived must be internally consistent (a
+                // flip that knocked out the crc *field name* leaves it
+                // 0 = unchecked — but then the body was untouched)…
+                if h2.payload_crc != 0 {
+                    prop_assert_eq!(h2.payload_crc, vira_core::wire::fnv1a(&p2));
+                }
+                // …and a flip inside the binary body is always caught.
+                prop_assert!(byte < body_start);
+            }
+        }
+    }
+
+    /// Same for commands: a flip either breaks the JSON, trips the
+    /// integrity check, or hit a redundant byte leaving every field
+    /// intact. It must never produce a command with changed fields.
+    #[test]
+    fn bitflipped_command_frames_never_misdecode(
+        job in 0u64..1000,
+        attempt in 0u32..8,
+        byte in 0usize..4096,
+        bit in 0u8..8,
+    ) {
+        let msg = sample_command(job, attempt);
+        let frame = encode_command(&msg);
+        prop_assume!(byte < frame.len());
+        let mut bytes = frame.to_vec();
+        bytes[byte] ^= 1 << bit;
+        if let Some(got) = decode_command(Bytes::from(bytes)) {
+            prop_assert_eq!(got.job, msg.job);
+            prop_assert_eq!(got.command, msg.command);
+            prop_assert_eq!(got.dataset, msg.dataset);
+            prop_assert_eq!(got.params, msg.params);
+            prop_assert_eq!(got.group, msg.group);
+            prop_assert_eq!(got.attempt, msg.attempt);
+        }
+    }
+}

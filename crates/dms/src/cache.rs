@@ -566,6 +566,103 @@ mod tests {
         assert_eq!(c.drain_dropped(), vec![ItemId(1)]);
     }
 
+    /// Invariant: no item may ever be resident in both tiers at once
+    /// (a duplicate would double-count capacity and could serve stale
+    /// bytes after a promote).
+    fn assert_no_cross_tier_duplicates(c: &TieredCache<Blob>, universe: &[ItemId]) {
+        for &id in universe {
+            let in_l1 = c.l1().contains(id);
+            let in_l2 = c.l2().is_some_and(|l2| l2.contains(id));
+            assert!(
+                !(in_l1 && in_l2),
+                "item {id:?} resident in both tiers at once"
+            );
+        }
+    }
+
+    #[test]
+    fn promote_demote_churn_never_duplicates_across_tiers() {
+        let l1 = MemoryCache::new(20, Box::new(LruPolicy::new()));
+        let l2 = DiskCache::new(
+            spill_dir("churn"),
+            1000,
+            Box::new(LruPolicy::new()),
+            Arc::new(BlobCodec),
+        )
+        .unwrap();
+        let mut c = TieredCache::new(l1, Some(l2));
+        let universe: Vec<ItemId> = (1..=6u64).map(ItemId).collect();
+        // Deterministic churn: inserts force demotions, gets force
+        // promotions (which in turn demote something else) — the
+        // duplicate window would open exactly at these transitions.
+        for round in 0..4u64 {
+            for &id in &universe {
+                c.insert(id, blob(10)).unwrap();
+                assert_no_cross_tier_duplicates(&c, &universe);
+            }
+            for &id in &universe {
+                if id.0 % (round + 2) == 0 {
+                    let _ = c.get(id).unwrap();
+                    assert_no_cross_tier_duplicates(&c, &universe);
+                }
+            }
+        }
+        // After the churn every resident item is still locatable in
+        // exactly one tier.
+        for &id in &universe {
+            match c.locate(id) {
+                Some(Tier::Memory) => assert!(c.l1().contains(id)),
+                Some(Tier::Disk) => {
+                    assert!(!c.l1().contains(id));
+                    assert!(c.l2().unwrap().contains(id));
+                }
+                None => {
+                    assert!(!c.l1().contains(id));
+                    assert!(!c.l2().unwrap().contains(id));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forced_promotion_failure_path_keeps_single_residency() {
+        // Mirrors the DMS fallback flow: a peer pulls an item out of
+        // our disk tier (TieredCache::get promotes it) while inserts
+        // keep demoting — at no interleaving point may both tiers hold
+        // the same item.
+        let l1 = MemoryCache::new(10, Box::new(LruPolicy::new()));
+        let l2 = DiskCache::new(
+            spill_dir("fallback"),
+            25,
+            Box::new(LruPolicy::new()),
+            Arc::new(BlobCodec),
+        )
+        .unwrap();
+        let mut c = TieredCache::new(l1, Some(l2));
+        let universe: Vec<ItemId> = (1..=4u64).map(ItemId).collect();
+        c.insert(ItemId(1), blob(10)).unwrap();
+        c.insert(ItemId(2), blob(10)).unwrap(); // demotes 1
+        assert_eq!(c.locate(ItemId(1)), Some(Tier::Disk));
+        // Promote 1 (demotes 2), then immediately re-promote 2: each
+        // promote removes the disk copy before reinserting into L1.
+        let (_, t) = c.get(ItemId(1)).unwrap().unwrap();
+        assert_eq!(t, Tier::Disk);
+        assert_no_cross_tier_duplicates(&c, &universe);
+        let (_, t) = c.get(ItemId(2)).unwrap().unwrap();
+        assert_eq!(t, Tier::Disk);
+        assert_no_cross_tier_duplicates(&c, &universe);
+        // L2-evicted items land in the dropped log exactly once, never
+        // twice (double-reporting would desync the peer directory).
+        c.insert(ItemId(3), blob(10)).unwrap();
+        c.insert(ItemId(4), blob(10)).unwrap();
+        let mut dropped = c.drain_dropped();
+        dropped.sort_by_key(|i| i.0);
+        let mut dedup = dropped.clone();
+        dedup.dedup();
+        assert_eq!(dropped, dedup, "dropped log reported an item twice");
+        assert_no_cross_tier_duplicates(&c, &universe);
+    }
+
     #[test]
     fn tiered_remove_and_clear() {
         let l1 = MemoryCache::new(100, Box::new(LruPolicy::new()));

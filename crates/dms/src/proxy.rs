@@ -79,6 +79,11 @@ static PREFETCH_REDUNDANT: OnceLock<Arc<obs::Counter>> = OnceLock::new();
 static LOADS_FILESERVER: OnceLock<Arc<obs::Counter>> = OnceLock::new();
 static LOADS_REPLICA: OnceLock<Arc<obs::Counter>> = OnceLock::new();
 static LOADS_PEER: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static FALLBACKS: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+
+/// Failed load attempts tolerated per demand before dropping to the
+/// last-resort direct storage read.
+const LOAD_RETRY_BUDGET: usize = 3;
 
 struct Core {
     node: NodeId,
@@ -124,8 +129,38 @@ impl Core {
             .unwrap_or_default()
     }
 
-    /// Forced load of one item through the server-selected strategy, with
-    /// per-strategy failure fallback.
+    fn record_strategy(&self, strategy: LoadStrategy) {
+        let idx = match strategy {
+            LoadStrategy::FileServer => StrategyIndex::FileServer,
+            LoadStrategy::LocalReplica => StrategyIndex::LocalReplica,
+            LoadStrategy::Peer(_) => StrategyIndex::Peer,
+        };
+        self.stats.record_strategy(idx);
+        match idx {
+            StrategyIndex::FileServer => {
+                obs::counter_cached(&LOADS_FILESERVER, "dms_loads_fileserver_total").inc()
+            }
+            StrategyIndex::LocalReplica => {
+                obs::counter_cached(&LOADS_REPLICA, "dms_loads_replica_total").inc()
+            }
+            StrategyIndex::Peer => obs::counter_cached(&LOADS_PEER, "dms_loads_peer_total").inc(),
+            StrategyIndex::Collective => {}
+        }
+    }
+
+    fn count_fallback(&self) {
+        self.stats.bump(&self.stats.fallbacks);
+        obs::counter_cached(&FALLBACKS, "dms_fallback_total").inc();
+    }
+
+    /// Forced load of one item: an explicit peer → server → storage
+    /// fallback chain. Each attempt asks the server for its
+    /// fitness-best strategy (a peer when one holds the item, else the
+    /// file server / replica); a failed rung is reported, counted as a
+    /// fallback, and re-planned, so a cache-peer failure costs latency,
+    /// not correctness. After [`LOAD_RETRY_BUDGET`] failed plans the
+    /// chain bottoms out in a direct storage read that bypasses
+    /// strategy selection entirely.
     fn load(
         &self,
         dataset: &str,
@@ -134,28 +169,19 @@ impl Core {
         meter: &Meter,
     ) -> Result<SharedBlockData, StorageError> {
         let mut last_err = None;
-        for _ in 0..3 {
-            let plan = self.server.choose_plan(dataset, item, self.node, meter)?;
+        for _ in 0..LOAD_RETRY_BUDGET {
+            let plan = match self.server.choose_plan(dataset, item, self.node, meter) {
+                Ok(p) => p,
+                Err(e) => {
+                    // No strategy left (e.g. file server down, no
+                    // peers): descend to the storage rung.
+                    last_err = Some(e);
+                    break;
+                }
+            };
             match self.server.execute_plan(dataset, item, id, plan, meter) {
                 Ok(p) => {
-                    let idx = match plan.strategy {
-                        LoadStrategy::FileServer => StrategyIndex::FileServer,
-                        LoadStrategy::LocalReplica => StrategyIndex::LocalReplica,
-                        LoadStrategy::Peer(_) => StrategyIndex::Peer,
-                    };
-                    self.stats.record_strategy(idx);
-                    match idx {
-                        StrategyIndex::FileServer => {
-                            obs::counter_cached(&LOADS_FILESERVER, "dms_loads_fileserver_total")
-                                .inc()
-                        }
-                        StrategyIndex::LocalReplica => {
-                            obs::counter_cached(&LOADS_REPLICA, "dms_loads_replica_total").inc()
-                        }
-                        StrategyIndex::Peer => {
-                            obs::counter_cached(&LOADS_PEER, "dms_loads_peer_total").inc()
-                        }
-                    }
+                    self.record_strategy(plan.strategy);
                     return Ok(p);
                 }
                 Err(e) => {
@@ -165,11 +191,21 @@ impl Core {
                     if let LoadStrategy::Peer(peer) = plan.strategy {
                         self.server.notify_evicted(item, peer);
                     }
+                    self.count_fallback();
                     last_err = Some(e);
                 }
             }
         }
-        Err(last_err.unwrap_or_else(|| StorageError::Unavailable("load failed".into())))
+        // Last resort: raw storage, no coordination, no cooperative
+        // cache. Only correctness is promised here, not modeled speed.
+        self.count_fallback();
+        match self.server.direct_fileserver_read(dataset, id, meter) {
+            Ok(p) => {
+                self.record_strategy(LoadStrategy::FileServer);
+                Ok(p)
+            }
+            Err(e) => Err(last_err.unwrap_or(e)),
+        }
     }
 
     /// Inserts a loaded item and synchronizes the server's peer
@@ -612,6 +648,66 @@ mod tests {
         let s1 = p1.stats().snapshot();
         assert_eq!(s1.loads_by_strategy[StrategyIndex::Peer as usize], 1);
         assert_eq!(s1.loads_by_strategy[StrategyIndex::FileServer as usize], 0);
+    }
+
+    #[test]
+    fn forced_peer_failure_falls_back_to_fileserver() {
+        let server = DataServer::new(SimClock::instant(), ServerConfig::default());
+        server.register_dataset(Arc::new(SynthSource::new(Arc::new(test_cube(4, 4)))), false);
+        let cfg = ProxyConfig {
+            l1_capacity_bytes: 1 << 30,
+            l1_policy: "lru".into(),
+            l2: None,
+            prefetcher: "none".into(),
+        };
+        let p0 = DataProxy::new(0, server.clone(), cfg.clone());
+        let p1 = DataProxy::new(1, server.clone(), cfg);
+        let m = Meter::new();
+        p0.request("TestCube", bs(0, 0), &m).unwrap();
+        server.inject_peer_failures(1);
+        // The peer rung fails; the chain re-plans and the file server
+        // serves the load — correctness is preserved.
+        let data = p1.request("TestCube", bs(0, 0), &m).unwrap();
+        assert_eq!(data.id, bs(0, 0));
+        let s1 = p1.stats().snapshot();
+        assert_eq!(s1.fallbacks, 1);
+        assert_eq!(s1.loads_by_strategy[StrategyIndex::Peer as usize], 0);
+        assert_eq!(s1.loads_by_strategy[StrategyIndex::FileServer as usize], 1);
+        // Hit/miss/fallback accounting stays consistent: the single
+        // demand was a miss served by exactly one successful load.
+        assert_eq!(s1.demand_requests, 1);
+        assert_eq!(s1.l1_hits + s1.l2_hits + s1.misses, s1.demand_requests);
+        assert_eq!(s1.total_loads(), 1);
+        // The block landed in p1's cache exactly once.
+        assert!(p1.is_cached("TestCube", bs(0, 0)));
+    }
+
+    #[test]
+    fn peer_and_fileserver_failures_bottom_out_in_direct_storage() {
+        let server = DataServer::new(SimClock::instant(), ServerConfig::default());
+        server.register_dataset(Arc::new(SynthSource::new(Arc::new(test_cube(4, 4)))), false);
+        let cfg = ProxyConfig {
+            l1_capacity_bytes: 1 << 30,
+            l1_policy: "lru".into(),
+            l2: None,
+            prefetcher: "none".into(),
+        };
+        let p0 = DataProxy::new(0, server.clone(), cfg.clone());
+        let p1 = DataProxy::new(1, server.clone(), cfg);
+        let m = Meter::new();
+        p0.request("TestCube", bs(0, 0), &m).unwrap();
+        server.inject_peer_failures(1);
+        server.inject_fileserver_failures(1);
+        // Peer fails, re-planned file server fails too (marking it
+        // down), choose_plan runs out of strategies, and the chain
+        // bottoms out in the raw storage read.
+        let data = p1.request("TestCube", bs(0, 0), &m).unwrap();
+        assert_eq!(data.id, bs(0, 0));
+        let s1 = p1.stats().snapshot();
+        assert!(s1.fallbacks >= 2, "two failed rungs counted, got {}", s1.fallbacks);
+        assert!(server.fileserver_is_down());
+        assert!(p1.is_cached("TestCube", bs(0, 0)));
+        server.reset_fileserver();
     }
 
     #[test]

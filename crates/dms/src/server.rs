@@ -22,7 +22,7 @@ use crate::name::{ItemId, NameServer};
 use crate::prefetch::SequenceOrder;
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeSet, HashMap};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use vira_grid::block::BlockStepId;
 use vira_grid::field::BlockData;
@@ -107,6 +107,18 @@ pub struct DataServer {
     /// Sticky flag set when the file server reports a failure; adaptive
     /// selection then avoids it until reset.
     fileserver_down: AtomicBool,
+    /// Deterministic fault budgets for chaos tests: the next N peer /
+    /// file-server transfers fail. Zero in normal operation.
+    peer_failure_budget: AtomicU64,
+    fileserver_failure_budget: AtomicU64,
+}
+
+/// Consumes one unit of a failure budget; true when a failure should
+/// be injected.
+fn consume_budget(budget: &AtomicU64) -> bool {
+    budget
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+        .is_ok()
 }
 
 impl DataServer {
@@ -121,7 +133,21 @@ impl DataServer {
             directory: RwLock::new(HashMap::new()),
             peer_caches: RwLock::new(HashMap::new()),
             fileserver_down: AtomicBool::new(false),
+            peer_failure_budget: AtomicU64::new(0),
+            fileserver_failure_budget: AtomicU64::new(0),
         })
+    }
+
+    /// Makes the next `n` peer transfers fail deterministically
+    /// (chaos-test hook; the proxy must fall back to the server rung).
+    pub fn inject_peer_failures(&self, n: u64) {
+        self.peer_failure_budget.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Makes the next `n` file-server reads fail deterministically
+    /// (chaos-test hook; the proxy must fall back to direct storage).
+    pub fn inject_fileserver_failures(&self, n: u64) {
+        self.fileserver_failure_budget.fetch_add(n, Ordering::Relaxed);
     }
 
     pub fn names(&self) -> &Arc<NameServer> {
@@ -356,15 +382,26 @@ impl DataServer {
     ) -> Result<Arc<BlockData>, StorageError> {
         let entry = self.entry(dataset)?;
         match plan.strategy {
-            LoadStrategy::FileServer => match entry.fileserver.read(id, meter) {
-                Ok(data) => Ok(data),
-                Err(e) => {
-                    if matches!(e, StorageError::Unavailable(_)) {
-                        self.report_fileserver_failure();
-                    }
-                    Err(e)
+            LoadStrategy::FileServer => {
+                // Injected failures hit the server-coordinated rung
+                // only; `direct_fileserver_read` models raw storage
+                // access and stays the last resort.
+                if consume_budget(&self.fileserver_failure_budget) {
+                    self.report_fileserver_failure();
+                    return Err(StorageError::Unavailable(
+                        "file server failure (injected)".into(),
+                    ));
                 }
-            },
+                match entry.fileserver.read(id, meter) {
+                    Ok(data) => Ok(data),
+                    Err(e) => {
+                        if matches!(e, StorageError::Unavailable(_)) {
+                            self.report_fileserver_failure();
+                        }
+                        Err(e)
+                    }
+                }
+            }
             LoadStrategy::LocalReplica => {
                 let dev = entry.replica.as_ref().ok_or_else(|| {
                     StorageError::Unavailable("no local replica registered".into())
@@ -389,6 +426,9 @@ impl DataServer {
         bytes: u64,
         meter: &Meter,
     ) -> Option<Arc<BlockData>> {
+        if consume_budget(&self.peer_failure_budget) {
+            return None;
+        }
         let cache = self.peer_caches.read().get(&peer).cloned()?;
         let hit = {
             let mut guard = cache.lock();
@@ -625,6 +665,51 @@ mod tests {
         assert_eq!(data.id, BlockStepId::new(0, 2));
         let expected = srv.collective_cost("TestCube", 4).unwrap();
         assert!((m.total(CostCategory::Read) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn injected_peer_failure_budget_is_consumed_once() {
+        let srv = server(true);
+        let m = Meter::new();
+        let id = BlockStepId::new(0, 0);
+        let item = item_of(&srv, 0, 0);
+        let cache: SharedCache = Arc::new(Mutex::new(TieredCache::new(
+            MemoryCache::new(1 << 30, Box::new(LruPolicy::new())),
+            None,
+        )));
+        cache
+            .lock()
+            .insert(item, Arc::new(test_cube(4, 3).generate(id)))
+            .unwrap();
+        srv.register_proxy(1, cache);
+        srv.notify_cached(item, 1);
+        srv.inject_peer_failures(1);
+        let plan = srv.choose_plan("TestCube", item, 0, &m).unwrap();
+        assert_eq!(plan.strategy, LoadStrategy::Peer(1));
+        // First transfer fails on the injected budget...
+        assert!(matches!(
+            srv.execute_plan("TestCube", item, id, plan, &m),
+            Err(StorageError::Unavailable(_))
+        ));
+        // ...and the budget is spent: the retry succeeds.
+        assert!(srv.execute_plan("TestCube", item, id, plan, &m).is_ok());
+    }
+
+    #[test]
+    fn injected_fileserver_failure_marks_it_down() {
+        let srv = server(true);
+        let m = Meter::new();
+        let id = BlockStepId::new(0, 0);
+        let item = item_of(&srv, 0, 0);
+        srv.inject_fileserver_failures(1);
+        let plan = srv.choose_plan("TestCube", item, 0, &m).unwrap();
+        assert!(matches!(
+            srv.execute_plan("TestCube", item, id, plan, &m),
+            Err(StorageError::Unavailable(_))
+        ));
+        assert!(srv.fileserver_is_down());
+        // Direct storage access (the last rung) still works.
+        assert!(srv.direct_fileserver_read("TestCube", id, &m).is_ok());
     }
 
     #[test]

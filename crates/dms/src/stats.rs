@@ -26,6 +26,9 @@ pub struct DmsStats {
     pub prefetch_redundant: AtomicU64,
     /// Demand hits on items that were brought in by a prefetch.
     pub prefetch_hits: AtomicU64,
+    /// Loads that fell back to a lower rung of the peer → server →
+    /// storage chain after a failure (cost latency, not correctness).
+    pub fallbacks: AtomicU64,
     /// Loads by strategy: [file server, local replica, peer, collective].
     pub loads_by_strategy: [AtomicU64; 4],
 }
@@ -62,6 +65,7 @@ impl DmsStats {
             prefetch_issued: self.prefetch_issued.load(Ordering::Relaxed),
             prefetch_redundant: self.prefetch_redundant.load(Ordering::Relaxed),
             prefetch_hits: self.prefetch_hits.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
             loads_by_strategy: [
                 self.loads_by_strategy[0].load(Ordering::Relaxed),
                 self.loads_by_strategy[1].load(Ordering::Relaxed),
@@ -80,6 +84,7 @@ impl DmsStats {
         self.prefetch_issued.store(0, Ordering::Relaxed);
         self.prefetch_redundant.store(0, Ordering::Relaxed);
         self.prefetch_hits.store(0, Ordering::Relaxed);
+        self.fallbacks.store(0, Ordering::Relaxed);
         for s in &self.loads_by_strategy {
             s.store(0, Ordering::Relaxed);
         }
@@ -98,6 +103,9 @@ pub struct DmsStatsSnapshot {
     pub prefetch_issued: u64,
     pub prefetch_redundant: u64,
     pub prefetch_hits: u64,
+    /// Absent in frames from older peers; defaults to zero.
+    #[serde(default)]
+    pub fallbacks: u64,
     pub loads_by_strategy: [u64; 4],
 }
 
@@ -147,6 +155,7 @@ impl DmsStatsSnapshot {
                 .prefetch_redundant
                 .saturating_sub(earlier.prefetch_redundant),
             prefetch_hits: self.prefetch_hits.saturating_sub(earlier.prefetch_hits),
+            fallbacks: self.fallbacks.saturating_sub(earlier.fallbacks),
             loads_by_strategy: [
                 self.loads_by_strategy[0].saturating_sub(earlier.loads_by_strategy[0]),
                 self.loads_by_strategy[1].saturating_sub(earlier.loads_by_strategy[1]),
@@ -172,6 +181,7 @@ impl DmsStatsSnapshot {
             prefetch_issued: self.prefetch_issued + o.prefetch_issued,
             prefetch_redundant: self.prefetch_redundant + o.prefetch_redundant,
             prefetch_hits: self.prefetch_hits + o.prefetch_hits,
+            fallbacks: self.fallbacks + o.fallbacks,
             loads_by_strategy: [
                 self.loads_by_strategy[0] + o.loads_by_strategy[0],
                 self.loads_by_strategy[1] + o.loads_by_strategy[1],
@@ -233,12 +243,27 @@ mod tests {
             prefetch_issued: 6,
             prefetch_redundant: 7,
             prefetch_hits: 8,
+            fallbacks: 9,
             loads_by_strategy: [1, 2, 3, 4],
         };
         let m = a.merge(&a);
         assert_eq!(m.demand_requests, 2);
         assert_eq!(m.prefetch_hits, 16);
+        assert_eq!(m.fallbacks, 18);
         assert_eq!(m.loads_by_strategy, [2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn fallbacks_counter_snapshots_clears_and_deltas() {
+        let s = DmsStats::new();
+        s.bump(&s.fallbacks);
+        s.bump(&s.fallbacks);
+        let before = s.snapshot();
+        assert_eq!(before.fallbacks, 2);
+        s.bump(&s.fallbacks);
+        assert_eq!(s.snapshot().delta(&before).fallbacks, 1);
+        s.clear();
+        assert_eq!(s.snapshot().fallbacks, 0);
     }
 
     #[test]

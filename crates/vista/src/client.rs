@@ -25,6 +25,7 @@ static STREAM_BYTES: OnceLock<Arc<obs::Counter>> = OnceLock::new();
 static STREAM_ITEMS: OnceLock<Arc<obs::Counter>> = OnceLock::new();
 static JOBS_COLLECTED: OnceLock<Arc<obs::Counter>> = OnceLock::new();
 static FIRST_RESULT_NS: OnceLock<Arc<obs::Histogram>> = OnceLock::new();
+static DUP_DROPPED: OnceLock<Arc<obs::Counter>> = OnceLock::new();
 
 /// A submission to the back-end.
 #[derive(Debug, Clone)]
@@ -173,6 +174,24 @@ impl VistaClient {
         Ok(())
     }
 
+    /// Acknowledges streamed partials up to `up_to_seq` so the
+    /// back-end can trim its resend buffer.
+    pub fn ack(&mut self, job: JobId, up_to_seq: u32) -> Result<(), ClientError> {
+        self.link
+            .request(encode_request(&ClientRequest::Ack { job, up_to_seq }))?;
+        Ok(())
+    }
+
+    /// Asks the back-end to resend every un-acked frame of `job`
+    /// (after a reconnect that may have lost streamed partials); then
+    /// collect the job again. Duplicate partials that did arrive the
+    /// first time are dropped by sequence number in [`collect`].
+    pub fn resume(&mut self, job: JobId) -> Result<(), ClientError> {
+        self.link
+            .request(encode_request(&ClientRequest::Resume { job }))?;
+        Ok(())
+    }
+
     /// Asks the back-end to shut down.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         self.link.request(encode_request(&ClientRequest::Shutdown))?;
@@ -191,6 +210,10 @@ impl VistaClient {
         let mut progress = Vec::new();
         let mut first: Option<Duration> = None;
         let mut cumulative: u64 = 0;
+        // Resent frames after a lossy reconnect may duplicate packets
+        // that did make it through the first time; geometry must not
+        // be ingested twice.
+        let mut seen: std::collections::HashSet<(usize, u32)> = std::collections::HashSet::new();
         loop {
             let (header, payload) = self.next_event_for(job)?;
             match header {
@@ -205,6 +228,10 @@ impl VistaClient {
                     from_worker,
                     ..
                 } => {
+                    if !seen.insert((from_worker, seq)) {
+                        obs::counter_cached(&DUP_DROPPED, "vista_dup_dropped_total").inc();
+                        continue;
+                    }
                     let elapsed = t0.elapsed();
                     obs::counter_cached(&PACKETS, "vista_packets_total").inc();
                     obs::counter_cached(&STREAM_BYTES, "vista_stream_bytes_total")
@@ -467,6 +494,42 @@ mod tests {
         assert_eq!(out.progress[0].from_worker, 1);
         assert_eq!(out.progress[0].fraction, 0.5);
         assert_eq!(out.progress[2].fraction, 1.0);
+    }
+
+    #[test]
+    fn duplicate_partials_are_dropped() {
+        // A resend after a lossy reconnect delivers some packets
+        // twice; the client must ingest each (worker, seq) once.
+        let (client_side, server_side) = client_server_link();
+        let h = std::thread::spawn(move || {
+            let frame = server_side.next_request().unwrap();
+            let ClientRequest::Submit { job, .. } = decode_request(frame).unwrap() else {
+                panic!("expected submit");
+            };
+            for seq in [0u32, 1, 0, 1, 2, 2] {
+                server_side
+                    .emit(triangle_packet(job, seq, 0, &one_tri()))
+                    .unwrap();
+            }
+            server_side
+                .emit(encode_event(
+                    &EventHeader::Final {
+                        job,
+                        kind: PayloadKind::None,
+                        n_items: 0,
+                        report: JobReport::default(),
+                    },
+                    Bytes::new(),
+                ))
+                .unwrap();
+        });
+        let mut client = VistaClient::new(client_side);
+        let out = client.run(&spec()).unwrap();
+        h.join().unwrap();
+        assert_eq!(out.triangles.n_triangles(), 3, "each seq ingested once");
+        assert_eq!(out.packets.len(), 3);
+        let seqs: Vec<u32> = out.packets.iter().map(|p| p.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
     }
 
     #[test]

@@ -21,7 +21,7 @@ pub mod protocol;
 pub mod session;
 
 pub use client::{ClientError, JobOutcome, PacketRecord, ProgressRecord, SubmitSpec, VistaClient};
-pub use session::{SessionLog, SessionRecord, SessionSummary};
+pub use session::{SessionLog, SessionRecord, SessionSummary, StreamSession};
 pub use protocol::{
     decode_event, decode_polylines, decode_request, encode_event, encode_polylines,
     encode_request, triangle_packet, ClientRequest, CommandParams, EventHeader, JobId, JobReport,

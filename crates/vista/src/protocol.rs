@@ -78,6 +78,14 @@ pub enum ClientRequest {
     /// Abort a running job ("meaningless extraction processes can be
     /// discarded immediately", §5).
     Cancel { job: JobId },
+    /// Client acknowledges streamed partials for a job up to (and
+    /// including) `up_to_seq`; the back-end may drop them from its
+    /// resend buffer.
+    Ack { job: JobId, up_to_seq: u32 },
+    /// Client reconnected mid-stream and asks for every un-acked
+    /// frame of the job (and its final event, if already produced)
+    /// to be sent again.
+    Resume { job: JobId },
     /// Orderly shutdown of the back-end.
     Shutdown,
 }
@@ -125,6 +133,15 @@ pub struct JobReport {
     /// Finest-level bricks skipped whole.
     #[serde(default)]
     pub bricks_skipped: u64,
+    /// Command retransmissions the scheduler issued for this job
+    /// (absent in frames from older peers → 0).
+    #[serde(default)]
+    pub retries: u64,
+    /// Set when the job was requeued onto a smaller work group after
+    /// a rank died; the result is complete but was computed with
+    /// degraded parallelism.
+    #[serde(default)]
+    pub degraded: bool,
 }
 
 /// Events from the scheduler to the client.
@@ -418,6 +435,8 @@ mod tests {
             polylines: 0,
             cells_skipped: 1000,
             bricks_skipped: 12,
+            retries: 2,
+            degraded: true,
         };
         let frame = encode_event(
             &EventHeader::Final {
@@ -437,6 +456,36 @@ mod tests {
             }
             other => panic!("wrong header {other:?}"),
         }
+    }
+
+    #[test]
+    fn ack_and_resume_roundtrip() {
+        for req in [
+            ClientRequest::Ack { job: 4, up_to_seq: 17 },
+            ClientRequest::Resume { job: 4 },
+        ] {
+            assert_eq!(decode_request(encode_request(&req)).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn report_without_resilience_fields_decodes_with_defaults() {
+        // Final events from schedulers predating retry/requeue
+        // accounting must still decode.
+        let report = JobReport {
+            total_runtime_s: 2.0,
+            retries: 3,
+            degraded: true,
+            ..JobReport::default()
+        };
+        let mut v = serde_json::to_value(report).unwrap();
+        let obj = v.as_object_mut().unwrap();
+        obj.remove("retries");
+        obj.remove("degraded");
+        let back: JobReport = serde_json::from_value(v).unwrap();
+        assert_eq!(back.retries, 0);
+        assert!(!back.degraded);
+        assert_eq!(back.total_runtime_s, 2.0);
     }
 
     #[test]
