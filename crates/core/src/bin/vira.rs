@@ -26,7 +26,7 @@ use viracocha::{default_registry, FaultPlan, Viracocha, ViracochaConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  vira commands\n  vira datasets\n  vira suggest --dataset <engine|propfan|cube> [--res N] [--exceed F]\n  vira run --dataset <engine|propfan|cube> --command <Name> [--workers N]\n           [--res N] [--dilation F] [--fault-plan <file>] [--param key=value]..."
+        "usage:\n  vira commands\n  vira datasets\n  vira suggest --dataset <engine|propfan|cube> [--res N] [--exceed F]\n  vira run --dataset <engine|propfan|cube> --command <Name> [--workers N]\n           [--res N] [--dilation F] [--fault-plan <file>] [--param key=value]...\n           [--backfill on|off] [--max-skipped N] [--locality on|off]\n           [--fair-share on|off]"
     );
     std::process::exit(2);
 }
@@ -135,6 +135,22 @@ fn cmd_suggest(args: Args) {
     }
 }
 
+/// Parses an `on`/`off` flag value (also accepts true/false and 1/0).
+fn parse_switch(flag: &str, value: &str) -> bool {
+    match value {
+        "on" | "true" | "1" => true,
+        "off" | "false" | "0" => false,
+        other => {
+            vira_obs::error(
+                "vira",
+                &format!("--{flag} expects on|off, got '{other}'"),
+                &[],
+            );
+            usage();
+        }
+    }
+}
+
 fn cmd_run(args: Args) {
     let dataset = args.flags.get("dataset").cloned().unwrap_or_else(|| usage());
     let command = args.flags.get("command").cloned().unwrap_or_else(|| usage());
@@ -162,6 +178,19 @@ fn cmd_run(args: Args) {
     let mut config = ViracochaConfig::for_tests(workers);
     config.dilation = dilation;
     config.proxy.prefetcher = "obl".into();
+    if let Some(v) = args.flags.get("backfill") {
+        config.sched.backfill = parse_switch("backfill", v);
+    }
+    if let Some(v) = args.flags.get("locality") {
+        config.sched.locality = parse_switch("locality", v);
+    }
+    if let Some(v) = args.flags.get("fair-share") {
+        config.sched.fair_share = parse_switch("fair-share", v);
+    }
+    if let Some(v) = args.flags.get("max-skipped") {
+        config.sched.max_skipped_dispatches =
+            v.parse().expect("--max-skipped must be an integer");
+    }
     let (backend, link) = match args.flags.get("fault-plan") {
         Some(path) => {
             let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -213,6 +242,12 @@ fn cmd_run(args: Args) {
                 println!(
                     "resilience : {} command retransmits, degraded group: {}",
                     out.report.retries, out.report.degraded
+                );
+            }
+            if out.report.requeue_wait_s > 0.0 {
+                println!(
+                    "queueing   : {:.3} s first wait + {:.3} s requeued wait",
+                    out.report.queue_wait_s, out.report.requeue_wait_s
                 );
             }
             println!(

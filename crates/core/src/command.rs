@@ -355,6 +355,7 @@ pub(crate) fn encode_output(
     out: &CommandOutput,
     meter: &Meter,
     dms: vira_dms::stats::DmsStatsSnapshot,
+    residency: vira_dms::cache::ResidencyDigest,
     error: Option<String>,
 ) -> bytes::Bytes {
     let kind = out.kind();
@@ -375,6 +376,7 @@ pub(crate) fn encode_output(
         bricks_skipped: out.bricks_skipped,
         attempt,
         payload_crc: 0, // filled in by encode_partial
+        residency,
         error,
     };
     wire::encode_partial(&header, payload)

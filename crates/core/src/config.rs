@@ -44,6 +44,39 @@ impl Default for ResilienceConfig {
     }
 }
 
+/// Dispatch-policy tuning for the scheduler (backfill, locality-aware
+/// placement, per-session fair share). All features default to on;
+/// turning everything off recovers the strict-FIFO/lowest-rank
+/// dispatcher of earlier releases.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Scan past a blocked queue head and dispatch any later job whose
+    /// worker demand fits the currently free ranks.
+    pub backfill: bool,
+    /// Aging bound: once a queued job has been jumped this many times,
+    /// nothing behind it may backfill until it dispatches. Keeps large
+    /// jobs from starving behind a stream of small ones.
+    pub max_skipped_dispatches: u32,
+    /// Score candidate ranks by expected cached blocks (from the
+    /// workers' piggybacked DMS residency digests) instead of always
+    /// taking the lowest free ranks.
+    pub locality: bool,
+    /// Round-robin dispatch credit across client sessions instead of
+    /// global FIFO.
+    pub fair_share: bool,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            backfill: true,
+            max_skipped_dispatches: 8,
+            locality: true,
+            fair_share: true,
+        }
+    }
+}
+
 /// Configuration of one Viracocha back-end instance.
 #[derive(Debug, Clone)]
 pub struct ViracochaConfig {
@@ -60,6 +93,8 @@ pub struct ViracochaConfig {
     pub server: ServerConfig,
     /// Retry/requeue behaviour under message loss and dead ranks.
     pub resilience: ResilienceConfig,
+    /// Dispatch policy (backfill, locality placement, fair share).
+    pub sched: SchedulerConfig,
 }
 
 impl Default for ViracochaConfig {
@@ -71,6 +106,7 @@ impl Default for ViracochaConfig {
             proxy: ProxyConfig::default(),
             server: ServerConfig::default(),
             resilience: ResilienceConfig::default(),
+            sched: SchedulerConfig::default(),
         }
     }
 }
@@ -108,6 +144,13 @@ mod tests {
         let c = ViracochaConfig::for_tests(2);
         assert_eq!(c.n_workers, 2);
         assert_eq!(c.proxy.prefetcher, "none");
+    }
+
+    #[test]
+    fn scheduler_defaults_enable_all_policies() {
+        let s = SchedulerConfig::default();
+        assert!(s.backfill && s.locality && s.fair_share);
+        assert!(s.max_skipped_dispatches >= 1, "aging bound must be finite and positive");
     }
 
     #[test]

@@ -131,6 +131,7 @@ impl Viracocha {
             cancels,
             n_workers: config.n_workers,
             resilience: config.resilience.clone(),
+            sched: config.sched.clone(),
         };
         let scheduler = std::thread::Builder::new()
             .name("vira-scheduler".into())

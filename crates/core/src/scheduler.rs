@@ -4,10 +4,20 @@
 //! forms work groups "as soon as enough processes are available",
 //! dispatches the parallel task, and forwards the master worker's merged
 //! package back to the client. Multiple jobs run concurrently on
-//! disjoint work groups; submissions wait FIFO while workers are busy.
+//! disjoint work groups.
+//!
+//! Dispatch order is FIFO-with-backfill: when the queue head does not
+//! fit the free ranks, later jobs that do fit may overtake it, bounded
+//! by an aging limit so large jobs cannot starve. Placement is
+//! locality-aware — workers piggyback a compact DMS cache-residency
+//! digest on their `JOB_DONE` and `PONG` frames, and the scheduler
+//! scores candidate ranks by expected cached blocks instead of always
+//! taking the lowest free ranks. Dispatch credit is round-robined
+//! across client sessions (per-session fair share). All three policies
+//! are individually switchable via [`SchedulerConfig`].
 
 use crate::command::{CancelSet, CommandRegistry};
-use crate::config::ResilienceConfig;
+use crate::config::{ResilienceConfig, SchedulerConfig};
 use crate::wire;
 use bytes::Bytes;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -17,7 +27,10 @@ use vira_obs as obs;
 use vira_comm::endpoint::Endpoint;
 use vira_comm::link::ServerSide;
 use vira_comm::transport::{tags, CommError, LocalEndpoint, Rank, Transport};
+use vira_dms::cache::ResidencyDigest;
 use vira_dms::server::DataServer;
+use vira_dms::{ItemId, ItemName, NameResolver};
+use vira_grid::block::BlockStepId;
 use vira_storage::costmodel::SimClock;
 use vira_vista::protocol::{
     decode_request, encode_event, ClientRequest, EventHeader, JobId, JobReport, PayloadKind,
@@ -35,19 +48,36 @@ struct QueuedJob {
     params: vira_vista::protocol::CommandParams,
     workers: usize,
     submitted_at: Instant,
+    /// When the job last entered the queue; reset on requeue, so each
+    /// attempt's wait is measured from its own enqueue — not from the
+    /// original submission (which would silently fold the previous
+    /// attempt's dispatch and timeout time into `queue_wait_s`).
+    enqueued_at: Instant,
+    /// Client session the submission belongs to (fair-share key).
+    session: u64,
     /// Dispatch attempt (0 for the first dispatch).
     attempt: u32,
     /// Command retransmissions across all attempts so far.
     retries: u64,
     /// Set once the job was requeued onto a smaller group.
     degraded: bool,
+    /// Wall-clock wait before the *first* dispatch.
+    first_wait: Duration,
+    /// Accumulated wall-clock waits of requeued attempts (attempt > 0).
+    requeue_wait: Duration,
+    /// How many times a backfilled job has overtaken this one.
+    skipped: u32,
 }
 
 struct RunningJob {
     group: Vec<Rank>,
     accepted_at: Instant,
-    /// Modeled seconds the job waited in the FIFO queue before dispatch.
+    /// Modeled seconds the job waited in the queue before its *first*
+    /// dispatch.
     queue_wait_s: f64,
+    /// Modeled seconds spent re-waiting in the queue across requeued
+    /// attempts (0 unless the job was requeued).
+    requeue_wait_s: f64,
     /// The submission, kept so the job can be requeued on a dead rank.
     q: QueuedJob,
     /// The encoded command frame, retransmitted on timeout.
@@ -72,6 +102,9 @@ static RETRIES: OnceLock<Arc<obs::Counter>> = OnceLock::new();
 static REQUEUES: OnceLock<Arc<obs::Counter>> = OnceLock::new();
 static DEAD_RANKS: OnceLock<Arc<obs::Counter>> = OnceLock::new();
 static RESENDS: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static BACKFILLS: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static LOCALITY_HITS: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static STARVATION_AGED: OnceLock<Arc<obs::Counter>> = OnceLock::new();
 
 /// Everything the scheduler thread needs.
 pub struct SchedulerSetup<T: Transport = LocalEndpoint> {
@@ -83,6 +116,7 @@ pub struct SchedulerSetup<T: Transport = LocalEndpoint> {
     pub cancels: CancelSet,
     pub n_workers: usize,
     pub resilience: ResilienceConfig,
+    pub sched: SchedulerConfig,
 }
 
 /// The scheduler main loop; returns after a client `Shutdown` once all
@@ -97,6 +131,7 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
         cancels,
         n_workers,
         resilience,
+        sched,
     } = setup;
     let mut free: Vec<bool> = vec![true; n_workers + 1];
     free[0] = false; // rank 0 is the scheduler itself
@@ -108,6 +143,14 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
     let mut probe_nonce: u64 = 0;
     // Final/error frames of recent jobs, replayed on client resume.
     let mut recent_finals: VecDeque<(JobId, Bytes)> = VecDeque::new();
+    // Last known per-rank cache-residency digest, harvested from
+    // JOB_DONE and PONG frames; drives locality-aware placement.
+    let mut residency: HashMap<Rank, ResidencyDigest> = HashMap::new();
+    // Session served by the most recent dispatch (fair-share cursor).
+    let mut last_session: Option<u64> = None;
+    // Scheduler-side resolver: translates a job's (dataset, block, step)
+    // footprint into the item ids the digests are keyed by.
+    let resolver = NameResolver::new(server.names().clone());
 
     loop {
         let mut progressed = false;
@@ -124,6 +167,7 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
                             dataset,
                             params,
                             workers,
+                            session,
                         }) => {
                             if shutting_down {
                                 obs::counter_cached(&JOBS_REJECTED, "sched_jobs_rejected_total")
@@ -163,16 +207,22 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
                             }
                             obs::counter_cached(&JOBS_SUBMITTED, "sched_jobs_submitted_total")
                                 .inc();
+                            let now = Instant::now();
                             queue.push_back(QueuedJob {
                                 job,
                                 command,
                                 dataset,
                                 params,
                                 workers: workers.clamp(1, n_workers),
-                                submitted_at: Instant::now(),
+                                submitted_at: now,
+                                enqueued_at: now,
+                                session,
                                 attempt: 0,
                                 retries: 0,
                                 degraded: false,
+                                first_wait: Duration::ZERO,
+                                requeue_wait: Duration::ZERO,
+                                skipped: 0,
                             });
                         }
                         Ok(ClientRequest::Cancel { job }) => {
@@ -238,10 +288,25 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
                 }
                 Ok(None) => break,
                 Err(CommError::Disconnected) => {
-                    // Client went away: treat as shutdown (nobody is
-                    // listening for rejections anymore).
+                    // Client went away: treat as shutdown. The queued
+                    // jobs are *failed*, not silently dropped — the
+                    // failure counter and the recent-finals buffer must
+                    // account for them even though nobody is listening
+                    // for the error events right now (a resumed client
+                    // may still ask about them).
                     shutting_down = true;
-                    queue.clear();
+                    for q in queue.drain(..) {
+                        obs::counter_cached(&JOBS_FAILED, "sched_jobs_failed_total").inc();
+                        let frame = encode_event(
+                            &EventHeader::Error {
+                                job: q.job,
+                                message: "client disconnected before dispatch".into(),
+                            },
+                            Bytes::new(),
+                        );
+                        remember_final(&mut recent_finals, q.job, frame.clone());
+                        let _ = link.emit(frame);
+                    }
                     break;
                 }
                 Err(_) => break,
@@ -262,15 +327,22 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
                 &clock,
                 &link,
                 &mut recent_finals,
+                &mut residency,
             );
         }
 
-        // 3. Dispatch: FIFO, as soon as enough live workers are free.
-        // Requeued jobs shrink to the surviving worker count.
-        while let Some(next) = queue.front() {
+        // 3. Dispatch: FIFO with bounded backfill. When the queue head
+        // does not fit the free ranks, a later job that does fit may
+        // overtake it — but never past a job that has already been
+        // jumped `max_skipped_dispatches` times. Requeued jobs shrink
+        // to the surviving worker count.
+        loop {
+            if queue.is_empty() {
+                break;
+            }
             let alive: usize = (1..=n_workers).filter(|r| !dead.contains(r)).count();
             if alive == 0 {
-                let q = queue.pop_front().expect("front just checked");
+                let q = queue.pop_front().expect("non-empty just checked");
                 obs::counter_cached(&JOBS_FAILED, "sched_jobs_failed_total").inc();
                 let frame = encode_event(
                     &EventHeader::Error {
@@ -284,24 +356,55 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
                 progressed = true;
                 continue;
             }
-            let want = next.workers.min(alive);
             let free_ranks: Vec<Rank> = (1..=n_workers)
                 .filter(|&r| free[r] && !dead.contains(&r))
                 .collect();
-            if free_ranks.len() < want {
+            let Some(idx) =
+                select_candidate(&queue, free_ranks.len(), alive, &sched, last_session)
+            else {
                 break;
+            };
+            let mut q = queue.remove(idx).expect("selected index in bounds");
+            if idx > 0 {
+                obs::counter_cached(&BACKFILLS, "sched_backfills_total").inc();
+                // Every job the pick jumped over ages by one; the first
+                // time one reaches the bound it becomes a barrier that
+                // nothing behind it may overtake.
+                for jumped in queue.iter_mut().take(idx) {
+                    jumped.skipped += 1;
+                    if jumped.skipped == sched.max_skipped_dispatches {
+                        obs::counter_cached(
+                            &STARVATION_AGED,
+                            "sched_starvation_aged_total",
+                        )
+                        .inc();
+                    }
+                }
             }
-            let q = queue.pop_front().expect("front just checked");
-            let group: Vec<Rank> = free_ranks.into_iter().take(want).collect();
+            let want = q.workers.min(alive);
+            let group: Vec<Rank> = if sched.locality {
+                let items = placement_items(&resolver, &server, &q.dataset, &q.params);
+                let (group, overlap) = place_group(&free_ranks, want, &items, &residency);
+                if overlap > 0 {
+                    obs::counter_cached(&LOCALITY_HITS, "sched_locality_hits_total").inc();
+                }
+                group
+            } else {
+                free_ranks.into_iter().take(want).collect()
+            };
             for &r in &group {
                 free[r] = false;
             }
             let dispatched_at = Instant::now();
-            let queue_wait = dispatched_at.duration_since(q.submitted_at);
+            // Per-attempt wait, measured from this attempt's enqueue —
+            // requeued attempts must not re-report the first attempt's
+            // queue time plus the failed dispatch's timeout window.
+            let wait = dispatched_at.duration_since(q.enqueued_at);
             obs::counter_cached(&JOBS_DISPATCHED, "sched_jobs_dispatched_total").inc();
             if q.attempt == 0 {
+                q.first_wait = wait;
                 obs::histogram_cached(&QUEUE_WAIT_NS, "sched_queue_wait_ns")
-                    .record_duration(queue_wait);
+                    .record_duration(wait);
                 obs::complete_span(
                     "sched.queued",
                     "sched",
@@ -312,6 +415,8 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
                         ("workers", obs::ArgValue::U64(q.workers as u64)),
                     ],
                 );
+            } else {
+                q.requeue_wait += wait;
             }
             let msg = wire::CommandMsg {
                 job: q.job,
@@ -340,12 +445,14 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
                     Bytes::new(),
                 ));
             }
+            last_session = Some(q.session);
             running.insert(
                 msg.job,
                 RunningJob {
                     group,
                     accepted_at: dispatched_at,
-                    queue_wait_s: clock.wall_to_modeled(queue_wait),
+                    queue_wait_s: clock.wall_to_modeled(q.first_wait),
+                    requeue_wait_s: clock.wall_to_modeled(q.requeue_wait),
                     q,
                     frame,
                     deadline: dispatched_at + resilience.dispatch_timeout,
@@ -410,9 +517,19 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
                     }
                     match endpoint.recv_tag_timeout(tags::PONG, left) {
                         Ok(m)
-                            if m.payload.as_ref() == nonce.as_ref()
+                            if pong_matches(&m.payload, &nonce)
                                 && run.group.contains(&m.from) =>
                         {
+                            // Workers append their cache-residency
+                            // digest after the echoed nonce; harvest it
+                            // for the placement map while we're here.
+                            if let Some(d) =
+                                ResidencyDigest::from_bytes(&m.payload[nonce.len()..])
+                            {
+                                if !d.is_unknown() {
+                                    residency.insert(m.from, d);
+                                }
+                            }
                             alive_ranks.insert(m.from);
                             if alive_ranks.len() == run.group.len() {
                                 break 'probe;
@@ -445,6 +562,9 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
             let mut q = run.q;
             q.attempt += 1;
             q.degraded = true;
+            // This attempt's wait starts now; the time already burned
+            // on the failed dispatch belongs to neither wait metric.
+            q.enqueued_at = Instant::now();
             let alive_total = (1..=n_workers).filter(|r| !dead.contains(r)).count();
             if q.attempt >= resilience.max_attempts || alive_total == 0 {
                 obs::counter_cached(&JOBS_FAILED, "sched_jobs_failed_total").inc();
@@ -493,12 +613,145 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
                     &clock,
                     &link,
                     &mut recent_finals,
+                    &mut residency,
                 ),
                 Err(CommError::Timeout) => {}
                 Err(_) => return,
             }
         }
     }
+}
+
+/// True when a PONG payload answers the probe `nonce`: the nonce must
+/// be echoed as a *prefix*. New workers append their cache-residency
+/// digest after the nonce; old workers echo the nonce verbatim — both
+/// count as alive.
+fn pong_matches(payload: &[u8], nonce: &[u8]) -> bool {
+    payload.len() >= nonce.len() && &payload[..nonce.len()] == nonce
+}
+
+/// Picks the queue index to dispatch next, or `None` when nothing
+/// eligible fits the free ranks.
+///
+/// * Plain FIFO (`backfill` off): only the head is ever considered.
+/// * Backfill: the scan may pass over jobs that do not fit, but never
+///   past the first job that has already been jumped
+///   `max_skipped_dispatches` times (the aging barrier — that job may
+///   still be picked itself).
+/// * Fair share: within the eligible window, candidate *sessions* are
+///   tried round-robin — the first session id strictly greater than
+///   the last served one (wrapping), FIFO within each session.
+fn select_candidate(
+    queue: &VecDeque<QueuedJob>,
+    n_free: usize,
+    alive: usize,
+    sched: &SchedulerConfig,
+    last_session: Option<u64>,
+) -> Option<usize> {
+    if queue.is_empty() || n_free == 0 || alive == 0 {
+        return None;
+    }
+    let fits = |q: &QueuedJob| q.workers.min(alive) <= n_free;
+    if !sched.backfill {
+        return fits(&queue[0]).then_some(0);
+    }
+    let limit = queue
+        .iter()
+        .position(|q| q.skipped >= sched.max_skipped_dispatches)
+        .unwrap_or(queue.len() - 1);
+    if !sched.fair_share {
+        return (0..=limit).find(|&i| fits(&queue[i]));
+    }
+    let mut sessions: Vec<u64> = queue.iter().take(limit + 1).map(|q| q.session).collect();
+    sessions.sort_unstable();
+    sessions.dedup();
+    let pivot = match last_session {
+        Some(last) => sessions
+            .iter()
+            .position(|&s| s > last)
+            .unwrap_or(0),
+        None => 0,
+    };
+    for k in 0..sessions.len() {
+        let s = sessions[(pivot + k) % sessions.len()];
+        if let Some(i) = (0..=limit).find(|&i| queue[i].session == s && fits(&queue[i])) {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// Upper bound on the per-job item footprint used for placement
+/// scoring, so scoring stays cheap for huge datasets. The digest is a
+/// Bloom-style bitset anyway — a prefix of the footprint is plenty of
+/// signal.
+const PLACEMENT_ITEM_CAP: usize = 512;
+
+/// The raw `(block, step)` item ids a job will touch: every block of
+/// the dataset across the command's time-step window (mirroring the
+/// worker-side `steps_of` parameter convention), capped at
+/// [`PLACEMENT_ITEM_CAP`].
+fn placement_items(
+    resolver: &NameResolver,
+    server: &DataServer,
+    dataset: &str,
+    params: &vira_vista::protocol::CommandParams,
+) -> Vec<ItemId> {
+    let Some(spec) = server.dataset_spec(dataset) else {
+        return Vec::new();
+    };
+    let step0 = params.get_usize("step0").unwrap_or(0) as u32;
+    let limit = params.get_usize("n_steps").unwrap_or(spec.n_steps as usize) as u32;
+    let end = spec.n_steps.min(step0.saturating_add(limit));
+    let mut items = Vec::new();
+    'outer: for step in step0..end {
+        for block in 0..spec.n_blocks {
+            if items.len() >= PLACEMENT_ITEM_CAP {
+                break 'outer;
+            }
+            items.push(resolver.to_id(&ItemName::block_step(
+                dataset,
+                BlockStepId::new(block, step),
+            )));
+        }
+    }
+    items
+}
+
+/// Chooses `want` of the free ranks by residency-digest overlap with
+/// the job's item footprint (ties fall to the lower rank). The chosen
+/// group is returned in ascending rank order — the lowest member is
+/// the group master, same invariant as lowest-rank placement. Also
+/// returns the summed overlap of the chosen group.
+fn place_group(
+    free_ranks: &[Rank],
+    want: usize,
+    items: &[ItemId],
+    residency: &HashMap<Rank, ResidencyDigest>,
+) -> (Vec<Rank>, usize) {
+    let mut scored: Vec<(usize, Rank)> = free_ranks
+        .iter()
+        .map(|&r| {
+            let s = if items.is_empty() {
+                0
+            } else {
+                residency.get(&r).map(|d| d.overlap(items)).unwrap_or(0)
+            };
+            (s, r)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut total = 0;
+    let mut group: Vec<Rank> = scored
+        .into_iter()
+        .take(want)
+        .map(|(s, r)| {
+            total += s;
+            r
+        })
+        .collect();
+    group.sort_unstable();
+    (group, total)
 }
 
 /// Remembers a job's final (or error) event frame for client resume
@@ -525,10 +778,19 @@ fn handle_job_done(
     clock: &SimClock,
     link: &ServerSide,
     recent_finals: &mut VecDeque<(JobId, Bytes)>,
+    residency: &mut HashMap<Rank, ResidencyDigest>,
 ) {
     let Some((done, payload)) = wire::decode_done(frame) else {
         return;
     };
+    // Harvest the group's piggybacked residency digests before any
+    // staleness filtering — even a superseded attempt reports current
+    // cache contents.
+    for (r, d) in &done.residency {
+        if !d.is_unknown() {
+            residency.insert(*r, d.clone());
+        }
+    }
     let stale = match running.get(&done.job) {
         Some(run) => done.attempt != run.q.attempt,
         None => true,
@@ -578,6 +840,7 @@ fn handle_job_done(
         compute_s: done.compute_s,
         send_s: done.send_s,
         queue_wait_s: run.queue_wait_s,
+        requeue_wait_s: run.requeue_wait_s,
         merge_s: done.merge_s,
         demand_requests: done.dms.demand_requests,
         cache_hits: done.dms.l1_hits + done.dms.l2_hits,
@@ -610,4 +873,167 @@ fn handle_job_done(
     );
     remember_final(recent_finals, done.job, frame.clone());
     let _ = link.emit(frame);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vira_vista::protocol::CommandParams;
+
+    fn qj(job: JobId, workers: usize, session: u64, skipped: u32) -> QueuedJob {
+        let now = Instant::now();
+        QueuedJob {
+            job,
+            command: "ViewerIso".into(),
+            dataset: "TestCube".into(),
+            params: CommandParams::new(),
+            workers,
+            submitted_at: now,
+            enqueued_at: now,
+            session,
+            attempt: 0,
+            retries: 0,
+            degraded: false,
+            first_wait: Duration::ZERO,
+            requeue_wait: Duration::ZERO,
+            skipped,
+        }
+    }
+
+    fn plain_fifo() -> SchedulerConfig {
+        SchedulerConfig {
+            backfill: false,
+            locality: false,
+            fair_share: false,
+            ..SchedulerConfig::default()
+        }
+    }
+
+    fn backfill_only() -> SchedulerConfig {
+        SchedulerConfig {
+            fair_share: false,
+            locality: false,
+            ..SchedulerConfig::default()
+        }
+    }
+
+    #[test]
+    fn backfill_overtakes_a_blocked_head() {
+        let queue: VecDeque<QueuedJob> =
+            vec![qj(1, 8, 0, 0), qj(2, 1, 0, 0)].into();
+        // One free rank: the 8-worker head is blocked, the 1-worker job
+        // behind it fits.
+        assert_eq!(select_candidate(&queue, 1, 9, &backfill_only(), None), Some(1));
+        // Plain FIFO never looks past the head.
+        assert_eq!(select_candidate(&queue, 1, 9, &plain_fifo(), None), None);
+        // With enough free ranks the head wins under either policy.
+        assert_eq!(select_candidate(&queue, 8, 9, &backfill_only(), None), Some(0));
+        assert_eq!(select_candidate(&queue, 8, 9, &plain_fifo(), None), Some(0));
+    }
+
+    #[test]
+    fn aged_job_becomes_a_barrier() {
+        let bound = SchedulerConfig::default().max_skipped_dispatches;
+        // The blocked head has been jumped `bound` times: the job
+        // behind it may no longer overtake.
+        let queue: VecDeque<QueuedJob> =
+            vec![qj(1, 2, 0, bound), qj(2, 1, 0, 0)].into();
+        assert_eq!(select_candidate(&queue, 1, 2, &backfill_only(), None), None);
+        // Before the bound is reached, the overtake is allowed.
+        let queue: VecDeque<QueuedJob> =
+            vec![qj(1, 2, 0, bound - 1), qj(2, 1, 0, 0)].into();
+        assert_eq!(select_candidate(&queue, 1, 2, &backfill_only(), None), Some(1));
+        // The aged job itself stays dispatchable the moment it fits.
+        let queue: VecDeque<QueuedJob> =
+            vec![qj(1, 2, 0, bound), qj(2, 1, 0, 0)].into();
+        assert_eq!(select_candidate(&queue, 2, 2, &backfill_only(), None), Some(0));
+    }
+
+    #[test]
+    fn fair_share_rotates_across_sessions() {
+        let sched = SchedulerConfig {
+            locality: false,
+            ..SchedulerConfig::default()
+        };
+        let queue: VecDeque<QueuedJob> =
+            vec![qj(1, 1, 0, 0), qj(2, 1, 0, 0), qj(3, 1, 7, 0)].into();
+        // Session 0 was just served: session 7's job is next even
+        // though two session-0 jobs sit ahead of it.
+        assert_eq!(select_candidate(&queue, 4, 4, &sched, Some(0)), Some(2));
+        // After session 7 the credit wraps back to session 0's oldest.
+        assert_eq!(select_candidate(&queue, 4, 4, &sched, Some(7)), Some(0));
+        // No history: FIFO order (smallest session first here).
+        assert_eq!(select_candidate(&queue, 4, 4, &sched, None), Some(0));
+        // Fair share never picks a job that does not fit.
+        let queue: VecDeque<QueuedJob> =
+            vec![qj(1, 1, 0, 0), qj(2, 3, 7, 0)].into();
+        assert_eq!(select_candidate(&queue, 1, 4, &sched, Some(0)), Some(0));
+    }
+
+    #[test]
+    fn place_group_prefers_warm_ranks_and_keeps_master_lowest() {
+        let items: Vec<ItemId> = (0..8).map(ItemId).collect();
+        let mut residency = HashMap::new();
+        let mut warm = ResidencyDigest::empty();
+        for &i in &items {
+            warm.insert(i);
+        }
+        residency.insert(4, warm.clone());
+        residency.insert(3, warm);
+        let free = vec![1, 2, 3, 4];
+        let (group, overlap) = place_group(&free, 2, &items, &residency);
+        // The two warm ranks win over the lower cold ones…
+        assert_eq!(group, vec![3, 4]);
+        assert_eq!(overlap, 16);
+        // …and the group is ascending so rank 3 is the master.
+        let (cold, zero) = place_group(&free, 2, &items, &HashMap::new());
+        // No residency knowledge degenerates to lowest-rank placement.
+        assert_eq!(cold, vec![1, 2]);
+        assert_eq!(zero, 0);
+    }
+
+    #[test]
+    fn pong_prefix_match_accepts_digest_tails() {
+        let nonce = 9u64.to_le_bytes();
+        assert!(pong_matches(&nonce, &nonce));
+        let mut with_tail = nonce.to_vec();
+        with_tail.extend_from_slice(&[0u8; 16]);
+        assert!(pong_matches(&with_tail, &nonce));
+        assert!(!pong_matches(&nonce[..4], &nonce));
+        let other = 10u64.to_le_bytes();
+        assert!(!pong_matches(&other, &nonce));
+    }
+
+    #[test]
+    fn placement_items_respect_step_window_and_cap() {
+        let server = DataServer::new(
+            SimClock::instant(),
+            vira_dms::server::ServerConfig::default(),
+        );
+        server.register_dataset(
+            Arc::new(vira_storage::source::SynthSource::new(Arc::new(
+                vira_grid::synth::test_cube(4, 3),
+            ))),
+            false,
+        );
+        let resolver = NameResolver::new(server.names().clone());
+        let all = placement_items(&resolver, &server, "TestCube", &CommandParams::new());
+        // 4-ish blocks × 3 steps, distinct ids.
+        let spec = server.dataset_spec("TestCube").unwrap();
+        assert_eq!(all.len(), (spec.n_blocks * spec.n_steps) as usize);
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len());
+        // A one-step window shrinks the footprint accordingly.
+        let one = placement_items(
+            &resolver,
+            &server,
+            "TestCube",
+            &CommandParams::new().set("n_steps", 1.0),
+        );
+        assert_eq!(one.len(), spec.n_blocks as usize);
+        // Unknown datasets have no footprint (and never panic).
+        assert!(placement_items(&resolver, &server, "nope", &CommandParams::new()).is_empty());
+    }
 }

@@ -7,6 +7,7 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use serde::{Deserialize, Serialize};
 use vira_comm::transport::Rank;
+use vira_dms::cache::ResidencyDigest;
 use vira_dms::stats::DmsStatsSnapshot;
 use vira_vista::protocol::{CommandParams, JobId, PayloadKind};
 
@@ -56,6 +57,11 @@ pub struct PartialHeader {
     /// [`encode_partial`]; `0` means "unchecked" (older peers).
     #[serde(default)]
     pub payload_crc: u32,
+    /// Fingerprint of this worker's DMS cache after the job, harvested
+    /// by the master into the DONE frame for locality-aware placement
+    /// (absent in frames from older peers → unknown).
+    #[serde(default)]
+    pub residency: ResidencyDigest,
     /// Set when the command failed on this worker.
     pub error: Option<String>,
 }
@@ -87,6 +93,12 @@ pub struct DoneHeader {
     /// [`encode_done`]; `0` means "unchecked" (older peers).
     #[serde(default)]
     pub payload_crc: u32,
+    /// Per-rank DMS cache fingerprints of the whole work group (the
+    /// master's own plus those piggybacked on the partials), used by the
+    /// scheduler to score future placements (absent in older frames →
+    /// empty).
+    #[serde(default)]
+    pub residency: Vec<(Rank, ResidencyDigest)>,
     pub error: Option<String>,
 }
 
@@ -260,6 +272,7 @@ mod tests {
             bricks_skipped: 3,
             attempt: 1,
             payload_crc: 0,
+            residency: Default::default(),
             error: None,
         };
         let payload = Bytes::from_static(b"geometry");
@@ -285,6 +298,7 @@ mod tests {
             bricks_skipped: 0,
             attempt: 0,
             payload_crc: 0,
+            residency: Default::default(),
             error: None,
         };
         let frame = encode_partial(&h, Bytes::from_static(b"geometry"));
@@ -309,6 +323,7 @@ mod tests {
             bricks_skipped: 0,
             attempt: 0,
             payload_crc: 0,
+            residency: Default::default(),
             error: Some("worker 3 failed".into()),
         };
         let (h2, p) = decode_done(encode_done(&h, Bytes::new())).unwrap();
@@ -334,6 +349,7 @@ mod tests {
             bricks_skipped: 7,
             attempt: 0,
             payload_crc: 0,
+            residency: Default::default(),
             error: None,
         };
         let mut v = serde_json::to_value(&h).unwrap();
@@ -374,6 +390,7 @@ mod tests {
             bricks_skipped: 0,
             attempt: 0,
             payload_crc: 0,
+            residency: Default::default(),
             error: None,
         };
         let mut v = serde_json::to_value(&h).unwrap();
@@ -413,6 +430,87 @@ mod tests {
         assert_eq!(got.attempt, 0);
         assert_eq!(got.check, 0);
         assert_eq!(got.job, 8);
+    }
+
+    #[test]
+    fn done_header_residency_roundtrips() {
+        let mut d1 = ResidencyDigest::empty();
+        d1.insert(vira_dms::ItemId(17));
+        let mut d2 = ResidencyDigest::empty();
+        d2.insert(vira_dms::ItemId(900));
+        let h = DoneHeader {
+            job: 6,
+            kind: PayloadKind::Triangles,
+            n_items: 1,
+            read_s: 0.0,
+            compute_s: 0.0,
+            send_s: 0.0,
+            merge_s: 0.0,
+            dms: DmsStatsSnapshot::default(),
+            cells_skipped: 0,
+            bricks_skipped: 0,
+            attempt: 0,
+            payload_crc: 0,
+            residency: vec![(1, d1.clone()), (2, d2.clone())],
+            error: None,
+        };
+        let (h2, _) = decode_done(encode_done(&h, Bytes::new())).unwrap();
+        assert_eq!(h2.residency, vec![(1, d1), (2, d2)]);
+    }
+
+    #[test]
+    fn headers_without_residency_decode_with_empty_defaults() {
+        // Frames from peers predating locality-aware placement carry no
+        // residency fields; they must decode to the unknown digest /
+        // empty list.
+        let h = PartialHeader {
+            job: 2,
+            kind: PayloadKind::None,
+            n_items: 0,
+            read_s: 0.0,
+            compute_s: 0.0,
+            send_s: 0.0,
+            dms: DmsStatsSnapshot::default(),
+            cells_skipped: 0,
+            bricks_skipped: 0,
+            attempt: 0,
+            payload_crc: 0,
+            residency: ResidencyDigest::from_items([vira_dms::ItemId(3)]),
+            error: None,
+        };
+        let mut v = serde_json::to_value(&h).unwrap();
+        v.as_object_mut().unwrap().remove("residency");
+        let json = serde_json::to_vec(&v).unwrap();
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(json.len() as u32);
+        buf.put_slice(&json);
+        let (h2, _) = decode_partial(buf.freeze()).unwrap();
+        assert!(h2.residency.is_unknown());
+
+        let d = DoneHeader {
+            job: 2,
+            kind: PayloadKind::None,
+            n_items: 0,
+            read_s: 0.0,
+            compute_s: 0.0,
+            send_s: 0.0,
+            merge_s: 0.0,
+            dms: DmsStatsSnapshot::default(),
+            cells_skipped: 0,
+            bricks_skipped: 0,
+            attempt: 0,
+            payload_crc: 0,
+            residency: vec![(1, ResidencyDigest::empty())],
+            error: None,
+        };
+        let mut v = serde_json::to_value(&d).unwrap();
+        v.as_object_mut().unwrap().remove("residency");
+        let json = serde_json::to_vec(&v).unwrap();
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(json.len() as u32);
+        buf.put_slice(&json);
+        let (d2, _) = decode_done(buf.freeze()).unwrap();
+        assert!(d2.residency.is_empty());
     }
 
     #[test]

@@ -97,8 +97,14 @@ pub fn worker_main<T: Transport>(setup: WorkerSetup<T>) {
                 match msg.tag {
                     tags::SHUTDOWN => return,
                     tags::PING => {
-                        // Liveness probe: echo the nonce back.
-                        let _ = endpoint.send(msg.from, tags::PONG, msg.payload);
+                        // Liveness probe: echo the nonce back, with this
+                        // node's cache-residency digest piggybacked so the
+                        // scheduler can refresh its placement map for free.
+                        let _ = endpoint.send(
+                            msg.from,
+                            tags::PONG,
+                            pong_payload(&msg.payload, &proxy.residency_digest()),
+                        );
                         continue;
                     }
                     tags::COMMAND => {
@@ -227,9 +233,17 @@ fn run_job<T: Transport>(
     if rank != group.root() {
         // Ship the partial to the master worker; modeled cost of the
         // transfer is part of the job's Send share.
-        let n = (output.n_items() as f64 * send_scale(output.kind())) as usize;
+        let n = scaled_send_items(output.n_items() as usize, send_scale(output.kind()));
         charge_send(&meter, clock, config, n);
-        let frame = encode_output(msg.job, msg.attempt, &output, &meter, dms, error);
+        let frame = encode_output(
+            msg.job,
+            msg.attempt,
+            &output,
+            &meter,
+            dms,
+            proxy.residency_digest(),
+            error,
+        );
         let _ = endpoint.send(group.root(), tags::PARTIAL_RESULT, frame.clone());
         return JobExit::Sent {
             dest: group.root(),
@@ -280,7 +294,11 @@ fn run_job<T: Transport>(
                 }
             }
             tags::PING => {
-                let _ = endpoint.send(m.from, tags::PONG, m.payload);
+                let _ = endpoint.send(
+                    m.from,
+                    tags::PONG,
+                    pong_payload(&m.payload, &proxy.residency_digest()),
+                );
             }
             tags::COMMAND => {
                 let Some(c) = wire::decode_command(m.payload) else {
@@ -313,7 +331,12 @@ fn run_job<T: Transport>(
     let mut total_compute = meter.total(CostCategory::Compute);
     let mut total_send = meter.total(CostCategory::Send);
     let mut total_dms = dms;
-    for (_, (header, payload)) in partials {
+    // Per-rank residency digests riding the JOB_DONE back to the
+    // scheduler: the master's own cache plus each partial's snapshot.
+    let mut residency: Vec<(Rank, vira_dms::cache::ResidencyDigest)> =
+        vec![(rank, proxy.residency_digest())];
+    for (from, (header, payload)) in partials {
+        residency.push((from, header.residency));
         total_read += header.read_s;
         total_compute += header.compute_s;
         total_send += header.send_s;
@@ -357,7 +380,7 @@ fn run_job<T: Transport>(
 
     // The master transmits the merged package over the client uplink;
     // charge its send cost (including queueing behind streamed packets).
-    let n = (n_items as f64 * send_scale(kind)) as usize;
+    let n = scaled_send_items(n_items as usize, send_scale(kind));
     let modeled = config.costs.send_latency_s + n as f64 * config.costs.send_s_per_triangle;
     let booked = if clock.dilation() > 0.0 {
         let delay_wall = uplink.reserve(modeled * clock.dilation());
@@ -391,6 +414,7 @@ fn run_job<T: Transport>(
         bricks_skipped,
         attempt: msg.attempt,
         payload_crc: 0, // filled in by encode_done
+        residency,
         error: first_error,
     };
     let frame = wire::encode_done(&done, payload);
@@ -405,6 +429,30 @@ fn run_job<T: Transport>(
 fn charge_send(meter: &Meter, clock: &SimClock, config: &ViracochaConfig, n_items: usize) {
     let t = config.costs.send_latency_s + n_items as f64 * config.costs.send_s_per_triangle;
     meter.charge(clock, CostCategory::Send, t);
+}
+
+/// Applies the nominal-size send scale to an item count without the
+/// float-truncation bug the two former inline sites shared: `3 items ×
+/// scale 1.0` could come back as 2 when the product landed at
+/// 2.9999999999. Rounds to nearest and never shrinks below the real
+/// item count (the scale is ≥ 1.0 by construction).
+fn scaled_send_items(n_items: usize, scale: f64) -> usize {
+    if n_items == 0 {
+        return 0;
+    }
+    ((n_items as f64 * scale).round() as usize).max(n_items)
+}
+
+/// PONG payload: the probe nonce echoed verbatim, followed by this
+/// node's serialized cache-residency digest. Old schedulers compared
+/// the whole payload against the nonce and will simply re-probe; new
+/// schedulers prefix-match the nonce and harvest the digest.
+fn pong_payload(ping: &Bytes, digest: &vira_dms::cache::ResidencyDigest) -> Bytes {
+    let tail = digest.to_bytes();
+    let mut buf = BytesMut::with_capacity(ping.len() + tail.len());
+    buf.extend_from_slice(ping);
+    buf.extend_from_slice(&tail);
+    buf.freeze()
 }
 
 #[cfg(test)]
@@ -432,6 +480,40 @@ mod tests {
         assert_eq!(d.demand_requests, 15);
         assert_eq!(d.l1_hits, 1);
         assert_eq!(d.misses, 3);
+    }
+
+    #[test]
+    fn scaled_send_items_is_integer_safe() {
+        // Zero stays zero (no latency-only phantom item).
+        assert_eq!(scaled_send_items(0, 1.0), 0);
+        assert_eq!(scaled_send_items(0, 7.5), 0);
+        // An exact 1.0 scale is the identity — the old float-trunc
+        // expression could return n-1 when the product representation
+        // landed just below the integer.
+        for n in [1usize, 3, 7, 1_000_000] {
+            assert_eq!(scaled_send_items(n, 1.0), n);
+        }
+        // A product epsilon-under the integer rounds up, not down.
+        assert_eq!(scaled_send_items(3, 1.0 - f64::EPSILON), 3);
+        // Genuine up-scaling rounds to nearest…
+        assert_eq!(scaled_send_items(10, 1.26), 13);
+        assert_eq!(scaled_send_items(10, 1.24), 12);
+        // …and is clamped to never report fewer than the real items.
+        assert!(scaled_send_items(123_456, 1.0) >= 123_456);
+    }
+
+    #[test]
+    fn pong_payload_prefixes_the_nonce_and_appends_the_digest() {
+        let nonce = Bytes::copy_from_slice(&42u64.to_le_bytes());
+        let mut digest = vira_dms::cache::ResidencyDigest::empty();
+        digest.insert(vira_dms::ItemId(9));
+        let pong = pong_payload(&nonce, &digest);
+        assert_eq!(&pong[..8], nonce.as_ref());
+        let tail = vira_dms::cache::ResidencyDigest::from_bytes(&pong[8..]).unwrap();
+        assert!(tail.contains(vira_dms::ItemId(9)));
+        // An unknown digest still yields a valid (nonce-only) pong.
+        let bare = pong_payload(&nonce, &vira_dms::cache::ResidencyDigest::default());
+        assert_eq!(bare.as_ref(), nonce.as_ref());
     }
 
     #[test]

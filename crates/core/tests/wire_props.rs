@@ -37,6 +37,7 @@ fn sample_partial(job: u64, payload_len: usize) -> (PartialHeader, Bytes) {
         bricks_skipped: 2,
         attempt: 1,
         payload_crc: 0,
+        residency: Default::default(),
         error: None,
     };
     let payload: Vec<u8> = (0..payload_len).map(|i| (i * 7 + 13) as u8).collect();
@@ -81,6 +82,7 @@ proptest! {
             bricks_skipped: p.bricks_skipped,
             attempt: p.attempt,
             payload_crc: 0,
+            residency: Vec::new(),
             error: None,
         };
         let frame = encode_done(&h, payload);

@@ -10,6 +10,7 @@
 
 use crate::name::ItemId;
 use crate::policy::ReplacementPolicy;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fs::{self, File};
 use std::io::{self, BufReader, BufWriter, Read, Write};
@@ -56,6 +57,96 @@ impl DiskCodec<BlockData> for BlockDataCodec {
 pub enum Tier {
     Memory,
     Disk,
+}
+
+/// Bits in a [`ResidencyDigest`] bitmap (16 × 64-bit words = 128 bytes).
+pub const DIGEST_BITS: usize = 1024;
+const DIGEST_WORDS: usize = DIGEST_BITS / 64;
+
+/// A compact fingerprint of a cache's resident item set, piggybacked on
+/// worker → scheduler frames so placement can prefer warm caches.
+///
+/// Each resident [`ItemId`] sets bit `id % DIGEST_BITS`; membership
+/// queries may therefore over-count (hash collisions) but never
+/// under-count — a positive locality score always reflects at least a
+/// plausible cached block. An *empty* word vector means "no information"
+/// (the serde/wire default for peers that predate the digest), which is
+/// distinct from an all-zero digest of a known-empty cache.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ResidencyDigest {
+    #[serde(default)]
+    words: Vec<u64>,
+}
+
+impl ResidencyDigest {
+    /// An all-zero digest of a known-empty cache.
+    pub fn empty() -> Self {
+        ResidencyDigest {
+            words: vec![0; DIGEST_WORDS],
+        }
+    }
+
+    pub fn from_items<I: IntoIterator<Item = ItemId>>(items: I) -> Self {
+        let mut d = Self::empty();
+        for id in items {
+            d.insert(id);
+        }
+        d
+    }
+
+    fn slot(id: ItemId) -> (usize, u64) {
+        let bit = (id.0 % DIGEST_BITS as u64) as usize;
+        (bit / 64, 1u64 << (bit % 64))
+    }
+
+    /// True when the digest carries no information (wire default from a
+    /// peer that never reported one).
+    pub fn is_unknown(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    pub fn insert(&mut self, id: ItemId) {
+        if self.words.len() != DIGEST_WORDS {
+            self.words = vec![0; DIGEST_WORDS];
+        }
+        let (w, mask) = Self::slot(id);
+        self.words[w] |= mask;
+    }
+
+    pub fn contains(&self, id: ItemId) -> bool {
+        let (w, mask) = Self::slot(id);
+        self.words.get(w).is_some_and(|word| word & mask != 0)
+    }
+
+    /// How many of `items` the digest claims resident. An upper bound:
+    /// collisions can inflate it, so use it for *ranking*, not truth.
+    pub fn overlap(&self, items: &[ItemId]) -> usize {
+        items.iter().filter(|&&id| self.contains(id)).count()
+    }
+
+    /// Little-endian word dump for piggybacking on raw (non-JSON)
+    /// frames such as PONG payloads. Unknown digests encode as empty.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.words.len() * 8);
+        for w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Inverse of [`to_bytes`](Self::to_bytes). Rejects lengths that are
+    /// not a whole number of words or exceed the digest size (a
+    /// truncated or foreign payload), returning `None`.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() % 8 != 0 || bytes.len() > DIGEST_WORDS * 8 {
+            return None;
+        }
+        let words = bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
+            .collect();
+        Some(ResidencyDigest { words })
+    }
 }
 
 /// The primary (main-memory) cache tier.
@@ -201,6 +292,11 @@ impl<P: CachePayload> DiskCache<P> {
         self.map.contains_key(&id)
     }
 
+    /// Resident (spilled) item ids, arbitrary order.
+    pub fn resident(&self) -> impl Iterator<Item = ItemId> + '_ {
+        self.map.keys().copied()
+    }
+
     fn spill_path(&self, id: ItemId) -> PathBuf {
         self.dir.join(format!("spill_{}.vbk", id.0))
     }
@@ -311,6 +407,19 @@ impl<P: CachePayload> TieredCache<P> {
 
     pub fn l2(&self) -> Option<&DiskCache<P>> {
         self.l2.as_ref()
+    }
+
+    /// Fingerprint of everything resident in either tier — disk hits
+    /// are promoted on access, so both tiers count as "warm" for
+    /// locality-aware placement.
+    pub fn residency_digest(&self) -> ResidencyDigest {
+        let mut d = ResidencyDigest::from_items(self.l1.resident());
+        if let Some(l2) = self.l2.as_ref() {
+            for id in l2.resident() {
+                d.insert(id);
+            }
+        }
+        d
     }
 
     /// Which tier currently holds `id`, if any.
@@ -661,6 +770,50 @@ mod tests {
         dedup.dedup();
         assert_eq!(dropped, dedup, "dropped log reported an item twice");
         assert_no_cross_tier_duplicates(&c, &universe);
+    }
+
+    #[test]
+    fn residency_digest_membership_and_roundtrip() {
+        let mut d = ResidencyDigest::default();
+        assert!(d.is_unknown(), "serde default carries no information");
+        assert!(!d.contains(ItemId(5)), "unknown digest claims nothing");
+        d.insert(ItemId(5));
+        d.insert(ItemId(5 + DIGEST_BITS as u64)); // collides with 5
+        d.insert(ItemId(77));
+        assert!(!d.is_unknown());
+        assert!(d.contains(ItemId(5)));
+        assert!(d.contains(ItemId(5 + DIGEST_BITS as u64)), "collision over-counts");
+        assert!(!d.contains(ItemId(6)));
+        assert_eq!(d.overlap(&[ItemId(5), ItemId(6), ItemId(77)]), 2);
+        let bytes = d.to_bytes();
+        assert_eq!(bytes.len(), DIGEST_BITS / 8);
+        assert_eq!(ResidencyDigest::from_bytes(&bytes), Some(d));
+        assert_eq!(ResidencyDigest::from_bytes(&bytes[..7]), None, "torn payload");
+        assert_eq!(
+            ResidencyDigest::from_bytes(&[]),
+            Some(ResidencyDigest::default()),
+            "empty bytes decode to the unknown digest"
+        );
+    }
+
+    #[test]
+    fn tiered_digest_covers_both_tiers() {
+        let l1 = MemoryCache::new(10, Box::new(LruPolicy::new()));
+        let l2 = DiskCache::new(
+            spill_dir("digest"),
+            1000,
+            Box::new(LruPolicy::new()),
+            Arc::new(BlobCodec),
+        )
+        .unwrap();
+        let mut c = TieredCache::new(l1, Some(l2));
+        c.insert(ItemId(1), blob(10)).unwrap();
+        c.insert(ItemId(2), blob(10)).unwrap(); // demotes 1 to disk
+        assert_eq!(c.locate(ItemId(1)), Some(Tier::Disk));
+        let d = c.residency_digest();
+        assert!(d.contains(ItemId(1)), "disk tier counts as warm");
+        assert!(d.contains(ItemId(2)));
+        assert!(!d.contains(ItemId(3)));
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod proxy;
 pub mod server;
 pub mod stats;
 
-pub use cache::{CachePayload, DiskCodec, MemoryCache, Tier, TieredCache};
+pub use cache::{CachePayload, DiskCodec, MemoryCache, ResidencyDigest, Tier, TieredCache};
 pub use name::{ItemId, ItemName, NameResolver, NameServer};
 pub use policy::{policy_by_name, FbrPolicy, LfuPolicy, LruPolicy, ReplacementPolicy};
 pub use prefetch::{

@@ -183,22 +183,34 @@ impl FbrPolicy {
 
     /// Size of the new section for the current stack length (at least 1
     /// when non-empty so a single item is "new").
-    fn new_section_len(&self) -> usize {
+    ///
+    /// Public so invariant tests can pin the section geometry; note the
+    /// `.max(1)` means this returns 1 even for an *empty* stack.
+    pub fn new_section_len(&self) -> usize {
         ((self.stack.len() as f64 * self.new_frac).floor() as usize).max(1)
     }
 
     /// Index where the old section begins.
-    fn old_section_start(&self) -> usize {
+    pub fn old_section_start(&self) -> usize {
         let old_len = (self.stack.len() as f64 * self.old_frac).ceil() as usize;
         self.stack.len().saturating_sub(old_len)
     }
 
     /// True if the item currently sits in the new section.
-    #[cfg(test)]
-    fn in_new_section(&self, id: ItemId) -> bool {
+    pub fn in_new_section(&self, id: ItemId) -> bool {
         self.stack_position(id)
             .map(|p| p < self.new_section_len())
             .unwrap_or(false)
+    }
+
+    /// The item's reference count, or `None` if untracked.
+    pub fn ref_count(&self, id: ItemId) -> Option<u64> {
+        self.entries.get(&id).map(|e| e.0)
+    }
+
+    /// The item's recency-stack depth (0 = most recent), or `None`.
+    pub fn stack_depth(&self, id: ItemId) -> Option<usize> {
+        self.stack_position(id)
     }
 }
 

@@ -443,6 +443,12 @@ impl DataProxy {
         self.core.cache.lock().locate(item).is_some()
     }
 
+    /// Compact fingerprint of everything resident in either tier, for
+    /// piggybacking on worker → scheduler frames (locality placement).
+    pub fn residency_digest(&self) -> crate::cache::ResidencyDigest {
+        self.core.cache.lock().residency_digest()
+    }
+
     /// Empties both cache tiers (e.g. between cold-cache experiments) and
     /// resets learned prefetcher state if `reset_prefetcher` is set.
     pub fn clear_cache(&self, reset_prefetcher: bool) {

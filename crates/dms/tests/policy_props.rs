@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use vira_dms::name::ItemId;
-use vira_dms::policy::{policy_by_name, ReplacementPolicy};
+use vira_dms::policy::{policy_by_name, FbrPolicy, ReplacementPolicy};
 
 fn apply_ops(policy: &mut dyn ReplacementPolicy, ops: &[(u8, u64)]) -> Vec<ItemId> {
     // Mirror of residency, maintained like a capacity-8 cache would.
@@ -99,6 +99,85 @@ proptest! {
             prop_assert_eq!(victim, ItemId(expected));
             policy.on_remove(victim);
         }
+    }
+
+    /// FBR section geometry: the new section is never empty (the
+    /// `.max(1)` bump holds even for an empty or 1-item stack), the old
+    /// section start stays within bounds, and whenever the bump is not
+    /// in play (`floor(len · new_frac) ≥ 1`) the new and old sections
+    /// are disjoint — i.e. new/middle/old partition the stack. Overlap
+    /// is possible *only* at the documented edges: stacks of ≤ 1 item,
+    /// or stacks small enough that the bump inflates the new section.
+    #[test]
+    fn fbr_sections_partition_the_stack(
+        new_frac in 0.05f64..0.45,
+        old_frac in 0.1f64..0.5,
+        ops in prop::collection::vec((any::<u8>(), any::<u64>()), 0..300),
+    ) {
+        let mut fbr = FbrPolicy::with_sections(new_frac, old_frac);
+        apply_ops(&mut fbr, &ops);
+        let len = fbr.len();
+        let new_len = fbr.new_section_len();
+        let old_start = fbr.old_section_start();
+        prop_assert!(new_len >= 1, "new section may never be empty (len={len})");
+        prop_assert!(old_start <= len);
+        let bumped = (len as f64 * new_frac).floor() as usize == 0;
+        if len >= 2 && !bumped {
+            prop_assert!(
+                new_len <= old_start,
+                "new [0,{new_len}) and old [{old_start},{len}) overlap without the max(1) edge"
+            );
+        }
+    }
+
+    /// FBR evictions come from the old section only: the candidate's
+    /// stack depth is always ≥ `old_section_start`.
+    #[test]
+    fn fbr_evicts_only_from_old_section(
+        new_frac in 0.05f64..0.45,
+        old_frac in 0.1f64..0.5,
+        ops in prop::collection::vec((any::<u8>(), any::<u64>()), 1..300),
+    ) {
+        let mut fbr = FbrPolicy::with_sections(new_frac, old_frac);
+        let resident = apply_ops(&mut fbr, &ops);
+        if let Some(victim) = fbr.evict_candidate() {
+            prop_assert!(resident.contains(&victim));
+            let depth = fbr.stack_depth(victim).expect("victim is tracked");
+            prop_assert!(
+                depth >= fbr.old_section_start(),
+                "victim at depth {depth} but old section starts at {}",
+                fbr.old_section_start()
+            );
+        } else {
+            prop_assert!(resident.is_empty());
+        }
+    }
+
+    /// FBR freezes reference counts inside the new section ("factoring
+    /// out locality"): a hit on a new-section item leaves its count
+    /// unchanged, a hit anywhere else bumps it by exactly one — and
+    /// either way the item moves to the stack front.
+    #[test]
+    fn fbr_new_section_hits_never_bump_counts(
+        new_frac in 0.05f64..0.45,
+        old_frac in 0.1f64..0.5,
+        ops in prop::collection::vec((any::<u8>(), any::<u64>()), 1..300),
+        pick in any::<prop::sample::Index>(),
+    ) {
+        let mut fbr = FbrPolicy::with_sections(new_frac, old_frac);
+        let resident = apply_ops(&mut fbr, &ops);
+        prop_assume!(!resident.is_empty());
+        let id = resident[pick.index(resident.len())];
+        let before = fbr.ref_count(id).expect("resident is tracked");
+        let was_new = fbr.in_new_section(id);
+        fbr.on_access(id);
+        let after = fbr.ref_count(id).expect("still tracked");
+        if was_new {
+            prop_assert_eq!(after, before, "new-section hit must not bump the count");
+        } else {
+            prop_assert_eq!(after, before + 1, "middle/old hit bumps by exactly one");
+        }
+        prop_assert_eq!(fbr.stack_depth(id), Some(0), "hit moves the item to the front");
     }
 
     /// LFU never evicts an item with strictly more accesses than another

@@ -114,6 +114,9 @@ impl From<ProtocolError> for ClientError {
 pub struct VistaClient {
     link: ClientSide,
     next_job: JobId,
+    /// Session id stamped on submissions; the scheduler round-robins
+    /// dispatch credit across sessions.
+    session: u64,
     /// Events of jobs other than the one currently being collected
     /// (concurrent jobs finish in any order).
     buffered: std::collections::VecDeque<(EventHeader, Bytes)>,
@@ -124,8 +127,20 @@ impl VistaClient {
         VistaClient {
             link,
             next_job: 1,
+            session: 0,
             buffered: std::collections::VecDeque::new(),
         }
+    }
+
+    /// Sets the session id stamped on subsequent submissions. Multiple
+    /// VR sessions sharing one back-end pick distinct ids so the
+    /// scheduler's fair-share credit treats them separately.
+    pub fn set_session(&mut self, session: u64) {
+        self.session = session;
+    }
+
+    pub fn session(&self) -> u64 {
+        self.session
     }
 
     /// The next event for `job`: buffered first, then fresh from the
@@ -162,6 +177,7 @@ impl VistaClient {
             dataset: spec.dataset.clone(),
             params: spec.params.clone(),
             workers: spec.workers,
+            session: self.session,
         };
         self.link.request(encode_request(&req))?;
         Ok(job)
@@ -539,6 +555,20 @@ mod tests {
         let a = client.submit(&spec()).unwrap();
         let b = client.submit(&spec()).unwrap();
         assert_eq!(b, a + 1);
+    }
+
+    #[test]
+    fn session_id_is_stamped_on_submissions() {
+        let (client_side, server_side) = client_server_link();
+        let mut client = VistaClient::new(client_side);
+        assert_eq!(client.session(), 0, "default session");
+        client.set_session(42);
+        client.submit(&spec()).unwrap();
+        let frame = server_side.next_request().unwrap();
+        match decode_request(frame).unwrap() {
+            ClientRequest::Submit { session, .. } => assert_eq!(session, 42),
+            other => panic!("expected submit, got {other:?}"),
+        }
     }
 
     #[test]

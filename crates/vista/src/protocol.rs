@@ -74,6 +74,11 @@ pub enum ClientRequest {
         params: CommandParams,
         /// Requested work-group size.
         workers: usize,
+        /// Client session the job belongs to; the scheduler round-robins
+        /// dispatch credit across sessions (absent in frames from older
+        /// peers → session 0).
+        #[serde(default)]
+        session: u64,
     },
     /// Abort a running job ("meaningless extraction processes can be
     /// discarded immediately", §5).
@@ -109,10 +114,15 @@ pub struct JobReport {
     pub read_s: f64,
     pub compute_s: f64,
     pub send_s: f64,
-    /// Modeled seconds the job spent queued at the scheduler before a
-    /// work group was free (absent in frames from older peers → 0).
+    /// Modeled seconds the job spent queued at the scheduler before its
+    /// *first* dispatch (absent in frames from older peers → 0).
     #[serde(default)]
     pub queue_wait_s: f64,
+    /// Modeled seconds spent re-queued between dispatch attempts after a
+    /// rank died — separate from `queue_wait_s` so requeued jobs do not
+    /// inflate the pre-dispatch wait (absent in older frames → 0).
+    #[serde(default)]
+    pub requeue_wait_s: f64,
     /// Modeled seconds the master worker spent gathering and merging the
     /// group's partials.
     #[serde(default)]
@@ -322,9 +332,40 @@ mod tests {
             dataset: "Engine".into(),
             params: CommandParams::new().set("iso", 0.5).set_vec3("viewpoint", [1.0, 2.0, 3.0]),
             workers: 8,
+            session: 3,
         };
         let back = decode_request(encode_request(&req)).unwrap();
         assert_eq!(back, req);
+    }
+
+    #[test]
+    fn submit_without_session_decodes_as_session_zero() {
+        // Submits from clients predating per-session fair share must
+        // still decode; the field is #[serde(default)].
+        let req = ClientRequest::Submit {
+            job: 9,
+            command: "IsoDataMan".into(),
+            dataset: "Engine".into(),
+            params: CommandParams::new(),
+            workers: 2,
+            session: 5,
+        };
+        let mut v = serde_json::to_value(&req).unwrap();
+        v.as_object_mut()
+            .unwrap()
+            .get_mut("Submit")
+            .unwrap()
+            .as_object_mut()
+            .unwrap()
+            .remove("session");
+        let back: ClientRequest = serde_json::from_value(v).unwrap();
+        match back {
+            ClientRequest::Submit { job, session, .. } => {
+                assert_eq!(job, 9);
+                assert_eq!(session, 0);
+            }
+            other => panic!("wrong request {other:?}"),
+        }
     }
 
     #[test]
@@ -425,6 +466,7 @@ mod tests {
             compute_s: 2.0,
             send_s: 0.5,
             queue_wait_s: 1.25,
+            requeue_wait_s: 0.375,
             merge_s: 0.25,
             demand_requests: 9,
             cache_hits: 6,
@@ -486,6 +528,22 @@ mod tests {
         assert_eq!(back.retries, 0);
         assert!(!back.degraded);
         assert_eq!(back.total_runtime_s, 2.0);
+    }
+
+    #[test]
+    fn report_without_requeue_wait_decodes_with_zero_default() {
+        // Finals from schedulers predating split queue/requeue wait
+        // accounting must still decode.
+        let report = JobReport {
+            queue_wait_s: 0.5,
+            requeue_wait_s: 1.5,
+            ..JobReport::default()
+        };
+        let mut v = serde_json::to_value(report).unwrap();
+        v.as_object_mut().unwrap().remove("requeue_wait_s");
+        let back: JobReport = serde_json::from_value(v).unwrap();
+        assert_eq!(back.requeue_wait_s, 0.0);
+        assert_eq!(back.queue_wait_s, 0.5);
     }
 
     #[test]

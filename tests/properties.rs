@@ -241,6 +241,7 @@ proptest! {
         command in "[A-Za-z]{1,16}",
         dataset in "[A-Za-z0-9]{1,12}",
         workers in 1usize..64,
+        session in any::<u64>(),
         params in prop::collection::vec(("[a-z]{1,6}", "[a-z0-9.\\-]{1,8}"), 0..6),
     ) {
         let req = protocol::ClientRequest::Submit {
@@ -251,6 +252,7 @@ proptest! {
                 params.into_iter().collect(),
             ),
             workers,
+            session,
         };
         let mut normalized = req.clone();
         if let protocol::ClientRequest::Submit { params, .. } = &mut normalized {
