@@ -334,6 +334,25 @@ fn bench_obs(c: &mut Criterion) {
     let _ = vira_obs::drain();
     let counter = vira_obs::counter("obs_bench_scratch_total");
     c.bench_function("obs/counter_inc", |b| b.iter(|| counter.inc()));
+    // Trace-context propagation: what every dispatch/run_job pays to
+    // adopt a wire context (install + guard drop), and what a span
+    // opened under an installed context pays extra for inheriting the
+    // parent linkage.
+    let ctx = vira_obs::TraceCtx {
+        trace_id: 0x5eed,
+        parent_span_id: 7,
+    };
+    c.bench_function("obs/install_ctx", |b| {
+        b.iter(|| vira_obs::install_ctx(black_box(ctx)))
+    });
+    vira_obs::set_enabled(true);
+    let _guard = vira_obs::install_ctx(ctx);
+    c.bench_function("obs/span_under_ctx", |b| {
+        b.iter(|| vira_obs::span(black_box("bench.span"), "bench").arg("i", 1u64))
+    });
+    drop(_guard);
+    vira_obs::set_enabled(false);
+    let _ = vira_obs::drain();
 }
 
 criterion_group!(

@@ -8,6 +8,7 @@
 //!          --param iso=15 --param n_steps=4 [--res 7] [--dilation 0.01] \
 //!          [--save surface.obj|surface.vtk] [--save-lines traces.vtk] \
 //!          [--trace-out traces/]
+//! vira trace-analyze traces/ [--check 0.25]   critical-path attribution
 //! ```
 //!
 //! Argument parsing is deliberately dependency-free. Diagnostics go
@@ -26,7 +27,7 @@ use viracocha::{default_registry, FaultPlan, Viracocha, ViracochaConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  vira commands\n  vira datasets\n  vira suggest --dataset <engine|propfan|cube> [--res N] [--exceed F]\n  vira run --dataset <engine|propfan|cube> --command <Name> [--workers N]\n           [--res N] [--dilation F] [--fault-plan <file>] [--param key=value]...\n           [--backfill on|off] [--max-skipped N] [--locality on|off]\n           [--fair-share on|off]"
+        "usage:\n  vira commands\n  vira datasets\n  vira suggest --dataset <engine|propfan|cube> [--res N] [--exceed F]\n  vira run --dataset <engine|propfan|cube> --command <Name> [--workers N]\n           [--res N] [--dilation F] [--fault-plan <file>] [--param key=value]...\n           [--backfill on|off] [--max-skipped N] [--locality on|off]\n           [--fair-share on|off] [--trace-out <dir>]\n  vira trace-analyze <dir> [--check <min-coverage>]"
     );
     std::process::exit(2);
 }
@@ -295,9 +296,10 @@ fn cmd_run(args: Args) {
     if let Some(dir) = trace_out {
         match vira_obs::export_all(&dir) {
             Ok(s) => println!(
-                "trace      : {} spans, {} events -> {}",
+                "trace      : {} spans, {} events, {} flight recordings -> {}",
                 s.spans,
                 s.events,
+                s.flights,
                 dir.display()
             ),
             Err(e) => vira_obs::error(
@@ -305,6 +307,53 @@ fn cmd_run(args: Args) {
                 &format!("trace export to {} failed: {e}", dir.display()),
                 &[],
             ),
+        }
+    }
+}
+
+/// Runs the critical-path analyzer over a `--trace-out` directory's
+/// flight recordings and prints the per-job attribution table. With
+/// `--check <frac>` the command fails unless every job's stage
+/// attribution covers at least that fraction of its wall time — the CI
+/// guard against the analyzer silently losing track of where time
+/// goes.
+fn cmd_trace_analyze(args: Args) {
+    let Some(dir) = args.flags.get("dir").cloned() else {
+        usage();
+    };
+    let rows = match vira_obs::analyze_dir(std::path::Path::new(&dir)) {
+        Ok(rows) => rows,
+        Err(e) => {
+            vira_obs::error("vira", &format!("trace-analyze {dir}: {e}"), &[]);
+            std::process::exit(1);
+        }
+    };
+    if rows.is_empty() {
+        vira_obs::error(
+            "vira",
+            &format!("{dir}: no flight-<trace>.jsonl recordings (run with --trace-out)"),
+            &[],
+        );
+        std::process::exit(1);
+    }
+    print!("{}", vira_obs::render_table(&rows));
+    if let Some(v) = args.flags.get("check") {
+        let min: f64 = v.parse().expect("--check must be a fraction like 0.25");
+        for r in &rows {
+            if r.coverage < min {
+                vira_obs::error(
+                    "vira",
+                    &format!(
+                        "trace {} (job {}): attribution covers {:.1}% of wall time, below --check {:.1}%",
+                        r.trace_id,
+                        r.job,
+                        r.coverage * 100.0,
+                        min * 100.0
+                    ),
+                    &[],
+                );
+                std::process::exit(1);
+            }
         }
     }
 }
@@ -319,6 +368,17 @@ fn main() {
         "datasets" => cmd_datasets(),
         "suggest" => cmd_suggest(parse_args(rest)),
         "run" => cmd_run(parse_args(rest)),
+        "trace-analyze" => {
+            // Accept the directory as a bare positional: rewrite it into
+            // the `--dir` flag the shared parser understands.
+            let mut rest = rest.to_vec();
+            if let Some(first) = rest.first() {
+                if !first.starts_with("--") {
+                    rest.splice(0..1, ["--dir".to_string(), first.clone()]);
+                }
+            }
+            cmd_trace_analyze(parse_args(&rest));
+        }
         _ => usage(),
     }
 }

@@ -349,9 +349,11 @@ impl CommandRegistry {
 
 /// Encodes a worker's partial for the master (geometry payload picked by
 /// kind).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn encode_output(
     job: JobId,
     attempt: u32,
+    ctx: obs::TraceCtx,
     out: &CommandOutput,
     meter: &Meter,
     dms: vira_dms::stats::DmsStatsSnapshot,
@@ -378,6 +380,8 @@ pub(crate) fn encode_output(
         payload_crc: 0, // filled in by encode_partial
         residency,
         error,
+        trace_id: ctx.trace_id,
+        parent_span_id: ctx.parent_span_id,
     };
     wire::encode_partial(&header, payload)
 }

@@ -67,6 +67,9 @@ struct QueuedJob {
     requeue_wait: Duration,
     /// How many times a backfilled job has overtaken this one.
     skipped: u32,
+    /// Causal trace context from the Submit frame (zero for untraced
+    /// clients); every scheduler/worker span of the job links under it.
+    ctx: obs::TraceCtx,
 }
 
 struct RunningJob {
@@ -168,6 +171,8 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
                             params,
                             workers,
                             session,
+                            trace_id,
+                            parent_span_id,
                         }) => {
                             if shutting_down {
                                 obs::counter_cached(&JOBS_REJECTED, "sched_jobs_rejected_total")
@@ -223,6 +228,10 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
                                 first_wait: Duration::ZERO,
                                 requeue_wait: Duration::ZERO,
                                 skipped: 0,
+                                ctx: obs::TraceCtx {
+                                    trace_id,
+                                    parent_span_id,
+                                },
                             });
                         }
                         Ok(ClientRequest::Cancel { job }) => {
@@ -401,15 +410,21 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
             // queue time plus the failed dispatch's timeout window.
             let wait = dispatched_at.duration_since(q.enqueued_at);
             obs::counter_cached(&JOBS_DISPATCHED, "sched_jobs_dispatched_total").inc();
+            // The job's trace context scopes the dispatch: the queued
+            // and dispatch spans link under the client's root span, and
+            // the command frame carries the dispatch span onward so
+            // worker spans nest beneath it.
+            let _trace = obs::install_ctx(q.ctx);
             if q.attempt == 0 {
                 q.first_wait = wait;
                 obs::histogram_cached(&QUEUE_WAIT_NS, "sched_queue_wait_ns")
                     .record_duration(wait);
-                obs::complete_span(
+                obs::complete_span_ctx(
                     "sched.queued",
                     "sched",
                     q.submitted_at,
                     dispatched_at,
+                    q.ctx,
                     &[
                         ("job", obs::ArgValue::U64(q.job)),
                         ("workers", obs::ArgValue::U64(q.workers as u64)),
@@ -418,20 +433,24 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
             } else {
                 q.requeue_wait += wait;
             }
-            let msg = wire::CommandMsg {
-                job: q.job,
-                command: q.command.clone(),
-                dataset: q.dataset.clone(),
-                params: q.params.clone(),
-                group: group.clone(),
-                attempt: q.attempt,
-                check: 0,
-            };
-            let frame = wire::encode_command(&msg);
+            let frame;
             {
                 let _s = obs::span("sched.dispatch", "sched")
-                    .arg("job", msg.job)
+                    .arg("job", q.job)
                     .arg("workers", group.len());
+                let child = _s.ctx_for_children();
+                let msg = wire::CommandMsg {
+                    job: q.job,
+                    command: q.command.clone(),
+                    dataset: q.dataset.clone(),
+                    params: q.params.clone(),
+                    group: group.clone(),
+                    attempt: q.attempt,
+                    check: 0,
+                    trace_id: child.trace_id,
+                    parent_span_id: child.parent_span_id,
+                };
+                frame = wire::encode_command(&msg);
                 for &r in &group {
                     let _ = endpoint.send(r, tags::COMMAND, frame.clone());
                 }
@@ -439,7 +458,7 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
             if q.attempt == 0 {
                 let _ = link.emit(encode_event(
                     &EventHeader::JobAccepted {
-                        job: msg.job,
+                        job: q.job,
                         workers: group.len(),
                     },
                     Bytes::new(),
@@ -447,7 +466,7 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
             }
             last_session = Some(q.session);
             running.insert(
-                msg.job,
+                q.job,
                 RunningJob {
                     group,
                     accepted_at: dispatched_at,
@@ -503,6 +522,9 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
                 if round_start >= probe_deadline {
                     break;
                 }
+                // Ping send time for this round, in trace-epoch ns —
+                // the clock-offset estimate below needs it.
+                let sent_ns = obs::now_ns();
                 for &r in &run.group {
                     if !alive_ranks.contains(&r) {
                         let _ = endpoint.send(r, tags::PING, nonce.clone());
@@ -521,14 +543,30 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
                                 && run.group.contains(&m.from) =>
                         {
                             // Workers append their cache-residency
-                            // digest after the echoed nonce; harvest it
-                            // for the placement map while we're here.
-                            if let Some(d) =
-                                ResidencyDigest::from_bytes(&m.payload[nonce.len()..])
-                            {
+                            // digest (and, on newer peers, their clock
+                            // timestamp) after the echoed nonce;
+                            // harvest both while we're here.
+                            let (digest, t_remote) =
+                                split_pong_tail(&m.payload[nonce.len()..]);
+                            if let Some(d) = digest {
                                 if !d.is_unknown() {
                                     residency.insert(m.from, d);
                                 }
+                            }
+                            if let Some(t_remote) = t_remote {
+                                // NTP-style estimate: the worker stamped
+                                // its clock mid-flight, so offset =
+                                // t_remote - (t_send + rtt/2). The probe
+                                // doubles as the flight recorder's clock
+                                // probe; min-RTT samples win over there.
+                                let rtt = obs::now_ns().saturating_sub(sent_ns);
+                                let offset =
+                                    t_remote as i64 - (sent_ns + rtt / 2) as i64;
+                                obs::flight::record_clock_offset(
+                                    m.from as u64,
+                                    offset,
+                                    rtt,
+                                );
                             }
                             alive_ranks.insert(m.from);
                             if alive_ranks.len() == run.group.len() {
@@ -628,6 +666,25 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
 /// count as alive.
 fn pong_matches(payload: &[u8], nonce: &[u8]) -> bool {
     payload.len() >= nonce.len() && &payload[..nonce.len()] == nonce
+}
+
+/// Splits a PONG payload tail (everything after the echoed nonce) into
+/// the optional residency digest and the optional clock timestamp.
+/// Old workers send the digest alone; new workers append their
+/// trace-epoch timestamp (8 bytes LE) after it. A digest dump is only
+/// ever empty or full-size (`DIGEST_BITS / 8` bytes), so the two
+/// layouts cannot alias; anything else is a foreign payload.
+fn split_pong_tail(rest: &[u8]) -> (Option<ResidencyDigest>, Option<u64>) {
+    const FULL: usize = vira_dms::cache::DIGEST_BITS / 8;
+    if rest.is_empty() || rest.len() == FULL {
+        return (ResidencyDigest::from_bytes(rest), None);
+    }
+    if rest.len() == 8 || rest.len() == FULL + 8 {
+        let (d, t) = rest.split_at(rest.len() - 8);
+        let ts = u64::from_le_bytes(t.try_into().expect("8-byte tail"));
+        return (ResidencyDigest::from_bytes(d), Some(ts));
+    }
+    (None, None)
 }
 
 /// Picks the queue index to dispatch next, or `None` when nothing
@@ -807,11 +864,12 @@ fn handle_job_done(
     cancels.write().remove(&done.job);
     let run_elapsed = run.accepted_at.elapsed();
     let total_runtime_s = clock.wall_to_modeled(run_elapsed);
-    obs::complete_span(
+    obs::complete_span_ctx(
         "sched.job",
         "sched",
         run.accepted_at,
         Instant::now(),
+        run.q.ctx,
         &[
             ("job", obs::ArgValue::U64(done.job)),
             ("workers", obs::ArgValue::U64(run.group.len() as u64)),
@@ -897,6 +955,7 @@ mod tests {
             first_wait: Duration::ZERO,
             requeue_wait: Duration::ZERO,
             skipped,
+            ctx: obs::TraceCtx::default(),
         }
     }
 
@@ -1002,6 +1061,33 @@ mod tests {
         assert!(!pong_matches(&nonce[..4], &nonce));
         let other = 10u64.to_le_bytes();
         assert!(!pong_matches(&other, &nonce));
+    }
+
+    #[test]
+    fn pong_tail_split_covers_old_and_new_layouts() {
+        let full = vira_dms::cache::DIGEST_BITS / 8;
+        let mut digest = ResidencyDigest::empty();
+        digest.insert(ItemId(5));
+        let dump = digest.to_bytes();
+        assert_eq!(dump.len(), full);
+        // Old worker, nonce only.
+        assert_eq!(split_pong_tail(&[]), (Some(ResidencyDigest::default()), None));
+        // Old worker, digest only.
+        let (d, t) = split_pong_tail(&dump);
+        assert_eq!(d.as_ref(), Some(&digest));
+        assert_eq!(t, None);
+        // New worker, digest + timestamp.
+        let mut tail = dump.clone();
+        tail.extend_from_slice(&1234u64.to_le_bytes());
+        let (d, t) = split_pong_tail(&tail);
+        assert_eq!(d.as_ref(), Some(&digest));
+        assert_eq!(t, Some(1234));
+        // New worker with an unknown digest: timestamp alone.
+        let (d, t) = split_pong_tail(&77u64.to_le_bytes());
+        assert_eq!(d, Some(ResidencyDigest::default()));
+        assert_eq!(t, Some(77));
+        // Foreign payloads yield neither.
+        assert_eq!(split_pong_tail(&[1, 2, 3]), (None, None));
     }
 
     #[test]

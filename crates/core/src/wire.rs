@@ -30,6 +30,15 @@ pub struct CommandMsg {
     /// the check catches that. `0` means "unchecked" (older peers).
     #[serde(default)]
     pub check: u32,
+    /// Causal trace context: the submit's trace id and the scheduler
+    /// dispatch span to parent worker spans under. `0` means "no
+    /// trace" (tracing disabled, or frames from older peers). Both are
+    /// deliberately excluded from [`command_check`] so checked frames
+    /// stay verifiable across peers that do not know these fields.
+    #[serde(default)]
+    pub trace_id: u64,
+    #[serde(default)]
+    pub parent_span_id: u64,
 }
 
 /// Worker → master: this worker's share of the result.
@@ -62,6 +71,14 @@ pub struct PartialHeader {
     /// (absent in frames from older peers → unknown).
     #[serde(default)]
     pub residency: ResidencyDigest,
+    /// Causal trace context propagated from the command: the trace id
+    /// and this worker's `worker.job` span, so the master (and the
+    /// flight recorder) can bind the partial to its producer. `0`
+    /// means "no trace" (older peers or tracing disabled).
+    #[serde(default)]
+    pub trace_id: u64,
+    #[serde(default)]
+    pub parent_span_id: u64,
     /// Set when the command failed on this worker.
     pub error: Option<String>,
 }
@@ -99,6 +116,13 @@ pub struct DoneHeader {
     /// empty).
     #[serde(default)]
     pub residency: Vec<(Rank, ResidencyDigest)>,
+    /// Causal trace context propagated from the command: the trace id
+    /// and the master's `worker.job` span. `0` means "no trace"
+    /// (older peers or tracing disabled).
+    #[serde(default)]
+    pub trace_id: u64,
+    #[serde(default)]
+    pub parent_span_id: u64,
     pub error: Option<String>,
 }
 
@@ -227,6 +251,8 @@ mod tests {
             group: vec![1, 2, 5],
             attempt: 2,
             check: 0,
+            trace_id: 0,
+            parent_span_id: 0,
         };
         let got = decode_command(encode_command(&msg)).unwrap();
         assert_ne!(got.check, 0, "encode_command must fill in the check");
@@ -247,6 +273,8 @@ mod tests {
             group: vec![1, 2, 5],
             attempt: 0,
             check: 0,
+            trace_id: 0,
+            parent_span_id: 0,
         };
         let frame = encode_command(&msg);
         let mut v: serde_json::Value = serde_json::from_slice(&frame[4..]).unwrap();
@@ -273,6 +301,8 @@ mod tests {
             attempt: 1,
             payload_crc: 0,
             residency: Default::default(),
+            trace_id: 0,
+            parent_span_id: 0,
             error: None,
         };
         let payload = Bytes::from_static(b"geometry");
@@ -299,6 +329,8 @@ mod tests {
             attempt: 0,
             payload_crc: 0,
             residency: Default::default(),
+            trace_id: 0,
+            parent_span_id: 0,
             error: None,
         };
         let frame = encode_partial(&h, Bytes::from_static(b"geometry"));
@@ -324,6 +356,8 @@ mod tests {
             attempt: 0,
             payload_crc: 0,
             residency: Default::default(),
+            trace_id: 0,
+            parent_span_id: 0,
             error: Some("worker 3 failed".into()),
         };
         let (h2, p) = decode_done(encode_done(&h, Bytes::new())).unwrap();
@@ -350,6 +384,8 @@ mod tests {
             attempt: 0,
             payload_crc: 0,
             residency: Default::default(),
+            trace_id: 0,
+            parent_span_id: 0,
             error: None,
         };
         let mut v = serde_json::to_value(&h).unwrap();
@@ -391,6 +427,8 @@ mod tests {
             attempt: 0,
             payload_crc: 0,
             residency: Default::default(),
+            trace_id: 0,
+            parent_span_id: 0,
             error: None,
         };
         let mut v = serde_json::to_value(&h).unwrap();
@@ -416,6 +454,8 @@ mod tests {
             group: vec![0, 1],
             attempt: 0,
             check: 0,
+            trace_id: 0,
+            parent_span_id: 0,
         };
         let frame = encode_command(&msg);
         let mut v: serde_json::Value = serde_json::from_slice(&frame[4..]).unwrap();
@@ -452,6 +492,8 @@ mod tests {
             attempt: 0,
             payload_crc: 0,
             residency: vec![(1, d1.clone()), (2, d2.clone())],
+            trace_id: 0,
+            parent_span_id: 0,
             error: None,
         };
         let (h2, _) = decode_done(encode_done(&h, Bytes::new())).unwrap();
@@ -476,6 +518,8 @@ mod tests {
             attempt: 0,
             payload_crc: 0,
             residency: ResidencyDigest::from_items([vira_dms::ItemId(3)]),
+            trace_id: 0,
+            parent_span_id: 0,
             error: None,
         };
         let mut v = serde_json::to_value(&h).unwrap();
@@ -501,6 +545,8 @@ mod tests {
             attempt: 0,
             payload_crc: 0,
             residency: vec![(1, ResidencyDigest::empty())],
+            trace_id: 0,
+            parent_span_id: 0,
             error: None,
         };
         let mut v = serde_json::to_value(&d).unwrap();
@@ -511,6 +557,85 @@ mod tests {
         buf.put_slice(&json);
         let (d2, _) = decode_done(buf.freeze()).unwrap();
         assert!(d2.residency.is_empty());
+    }
+
+    #[test]
+    fn traced_command_verifies_and_decodes_without_trace_fields() {
+        // New writer -> new reader: the trace context rides along and
+        // the integrity check (which excludes it) still verifies.
+        let msg = CommandMsg {
+            job: 12,
+            command: "ViewerIso".into(),
+            dataset: "Engine".into(),
+            params: CommandParams::new().set("iso", 0.4),
+            group: vec![0, 1],
+            attempt: 1,
+            check: 0,
+            trace_id: 0xfeed,
+            parent_span_id: 77,
+        };
+        let frame = encode_command(&msg);
+        let got = decode_command(frame.clone()).unwrap();
+        assert_eq!(got.trace_id, 0xfeed);
+        assert_eq!(got.parent_span_id, 77);
+        assert_ne!(got.check, 0);
+        // New writer -> old reader: an old peer's check computation
+        // never saw the trace fields, so the check over the remaining
+        // fields must be identical to an untraced frame's.
+        let mut untraced = msg.clone();
+        untraced.trace_id = 0;
+        untraced.parent_span_id = 0;
+        let old = decode_command(encode_command(&untraced)).unwrap();
+        assert_eq!(old.check, got.check, "trace fields must not perturb the check");
+        // Old writer -> new reader: frames without the fields decode
+        // to the zero (no-trace) context.
+        let mut v: serde_json::Value = serde_json::from_slice(&frame[4..]).unwrap();
+        let obj = v.as_object_mut().unwrap();
+        obj.remove("trace_id");
+        obj.remove("parent_span_id");
+        let json = serde_json::to_vec(&v).unwrap();
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(json.len() as u32);
+        buf.put_slice(&json);
+        let got = decode_command(buf.freeze()).unwrap();
+        assert_eq!(got.trace_id, 0);
+        assert_eq!(got.parent_span_id, 0);
+        assert_eq!(got.job, 12);
+    }
+
+    #[test]
+    fn partial_and_done_trace_fields_default_to_zero() {
+        let h = DoneHeader {
+            job: 5,
+            kind: PayloadKind::Triangles,
+            n_items: 1,
+            read_s: 0.0,
+            compute_s: 0.0,
+            send_s: 0.0,
+            merge_s: 0.0,
+            dms: DmsStatsSnapshot::default(),
+            cells_skipped: 0,
+            bricks_skipped: 0,
+            attempt: 0,
+            payload_crc: 0,
+            residency: Default::default(),
+            trace_id: 42,
+            parent_span_id: 9,
+            error: None,
+        };
+        let (h2, _) = decode_done(encode_done(&h, Bytes::new())).unwrap();
+        assert_eq!((h2.trace_id, h2.parent_span_id), (42, 9));
+        // Old-writer frames (fields absent) decode to the no-trace context.
+        let mut v = serde_json::to_value(&h).unwrap();
+        let obj = v.as_object_mut().unwrap();
+        obj.remove("trace_id");
+        obj.remove("parent_span_id");
+        let json = serde_json::to_vec(&v).unwrap();
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(json.len() as u32);
+        buf.put_slice(&json);
+        let (h2, _) = decode_done(buf.freeze()).unwrap();
+        assert_eq!((h2.trace_id, h2.parent_span_id), (0, 0));
     }
 
     #[test]

@@ -170,10 +170,22 @@ fn run_job<T: Transport>(
     let group = Group::new(msg.group.clone());
     let meter = Meter::new();
     let dms_before = proxy.stats().snapshot();
+    // Adopt the scheduler's trace context for the duration of the job:
+    // every span opened on this thread (worker.job, extract.block,
+    // dms.request, …) links back to the submitting client's trace.
+    let _trace = vira_obs::install_ctx(vira_obs::TraceCtx {
+        trace_id: msg.trace_id,
+        parent_span_id: msg.parent_span_id,
+    });
     let mut job_span = vira_obs::span("worker.job", "worker")
         .arg("job", msg.job)
         .arg("command", vira_obs::intern(&msg.command))
         .arg("rank", rank);
+    // Responses carry the worker.job span as parent so the scheduler's
+    // flight recorder can bind cross-rank edges even when only the wire
+    // frames survive. When tracing is disabled this passes the incoming
+    // context through unchanged.
+    let reply_ctx = job_span.ctx_for_children();
 
     // Per-job context and execution.
     let (output, error) = match (
@@ -238,6 +250,7 @@ fn run_job<T: Transport>(
         let frame = encode_output(
             msg.job,
             msg.attempt,
+            reply_ctx,
             &output,
             &meter,
             dms,
@@ -416,6 +429,8 @@ fn run_job<T: Transport>(
         payload_crc: 0, // filled in by encode_done
         residency,
         error: first_error,
+        trace_id: reply_ctx.trace_id,
+        parent_span_id: reply_ctx.parent_span_id,
     };
     let frame = wire::encode_done(&done, payload);
     let _ = endpoint.send(0, tags::JOB_DONE, frame.clone());
@@ -444,14 +459,19 @@ fn scaled_send_items(n_items: usize, scale: f64) -> usize {
 }
 
 /// PONG payload: the probe nonce echoed verbatim, followed by this
-/// node's serialized cache-residency digest. Old schedulers compared
-/// the whole payload against the nonce and will simply re-probe; new
-/// schedulers prefix-match the nonce and harvest the digest.
+/// node's serialized cache-residency digest, followed by the node's
+/// monotonic clock reading (8 bytes LE, nanoseconds since the obs
+/// epoch). Old schedulers compared the whole payload against the nonce
+/// and will simply re-probe; new schedulers prefix-match the nonce,
+/// harvest the digest by its exact serialized length (0 or
+/// `DIGEST_BITS / 8` bytes), and use the timestamp to estimate this
+/// node's clock offset for flight-recorder alignment.
 fn pong_payload(ping: &Bytes, digest: &vira_dms::cache::ResidencyDigest) -> Bytes {
     let tail = digest.to_bytes();
-    let mut buf = BytesMut::with_capacity(ping.len() + tail.len());
+    let mut buf = BytesMut::with_capacity(ping.len() + tail.len() + 8);
     buf.extend_from_slice(ping);
     buf.extend_from_slice(&tail);
+    buf.put_u64_le(vira_obs::now_ns());
     buf.freeze()
 }
 
@@ -503,17 +523,25 @@ mod tests {
     }
 
     #[test]
-    fn pong_payload_prefixes_the_nonce_and_appends_the_digest() {
+    fn pong_payload_prefixes_the_nonce_and_appends_digest_and_clock() {
+        const FULL: usize = vira_dms::cache::DIGEST_BITS / 8;
         let nonce = Bytes::copy_from_slice(&42u64.to_le_bytes());
         let mut digest = vira_dms::cache::ResidencyDigest::empty();
         digest.insert(vira_dms::ItemId(9));
         let pong = pong_payload(&nonce, &digest);
+        assert_eq!(pong.len(), 8 + FULL + 8, "nonce | digest | clock");
         assert_eq!(&pong[..8], nonce.as_ref());
-        let tail = vira_dms::cache::ResidencyDigest::from_bytes(&pong[8..]).unwrap();
+        let tail = vira_dms::cache::ResidencyDigest::from_bytes(&pong[8..8 + FULL]).unwrap();
         assert!(tail.contains(vira_dms::ItemId(9)));
-        // An unknown digest still yields a valid (nonce-only) pong.
+        // The trailing 8 bytes are a plausible monotonic clock reading.
+        let before = vira_obs::now_ns();
+        let pong2 = pong_payload(&nonce, &digest);
+        let ts = u64::from_le_bytes(pong2[8 + FULL..].try_into().unwrap());
+        assert!(ts >= before && ts <= vira_obs::now_ns());
+        // An unknown digest serializes to nothing: nonce + clock only.
         let bare = pong_payload(&nonce, &vira_dms::cache::ResidencyDigest::default());
-        assert_eq!(bare.as_ref(), nonce.as_ref());
+        assert_eq!(bare.len(), 16);
+        assert_eq!(&bare[..8], nonce.as_ref());
     }
 
     #[test]

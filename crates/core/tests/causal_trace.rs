@@ -1,0 +1,117 @@
+//! Acceptance test for distributed causal tracing: a traced run must
+//! produce a per-job flight recording whose critical-path attribution
+//! tiles the job's wall time and agrees with the `JobReport` the
+//! client received over the wire.
+//!
+//! The tracer, metrics registry and event log are process-global, so
+//! this file holds exactly one test — integration-test binaries run in
+//! their own process, which keeps the drain/export windows exact.
+
+use std::sync::Arc;
+use vira_dms::proxy::ProxyConfig;
+use vira_grid::synth::test_cube;
+use vira_storage::source::SynthSource;
+use vira_vista::{CommandParams, SubmitSpec, VistaClient};
+use viracocha::{Viracocha, ViracochaConfig};
+
+#[test]
+fn causal_trace_attribution_matches_job_report() {
+    vira_obs::set_stderr_echo(false);
+    vira_obs::set_enabled(true);
+    // Discard anything recorded before the run under test.
+    let _ = vira_obs::drain();
+    let _ = vira_obs::drain_events();
+    vira_obs::reset_clock_offsets();
+
+    let mut cfg = ViracochaConfig::for_tests(2);
+    cfg.proxy = ProxyConfig {
+        prefetcher: "none".into(),
+        ..ProxyConfig::default()
+    };
+    let (backend, link) = Viracocha::launch(cfg);
+    backend.register_dataset(
+        Arc::new(SynthSource::new(Arc::new(test_cube(10, 4)))),
+        false,
+    );
+    let mut client = VistaClient::new(link);
+    let job = client
+        .submit(&SubmitSpec {
+            command: "IsoDataMan".into(),
+            dataset: "TestCube".into(),
+            params: CommandParams::new().set("iso", 0.15).set("n_steps", 2),
+            workers: 2,
+        })
+        .unwrap();
+    let ctx = client.trace_ctx(job).expect("submit mints a trace context");
+    assert_ne!(ctx.trace_id, 0, "minted trace ids are never the sentinel");
+    let out = client.collect(job).unwrap();
+    client.shutdown().unwrap();
+    backend.join();
+
+    // --- artifacts: flight recording exists for this job's trace ---------
+    let dir = std::env::temp_dir().join(format!("vira_causal_it_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let summary = vira_obs::export_all(&dir).unwrap();
+    assert!(
+        summary.flights >= 1,
+        "the traced job must produce a flight recording"
+    );
+
+    // The Chrome trace binds the cross-thread span tree with flow
+    // events and passes the flow self-check.
+    let trace_text = std::fs::read_to_string(dir.join("trace.json")).unwrap();
+    let flows = vira_obs::validate_chrome_trace_flows(&trace_text).unwrap();
+    assert!(flows >= 1, "cross-thread parent links must emit flow pairs");
+
+    // --- critical-path attribution ----------------------------------------
+    let rows = vira_obs::analyze_dir(&dir).unwrap();
+    let row = rows
+        .iter()
+        .find(|r| r.trace_id == ctx.trace_id)
+        .expect("analyzer yields a row for the submitted trace");
+    assert_eq!(row.job, job);
+
+    // The stage attribution must tile the wall clock: everything the
+    // scheduler and workers did, plus the explicit gather/finalize
+    // remainders, covers ≥95% of submit→done and never exceeds it by
+    // more than clock-alignment noise (5%).
+    assert!(
+        row.coverage >= 0.95,
+        "attribution covers {:.1}% of wall time",
+        row.coverage * 100.0
+    );
+    assert!(
+        (row.attributed_ns() as f64) <= row.wall_ns as f64 * 1.05,
+        "attribution must not overshoot the wall clock"
+    );
+    assert!(row.merge_ns > 0, "the master's merge phase is attributed");
+    // ttft brackets the scheduler-side wall interval on both ends
+    // (client submit precedes enqueue; delivery follows job end), so
+    // it may exceed wall by frame transit — but only by that much.
+    assert!(
+        row.ttft_ns > 0 && row.ttft_ns as f64 <= row.wall_ns as f64 * 1.05 + 10e6,
+        "time-to-first-triangle ({} ns) tracks the job window ({} ns)",
+        row.ttft_ns,
+        row.wall_ns
+    );
+
+    // --- cross-check against the wire-reported JobReport ------------------
+    // Both sides measure the same intervals from the same monotonic
+    // clock (dilation 0 ⇒ modeled == wall), so they must agree within
+    // a small absolute grace plus a relative band.
+    let tol = |reported: f64| 0.010 + reported.abs() * 0.25;
+    let queue_s = row.queue_wait_ns as f64 / 1e9;
+    assert!(
+        (queue_s - out.report.queue_wait_s).abs() <= tol(out.report.queue_wait_s),
+        "flight queue wait {queue_s:.6}s vs report {:.6}s",
+        out.report.queue_wait_s
+    );
+    let merge_s = row.merge_ns as f64 / 1e9;
+    assert!(
+        (merge_s - out.report.merge_s).abs() <= tol(out.report.merge_s),
+        "flight merge {merge_s:.6}s vs report {:.6}s",
+        out.report.merge_s
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

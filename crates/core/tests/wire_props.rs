@@ -21,6 +21,8 @@ fn sample_command(job: u64, attempt: u32) -> CommandMsg {
         group: vec![0, 1, 2],
         attempt,
         check: 0,
+        trace_id: job.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        parent_span_id: attempt as u64 + 1,
     }
 }
 
@@ -39,6 +41,8 @@ fn sample_partial(job: u64, payload_len: usize) -> (PartialHeader, Bytes) {
         payload_crc: 0,
         residency: Default::default(),
         error: None,
+        trace_id: job | 1,
+        parent_span_id: job >> 1,
     };
     let payload: Vec<u8> = (0..payload_len).map(|i| (i * 7 + 13) as u8).collect();
     (h, Bytes::from(payload))
@@ -84,6 +88,8 @@ proptest! {
             payload_crc: 0,
             residency: Vec::new(),
             error: None,
+            trace_id: p.trace_id,
+            parent_span_id: p.parent_span_id,
         };
         let frame = encode_done(&h, payload);
         prop_assume!(cut < frame.len());
@@ -134,6 +140,94 @@ proptest! {
                 prop_assert!(byte < body_start);
             }
         }
+    }
+
+    /// Trace context rides every frame type loss-free: whatever
+    /// (trace_id, parent_span_id) pair the sender stamps comes back
+    /// from the decoder bit-identical.
+    #[test]
+    fn trace_context_roundtrips_on_all_frame_types(
+        job in 0u64..1000,
+        trace_id in any::<u64>(),
+        parent in any::<u64>(),
+    ) {
+        let mut cmd = sample_command(job, 0);
+        cmd.trace_id = trace_id;
+        cmd.parent_span_id = parent;
+        let got = decode_command(encode_command(&cmd)).unwrap();
+        prop_assert_eq!(got.trace_id, trace_id);
+        prop_assert_eq!(got.parent_span_id, parent);
+
+        let (mut ph, payload) = sample_partial(job, 16);
+        ph.trace_id = trace_id;
+        ph.parent_span_id = parent;
+        let (got, _) = decode_partial(encode_partial(&ph, payload.clone())).unwrap();
+        prop_assert_eq!(got.trace_id, trace_id);
+        prop_assert_eq!(got.parent_span_id, parent);
+
+        let dh = DoneHeader {
+            job,
+            kind: PayloadKind::Triangles,
+            n_items: 1,
+            read_s: 0.0,
+            compute_s: 0.0,
+            send_s: 0.0,
+            merge_s: 0.0,
+            dms: DmsStatsSnapshot::default(),
+            cells_skipped: 0,
+            bricks_skipped: 0,
+            attempt: 0,
+            payload_crc: 0,
+            residency: Vec::new(),
+            error: None,
+            trace_id,
+            parent_span_id: parent,
+        };
+        let (got, _) = decode_done(encode_done(&dh, payload)).unwrap();
+        prop_assert_eq!(got.trace_id, trace_id);
+        prop_assert_eq!(got.parent_span_id, parent);
+    }
+
+    /// Mixed-version compatibility: the command integrity check covers
+    /// the semantic fields only, so a frame differing solely in trace
+    /// context still verifies on an old scheduler (which recomputes the
+    /// check without knowing the trace fields exist), and an old
+    /// writer's frame — the trace keys stripped from the JSON — still
+    /// decodes on a new reader with both fields defaulting to zero.
+    #[test]
+    fn trace_fields_never_affect_command_verification(
+        job in 0u64..1000,
+        attempt in 0u32..8,
+        trace_id in any::<u64>(),
+        parent in any::<u64>(),
+    ) {
+        let untraced = {
+            let mut c = sample_command(job, attempt);
+            c.trace_id = 0;
+            c.parent_span_id = 0;
+            c
+        };
+        let mut traced = untraced.clone();
+        traced.trace_id = trace_id;
+        traced.parent_span_id = parent;
+        // Both variants pass decode-time verification…
+        let a = decode_command(encode_command(&untraced)).unwrap();
+        let b = decode_command(encode_command(&traced)).unwrap();
+        // …and carry the same integrity check: trace fields are
+        // invisible to old peers' recomputation.
+        prop_assert_eq!(a.check, b.check);
+        prop_assert_eq!(a.job, b.job);
+        prop_assert_eq!(a.params, b.params);
+        // Old-writer simulation: drop the trace keys from the message
+        // JSON; a new reader defaults both fields to zero.
+        let mut val: serde_json::Value = serde_json::to_value(&traced).unwrap();
+        let obj = val.as_object_mut().unwrap();
+        obj.remove("trace_id");
+        obj.remove("parent_span_id");
+        let old: CommandMsg = serde_json::from_value(val).unwrap();
+        prop_assert_eq!(old.trace_id, 0);
+        prop_assert_eq!(old.parent_span_id, 0);
+        prop_assert_eq!(old.job, traced.job);
     }
 
     /// Same for commands: a flip either breaks the JSON, trips the

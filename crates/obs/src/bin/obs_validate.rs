@@ -3,16 +3,29 @@
 //!
 //! Usage:
 //!   obs-validate <trace-dir>...
+//!   obs-validate analyze <trace-dir> [--check <min-coverage>]
 //!
 //! Each directory is expected to contain `events.jsonl` and/or
 //! `trace.json` (as written by `vira_obs::export_all` or the bench
-//! runner's `--trace-out`). Exits non-zero with a diagnostic on the
-//! first invalid artifact; prints a per-file summary otherwise.
+//! runner's `--trace-out`), plus optionally `metrics.prom`,
+//! `metrics.json` and `flight-<trace>.jsonl` files. Exits non-zero
+//! with a diagnostic on the first invalid artifact; prints a per-file
+//! summary otherwise.
+//!
+//! `analyze` runs the critical-path analyzer over the directory's
+//! flight recordings and prints the attribution table; with
+//! `--check <frac>` it fails unless every job's stage attribution
+//! covers at least that fraction of its wall time.
 
 use std::path::Path;
 use std::process::ExitCode;
 
-use vira_obs::export::{validate_chrome_trace, validate_events_jsonl};
+use vira_obs::export::{
+    unregistered_metric_names, validate_chrome_trace, validate_chrome_trace_flows,
+    validate_events_jsonl, validate_prometheus_text,
+};
+use vira_obs::flight::validate_flight_jsonl;
+use vira_obs::{analyze_dir, render_table};
 
 fn check_dir(dir: &Path) -> Result<(), String> {
     let mut found = 0;
@@ -41,8 +54,34 @@ fn check_dir(dir: &Path) -> Result<(), String> {
                 .map_err(|e| format!("{}: {e}", trace.display()))?;
             let n = validate_chrome_trace(&text)
                 .map_err(|e| format!("{}: {e}", trace.display()))?;
-            println!("ok {} ({n} spans)", trace.display());
+            let flows = validate_chrome_trace_flows(&text)
+                .map_err(|e| format!("{}: {e}", trace.display()))?;
+            println!("ok {} ({n} spans, {flows} flow events)", trace.display());
             found += 1;
+        }
+        let prom = d.join("metrics.prom");
+        if prom.is_file() {
+            let text = std::fs::read_to_string(&prom)
+                .map_err(|e| format!("{}: {e}", prom.display()))?;
+            let n = validate_prometheus_text(&text)
+                .map_err(|e| format!("{}: {e}", prom.display()))?;
+            println!("ok {} ({n} families)", prom.display());
+            found += 1;
+        }
+        if let Ok(rd) = std::fs::read_dir(&d) {
+            for entry in rd.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if !name.starts_with("flight-") || !name.ends_with(".jsonl") {
+                    continue;
+                }
+                let p = entry.path();
+                let text = std::fs::read_to_string(&p)
+                    .map_err(|e| format!("{}: {e}", p.display()))?;
+                let n = validate_flight_jsonl(&text)
+                    .map_err(|e| format!("{}: {e}", p.display()))?;
+                println!("ok {} ({n} records)", p.display());
+                found += 1;
+            }
         }
     }
     if found == 0 {
@@ -51,6 +90,53 @@ fn check_dir(dir: &Path) -> Result<(), String> {
             dir.display()
         ));
     }
+    // Registry check: every production metric name that reaches the
+    // snapshot must be declared in obs::metrics::METRIC_REGISTRY (and
+    // the DESIGN.md table mirroring it). Test metrics are exempt.
+    let snap = vira_obs::snapshot();
+    let unknown = unregistered_metric_names(&snap);
+    if !unknown.is_empty() {
+        return Err(format!(
+            "unregistered metric names (add to METRIC_REGISTRY + DESIGN.md): {}",
+            unknown.join(", ")
+        ));
+    }
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let mut dir = None;
+    let mut min_cov: Option<f64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--check" {
+            let v = it.next().ok_or("--check needs a fraction (e.g. 0.25)")?;
+            min_cov = Some(v.parse::<f64>().map_err(|e| format!("--check {v}: {e}"))?);
+        } else if dir.is_none() {
+            dir = Some(a.clone());
+        } else {
+            return Err(format!("unexpected argument '{a}'"));
+        }
+    }
+    let dir = dir.ok_or("usage: obs-validate analyze <trace-dir> [--check <frac>]")?;
+    let rows = analyze_dir(Path::new(&dir))?;
+    if rows.is_empty() {
+        return Err(format!("{dir}: no flight-<trace>.jsonl recordings found"));
+    }
+    print!("{}", render_table(&rows));
+    if let Some(min) = min_cov {
+        for r in &rows {
+            if r.coverage < min {
+                return Err(format!(
+                    "trace {} (job {}): attribution covers {:.1}% of wall time, below --check {:.1}%",
+                    r.trace_id,
+                    r.job,
+                    r.coverage * 100.0,
+                    min * 100.0
+                ));
+            }
+        }
+    }
     Ok(())
 }
 
@@ -58,7 +144,17 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
         eprintln!("usage: obs-validate <trace-dir>...");
+        eprintln!("       obs-validate analyze <trace-dir> [--check <min-coverage>]");
         return ExitCode::from(2);
+    }
+    if args[0] == "analyze" {
+        return match cmd_analyze(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("obs-validate: FAIL {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     for a in &args {
         if let Err(e) = check_dir(Path::new(a)) {

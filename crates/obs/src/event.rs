@@ -107,6 +107,9 @@ pub struct EventRecord {
     /// Subsystem, e.g. `"vira"`, `"bench"`, `"sched"`.
     pub target: String,
     pub message: String,
+    /// Trace installed on the emitting thread, 0 if none — lets the
+    /// flight recorder pull a job's events next to its spans.
+    pub trace_id: u64,
     pub fields: Vec<(String, Field)>,
 }
 
@@ -141,6 +144,7 @@ pub fn event(level: Level, target: &str, message: &str, fields: &[(&str, Field)]
         level,
         target: target.to_owned(),
         message: message.to_owned(),
+        trace_id: crate::trace::current_ctx().trace_id,
         fields: fields
             .iter()
             .map(|(k, v)| ((*k).to_owned(), v.clone()))

@@ -34,6 +34,13 @@ fn write_arg_value(out: &mut String, v: ArgValue) {
 /// `ph:"X"` complete events (timestamps in microseconds, as the format
 /// requires); each thread gets a `ph:"M"` `thread_name` metadata event
 /// so workers show up by name.
+///
+/// Spans that belong to a trace additionally carry
+/// `trace_id`/`span_id`/`parent_span_id` in their `args`, and every
+/// cross-thread parent→child span edge emits a flow-event pair
+/// (`ph:"s"` at the parent, `ph:"f"` at the child, bound by a shared
+/// `id`) so one job renders as a connected arc across scheduler and
+/// worker tracks in `chrome://tracing`/Perfetto.
 pub fn chrome_trace_json(dump: &TraceDump) -> String {
     let mut out = String::with_capacity(256 + dump.span_count() * 128);
     out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
@@ -68,16 +75,68 @@ pub fn chrome_trace_json(dump: &TraceDump) -> String {
             write_f64(&mut out, s.dur_ns as f64 / 1000.0);
             out.push_str(",\"args\":{");
             let mut afirst = true;
-            for (k, v) in s.args() {
+            let mut push_arg = |out: &mut String, k: &str, v: ArgValue| {
                 if !afirst {
                     out.push(',');
                 }
                 afirst = false;
-                write_str(&mut out, k);
+                write_str(out, k);
                 out.push(':');
-                write_arg_value(&mut out, v);
+                write_arg_value(out, v);
+            };
+            if s.span_id != 0 {
+                push_arg(&mut out, "trace_id", ArgValue::U64(s.trace_id));
+                push_arg(&mut out, "span_id", ArgValue::U64(s.span_id));
+                push_arg(&mut out, "parent_span_id", ArgValue::U64(s.parent_span_id));
+            }
+            for (k, v) in s.args() {
+                push_arg(&mut out, k, v);
             }
             out.push_str("}}");
+        }
+    }
+    // Flow events: one s/f pair per parent→child edge that crosses
+    // threads, so causal hops (dispatch → worker.job, worker → merge
+    // gather) draw as arrows. Same-thread edges are already visible as
+    // slice nesting and are skipped.
+    let mut by_id: std::collections::HashMap<u64, (u64, u64, u64)> = std::collections::HashMap::new();
+    for t in &dump.threads {
+        for s in &t.spans {
+            if s.span_id != 0 {
+                by_id.insert(s.span_id, (t.tid, s.start_ns, s.dur_ns));
+            }
+        }
+    }
+    for t in &dump.threads {
+        for s in &t.spans {
+            if s.span_id == 0 || s.parent_span_id == 0 {
+                continue;
+            }
+            let Some(&(ptid, pstart, pdur)) = by_id.get(&s.parent_span_id) else {
+                continue;
+            };
+            if ptid == t.tid {
+                continue;
+            }
+            // The flow start must lie inside the parent slice for the
+            // viewer to attach it; clamp the child's start into it.
+            let ts = s.start_ns.clamp(pstart, pstart + pdur);
+            push_sep(&mut out, &mut first);
+            out.push_str("{\"name\":\"causal\",\"cat\":\"flow\",\"ph\":\"s\",\"pid\":1,\"tid\":");
+            out.push_str(&ptid.to_string());
+            out.push_str(",\"ts\":");
+            write_f64(&mut out, ts as f64 / 1000.0);
+            out.push_str(",\"id\":");
+            out.push_str(&s.span_id.to_string());
+            out.push('}');
+            push_sep(&mut out, &mut first);
+            out.push_str("{\"name\":\"causal\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\"pid\":1,\"tid\":");
+            out.push_str(&t.tid.to_string());
+            out.push_str(",\"ts\":");
+            write_f64(&mut out, s.start_ns as f64 / 1000.0);
+            out.push_str(",\"id\":");
+            out.push_str(&s.span_id.to_string());
+            out.push('}');
         }
     }
     out.push_str("\n]}");
@@ -99,12 +158,14 @@ fn write_field(out: &mut String, f: &Field) {
 }
 
 /// One JSON object per line:
-/// `{"ts_ns":..,"level":"info","target":"..","msg":"..","fields":{..}}`.
+/// `{"ts_ns":..,"level":"info","target":"..","msg":"..","trace_id":..,"fields":{..}}`.
 pub fn events_jsonl(events: &[EventRecord]) -> String {
     let mut out = String::with_capacity(events.len() * 128);
     for e in events {
         out.push_str("{\"ts_ns\":");
         out.push_str(&e.ts_ns.to_string());
+        out.push_str(",\"trace_id\":");
+        out.push_str(&e.trace_id.to_string());
         out.push_str(",\"level\":");
         write_str(&mut out, e.level.as_str());
         out.push_str(",\"target\":");
@@ -131,8 +192,41 @@ pub fn events_jsonl(events: &[EventRecord]) -> String {
 // Prometheus text format
 // ---------------------------------------------------------------------------
 
+/// Rewrites `name` into a valid Prometheus metric name:
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`, every other byte becomes `_`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len().max(1));
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes `# HELP` text: `\` and line feeds per the exposition format.
+fn escape_help(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value: `\`, `"` and line feeds.
+fn escape_label_value(text: &str) -> String {
+    text.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn prometheus_header(out: &mut String, name: &str, kind: &str) {
+    let help = crate::metrics::metric_help(name)
+        .map(escape_help)
+        .unwrap_or_else(|| format!("viracocha metric {name} (unregistered)"));
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+}
+
 fn prometheus_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
-    out.push_str(&format!("# TYPE {name} histogram\n"));
+    prometheus_header(out, name, "histogram");
     let mut cum = 0u64;
     for (i, &b) in h.buckets.iter().enumerate() {
         if b == 0 {
@@ -144,6 +238,7 @@ fn prometheus_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
         } else {
             (1u64 << (i + 1)) - 1
         };
+        let le = escape_label_value(&le.to_string());
         out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cum}\n"));
     }
     out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
@@ -151,17 +246,23 @@ fn prometheus_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
     out.push_str(&format!("{name}_count {}\n", h.count));
 }
 
-/// Prometheus exposition-format text dump of a metrics snapshot.
+/// Prometheus exposition-format text dump of a metrics snapshot. Every
+/// family gets `# HELP` (from the metric registry) and `# TYPE` lines;
+/// names are sanitized and help/label text escaped per the format.
 pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
     let mut out = String::new();
     for (name, v) in &snap.counters {
-        out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        let name = sanitize_metric_name(name);
+        prometheus_header(&mut out, &name, "counter");
+        out.push_str(&format!("{name} {v}\n"));
     }
     for (name, v) in &snap.gauges {
-        out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+        let name = sanitize_metric_name(name);
+        prometheus_header(&mut out, &name, "gauge");
+        out.push_str(&format!("{name} {v}\n"));
     }
     for (name, h) in &snap.histograms {
-        prometheus_histogram(&mut out, name, h);
+        prometheus_histogram(&mut out, &sanitize_metric_name(name), h);
     }
     out
 }
@@ -290,8 +391,134 @@ pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
                 .ok_or_else(|| err("X event missing dur"))?;
             spans += 1;
         }
+        if ph == "s" || ph == "f" {
+            e.get("ts")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| err("flow event missing ts"))?;
+            e.get("id")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| err("flow event missing id"))?;
+        }
     }
     Ok(spans)
+}
+
+/// Counts the flow-event pairs in Chrome trace-event JSON and checks
+/// their shape: every `ph:"s"` must have a matching `ph:"f"` with the
+/// same `id` (and vice versa). Returns the number of complete arcs.
+pub fn validate_chrome_trace_flows(text: &str) -> Result<usize, String> {
+    let v = json::parse(text)?;
+    let events = v
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing traceEvents array")?;
+    let mut starts = std::collections::HashSet::new();
+    let mut finishes = std::collections::HashSet::new();
+    for (i, e) in events.iter().enumerate() {
+        let ph = e.get("ph").and_then(Json::as_str).unwrap_or("");
+        if ph != "s" && ph != "f" {
+            continue;
+        }
+        let id = e
+            .get("id")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("flow event {i}: missing id"))?;
+        if ph == "s" {
+            starts.insert(id);
+        } else {
+            finishes.insert(id);
+        }
+    }
+    if let Some(id) = starts.symmetric_difference(&finishes).next() {
+        return Err(format!("flow id {id} lacks its s/f counterpart"));
+    }
+    Ok(starts.len())
+}
+
+/// Validates Prometheus exposition text: every sample line's family
+/// (label block and `_bucket`/`_sum`/`_count` histogram suffixes
+/// stripped) must be introduced by `# HELP` and `# TYPE` lines, and
+/// every name must match `[a-zA-Z_:][a-zA-Z0-9_:]*`. Returns the number
+/// of sample lines.
+pub fn validate_prometheus_text(text: &str) -> Result<usize, String> {
+    fn valid_name(name: &str) -> bool {
+        !name.is_empty()
+            && name.chars().enumerate().all(|(i, c)| {
+                c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+            })
+    }
+    let mut helped = std::collections::HashSet::new();
+    let mut typed = std::collections::HashSet::new();
+    let mut samples = 0;
+    for (lineno, line) in text.lines().enumerate() {
+        let err = |what: &str| format!("line {}: {what}", lineno + 1);
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().unwrap_or("");
+            if !valid_name(name) {
+                return Err(err(&format!("bad HELP name '{name}'")));
+            }
+            helped.insert(name.to_owned());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().unwrap_or("");
+            let kind = it.next().unwrap_or("");
+            if !valid_name(name) {
+                return Err(err(&format!("bad TYPE name '{name}'")));
+            }
+            if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                return Err(err(&format!("unknown TYPE kind '{kind}'")));
+            }
+            typed.insert(name.to_owned());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // free-form comment
+        }
+        let name_part = line
+            .split(|c| c == '{' || c == ' ')
+            .next()
+            .unwrap_or("");
+        if !valid_name(name_part) {
+            return Err(err(&format!("bad metric name '{name_part}'")));
+        }
+        let family = name_part
+            .strip_suffix("_bucket")
+            .or_else(|| name_part.strip_suffix("_sum"))
+            .or_else(|| name_part.strip_suffix("_count"))
+            .filter(|f| typed.contains(*f))
+            .unwrap_or(name_part);
+        if !typed.contains(family) {
+            return Err(err(&format!("sample '{name_part}' has no # TYPE line")));
+        }
+        if !helped.contains(family) {
+            return Err(err(&format!("sample '{name_part}' has no # HELP line")));
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+/// Checks that every metric family in a snapshot is listed in
+/// [`crate::metrics::METRIC_REGISTRY`]; returns the offending names.
+pub fn unregistered_metric_names(snap: &MetricsSnapshot) -> Vec<String> {
+    let mut bad = Vec::new();
+    for name in snap
+        .counters
+        .iter()
+        .map(|(n, _)| n)
+        .chain(snap.gauges.iter().map(|(n, _)| n))
+        .chain(snap.histograms.iter().map(|(n, _)| n))
+    {
+        if !crate::metrics::is_registered(name) {
+            bad.push(name.clone());
+        }
+    }
+    bad
 }
 
 // ---------------------------------------------------------------------------
@@ -308,6 +535,8 @@ pub struct ExportSummary {
     pub events: usize,
     pub dropped_spans: u64,
     pub dropped_events: u64,
+    /// Per-trace flight-recorder files written (`flight-<id>.jsonl`).
+    pub flights: usize,
 }
 
 /// Writes the three artifacts for a drained trace + event batch and a
@@ -327,10 +556,14 @@ pub fn write_artifacts(
     let trace = chrome_trace_json(dump);
     let spans = validate_chrome_trace(&trace)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("trace self-check: {e}")))?;
+    validate_chrome_trace_flows(&trace)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("flow self-check: {e}")))?;
     let jsonl = events_jsonl(events);
     let n_events = validate_events_jsonl(&jsonl)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("jsonl self-check: {e}")))?;
     let prom = prometheus_text(snap);
+    validate_prometheus_text(&prom)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("prom self-check: {e}")))?;
 
     let trace_path = dir.join("trace.json");
     let events_path = dir.join("events.jsonl");
@@ -339,6 +572,7 @@ pub fn write_artifacts(
     std::fs::write(&events_path, jsonl)?;
     std::fs::write(&metrics_path, prom)?;
     std::fs::write(dir.join("metrics.json"), metrics_json(snap))?;
+    let flights = crate::flight::write_flight_files(dir, dump, events)?;
 
     Ok(ExportSummary {
         trace_path,
@@ -348,6 +582,7 @@ pub fn write_artifacts(
         events: n_events,
         dropped_spans: dump.dropped(),
         dropped_events,
+        flights: flights.len(),
     })
 }
 
@@ -429,6 +664,7 @@ mod tests {
                 level: Level::Info,
                 target: "bench".into(),
                 message: "run \"E11\" done".into(),
+                trace_id: 9,
                 fields: vec![
                     ("runs".into(), Field::U64(3)),
                     ("mean_s".into(), Field::F64(0.25)),
@@ -440,6 +676,7 @@ mod tests {
                 level: Level::Error,
                 target: "vira".into(),
                 message: "bad\nline".into(),
+                trace_id: 0,
                 fields: vec![],
             },
         ];
@@ -448,6 +685,7 @@ mod tests {
         assert_eq!(validate_events_jsonl(&text).unwrap(), 2);
         let first = json::parse(text.lines().next().unwrap()).unwrap();
         assert_eq!(first.get("msg").unwrap().as_str(), Some("run \"E11\" done"));
+        assert_eq!(first.get("trace_id").unwrap().as_u64(), Some(9));
         assert_eq!(
             first.get("fields").unwrap().get("mean_s").unwrap().as_f64(),
             Some(0.25)
@@ -498,6 +736,142 @@ mod tests {
     }
 
     #[test]
+    fn chrome_trace_flow_events_bind_cross_thread_edges() {
+        // sched.dispatch on tid 1 → worker.job on tid 2 (cross-thread
+        // edge, must flow) with a nested dms.request on tid 2
+        // (same-thread edge, must not flow).
+        let dispatch = SpanRecord {
+            name: "sched.dispatch",
+            cat: "sched",
+            start_ns: 1_000,
+            dur_ns: 500,
+            trace_id: 77,
+            span_id: 10,
+            parent_span_id: 1,
+            ..SpanRecord::default()
+        };
+        let job = SpanRecord {
+            name: "worker.job",
+            cat: "worker",
+            start_ns: 2_000,
+            dur_ns: 5_000,
+            trace_id: 77,
+            span_id: 11,
+            parent_span_id: 10,
+            ..SpanRecord::default()
+        };
+        let load = SpanRecord {
+            name: "dms.request",
+            cat: "dms",
+            start_ns: 2_500,
+            dur_ns: 1_000,
+            depth: 1,
+            trace_id: 77,
+            span_id: 12,
+            parent_span_id: 11,
+            ..SpanRecord::default()
+        };
+        let dump = TraceDump {
+            threads: vec![
+                ThreadDump {
+                    tid: 1,
+                    name: "vira-scheduler".into(),
+                    spans: vec![dispatch],
+                    dropped: 0,
+                },
+                ThreadDump {
+                    tid: 2,
+                    name: "vira-worker-1".into(),
+                    spans: vec![job, load],
+                    dropped: 0,
+                },
+            ],
+        };
+        let text = chrome_trace_json(&dump);
+        assert_eq!(validate_chrome_trace(&text).unwrap(), 3);
+        assert_eq!(
+            validate_chrome_trace_flows(&text).unwrap(),
+            1,
+            "exactly the dispatch→job edge flows"
+        );
+        let v = json::parse(&text).unwrap();
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        let flows: Vec<_> = events
+            .iter()
+            .filter(|e| {
+                matches!(e.get("ph").and_then(Json::as_str), Some("s") | Some("f"))
+            })
+            .collect();
+        assert_eq!(flows.len(), 2);
+        for f in &flows {
+            assert_eq!(f.get("id").unwrap().as_u64(), Some(11));
+        }
+        let s = flows
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("s"))
+            .unwrap();
+        assert_eq!(s.get("tid").unwrap().as_u64(), Some(1));
+        // Flow start clamped inside the dispatch slice: [1.0, 1.5] µs.
+        let ts = s.get("ts").unwrap().as_f64().unwrap();
+        assert!((1.0..=1.5).contains(&ts), "ts {ts} outside parent slice");
+        // Trace ids ride along in span args.
+        let job_ev = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("worker.job"))
+            .unwrap();
+        let args = job_ev.get("args").unwrap();
+        assert_eq!(args.get("trace_id").unwrap().as_u64(), Some(77));
+        assert_eq!(args.get("span_id").unwrap().as_u64(), Some(11));
+        assert_eq!(args.get("parent_span_id").unwrap().as_u64(), Some(10));
+    }
+
+    #[test]
+    fn prometheus_validator_and_escaping() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.push(("dms_l1_hits_total".into(), 42));
+        snap.counters.push(("weird name-with.dots".into(), 1));
+        let text = prometheus_text(&snap);
+        assert_eq!(validate_prometheus_text(&text).unwrap(), 2);
+        assert!(text.contains("# HELP dms_l1_hits_total "));
+        assert!(text.contains("weird_name_with_dots 1\n"), "name sanitized");
+        // Samples without HELP/TYPE must be rejected.
+        assert!(validate_prometheus_text("lonely_total 3\n").is_err());
+        assert!(validate_prometheus_text(
+            "# TYPE lonely_total counter\nlonely_total 3\n"
+        )
+        .is_err());
+        assert!(validate_prometheus_text(
+            "# HELP lonely_total h\n# TYPE lonely_total counter\nlonely_total 3\n"
+        )
+        .is_ok());
+        // Histogram suffixes resolve to their family's HELP/TYPE.
+        let mut hsnap = MetricsSnapshot::default();
+        let mut h = HistogramSnapshot::default();
+        h.count = 1;
+        h.sum = 2;
+        h.buckets[1] = 1;
+        hsnap.histograms.push(("sched_queue_wait_ns".into(), h));
+        assert!(validate_prometheus_text(&prometheus_text(&hsnap)).is_ok());
+        assert_eq!(escape_help("a\\b\nc"), "a\\\\b\\nc");
+        assert_eq!(sanitize_metric_name("9lives"), "_lives");
+    }
+
+    #[test]
+    fn registry_subset_check_flags_unknown_names() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.push(("dms_l1_hits_total".into(), 1));
+        snap.counters.push(("sched_requeue_total".into(), 1)); // typo'd
+        snap.gauges.push(("test_metrics_gauge".into(), 0));
+        let bad = unregistered_metric_names(&snap);
+        assert_eq!(
+            bad,
+            vec!["sched_requeue_total".to_string(), "test_metrics_gauge".to_string()]
+        );
+        assert!(crate::metrics::is_registered("sched_requeues_total"));
+        assert!(crate::metrics::metric_help("vista_packets_total").is_some());
+    }
+
+    #[test]
     fn metrics_json_parses() {
         let mut snap = MetricsSnapshot::default();
         snap.counters.push(("a_total".into(), 1));
@@ -538,6 +912,7 @@ mod tests {
                 level: Level::Info,
                 target: "t".into(),
                 message: "m".into(),
+                trace_id: 0,
                 fields: vec![],
             }],
             0,

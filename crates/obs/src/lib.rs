@@ -25,22 +25,34 @@
 //! containers. See DESIGN.md "Observability layer" for the span
 //! taxonomy and metric naming convention.
 
+pub mod analyze;
 pub mod event;
 pub mod export;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod ring;
 pub mod trace;
 
+pub use analyze::{analyze_dir, analyze_spans, render_table, JobAttribution};
 pub use event::{
     debug, drain_events, error, event, info, set_stderr_echo, warn, EventRecord, Field, Level,
 };
-pub use export::{export_all, ExportSummary};
+pub use export::{
+    export_all, sanitize_metric_name, unregistered_metric_names, validate_chrome_trace_flows,
+    validate_prometheus_text, ExportSummary,
+};
+pub use flight::{
+    clock_offsets, flight_jsonl, parse_flight_spans, record_clock_offset, reset_clock_offsets,
+    write_flight_files, FlightSpan,
+};
 pub use metrics::{
-    counter, counter_cached, gauge, gauge_cached, histogram, histogram_cached, snapshot, Counter,
-    Gauge, Histogram, HistogramSnapshot, MetricsSnapshot,
+    counter, counter_cached, gauge, gauge_cached, histogram, histogram_cached, is_registered,
+    metric_help, snapshot, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot,
+    METRIC_REGISTRY,
 };
 pub use trace::{
-    complete_span, drain, enabled, epoch, instant_ns, intern, now_ns, set_enabled, span, ArgValue,
-    SpanGuard, SpanRecord, TraceDump,
+    complete_span, complete_span_ctx, current_ctx, drain, enabled, epoch, install_ctx, instant_ns,
+    intern, next_span_id, now_ns, set_enabled, span, ArgValue, CtxGuard, SpanGuard, SpanRecord,
+    TraceCtx, TraceDump,
 };

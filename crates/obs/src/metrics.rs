@@ -272,6 +272,93 @@ pub fn histogram_cached<'a>(
 }
 
 // ---------------------------------------------------------------------------
+// Metric-name registry
+// ---------------------------------------------------------------------------
+
+/// Every metric family the workspace emits in production code, with its
+/// Prometheus `# HELP` text. The DESIGN.md "Metric-name registry" table
+/// mirrors this list; `obs-validate` checks exported artifacts against
+/// it so a typo'd name (`sched_requeue_total` for `sched_requeues_total`)
+/// fails CI instead of silently forking a family.
+///
+/// Test-only scratch names (`test_*`, bench scratch counters) are
+/// deliberately absent: they never reach exported artifacts.
+pub const METRIC_REGISTRY: &[(&str, &str)] = &[
+    // costmodel
+    ("costmodel_compute_modeled_ns_total", "Modeled compute time charged by commands"),
+    ("costmodel_read_modeled_ns_total", "Modeled read time charged by storage"),
+    ("costmodel_send_modeled_ns_total", "Modeled send time charged by the uplink"),
+    ("costmodel_wall_slept_ns_total", "Wall time actually slept to honour dilation"),
+    // dms
+    ("dms_demand_requests_total", "Block requests served by the DMS proxy"),
+    ("dms_fallback_total", "Loads that fell back after a peer/replica failure"),
+    ("dms_l1_hits_total", "Demand requests answered from the memory cache"),
+    ("dms_l2_hits_total", "Demand requests answered from the node disk cache"),
+    ("dms_loads_fileserver_total", "Cold loads served by the central file server"),
+    ("dms_loads_peer_total", "Cold loads served by a peer node cache"),
+    ("dms_loads_replica_total", "Cold loads served by a node-local replica"),
+    ("dms_misses_total", "Demand requests that missed every cache tier"),
+    ("dms_prefetch_hits_total", "Demand requests answered by a completed prefetch"),
+    ("dms_prefetch_issued_total", "Prefetch operations issued"),
+    ("dms_prefetch_redundant_total", "Prefetches that found the item already cached"),
+    ("dms_prefetch_waits_total", "Demand requests that waited on an in-flight prefetch"),
+    // fault injection
+    ("fault_corrupt_total", "Frames corrupted by the fault plan"),
+    ("fault_delay_total", "Frames delayed by the fault plan"),
+    ("fault_drop_total", "Frames dropped by the fault plan"),
+    ("fault_dup_total", "Frames duplicated by the fault plan"),
+    ("fault_injected_total", "Total fault decisions that fired"),
+    ("fault_rank_killed_total", "Ranks killed by the fault plan"),
+    ("fault_reorder_total", "Frames reordered by the fault plan"),
+    ("fault_truncate_total", "Frames truncated by the fault plan"),
+    // comm links
+    ("link_event_bytes_total", "Bytes of event frames sent to the client"),
+    ("link_event_frames_total", "Event frames sent to the client"),
+    ("link_request_bytes_total", "Bytes of request frames sent by the client"),
+    ("link_request_frames_total", "Request frames sent by the client"),
+    // scheduler
+    ("sched_backfills_total", "Dispatches that jumped a blocked queue head"),
+    ("sched_dead_ranks_total", "Ranks declared dead by the liveness probe"),
+    ("sched_idle_wait_ns_total", "Scheduler time spent idle waiting for messages"),
+    ("sched_job_runtime_ns", "Per-job accept-to-done runtime histogram"),
+    ("sched_jobs_dispatched_total", "Jobs dispatched to a worker group"),
+    ("sched_jobs_done_total", "Jobs finished successfully"),
+    ("sched_jobs_failed_total", "Jobs that ended in an error report"),
+    ("sched_jobs_rejected_total", "Submissions rejected before queueing"),
+    ("sched_jobs_submitted_total", "Submissions accepted into the queue"),
+    ("sched_locality_hits_total", "Placed ranks whose cache already held job items"),
+    ("sched_queue_wait_ns", "Per-job queue-wait histogram"),
+    ("sched_requeues_total", "Jobs requeued after a dead rank"),
+    ("sched_retries_total", "Command frames retransmitted"),
+    ("sched_starvation_aged_total", "Queue heads force-dispatched by the aging bound"),
+    // vista client
+    ("vista_dup_dropped_total", "Duplicate stream packets dropped by the client"),
+    ("vista_first_result_ns", "Submit-to-first-geometry latency histogram"),
+    ("vista_jobs_collected_total", "Jobs fully collected by the client"),
+    ("vista_packets_total", "Stream packets received by the client"),
+    ("vista_resend_total", "Stream packets resent from the session buffer"),
+    ("vista_stream_bytes_total", "Bytes of streamed geometry received"),
+    ("vista_stream_items_total", "Geometry items received by the client"),
+    // workers
+    ("worker_stream_items_total", "Geometry items streamed by workers"),
+    ("worker_stream_packets_total", "Stream packets sent by workers"),
+];
+
+/// `# HELP` text for a registered family, if any.
+pub fn metric_help(name: &str) -> Option<&'static str> {
+    METRIC_REGISTRY
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|&(_, h)| h)
+}
+
+/// Whether `name` (a family name, without `_bucket`/`_sum`/`_count`
+/// histogram suffixes) is in [`METRIC_REGISTRY`].
+pub fn is_registered(name: &str) -> bool {
+    METRIC_REGISTRY.iter().any(|(n, _)| *n == name)
+}
+
+// ---------------------------------------------------------------------------
 // Snapshot
 // ---------------------------------------------------------------------------
 

@@ -15,8 +15,16 @@
 //!   optimizer can delete.
 //! - Span names are `&'static str`. Dynamic names (command ids, dataset
 //!   ids) go through [`intern`], a bounded leak-once string table.
+//!
+//! Causal context: every span carries `(trace_id, span_id,
+//! parent_span_id)`. A [`TraceCtx`] minted at a job's origin (e.g. a
+//! vista Submit) travels over the wire as two `u64`s and is installed
+//! into a per-thread slot with [`install_ctx`]; from then on every
+//! span opened on that thread links into the same trace
+//! automatically: top-level spans parent to the installed context,
+//! nested spans parent to the enclosing open span.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -71,6 +79,94 @@ pub fn intern(s: &str) -> &'static str {
     let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
     guard.insert(leaked);
     leaked
+}
+
+// ---------------------------------------------------------------------------
+// Causal trace context
+// ---------------------------------------------------------------------------
+
+/// Causal context of one logical operation (a job): a process-unique
+/// trace id plus the span to parent top-level child spans to.
+///
+/// All-zero means "no context" — the value older peers that never heard
+/// of tracing produce via `#[serde(default)]`, so absence needs no
+/// `Option` on the wire.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceCtx {
+    pub trace_id: u64,
+    pub parent_span_id: u64,
+}
+
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates a fresh process-unique span id (never 0).
+pub fn next_span_id() -> u64 {
+    NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+impl TraceCtx {
+    /// Mints a fresh trace rooted at a fresh span id. Two relaxed
+    /// fetch-adds; safe to call unconditionally per Submit.
+    pub fn mint() -> TraceCtx {
+        TraceCtx {
+            trace_id: NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed),
+            parent_span_id: next_span_id(),
+        }
+    }
+
+    /// Whether this carries a real trace (non-zero trace id).
+    #[inline]
+    pub fn is_some(&self) -> bool {
+        self.trace_id != 0
+    }
+
+    /// A derived context with the same trace but a different parent —
+    /// used when handing off to another rank so its top-level spans
+    /// parent to the span that did the handoff.
+    #[inline]
+    pub fn child_of(&self, parent_span_id: u64) -> TraceCtx {
+        TraceCtx {
+            trace_id: self.trace_id,
+            parent_span_id,
+        }
+    }
+}
+
+thread_local! {
+    static CTX: Cell<TraceCtx> = const {
+        Cell::new(TraceCtx {
+            trace_id: 0,
+            parent_span_id: 0,
+        })
+    };
+}
+
+/// The context currently installed on this thread (all-zero if none).
+#[inline]
+pub fn current_ctx() -> TraceCtx {
+    CTX.with(|c| c.get())
+}
+
+/// RAII guard restoring the previously installed context on drop.
+pub struct CtxGuard {
+    prev: TraceCtx,
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        CTX.with(|c| c.set(self.prev));
+    }
+}
+
+/// Installs `ctx` as the current thread's trace context until the
+/// returned guard drops (the previous context is restored — installs
+/// nest). Top-level spans opened meanwhile parent to
+/// `ctx.parent_span_id` and carry `ctx.trace_id`.
+#[must_use = "the context is uninstalled when the guard drops"]
+pub fn install_ctx(ctx: TraceCtx) -> CtxGuard {
+    let prev = CTX.with(|c| c.replace(ctx));
+    CtxGuard { prev }
 }
 
 // ---------------------------------------------------------------------------
@@ -137,6 +233,13 @@ pub struct SpanRecord {
     /// Nesting depth on the owning thread at the time the span opened
     /// (0 = top level).
     pub depth: u32,
+    /// Trace this span belongs to (0 = none installed when it opened).
+    pub trace_id: u64,
+    /// Process-unique id of this span (0 only for pre-tracing records).
+    pub span_id: u64,
+    /// Enclosing open span on the same thread, or the installed
+    /// context's parent for top-level spans (0 = root / no context).
+    pub parent_span_id: u64,
     pub n_args: u32,
     pub args: [(&'static str, ArgValue); MAX_ARGS],
 }
@@ -149,6 +252,9 @@ impl Default for SpanRecord {
             start_ns: 0,
             dur_ns: 0,
             depth: 0,
+            trace_id: 0,
+            span_id: 0,
+            parent_span_id: 0,
             n_args: 0,
             args: [("", ArgValue::None); MAX_ARGS],
         }
@@ -216,6 +322,10 @@ thread_local! {
 struct LocalState {
     buf: Arc<ThreadBuf>,
     depth: u32,
+    /// Span ids of the guards currently open on this thread, innermost
+    /// last. Guards usually drop LIFO; out-of-order drops are handled
+    /// by removing by value.
+    open: Vec<u64>,
 }
 
 fn with_local<R>(f: impl FnOnce(&mut LocalState) -> R) -> R {
@@ -234,7 +344,11 @@ fn with_local<R>(f: impl FnOnce(&mut LocalState) -> R) -> R {
                 ring: Ring::new(),
             });
             t.threads.lock().unwrap().push(buf.clone());
-            LocalState { buf, depth: 0 }
+            LocalState {
+                buf,
+                depth: 0,
+                open: Vec::new(),
+            }
         });
         f(state)
     })
@@ -290,6 +404,9 @@ pub struct SpanGuard {
     cat: &'static str,
     start_ns: u64,
     depth: u32,
+    trace_id: u64,
+    span_id: u64,
+    parent_span_id: u64,
     n_args: u32,
     args: [(&'static str, ArgValue); MAX_ARGS],
 }
@@ -303,6 +420,9 @@ impl SpanGuard {
             cat: "",
             start_ns: 0,
             depth: 0,
+            trace_id: 0,
+            span_id: 0,
+            parent_span_id: 0,
             n_args: 0,
             args: [("", ArgValue::None); MAX_ARGS],
         }
@@ -331,12 +451,43 @@ impl SpanGuard {
     pub fn is_recording(&self) -> bool {
         self.active
     }
+
+    /// This span's id (0 on an inert guard).
+    #[inline]
+    pub fn span_id(&self) -> u64 {
+        self.span_id
+    }
+
+    /// Context for work caused by this span on *other* threads/ranks:
+    /// same trace, parented to this span. On an inert guard the
+    /// currently installed context passes through unchanged, so
+    /// propagation keeps flowing even when recording is off.
+    #[inline]
+    pub fn ctx_for_children(&self) -> TraceCtx {
+        if self.active && self.trace_id != 0 {
+            TraceCtx {
+                trace_id: self.trace_id,
+                parent_span_id: self.span_id,
+            }
+        } else {
+            current_ctx()
+        }
+    }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if !self.active {
             return;
+        }
+        // A span open while its thread unwinds still records (this Drop
+        // runs during the unwind) and is flagged so exports show where
+        // the crash happened. Guaranteed even at MAX_ARGS: the last
+        // argument slot is sacrificed.
+        if std::thread::panicking() {
+            let slot = (self.n_args as usize).min(MAX_ARGS - 1);
+            self.args[slot] = ("panicked", ArgValue::U64(1));
+            self.n_args = (slot + 1) as u32;
         }
         let end = now_ns();
         let rec = SpanRecord {
@@ -345,11 +496,18 @@ impl Drop for SpanGuard {
             start_ns: self.start_ns,
             dur_ns: end.saturating_sub(self.start_ns),
             depth: self.depth,
+            trace_id: self.trace_id,
+            span_id: self.span_id,
+            parent_span_id: self.parent_span_id,
             n_args: self.n_args,
             args: self.args,
         };
         with_local(|l| {
             l.depth = l.depth.saturating_sub(1);
+            // Usually LIFO; tolerate out-of-order guard drops.
+            if let Some(i) = l.open.iter().rposition(|&id| id == rec.span_id) {
+                l.open.remove(i);
+            }
             l.buf.ring.push(rec);
         });
     }
@@ -364,10 +522,14 @@ pub fn span(name: &'static str, cat: &'static str) -> SpanGuard {
     if !enabled() {
         return SpanGuard::inert();
     }
-    let depth = with_local(|l| {
+    let ctx = current_ctx();
+    let span_id = next_span_id();
+    let (depth, parent_span_id) = with_local(|l| {
         let d = l.depth;
         l.depth += 1;
-        d
+        let parent = l.open.last().copied().unwrap_or(ctx.parent_span_id);
+        l.open.push(span_id);
+        (d, parent)
     });
     SpanGuard {
         active: true,
@@ -375,6 +537,9 @@ pub fn span(name: &'static str, cat: &'static str) -> SpanGuard {
         cat,
         start_ns: now_ns(),
         depth,
+        trace_id: ctx.trace_id,
+        span_id,
+        parent_span_id,
         n_args: 0,
         args: [("", ArgValue::None); MAX_ARGS],
     }
@@ -389,24 +554,43 @@ pub fn span(_name: &'static str, _cat: &'static str) -> SpanGuard {
 
 /// Records a span whose start was captured earlier as an `Instant`
 /// (e.g. job queue-wait measured across scheduler loop iterations).
-/// Recorded at depth 0 on the calling thread.
+/// Recorded at depth 0 on the calling thread, linked to the thread's
+/// currently installed context. Returns the span id (0 when disabled).
 pub fn complete_span(
     name: &'static str,
     cat: &'static str,
     start: Instant,
     end: Instant,
     args: &[(&'static str, ArgValue)],
-) {
+) -> u64 {
+    complete_span_ctx(name, cat, start, end, current_ctx(), args)
+}
+
+/// [`complete_span`] with an explicit context — for call sites (like
+/// the scheduler) that track many jobs at once and cannot keep a
+/// context installed per job.
+pub fn complete_span_ctx(
+    name: &'static str,
+    cat: &'static str,
+    start: Instant,
+    end: Instant,
+    ctx: TraceCtx,
+    args: &[(&'static str, ArgValue)],
+) -> u64 {
     if !enabled() {
-        return;
+        return 0;
     }
     let start_ns = instant_ns(start);
     let end_ns = instant_ns(end);
+    let span_id = next_span_id();
     let mut rec = SpanRecord {
         name,
         cat,
         start_ns,
         dur_ns: end_ns.saturating_sub(start_ns),
+        trace_id: ctx.trace_id,
+        span_id,
+        parent_span_id: ctx.parent_span_id,
         ..SpanRecord::default()
     };
     for &(k, v) in args.iter().take(MAX_ARGS) {
@@ -414,6 +598,7 @@ pub fn complete_span(
         rec.n_args += 1;
     }
     with_local(|l| l.buf.ring.push(rec));
+    span_id
 }
 
 #[cfg(all(test, not(feature = "off")))]
@@ -469,6 +654,13 @@ mod tests {
         let inner = all.iter().find(|s| s.name == "inner").unwrap();
         assert!(outer.start_ns <= inner.start_ns);
         assert!(outer.start_ns + outer.dur_ns >= inner.start_ns + inner.dur_ns);
+        // Same-thread nesting is mirrored in the parent links.
+        let id_of = |n: &str| all.iter().find(|s| s.name == n).unwrap().span_id;
+        let parent_of = |n: &str| all.iter().find(|s| s.name == n).unwrap().parent_span_id;
+        assert_eq!(parent_of("mid"), id_of("outer"));
+        assert_eq!(parent_of("inner"), id_of("mid"));
+        assert_eq!(parent_of("sibling"), id_of("outer"));
+        assert_eq!(parent_of("outer"), 0, "no context installed");
     }
 
     #[test]
@@ -558,5 +750,100 @@ mod tests {
         let a = intern("same-string");
         let b = intern(&String::from("same-string"));
         assert!(std::ptr::eq(a, b));
+    }
+
+    #[test]
+    fn installed_ctx_links_spans_across_threads() {
+        let _g = TEST_LOCK.lock().unwrap();
+        set_enabled(true);
+        drain();
+        let ctx = TraceCtx::mint();
+        assert!(ctx.is_some());
+        // "Scheduler side": a span under the minted context.
+        let dispatch_ctx = {
+            let _install = install_ctx(ctx);
+            let s = span("ctx-dispatch", "test-ctx");
+            s.ctx_for_children()
+        };
+        assert_eq!(dispatch_ctx.trace_id, ctx.trace_id);
+        assert_ne!(dispatch_ctx.parent_span_id, ctx.parent_span_id);
+        // "Worker side": ship the derived ctx to another thread, as the
+        // wire does, and open spans there.
+        let h = std::thread::Builder::new()
+            .name("obs-ctx-worker".into())
+            .spawn(move || {
+                let _install = install_ctx(dispatch_ctx);
+                let _job = span("ctx-job", "test-ctx");
+                let _load = span("ctx-load", "test-ctx");
+            })
+            .unwrap();
+        h.join().unwrap();
+        set_enabled(false);
+        let dump = drain();
+        let all: Vec<SpanRecord> = dump
+            .threads
+            .iter()
+            .flat_map(|t| t.spans.iter().copied())
+            .filter(|s| s.cat == "test-ctx")
+            .collect();
+        let find = |n: &str| all.iter().find(|s| s.name == n).copied().unwrap();
+        let dispatch = find("ctx-dispatch");
+        let job = find("ctx-job");
+        let load = find("ctx-load");
+        for s in [&dispatch, &job, &load] {
+            assert_eq!(s.trace_id, ctx.trace_id, "{} trace id", s.name);
+            assert_ne!(s.span_id, 0);
+        }
+        assert_eq!(dispatch.parent_span_id, ctx.parent_span_id);
+        assert_eq!(job.parent_span_id, dispatch.span_id);
+        assert_eq!(load.parent_span_id, job.span_id);
+        // The install guard restored the empty context on both threads.
+        assert_eq!(current_ctx(), TraceCtx::default());
+    }
+
+    #[test]
+    fn panicking_thread_still_records_flagged_span() {
+        let _g = TEST_LOCK.lock().unwrap();
+        set_enabled(true);
+        drain();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _outer = span("panic-outer", "test-panic");
+            let mut full = span("panic-full", "test-panic");
+            for k in ["a", "b", "c", "d", "e", "f"] {
+                full.set_arg(k, 1u64);
+            }
+            panic!("boom");
+        }));
+        assert!(result.is_err());
+        // Depth bookkeeping must survive the unwind: a fresh top-level
+        // span on this thread records at depth 0 with no stale parent.
+        {
+            let _after = span("panic-after", "test-panic");
+        }
+        set_enabled(false);
+        let dump = drain();
+        let all: Vec<SpanRecord> = dump
+            .threads
+            .iter()
+            .flat_map(|t| t.spans.iter().copied())
+            .filter(|s| s.cat == "test-panic")
+            .collect();
+        let find = |n: &str| all.iter().find(|s| s.name == n).copied().unwrap();
+        let outer = find("panic-outer");
+        let full = find("panic-full");
+        let after = find("panic-after");
+        let panicked = |s: &SpanRecord| {
+            s.args()
+                .any(|(k, v)| k == "panicked" && v == ArgValue::U64(1))
+        };
+        assert!(panicked(&outer), "unwound span must be flagged");
+        assert!(
+            panicked(&full),
+            "flag must land even with all arg slots taken"
+        );
+        assert_eq!(full.n_args as usize, MAX_ARGS, "no slot overflow");
+        assert!(!panicked(&after));
+        assert_eq!(after.depth, 0);
+        assert_eq!(after.parent_span_id, 0);
     }
 }

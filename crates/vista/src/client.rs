@@ -120,6 +120,11 @@ pub struct VistaClient {
     /// Events of jobs other than the one currently being collected
     /// (concurrent jobs finish in any order).
     buffered: std::collections::VecDeque<(EventHeader, Bytes)>,
+    /// Causal trace context and submit instant per in-flight job; the
+    /// context is stamped on the Submit frame so every back-end span
+    /// of the job links to the same trace. Entries are removed when
+    /// the job is collected.
+    traces: std::collections::HashMap<JobId, (obs::TraceCtx, Instant)>,
 }
 
 impl VistaClient {
@@ -129,6 +134,7 @@ impl VistaClient {
             next_job: 1,
             session: 0,
             buffered: std::collections::VecDeque::new(),
+            traces: std::collections::HashMap::new(),
         }
     }
 
@@ -171,6 +177,8 @@ impl VistaClient {
     pub fn submit(&mut self, spec: &SubmitSpec) -> Result<JobId, ClientError> {
         let job = self.next_job;
         self.next_job += 1;
+        let ctx = obs::TraceCtx::mint();
+        self.traces.insert(job, (ctx, Instant::now()));
         let req = ClientRequest::Submit {
             job,
             command: spec.command.clone(),
@@ -178,9 +186,18 @@ impl VistaClient {
             params: spec.params.clone(),
             workers: spec.workers,
             session: self.session,
+            trace_id: ctx.trace_id,
+            parent_span_id: ctx.parent_span_id,
         };
         self.link.request(encode_request(&req))?;
         Ok(job)
+    }
+
+    /// The causal trace context minted for an in-flight job (None once
+    /// the job has been collected) — lets harnesses pair a job's
+    /// outcome with its `flight-<trace_id>.jsonl` recording.
+    pub fn trace_ctx(&self, job: JobId) -> Option<obs::TraceCtx> {
+        self.traces.get(&job).map(|(ctx, _)| *ctx)
     }
 
     /// Requests cancellation of a running job.
@@ -219,6 +236,14 @@ impl VistaClient {
     /// usage pattern and are skipped.
     pub fn collect(&mut self, job: JobId) -> Result<JobOutcome, ClientError> {
         let t0 = Instant::now();
+        // Install the job's trace context so the collect span (and any
+        // events fired while assembling) land in the job's flight
+        // recording; time-to-first-triangle is measured from submit.
+        let (ctx, submitted_at) = self
+            .traces
+            .remove(&job)
+            .unwrap_or((obs::current_ctx(), t0));
+        let _ctx_guard = obs::install_ctx(ctx);
         let mut span = obs::span("vista.collect", "vista").arg("job", job);
         let mut triangles = TriangleSoup::new();
         let mut polylines: Vec<Polyline> = Vec::new();
@@ -260,6 +285,17 @@ impl VistaClient {
                         first = Some(elapsed);
                         obs::histogram_cached(&FIRST_RESULT_NS, "vista_first_result_ns")
                             .record_duration(elapsed);
+                        // Time-to-first-triangle span, measured from
+                        // submit — the critical-path analyzer reads it
+                        // as the job's ttft.
+                        obs::complete_span_ctx(
+                            "vista.first_result",
+                            "vista",
+                            submitted_at,
+                            Instant::now(),
+                            ctx,
+                            &[("job", obs::ArgValue::U64(job))],
+                        );
                     }
                     packets.push(PacketRecord {
                         seq,
@@ -283,6 +319,17 @@ impl VistaClient {
                         first = Some(elapsed);
                         obs::histogram_cached(&FIRST_RESULT_NS, "vista_first_result_ns")
                             .record_duration(elapsed);
+                        // Time-to-first-triangle span, measured from
+                        // submit — the critical-path analyzer reads it
+                        // as the job's ttft.
+                        obs::complete_span_ctx(
+                            "vista.first_result",
+                            "vista",
+                            submitted_at,
+                            Instant::now(),
+                            ctx,
+                            &[("job", obs::ArgValue::U64(job))],
+                        );
                     }
                     obs::counter_cached(&JOBS_COLLECTED, "vista_jobs_collected_total").inc();
                     span.set_arg("packets", packets.len());
@@ -569,6 +616,30 @@ mod tests {
             ClientRequest::Submit { session, .. } => assert_eq!(session, 42),
             other => panic!("expected submit, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn trace_context_is_minted_and_stamped_on_submissions() {
+        let (client_side, server_side) = client_server_link();
+        let mut client = VistaClient::new(client_side);
+        let job = client.submit(&spec()).unwrap();
+        let ctx = client.trace_ctx(job).unwrap();
+        assert!(ctx.trace_id != 0 && ctx.parent_span_id != 0);
+        let frame = server_side.next_request().unwrap();
+        match decode_request(frame).unwrap() {
+            ClientRequest::Submit {
+                trace_id,
+                parent_span_id,
+                ..
+            } => {
+                assert_eq!(trace_id, ctx.trace_id);
+                assert_eq!(parent_span_id, ctx.parent_span_id);
+            }
+            other => panic!("expected submit, got {other:?}"),
+        }
+        // Every submission gets a fresh trace.
+        let job2 = client.submit(&spec()).unwrap();
+        assert_ne!(client.trace_ctx(job2).unwrap().trace_id, ctx.trace_id);
     }
 
     #[test]

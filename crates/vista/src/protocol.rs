@@ -79,6 +79,14 @@ pub enum ClientRequest {
         /// peers → session 0).
         #[serde(default)]
         session: u64,
+        /// Causal trace context minted by the client at submit time:
+        /// the job's trace id and the client-side root span every
+        /// back-end span of this job descends from. `0` means "no
+        /// trace" (older clients, or tracing disabled).
+        #[serde(default)]
+        trace_id: u64,
+        #[serde(default)]
+        parent_span_id: u64,
     },
     /// Abort a running job ("meaningless extraction processes can be
     /// discarded immediately", §5).
@@ -333,9 +341,51 @@ mod tests {
             params: CommandParams::new().set("iso", 0.5).set_vec3("viewpoint", [1.0, 2.0, 3.0]),
             workers: 8,
             session: 3,
+            trace_id: 0xabcd,
+            parent_span_id: 12,
         };
         let back = decode_request(encode_request(&req)).unwrap();
         assert_eq!(back, req);
+    }
+
+    #[test]
+    fn submit_without_trace_context_decodes_as_untraced() {
+        // Submits from clients predating causal tracing must still
+        // decode; the context fields are #[serde(default)].
+        let req = ClientRequest::Submit {
+            job: 11,
+            command: "IsoDataMan".into(),
+            dataset: "Engine".into(),
+            params: CommandParams::new(),
+            workers: 2,
+            session: 0,
+            trace_id: 77,
+            parent_span_id: 8,
+        };
+        let mut v = serde_json::to_value(&req).unwrap();
+        let obj = v
+            .as_object_mut()
+            .unwrap()
+            .get_mut("Submit")
+            .unwrap()
+            .as_object_mut()
+            .unwrap();
+        obj.remove("trace_id");
+        obj.remove("parent_span_id");
+        let back: ClientRequest = serde_json::from_value(v).unwrap();
+        match back {
+            ClientRequest::Submit {
+                job,
+                trace_id,
+                parent_span_id,
+                ..
+            } => {
+                assert_eq!(job, 11);
+                assert_eq!(trace_id, 0);
+                assert_eq!(parent_span_id, 0);
+            }
+            other => panic!("wrong request {other:?}"),
+        }
     }
 
     #[test]
@@ -349,6 +399,8 @@ mod tests {
             params: CommandParams::new(),
             workers: 2,
             session: 5,
+            trace_id: 0,
+            parent_span_id: 0,
         };
         let mut v = serde_json::to_value(&req).unwrap();
         v.as_object_mut()

@@ -242,6 +242,8 @@ proptest! {
         dataset in "[A-Za-z0-9]{1,12}",
         workers in 1usize..64,
         session in any::<u64>(),
+        trace_id in any::<u64>(),
+        parent_span_id in any::<u64>(),
         params in prop::collection::vec(("[a-z]{1,6}", "[a-z0-9.\\-]{1,8}"), 0..6),
     ) {
         let req = protocol::ClientRequest::Submit {
@@ -253,6 +255,8 @@ proptest! {
             ),
             workers,
             session,
+            trace_id,
+            parent_span_id,
         };
         let mut normalized = req.clone();
         if let protocol::ClientRequest::Submit { params, .. } = &mut normalized {
