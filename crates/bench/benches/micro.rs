@@ -11,14 +11,18 @@ use vira_dms::prefetch::{MarkovPrefetch, Prefetcher};
 use vira_extract::bricktree::BrickTree;
 use vira_extract::bsp::BspTree;
 use vira_extract::eigen::symmetric_eigenvalues;
-use vira_extract::iso::{extract_isosurface, extract_isosurface_with_tree};
-use vira_extract::lambda2::lambda2_field;
-use vira_extract::locate::BlockLocator;
+use vira_extract::iso::{
+    extract_isosurface, extract_isosurface_oracle, extract_isosurface_soa_with_tree,
+    extract_isosurface_with_tree,
+};
+use vira_extract::lambda2::{lambda2_field, lambda2_field_oracle, lambda2_field_soa};
+use vira_extract::locate::{invert_trilinear, invert_trilinear_oracle, BlockLocator};
 use vira_extract::mesh::TriangleSoup;
+use vira_extract::par::scoped_map;
 use vira_extract::tetra::{contour_cell, CELL_TETRAHEDRA};
 use vira_extract::pathline::{trace_pathline, AnalyticSampler, PathlineConfig};
 use vira_grid::block::BlockStepId;
-use vira_grid::field::{BlockData, ScalarField};
+use vira_grid::field::{BlockData, ScalarField, ScalarFieldSoA};
 use vira_grid::math::{Mat3, Vec3};
 use vira_grid::synth::test_cube;
 
@@ -220,6 +224,115 @@ fn bench_lambda2(c: &mut Criterion) {
     c.bench_function("lambda2/field_block_17cubed", |b| {
         b.iter(|| lambda2_field(black_box(&data)))
     });
+    // SoA staged row kernels vs the retained per-point AoS oracle — the
+    // pair that backs the λ₂ acceptance ratio in BENCH_micro.json.
+    c.bench_function("lambda2/field_soa", |b| {
+        b.iter(|| lambda2_field_soa(black_box(&data)))
+    });
+    c.bench_function("lambda2/field_aos", |b| {
+        b.iter(|| lambda2_field_oracle(black_box(&data)))
+    });
+}
+
+fn bench_soa_contour(c: &mut Criterion) {
+    // Vectorized SoA cell scan vs the retained AoS oracle, unpruned on
+    // the sparse 25³ sphere so the pair isolates the *scan* (the part
+    // the SoA rewrite vectorizes) rather than the shared triangulation
+    // of active cells; pruned-vs-unpruned is bench_bricktree's job.
+    let data = vortex_block(25);
+    let grid = &data.grid;
+    let field = ScalarField::from_fn(grid.dims, |i, j, k| {
+        (grid.point(i, j, k) - Vec3::splat(0.5)).norm()
+    });
+    let iso = 0.15;
+    let soa = ScalarFieldSoA::from(field.clone());
+    c.bench_function("contour/block_scan_soa", |b| {
+        b.iter(|| extract_isosurface_soa_with_tree(grid, black_box(&soa), iso, None))
+    });
+    c.bench_function("contour/block_scan_aos", |b| {
+        b.iter(|| extract_isosurface_oracle(grid, black_box(&field), iso, None))
+    });
+}
+
+/// The branchy scalar min/max fold `ScalarField::range` used before the
+/// lane scan, retained as the AoS side of the `minmax` pair.
+fn scalar_range(values: &[f64]) -> Option<(f64, f64)> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in values {
+        if v < lo {
+            lo = v;
+        }
+        if v > hi {
+            hi = v;
+        }
+    }
+    Some((lo, hi))
+}
+
+fn bench_minmax(c: &mut Criterion) {
+    let data = vortex_block(25);
+    let speed = speed_field(&data);
+    c.bench_function("minmax/block_range_lanes", |b| {
+        b.iter(|| black_box(&speed).range())
+    });
+    c.bench_function("minmax/block_range_scalar", |b| {
+        b.iter(|| scalar_range(black_box(&speed.values)))
+    });
+}
+
+fn bench_newton_locate(c: &mut Criterion) {
+    // Newton trilinear inversion on a sheared cell: fused residual +
+    // Jacobian accumulation vs the two-pass oracle.
+    let shear = |u: f64, v: f64, w: f64| {
+        Vec3::new(u + 0.3 * v + 0.1 * w, v + 0.2 * w * u, w + 0.15 * u * v)
+    };
+    let cell = [
+        shear(0.0, 0.0, 0.0),
+        shear(1.0, 0.0, 0.0),
+        shear(0.0, 1.0, 0.0),
+        shear(1.0, 1.0, 0.0),
+        shear(0.0, 0.0, 1.0),
+        shear(1.0, 0.0, 1.0),
+        shear(0.0, 1.0, 1.0),
+        shear(1.0, 1.0, 1.0),
+    ];
+    let probe = shear(0.37, 0.61, 0.22);
+    assert!(invert_trilinear(&cell, probe).is_some());
+    c.bench_function("locate/newton_fused", |b| {
+        b.iter(|| invert_trilinear(black_box(&cell), black_box(probe)))
+    });
+    c.bench_function("locate/newton_aos", |b| {
+        b.iter(|| invert_trilinear_oracle(black_box(&cell), black_box(probe)))
+    });
+}
+
+fn bench_parallel_extract(c: &mut Criterion) {
+    // Intra-worker parallel block extraction: 8 items of 17³ (one block
+    // over 8 steps — the test-cube dataset is single-block), full SoA
+    // extraction per item, scoped pool at 1/2/4/8 threads. On a
+    // single-core box the >1t numbers measure pool overhead, not
+    // speedup; the manifest notes flag them accordingly.
+    let blocks: Vec<(BlockData, ScalarFieldSoA, BrickTree)> = (0..8)
+        .map(|s| {
+            let data = test_cube(17, 8).generate(BlockStepId::new(0, s));
+            let soa: ScalarFieldSoA = speed_field(&data).into();
+            let tree = BrickTree::build_soa(&soa);
+            (data, soa, tree)
+        })
+        .collect();
+    for threads in [1usize, 2, 4, 8] {
+        c.bench_function(&format!("extract/parallel_blocks_{threads}t"), |b| {
+            b.iter(|| {
+                scoped_map(threads, &blocks, |_, (data, soa, tree)| {
+                    extract_isosurface_soa_with_tree(&data.grid, soa, 0.15, Some(tree))
+                })
+            })
+        });
+    }
 }
 
 fn bench_bsp(c: &mut Criterion) {
@@ -363,6 +476,10 @@ criterion_group!(
     bench_bricktree,
     bench_mesh_encode,
     bench_lambda2,
+    bench_soa_contour,
+    bench_minmax,
+    bench_newton_locate,
+    bench_parallel_extract,
     bench_bsp,
     bench_locate,
     bench_pathline,

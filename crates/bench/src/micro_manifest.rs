@@ -100,6 +100,96 @@ pub fn merge_measurements(manifest: &mut Value, fresh: &[(String, Option<u64>)])
     out
 }
 
+/// Default regression tolerance for [`check_regressions`]: a fresh
+/// reading more than 20% slower than the manifest baseline fails.
+pub const DEFAULT_TOLERANCE: f64 = 0.20;
+
+/// One failed check from [`check_regressions`].
+#[derive(Debug, PartialEq)]
+pub struct Regression {
+    /// Bench name (`group/case`).
+    pub name: String,
+    /// Human-readable explanation of the failure.
+    pub detail: String,
+}
+
+/// Parses the `[{"name", "measured_ns"}, ...]` array shape that the
+/// measurement harnesses emit into the pair list
+/// [`merge_measurements`] and [`check_regressions`] consume.
+pub fn parse_fresh(fresh: &Value) -> Option<Vec<(String, Option<u64>)>> {
+    fresh
+        .as_array()?
+        .iter()
+        .map(|e| {
+            let name = entry_name(e)?.to_string();
+            let ns = match e.get("measured_ns") {
+                Some(Value::Null) | None => None,
+                Some(v) => Some(v.as_u64()?),
+            };
+            Some((name, ns))
+        })
+        .collect()
+}
+
+/// Compares fresh measurements against the manifest's recorded
+/// baselines and returns every regression found.
+///
+/// Two failure modes, matching what the merge rules let through
+/// silently:
+/// - a fresh reading more than `tolerance` (fractional, e.g. 0.2 for
+///   20%) slower than a measured baseline;
+/// - a fresh `None` for a bench the manifest has already measured
+///   (null-after-measured — the bench stopped producing numbers, which
+///   the provenance rule would otherwise quietly paper over).
+///
+/// Benches absent from the manifest, or with a null baseline, are new
+/// territory and never fail. Fresh readings *faster* than baseline
+/// never fail either — improvements land via [`merge_measurements`].
+pub fn check_regressions(
+    manifest: &Value,
+    fresh: &[(String, Option<u64>)],
+    tolerance: f64,
+) -> Vec<Regression> {
+    let mut out = Vec::new();
+    let Some(benches) = manifest.get("benches").and_then(|b| b.as_array()) else {
+        return out;
+    };
+    for (name, measured) in fresh {
+        let baseline = benches
+            .iter()
+            .find(|e| entry_name(e) == Some(name.as_str()))
+            .and_then(|e| e.get("measured_ns"))
+            .and_then(|v| v.as_u64());
+        let Some(baseline) = baseline else {
+            continue;
+        };
+        match measured {
+            Some(ns) => {
+                let limit = baseline as f64 * (1.0 + tolerance);
+                if *ns as f64 > limit {
+                    out.push(Regression {
+                        name: name.clone(),
+                        detail: format!(
+                            "{ns} ns/iter is {:.0}% over the {baseline} ns/iter baseline \
+                             (tolerance {:.0}%)",
+                            (*ns as f64 / baseline as f64 - 1.0) * 100.0,
+                            tolerance * 100.0,
+                        ),
+                    });
+                }
+            }
+            None => out.push(Regression {
+                name: name.clone(),
+                detail: format!(
+                    "produced no measurement but the manifest holds a \
+                     {baseline} ns/iter baseline (null-after-measured)"
+                ),
+            }),
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,6 +246,63 @@ mod tests {
         assert_eq!(c["name"], "c/new");
         assert_eq!(c["measured_ns"], 7);
         assert_eq!(c["status"], MEASURED);
+    }
+
+    #[test]
+    fn parse_fresh_accepts_harness_output_shape() {
+        let fresh = serde_json::json!([
+            {"name": "a/real", "measured_ns": 120},
+            {"name": "b/skipped", "measured_ns": null},
+        ]);
+        let pairs = parse_fresh(&fresh).expect("well-formed");
+        assert_eq!(
+            pairs,
+            vec![("a/real".into(), Some(120)), ("b/skipped".into(), None)]
+        );
+        assert!(parse_fresh(&serde_json::json!({"not": "an array"})).is_none());
+        assert!(
+            parse_fresh(&serde_json::json!([{"measured_ns": 5}])).is_none(),
+            "entries without a name are malformed"
+        );
+    }
+
+    #[test]
+    fn regressions_fail_only_on_slowdown_past_tolerance() {
+        let m = manifest();
+        // 20% over a 120 ns baseline is 144 ns: 144 passes, 145 fails.
+        let ok = check_regressions(
+            &m,
+            &[("a/real".into(), Some(144)), ("a/real".into(), Some(60))],
+            DEFAULT_TOLERANCE,
+        );
+        assert!(ok.is_empty(), "within tolerance and improvements pass: {ok:?}");
+        let bad = check_regressions(&m, &[("a/real".into(), Some(145))], DEFAULT_TOLERANCE);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].name, "a/real");
+        assert!(bad[0].detail.contains("145 ns/iter"), "{}", bad[0].detail);
+    }
+
+    #[test]
+    fn regressions_flag_null_after_measured_but_not_new_ground() {
+        let m = manifest();
+        let found = check_regressions(
+            &m,
+            &[
+                ("a/real".into(), None),          // null-after-measured: fails
+                ("b/null".into(), None),          // never measured: fine
+                ("b/null".into(), Some(9999)),    // no baseline: fine
+                ("c/unknown".into(), Some(1)),    // not in manifest: fine
+                ("c/unknown".into(), None),       // ditto
+            ],
+            DEFAULT_TOLERANCE,
+        );
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].name, "a/real");
+        assert!(
+            found[0].detail.contains("null-after-measured"),
+            "{}",
+            found[0].detail
+        );
     }
 
     #[test]

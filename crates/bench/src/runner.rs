@@ -126,6 +126,7 @@ impl Harness {
             costs,
             proxy,
             server,
+            ..ViracochaConfig::default()
         };
         let (backend, link) = Viracocha::launch(vcfg);
         let ds = dataset.build(cfg);

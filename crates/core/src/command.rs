@@ -73,6 +73,11 @@ pub struct CommandOutput {
     pub cells_skipped: u64,
     /// Finest-level bricks skipped whole.
     pub bricks_skipped: u64,
+    /// Modeled seconds this worker spent inside the parallel extraction
+    /// section (zero on the serial path).
+    pub extract_par_s: f64,
+    /// Extraction threads the command actually used (1 = serial path).
+    pub extract_threads: u32,
 }
 
 impl CommandOutput {
@@ -114,6 +119,11 @@ pub struct JobCtx<'a> {
     pub meter: Arc<Meter>,
     pub clock: Arc<SimClock>,
     pub costs: ComputeCosts,
+    /// Extraction threads available to this command (from
+    /// [`crate::config::ExtractConfig`]); commands that support the
+    /// parallel block path fan out over `vira_extract::scoped_map` when
+    /// this exceeds one.
+    pub extract_threads: usize,
     pub(crate) events: EventSender,
     pub(crate) cancels: CancelSet,
     /// The single serialized link into the visualization client: all
@@ -376,6 +386,8 @@ pub(crate) fn encode_output(
         dms,
         cells_skipped: out.cells_skipped,
         bricks_skipped: out.bricks_skipped,
+        extract_par_s: out.extract_par_s,
+        extract_threads: out.extract_threads,
         attempt,
         payload_crc: 0, // filled in by encode_partial
         residency,

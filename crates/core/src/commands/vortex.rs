@@ -71,6 +71,18 @@ fn vortex_items(ctx: &mut JobCtx<'_>, use_dms: bool) -> Result<CommandOutput, Co
             };
             let kind: &'static str = if ghosts { "lambda2-ghosted" } else { "lambda2" };
             let (soup, stats) = if cache_fields {
+                // Block-level prune on the memoized range (harvested from
+                // the bricktree root, see `DerivedFieldCache::range_of`):
+                // when the whole block straddles nothing at this
+                // threshold, a sweep iteration skips it without touching
+                // the field or the tree. Mirrors the brick activity test
+                // (`hi > iso && lo <= iso`), so geometry is unchanged.
+                if let Some((lo, hi)) = ctx.derived.range_of(&ctx.dataset, kind, id) {
+                    if !(hi > threshold && lo <= threshold) {
+                        out.cells_skipped += data.dims().n_cells() as u64;
+                        continue;
+                    }
+                }
                 let (hits_before, _) = ctx.derived.stats();
                 let mut derive_err = None;
                 // The bricktree is memoized alongside the field, so a

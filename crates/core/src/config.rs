@@ -77,6 +77,36 @@ impl Default for SchedulerConfig {
     }
 }
 
+/// Intra-worker extraction parallelism (paper §6.2's "loop level"
+/// below the block level).
+///
+/// Workers always *load* blocks serially — DMS traffic, cost metering
+/// and cache accounting are order-sensitive — but with `threads > 1`
+/// the pure extraction kernels run over the loaded blocks on a scoped
+/// thread pool ([`vira_extract::scoped_map`]). Results are merged in
+/// block order, so the produced payload is byte-identical to a serial
+/// run regardless of the thread count.
+#[derive(Debug, Clone)]
+pub struct ExtractConfig {
+    /// Extraction threads per worker rank. `1` (the default) keeps the
+    /// historical fully-serial path.
+    pub threads: usize,
+}
+
+impl Default for ExtractConfig {
+    fn default() -> Self {
+        // EXTRACT_THREADS is the ops-facing override (used by the
+        // chaos-matrix CI leg); anything unparsable or zero falls back
+        // to the serial path.
+        let threads = std::env::var("EXTRACT_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or(1);
+        ExtractConfig { threads }
+    }
+}
+
 /// Configuration of one Viracocha back-end instance.
 #[derive(Debug, Clone)]
 pub struct ViracochaConfig {
@@ -95,6 +125,8 @@ pub struct ViracochaConfig {
     pub resilience: ResilienceConfig,
     /// Dispatch policy (backfill, locality placement, fair share).
     pub sched: SchedulerConfig,
+    /// Intra-worker parallel block extraction.
+    pub extract: ExtractConfig,
 }
 
 impl Default for ViracochaConfig {
@@ -107,6 +139,7 @@ impl Default for ViracochaConfig {
             server: ServerConfig::default(),
             resilience: ResilienceConfig::default(),
             sched: SchedulerConfig::default(),
+            extract: ExtractConfig::default(),
         }
     }
 }
@@ -151,6 +184,29 @@ mod tests {
         let s = SchedulerConfig::default();
         assert!(s.backfill && s.locality && s.fair_share);
         assert!(s.max_skipped_dispatches >= 1, "aging bound must be finite and positive");
+    }
+
+    #[test]
+    fn extract_defaults_to_the_serial_path() {
+        // Don't consult the env here — tests must be hermetic.
+        let e = ExtractConfig { threads: 1 };
+        assert_eq!(e.threads, 1);
+        let c = ViracochaConfig { extract: e, ..ViracochaConfig::default() };
+        assert!(c.extract.threads >= 1);
+    }
+
+    #[test]
+    fn extract_threads_env_parsing_rules() {
+        // Mirror of the Default impl's parse chain, exercised directly
+        // so the test never mutates process-global env state.
+        let parse = |v: &str| {
+            v.trim().parse::<usize>().ok().filter(|&t| t >= 1).unwrap_or(1)
+        };
+        assert_eq!(parse("4"), 4);
+        assert_eq!(parse(" 8 "), 8);
+        assert_eq!(parse("0"), 1);
+        assert_eq!(parse("banana"), 1);
+        assert_eq!(parse(""), 1);
     }
 
     #[test]

@@ -35,6 +35,10 @@ struct Entry {
     /// request. Its footprint (< 5% of the field, see
     /// `BrickTree::memory_bytes`) is not charged to the byte budget.
     tree: Option<Arc<BrickTree>>,
+    /// Whole-block min/max of `field`, memoized on first request so a
+    /// threshold sweep's block-level skip test never rescans the field.
+    /// Harvested for free from the bricktree root when one exists.
+    range: Option<(f64, f64)>,
     bytes: usize,
     last_use: u64,
 }
@@ -121,6 +125,7 @@ impl DerivedFieldCache {
             Entry {
                 field: field.clone(),
                 tree: None,
+                range: None,
                 bytes,
                 last_use: stamp,
             },
@@ -197,6 +202,51 @@ impl DerivedFieldCache {
             return Some((field, t));
         }
         Some((field, tree))
+    }
+
+    /// Whole-block min/max of an already-cached field, or `None` when
+    /// the field is not cached. Memoized next to the bricktree: a
+    /// memoized bricktree's root range is reused for free, otherwise one
+    /// lane-parallel scan ([`ScalarField::range`]) runs and its result
+    /// sticks to the entry. Never computes a field — callers use this
+    /// for the cheap block-level "can this threshold produce geometry at
+    /// all?" test and fall back to extraction when unknown.
+    pub fn range_of(
+        &self,
+        dataset: &str,
+        kind: &'static str,
+        id: BlockStepId,
+    ) -> Option<(f64, f64)> {
+        let key = Key {
+            dataset: dataset.to_string(),
+            kind,
+            id,
+        };
+        let field = {
+            let mut g = self.inner.lock();
+            g.stamp += 1;
+            let stamp = g.stamp;
+            let e = g.map.get_mut(&key)?;
+            e.last_use = stamp;
+            if let Some(r) = e.range {
+                return Some(r);
+            }
+            if let Some(t) = &e.tree {
+                let r = t.root_range();
+                e.range = Some(r);
+                return Some(r);
+            }
+            e.field.clone()
+        };
+        // Scan outside the lock; a field for a given key is
+        // deterministic, so a concurrent scan of the same key lands on
+        // the same value.
+        let r = field.range()?;
+        let mut g = self.inner.lock();
+        if let Some(e) = g.map.get_mut(&key) {
+            e.range.get_or_insert(r);
+        }
+        Some(r)
     }
 
     /// `(hits, misses)` since construction.
@@ -297,6 +347,22 @@ mod tests {
         assert!(Arc::ptr_eq(&t1, &t2), "second lookup reuses the tree");
         // The tree does not count against the byte budget.
         assert_eq!(cache.used_bytes(), 4 * 4 * 4 * 8);
+    }
+
+    #[test]
+    fn range_is_memoized_and_harvested_from_the_tree() {
+        let cache = DerivedFieldCache::new(1 << 20);
+        assert!(
+            cache.range_of("E", "f", bs(0, 0)).is_none(),
+            "range_of never computes a field"
+        );
+        cache.get_or_compute("E", "f", bs(0, 0), || field(2.5));
+        assert_eq!(cache.range_of("E", "f", bs(0, 0)), Some((2.5, 2.5)));
+        // Asking again serves the memoized value.
+        assert_eq!(cache.range_of("E", "f", bs(0, 0)), Some((2.5, 2.5)));
+        // With a bricktree present its root range is harvested for free.
+        cache.get_or_compute_with_tree("E", "f", bs(1, 0), || field(7.0));
+        assert_eq!(cache.range_of("E", "f", bs(1, 0)), Some((7.0, 7.0)));
     }
 
     #[test]

@@ -917,6 +917,8 @@ fn handle_job_done(
         },
         cells_skipped: done.cells_skipped,
         bricks_skipped: done.bricks_skipped,
+        extract_par_s: done.extract_par_s,
+        extract_threads: done.extract_threads,
         retries: run.q.retries,
         degraded: run.q.degraded,
     };

@@ -59,6 +59,14 @@ pub struct PartialHeader {
     /// Finest-level bricks skipped whole.
     #[serde(default)]
     pub bricks_skipped: u64,
+    /// Modeled seconds this worker spent in the intra-worker parallel
+    /// extraction section (absent in frames from older peers → 0).
+    #[serde(default)]
+    pub extract_par_s: f64,
+    /// Extraction threads the worker used (`0` = unknown/older peer,
+    /// `1` = serial path).
+    #[serde(default)]
+    pub extract_threads: u32,
     /// Dispatch attempt this partial answers (mirrors the command).
     #[serde(default)]
     pub attempt: u32,
@@ -103,6 +111,14 @@ pub struct DoneHeader {
     pub cells_skipped: u64,
     #[serde(default)]
     pub bricks_skipped: u64,
+    /// Summed parallel-extraction seconds of the whole group (absent in
+    /// frames from older peers → 0).
+    #[serde(default)]
+    pub extract_par_s: f64,
+    /// Maximum extraction thread count any group member used (`0` =
+    /// unknown/older peers, `1` = all serial).
+    #[serde(default)]
+    pub extract_threads: u32,
     /// Dispatch attempt this result answers (mirrors the command).
     #[serde(default)]
     pub attempt: u32,
@@ -298,6 +314,8 @@ mod tests {
             dms: DmsStatsSnapshot::default(),
             cells_skipped: 120,
             bricks_skipped: 3,
+            extract_par_s: 0.5,
+            extract_threads: 4,
             attempt: 1,
             payload_crc: 0,
             residency: Default::default(),
@@ -326,6 +344,8 @@ mod tests {
             dms: DmsStatsSnapshot::default(),
             cells_skipped: 0,
             bricks_skipped: 0,
+            extract_par_s: 0.0,
+            extract_threads: 0,
             attempt: 0,
             payload_crc: 0,
             residency: Default::default(),
@@ -353,6 +373,8 @@ mod tests {
             dms: DmsStatsSnapshot::default(),
             cells_skipped: 0,
             bricks_skipped: 0,
+            extract_par_s: 0.0,
+            extract_threads: 0,
             attempt: 0,
             payload_crc: 0,
             residency: Default::default(),
@@ -381,6 +403,8 @@ mod tests {
             dms: DmsStatsSnapshot::default(),
             cells_skipped: 7,
             bricks_skipped: 7,
+            extract_par_s: 0.25,
+            extract_threads: 2,
             attempt: 0,
             payload_crc: 0,
             residency: Default::default(),
@@ -394,6 +418,9 @@ mod tests {
         obj.remove("bricks_skipped");
         obj.remove("attempt");
         obj.remove("payload_crc");
+        // Older peers also predate intra-worker parallel extraction.
+        obj.remove("extract_par_s");
+        obj.remove("extract_threads");
         // Older peers also predate the DMS fallback counter.
         v["dms"].as_object_mut().unwrap().remove("fallbacks");
         let json = serde_json::to_vec(&v).unwrap();
@@ -406,6 +433,8 @@ mod tests {
         assert_eq!(h2.attempt, 0);
         assert_eq!(h2.payload_crc, 0, "absent crc means unchecked");
         assert_eq!(h2.dms.fallbacks, 0);
+        assert_eq!(h2.extract_par_s, 0.0);
+        assert_eq!(h2.extract_threads, 0, "absent thread count means unknown");
         assert_eq!(h2.job, 4);
     }
 
@@ -424,6 +453,8 @@ mod tests {
             dms: DmsStatsSnapshot::default(),
             cells_skipped: 0,
             bricks_skipped: 0,
+            extract_par_s: 0.0,
+            extract_threads: 0,
             attempt: 0,
             payload_crc: 0,
             residency: Default::default(),
@@ -489,6 +520,8 @@ mod tests {
             dms: DmsStatsSnapshot::default(),
             cells_skipped: 0,
             bricks_skipped: 0,
+            extract_par_s: 0.0,
+            extract_threads: 0,
             attempt: 0,
             payload_crc: 0,
             residency: vec![(1, d1.clone()), (2, d2.clone())],
@@ -515,6 +548,8 @@ mod tests {
             dms: DmsStatsSnapshot::default(),
             cells_skipped: 0,
             bricks_skipped: 0,
+            extract_par_s: 0.0,
+            extract_threads: 0,
             attempt: 0,
             payload_crc: 0,
             residency: ResidencyDigest::from_items([vira_dms::ItemId(3)]),
@@ -542,6 +577,8 @@ mod tests {
             dms: DmsStatsSnapshot::default(),
             cells_skipped: 0,
             bricks_skipped: 0,
+            extract_par_s: 0.0,
+            extract_threads: 0,
             attempt: 0,
             payload_crc: 0,
             residency: vec![(1, ResidencyDigest::empty())],
@@ -616,6 +653,8 @@ mod tests {
             dms: DmsStatsSnapshot::default(),
             cells_skipped: 0,
             bricks_skipped: 0,
+            extract_par_s: 0.0,
+            extract_threads: 0,
             attempt: 0,
             payload_crc: 0,
             residency: Default::default(),

@@ -54,6 +54,9 @@ fn chaos_config(n_workers: usize) -> ViracochaConfig {
     let mut cfg = ViracochaConfig::for_tests(n_workers);
     let sched_mode = std::env::var("CHAOS_SCHED").unwrap_or_else(|_| "backfill".into());
     eprintln!("chaos sched policy: {sched_mode}");
+    // EXTRACT_THREADS (picked up by ExtractConfig::default) reruns the
+    // matrix with intra-worker parallel extraction; printed for replay.
+    eprintln!("chaos extract threads: {}", cfg.extract.threads);
     if sched_mode == "fifo" {
         cfg.sched.backfill = false;
         cfg.sched.locality = false;

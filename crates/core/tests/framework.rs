@@ -87,6 +87,49 @@ fn result_is_independent_of_worker_count() {
 }
 
 #[test]
+fn parallel_extraction_is_byte_identical_to_serial() {
+    // The intra-worker parallel block path must be invisible in the
+    // output: same triangles, in the same order, regardless of the
+    // extraction thread count. (TriangleSoup equality implies identical
+    // wire bytes — the payload encoding is a pure function of the soup.)
+    let run_with = |threads: usize| {
+        let mut cfg = ViracochaConfig::for_tests(1);
+        cfg.proxy = ProxyConfig {
+            prefetcher: "none".into(),
+            ..ProxyConfig::default()
+        };
+        cfg.extract.threads = threads;
+        let (backend, link) = Viracocha::launch(cfg);
+        backend.register_dataset(
+            Arc::new(SynthSource::new(Arc::new(test_cube(10, 4)))),
+            false,
+        );
+        let mut client = VistaClient::new(link);
+        let out = client
+            .run(&SubmitSpec {
+                command: "IsoDataMan".into(),
+                dataset: "TestCube".into(),
+                params: CommandParams::new().set("iso", 0.15).set("n_steps", 4),
+                workers: 1,
+            })
+            .unwrap();
+        finish(backend, client);
+        out
+    };
+    let serial = run_with(1);
+    let parallel = run_with(4);
+    assert!(serial.triangles.n_triangles() > 0);
+    assert_eq!(serial.triangles, parallel.triangles, "exact order, exact bits");
+    // The report says which path ran: 4 items on this worker, so the
+    // full 4-thread fan-out engages; the serial run never enters the
+    // parallel section.
+    assert_eq!(serial.report.extract_threads, 1);
+    assert_eq!(parallel.report.extract_threads, 4);
+    assert_eq!(serial.report.extract_par_s, 0.0);
+    assert!(parallel.report.extract_par_s > 0.0);
+}
+
+#[test]
 fn second_run_is_served_from_cache() {
     let (backend, mut client) = launch(2, "none");
     let cold = client.run(&iso_spec(2)).unwrap();
@@ -595,6 +638,12 @@ fn derived_field_cache_preserves_geometry_and_saves_compute() {
         cached_first.report.compute_s
     );
     assert!(tweak.triangles.n_triangles() > 0);
+    // A sweep threshold outside the memoized block range skips whole
+    // blocks via the range memoized next to the bricktree — no geometry,
+    // every cell accounted as skipped.
+    let out_of_range = client.run(&spec(1e9, true)).unwrap();
+    assert_eq!(out_of_range.triangles.n_triangles(), 0);
+    assert!(out_of_range.report.cells_skipped > 0);
     finish(backend, client);
 }
 

@@ -37,6 +37,8 @@ fn sample_partial(job: u64, payload_len: usize) -> (PartialHeader, Bytes) {
         dms: DmsStatsSnapshot::default(),
         cells_skipped: 11,
         bricks_skipped: 2,
+        extract_par_s: 0.75,
+        extract_threads: 2,
         attempt: 1,
         payload_crc: 0,
         residency: Default::default(),
@@ -84,6 +86,8 @@ proptest! {
             dms: p.dms,
             cells_skipped: p.cells_skipped,
             bricks_skipped: p.bricks_skipped,
+            extract_par_s: p.extract_par_s,
+            extract_threads: p.extract_threads,
             attempt: p.attempt,
             payload_crc: 0,
             residency: Vec::new(),
@@ -176,6 +180,8 @@ proptest! {
             dms: DmsStatsSnapshot::default(),
             cells_skipped: 0,
             bricks_skipped: 0,
+            extract_par_s: 0.0,
+            extract_threads: 0,
             attempt: 0,
             payload_crc: 0,
             residency: Vec::new(),

@@ -22,7 +22,7 @@
 //! tested in `tests/bricktree_props.rs`).
 
 use vira_grid::block::BlockDims;
-use vira_grid::field::ScalarField;
+use vira_grid::field::{ScalarField, ScalarFieldSoA, ScalarFieldSoAView};
 
 /// Cells per brick edge at the finest level.
 pub const BRICK: usize = 4;
@@ -74,6 +74,18 @@ pub struct BrickTree {
 impl BrickTree {
     /// Builds the tree for one field (one pass over the point data).
     pub fn build(field: &ScalarField) -> BrickTree {
+        BrickTree::build_view(ScalarFieldSoA::of(field))
+    }
+
+    /// Builds the tree for an SoA field (same pass; the scalar SoA form
+    /// shares the AoS layout).
+    pub fn build_soa(field: &ScalarFieldSoA) -> BrickTree {
+        BrickTree::build_view(field.view())
+    }
+
+    /// Builds the tree from a borrowed sample view; the row-contiguous
+    /// per-brick scans run through the lane-parallel min/max fold.
+    pub fn build_view(field: ScalarFieldSoAView<'_>) -> BrickTree {
         let dims = field.dims;
         let (ci, cj, ck) = dims.cell_dims();
         let mut levels = Vec::new();
@@ -212,6 +224,24 @@ impl BrickTree {
         iso: f64,
         mut candidate: impl FnMut(usize, usize, usize),
     ) -> PruneCounters {
+        self.scan_candidate_runs(iso, |r, j, k| {
+            for i in r {
+                candidate(i, j, k);
+            }
+        })
+    }
+
+    /// Run-granular form of [`scan_candidates`](Self::scan_candidates):
+    /// invokes `run` once per maximal run `i0..i1` of surviving cells at
+    /// fixed `(j, k)`, in storage order. Counters and the set of
+    /// surviving cells are exactly those of `scan_candidates`; the
+    /// vectorized contour scan consumes runs so it can compute cell
+    /// ranges from contiguous point rows instead of per-cell gathers.
+    pub fn scan_candidate_runs(
+        &self,
+        iso: f64,
+        mut run: impl FnMut(std::ops::Range<usize>, usize, usize),
+    ) -> PruneCounters {
         let (ci, cj, ck) = self.cell_dims;
         let mut c = PruneCounters::default();
         if !straddles(self.root_range(), iso) {
@@ -222,8 +252,12 @@ impl BrickTree {
         for k in 0..ck {
             for j in 0..cj {
                 let mut i = 0;
+                let mut run_start = None;
                 while i < ci {
                     if let Some(end) = self.inactive_run_end(i, j, k, iso) {
+                        if let Some(s) = run_start.take() {
+                            run(s..i, j, k);
+                        }
                         c.cells_skipped += end - i;
                         // Count each finest brick once: at its first row
                         // (i lands on brick boundaries, so `end - i`
@@ -233,12 +267,14 @@ impl BrickTree {
                         }
                         i = end;
                     } else {
-                        let end = ((i / BRICK + 1) * BRICK).min(ci);
-                        for ii in i..end {
-                            candidate(ii, j, k);
+                        if run_start.is_none() {
+                            run_start = Some(i);
                         }
-                        i = end;
+                        i = ((i / BRICK + 1) * BRICK).min(ci);
                     }
+                }
+                if let Some(s) = run_start {
+                    run(s..ci, j, k);
                 }
             }
         }
@@ -354,6 +390,31 @@ mod tests {
             let mut visited = 0usize;
             let c = t.scan_candidates(1.5, |_, _, _| visited += 1);
             assert_eq!(visited + c.cells_skipped, dims.n_cells());
+        }
+    }
+
+    #[test]
+    fn candidate_runs_concatenate_to_scan_candidates() {
+        let f = ramp_field(11);
+        let t = BrickTree::build(&f);
+        for iso in [0.5, 9.0, 15.0, 29.5, 99.0] {
+            let mut cells = Vec::new();
+            let c1 = t.scan_candidates(iso, |i, j, k| cells.push((i, j, k)));
+            let mut from_runs = Vec::new();
+            let mut prev_row = None;
+            let c2 = t.scan_candidate_runs(iso, |r, j, k| {
+                assert!(!r.is_empty(), "empty run emitted");
+                if prev_row == Some((j, k)) {
+                    // Runs within a row must be separated by skipped
+                    // cells (maximal), never adjacent.
+                    let last_i = from_runs.last().map(|&(i, _, _)| i).unwrap();
+                    assert!(r.start > last_i + 1, "runs not maximal at ({j}, {k})");
+                }
+                prev_row = Some((j, k));
+                from_runs.extend(r.map(|i| (i, j, k)));
+            });
+            assert_eq!(cells, from_runs, "iso {iso}");
+            assert_eq!(c1, c2, "iso {iso}");
         }
     }
 

@@ -15,7 +15,8 @@ use crate::bricktree::BrickTree;
 use crate::mesh::TriangleSoup;
 use crate::tetra::contour_cell;
 use vira_grid::block::CurvilinearBlock;
-use vira_grid::field::ScalarField;
+use vira_grid::field::{ScalarField, ScalarFieldSoA, ScalarFieldSoAView};
+use vira_grid::lanes;
 
 /// Counters reported by an extraction pass. `cells_visited` counts cells
 /// actually examined; `cells_visited + cells_skipped` always equals the
@@ -81,6 +82,60 @@ pub fn extract_streamed_with_tree(
     iso: f64,
     tree: Option<&BrickTree>,
     batch_triangles: usize,
+    sink: impl FnMut(TriangleSoup),
+) -> IsoStats {
+    extract_streamed_view(
+        grid,
+        ScalarFieldSoA::of(field),
+        iso,
+        tree,
+        batch_triangles,
+        sink,
+    )
+}
+
+/// SoA entry point: extracts the full isosurface of one block from a
+/// structure-of-arrays field, building a throwaway bricktree.
+pub fn extract_isosurface_soa(
+    grid: &CurvilinearBlock,
+    field: &ScalarFieldSoA,
+    iso: f64,
+) -> (TriangleSoup, IsoStats) {
+    let tree = BrickTree::build_soa(field);
+    extract_isosurface_soa_with_tree(grid, field, iso, Some(&tree))
+}
+
+/// SoA entry point with a caller-held bricktree (`None` disables
+/// pruning).
+pub fn extract_isosurface_soa_with_tree(
+    grid: &CurvilinearBlock,
+    field: &ScalarFieldSoA,
+    iso: f64,
+    tree: Option<&BrickTree>,
+) -> (TriangleSoup, IsoStats) {
+    let mut soup = TriangleSoup::new();
+    let stats = extract_streamed_view(grid, field.view(), iso, tree, usize::MAX, |batch| {
+        soup.extend_from(&batch);
+    });
+    (soup, stats)
+}
+
+/// The vectorized contour scan all public entry points funnel into.
+///
+/// Cells arrive as maximal storage-order runs along `i` (from the
+/// bricktree's run scan, or whole rows when pruning is off). Per run,
+/// the corner ranges of every cell come from one adjacent-pair
+/// min/max pass over the four contiguous point rows bounding the run
+/// ([`lanes::cell_ranges_along_i`]) instead of a per-cell eight-corner
+/// gather; only straddling cells fall through to the scalar case-table
+/// triangulation, in exactly the storage order of the classic pass —
+/// the output stays byte-identical to [`extract_isosurface_oracle`].
+fn extract_streamed_view(
+    grid: &CurvilinearBlock,
+    field: ScalarFieldSoAView<'_>,
+    iso: f64,
+    tree: Option<&BrickTree>,
+    batch_triangles: usize,
     mut sink: impl FnMut(TriangleSoup),
 ) -> IsoStats {
     assert_eq!(grid.dims, field.dims, "grid/field dims mismatch");
@@ -91,26 +146,51 @@ pub fn extract_streamed_with_tree(
         .arg("pruned", u64::from(tree.is_some()));
     let mut stats = IsoStats::default();
     let mut pending = TriangleSoup::new();
-    let mut visit_cell = |i: usize, j: usize, k: usize| {
-        stats.cells_visited += 1;
-        let (lo, hi) = field.cell_range(i, j, k);
-        if !(hi > iso && lo <= iso) {
-            return;
-        }
-        stats.active_cells += 1;
-        let corners = grid.cell_corners(i, j, k);
-        let scalars = field.cell_corners(i, j, k);
-        let n = contour_cell(&corners, &scalars, iso, &mut pending);
-        stats.triangles += n;
-        if pending.n_triangles() >= batch_triangles {
-            sink(std::mem::take(&mut pending));
+    let (ci, _, _) = grid.dims.cell_dims();
+    let mut lo_buf = vec![0.0; ci];
+    let mut hi_buf = vec![0.0; ci];
+    let mut visit_run = |r: std::ops::Range<usize>, j: usize, k: usize| {
+        let n = r.len();
+        stats.cells_visited += n;
+        let rows = [
+            &field.row(j, k)[r.start..r.end + 1],
+            &field.row(j + 1, k)[r.start..r.end + 1],
+            &field.row(j, k + 1)[r.start..r.end + 1],
+            &field.row(j + 1, k + 1)[r.start..r.end + 1],
+        ];
+        lanes::cell_ranges_along_i(rows, n, &mut lo_buf, &mut hi_buf);
+        for c in 0..n {
+            if !(hi_buf[c] > iso && lo_buf[c] <= iso) {
+                continue;
+            }
+            stats.active_cells += 1;
+            let i = r.start + c;
+            let corners = grid.cell_corners(i, j, k);
+            let scalars = [
+                rows[0][c],
+                rows[0][c + 1],
+                rows[1][c],
+                rows[1][c + 1],
+                rows[2][c],
+                rows[2][c + 1],
+                rows[3][c],
+                rows[3][c + 1],
+            ];
+            let n_tri = contour_cell(&corners, &scalars, iso, &mut pending);
+            stats.triangles += n_tri;
+            if pending.n_triangles() >= batch_triangles {
+                sink(std::mem::take(&mut pending));
+            }
         }
     };
     let pruned = match tree {
-        Some(t) => t.scan_candidates(iso, &mut visit_cell),
+        Some(t) => t.scan_candidate_runs(iso, &mut visit_run),
         None => {
-            for (i, j, k) in grid.dims.cells() {
-                visit_cell(i, j, k);
+            let (ci, cj, ck) = grid.dims.cell_dims();
+            for k in 0..ck {
+                for j in 0..cj {
+                    visit_run(0..ci, j, k);
+                }
             }
             Default::default()
         }
@@ -123,6 +203,47 @@ pub fn extract_streamed_with_tree(
     kernel_span.set_arg("triangles", stats.triangles);
     kernel_span.set_arg("cells_skipped", stats.cells_skipped);
     stats
+}
+
+/// The pre-SoA cell-at-a-time extractor, retained verbatim as the test
+/// oracle for the vectorized scan (and as the AoS side of the
+/// `contour` micro-benches): per cell, an eight-corner gather feeds a
+/// scalar min/max fold and then the same case-table triangulation.
+pub fn extract_isosurface_oracle(
+    grid: &CurvilinearBlock,
+    field: &ScalarField,
+    iso: f64,
+    tree: Option<&BrickTree>,
+) -> (TriangleSoup, IsoStats) {
+    assert_eq!(grid.dims, field.dims, "grid/field dims mismatch");
+    if let Some(t) = tree {
+        assert!(t.matches(grid.dims), "bricktree dims mismatch");
+    }
+    let mut stats = IsoStats::default();
+    let mut soup = TriangleSoup::new();
+    let mut visit_cell = |i: usize, j: usize, k: usize| {
+        stats.cells_visited += 1;
+        let (lo, hi) = field.cell_range(i, j, k);
+        if !(hi > iso && lo <= iso) {
+            return;
+        }
+        stats.active_cells += 1;
+        let corners = grid.cell_corners(i, j, k);
+        let scalars = field.cell_corners(i, j, k);
+        stats.triangles += contour_cell(&corners, &scalars, iso, &mut soup);
+    };
+    let pruned = match tree {
+        Some(t) => t.scan_candidates(iso, &mut visit_cell),
+        None => {
+            for (i, j, k) in grid.dims.cells() {
+                visit_cell(i, j, k);
+            }
+            Default::default()
+        }
+    };
+    stats.cells_skipped = pruned.cells_skipped;
+    stats.bricks_skipped = pruned.bricks_skipped;
+    (soup, stats)
 }
 
 /// Lists the active cells (cells whose corner range straddles `iso`)
@@ -261,6 +382,37 @@ mod tests {
         let mut sorted = active.clone();
         sorted.sort_by_key(|&(i, j, k)| field.dims.cell_index(i, j, k));
         assert_eq!(active, sorted);
+    }
+
+    #[test]
+    fn vectorized_scan_matches_oracle_bit_exactly() {
+        let (grid, field) = sphere_case(19);
+        let tree = BrickTree::build(&field);
+        for iso in [0.3, 0.6, 0.9, 1.2, 99.0] {
+            for t in [None, Some(&tree)] {
+                let (fast, fast_stats) = extract_isosurface_with_tree(&grid, &field, iso, t);
+                let (oracle, oracle_stats) = extract_isosurface_oracle(&grid, &field, iso, t);
+                assert_eq!(
+                    fast.to_bytes(),
+                    oracle.to_bytes(),
+                    "iso {iso} pruned {}",
+                    t.is_some()
+                );
+                assert_eq!(fast_stats, oracle_stats);
+            }
+        }
+    }
+
+    #[test]
+    fn soa_entry_point_matches_aos() {
+        let (grid, field) = sphere_case(14);
+        let soa = ScalarFieldSoA::from(field.clone());
+        let (aos_soup, aos_stats) = extract_isosurface(&grid, &field, 0.7);
+        let (soa_soup, soa_stats) = extract_isosurface_soa(&grid, &soa, 0.7);
+        assert_eq!(soa_soup.to_bytes(), aos_soup.to_bytes());
+        assert_eq!(soa_stats, aos_stats);
+        let (unpruned, _) = extract_isosurface_soa_with_tree(&grid, &soa, 0.7, None);
+        assert_eq!(unpruned.to_bytes(), aos_soup.to_bytes());
     }
 
     #[test]

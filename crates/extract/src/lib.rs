@@ -20,6 +20,8 @@
 //!   extraction (§5.3).
 //! * [`mesh`] — triangle soups / polylines and their wire encodings
 //!   (the payload of streamed result packets).
+//! * [`par`] — the scoped thread pool behind intra-worker parallel
+//!   block extraction (order-preserving, hence output-deterministic).
 //!
 //! Everything here is deterministic and framework-free: data access is
 //! injected (see [`pathline::BlockFetcher`]), so the same kernels run
@@ -35,6 +37,7 @@ pub mod lambda2;
 pub mod locate;
 pub mod mesh;
 pub mod multires;
+pub mod par;
 pub mod pathline;
 pub mod stats;
 pub mod tetra;
@@ -43,16 +46,25 @@ pub mod weld;
 pub use bricktree::{BrickTree, PruneCounters, BRICK};
 pub use bsp::BspTree;
 pub use weld::{compute_normals, weld, EdgeDefects, IndexedMesh};
-pub use eigen::{lambda2_of_gradient, symmetric_eigenvalues};
+pub use eigen::{
+    chebyshev_middle_root, lambda2_of_gradient, symmetric_eigenvalues,
+    symmetric_middle_eigenvalue,
+};
 pub use export::{save_soup, write_obj, write_vtk_mesh, write_vtk_polylines};
 pub use halo::{GhostLayer, GhostedBlock};
 pub use iso::{
-    active_cells, extract_isosurface, extract_isosurface_with_tree, extract_streamed,
+    active_cells, extract_isosurface, extract_isosurface_oracle, extract_isosurface_soa,
+    extract_isosurface_soa_with_tree, extract_isosurface_with_tree, extract_streamed,
     extract_streamed_with_tree, IsoStats,
 };
-pub use lambda2::{lambda2_at, lambda2_field, velocity_gradient, Lambda2Stats, Lambda2Streamer};
-pub use locate::{invert_trilinear, BlockLocator, CellHit};
+pub use lambda2::{
+    lambda2_at, lambda2_element, lambda2_field, lambda2_field_oracle, lambda2_field_soa,
+    velocity_gradient,
+    Lambda2Stats, Lambda2Streamer,
+};
+pub use locate::{invert_trilinear, invert_trilinear_oracle, BlockLocator, CellHit, TrilinearCell};
 pub use mesh::{payload_triangle_count, Polyline, TriangleSoup};
+pub use par::scoped_map;
 pub use stats::{suggest_iso_level, FieldSummary, Histogram};
 pub use multires::{coarsen, progressive_isosurface, pyramid, ProgressiveLevel};
 pub use pathline::{

@@ -33,18 +33,22 @@ const WALK_MAX_STEPS: usize = 64;
 /// Newton inversion of the trilinear map of one cell. Returns local
 /// coordinates (possibly outside `[0,1]³`, which callers use to decide
 /// the walking direction) or `None` when the iteration diverges.
+///
+/// The fused evaluation ([`TrilinearCell`]) hoists the twelve
+/// loop-invariant corner differences out of the iteration; every float
+/// operation matches the classic per-iteration evaluation
+/// ([`invert_trilinear_oracle`]), so results are bit-identical.
 pub fn invert_trilinear(corners: &[Vec3; 8], p: Vec3) -> Option<(f64, f64, f64)> {
+    let cell = TrilinearCell::new(corners);
     let (mut u, mut v, mut w) = (0.5, 0.5, 0.5);
     for _ in 0..NEWTON_MAX_IT {
-        let x = trilinear_vec3(corners, u, v, w);
+        let x = cell.value(u, v, w);
         let r = x - p;
         if r.max_abs() < NEWTON_TOL {
             return Some((u, v, w));
         }
         // Partial derivatives of the trilinear map.
-        let du = deriv_u(corners, v, w);
-        let dv = deriv_v(corners, u, w);
-        let dw = deriv_w(corners, u, v);
+        let (du, dv, dw) = cell.jacobian_cols(u, v, w);
         let jac = Mat3::from_cols(du, dv, dw);
         let inv = jac.inverse()?;
         let step = inv.mul_vec(r);
@@ -61,6 +65,92 @@ pub fn invert_trilinear(corners: &[Vec3; 8], p: Vec3) -> Option<(f64, f64, f64)>
         }
     }
     Some((u, v, w)) // best effort; caller validates residual bounds
+}
+
+/// The pre-fusion Newton inversion, retained verbatim as the test
+/// oracle (and the AoS side of the `locate` micro-benches): corner
+/// differences are re-derived inside every iteration.
+pub fn invert_trilinear_oracle(corners: &[Vec3; 8], p: Vec3) -> Option<(f64, f64, f64)> {
+    let (mut u, mut v, mut w) = (0.5, 0.5, 0.5);
+    for _ in 0..NEWTON_MAX_IT {
+        let x = trilinear_vec3(corners, u, v, w);
+        let r = x - p;
+        if r.max_abs() < NEWTON_TOL {
+            return Some((u, v, w));
+        }
+        let du = deriv_u(corners, v, w);
+        let dv = deriv_v(corners, u, w);
+        let dw = deriv_w(corners, u, v);
+        let jac = Mat3::from_cols(du, dv, dw);
+        let inv = jac.inverse()?;
+        let step = inv.mul_vec(r);
+        u -= step.x;
+        v -= step.y;
+        w -= step.z;
+        u = u.clamp(-2.0, 3.0);
+        v = v.clamp(-2.0, 3.0);
+        w = w.clamp(-2.0, 3.0);
+        if step.max_abs() < NEWTON_TOL {
+            return Some((u, v, w));
+        }
+    }
+    Some((u, v, w))
+}
+
+/// One cell's trilinear map with its twelve corner differences
+/// precomputed — the Newton iteration then evaluates the map and all
+/// three Jacobian columns from the cached differences. The difference
+/// values are exactly those `deriv_u`/`deriv_v`/`deriv_w` recompute per
+/// call, and the lerp chains reuse the same expressions, so fused
+/// evaluation is bit-identical to the separate one.
+pub struct TrilinearCell {
+    c: [Vec3; 8],
+    /// `c[1]-c[0], c[3]-c[2], c[5]-c[4], c[7]-c[6]` (u-direction).
+    du: [Vec3; 4],
+    /// `c[2]-c[0], c[3]-c[1], c[6]-c[4], c[7]-c[5]` (v-direction).
+    dv: [Vec3; 4],
+    /// `c[4]-c[0], c[5]-c[1], c[6]-c[2], c[7]-c[3]` (w-direction).
+    dw: [Vec3; 4],
+}
+
+impl TrilinearCell {
+    pub fn new(corners: &[Vec3; 8]) -> Self {
+        let c = *corners;
+        TrilinearCell {
+            c,
+            du: [c[1] - c[0], c[3] - c[2], c[5] - c[4], c[7] - c[6]],
+            dv: [c[2] - c[0], c[3] - c[1], c[6] - c[4], c[7] - c[5]],
+            dw: [c[4] - c[0], c[5] - c[1], c[6] - c[2], c[7] - c[3]],
+        }
+    }
+
+    /// The trilinear map at `(u, v, w)`; same lerp chain as
+    /// [`trilinear_vec3`] with the u-direction differences reused.
+    #[inline]
+    pub fn value(&self, u: f64, v: f64, w: f64) -> Vec3 {
+        let c00 = self.c[0] + self.du[0] * u;
+        let c10 = self.c[2] + self.du[1] * u;
+        let c01 = self.c[4] + self.du[2] * u;
+        let c11 = self.c[6] + self.du[3] * u;
+        let c0 = c00.lerp(c10, v);
+        let c1 = c01.lerp(c11, v);
+        c0.lerp(c1, w)
+    }
+
+    /// The three Jacobian columns `(∂x/∂u, ∂x/∂v, ∂x/∂w)` at `(u, v, w)`.
+    #[inline]
+    pub fn jacobian_cols(&self, u: f64, v: f64, w: f64) -> (Vec3, Vec3, Vec3) {
+        let du = self.du[0]
+            .lerp(self.du[1], v)
+            .lerp(self.du[2].lerp(self.du[3], v), w);
+        let dv = self.dv[0]
+            .lerp(self.dv[1], u)
+            .lerp(self.dv[2].lerp(self.dv[3], u), w);
+        let dw = self.dw[0]
+            .lerp(self.dw[1], u)
+            .lerp(self.dw[2].lerp(self.dw[3], u), v);
+        (du, dv, dw)
+    }
 }
 
 fn deriv_u(c: &[Vec3; 8], v: f64, w: f64) -> Vec3 {
@@ -325,6 +415,35 @@ mod tests {
             assert!((u - uvw.0).abs() < 1e-7, "u {u} vs {}", uvw.0);
             assert!((v - uvw.1).abs() < 1e-7);
             assert!((w - uvw.2).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn fused_newton_bit_identical_to_oracle() {
+        let b = sheared_block(5);
+        // Interior, face, and far-outside targets: converged and
+        // non-converged (best-effort) iterations must all agree bitwise.
+        let probes = [
+            Vec3::new(0.31, 0.47, 0.22),
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(5.0, -3.0, 7.0),
+            Vec3::new(0.999, 0.5, 0.001),
+        ];
+        for cell in [(0, 0, 0), (1, 2, 3), (3, 3, 3)] {
+            let corners = b.cell_corners(cell.0, cell.1, cell.2);
+            for &p in &probes {
+                let fast = invert_trilinear(&corners, p);
+                let oracle = invert_trilinear_oracle(&corners, p);
+                match (fast, oracle) {
+                    (Some((u1, v1, w1)), Some((u2, v2, w2))) => {
+                        assert_eq!(u1.to_bits(), u2.to_bits(), "{cell:?} {p:?}");
+                        assert_eq!(v1.to_bits(), v2.to_bits());
+                        assert_eq!(w1.to_bits(), w2.to_bits());
+                    }
+                    (None, None) => {}
+                    other => panic!("divergent outcomes {other:?}"),
+                }
+            }
         }
     }
 

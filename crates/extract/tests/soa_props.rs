@@ -1,0 +1,182 @@
+//! Property tests of the SoA fast paths against their retained AoS
+//! oracles: the vectorized kernels are rewrites for throughput, not new
+//! math, so on arbitrary inputs every one of them must be *bit-identical*
+//! to the scalar original — and the scoped thread pool must preserve
+//! item order at every thread count.
+
+use proptest::prelude::*;
+use vira_extract::bricktree::BrickTree;
+use vira_extract::iso::{extract_isosurface_oracle, extract_isosurface_soa_with_tree};
+use vira_extract::lambda2::{lambda2_field_oracle, lambda2_field_soa};
+use vira_extract::locate::{invert_trilinear, invert_trilinear_oracle};
+use vira_extract::par::scoped_map;
+use vira_grid::block::{BlockDims, CurvilinearBlock};
+use vira_grid::field::{BlockData, ScalarField, ScalarFieldSoA, VectorField};
+use vira_grid::math::Vec3;
+
+/// A regular lattice on the unit cube (geometry does not influence the
+/// scan kernels, only the interpolated vertex positions).
+fn lattice(dims: BlockDims) -> CurvilinearBlock {
+    let mut points = Vec::with_capacity(dims.n_points());
+    for k in 0..dims.nk {
+        for j in 0..dims.nj {
+            for i in 0..dims.ni {
+                points.push(Vec3::new(
+                    i as f64 / (dims.ni - 1).max(1) as f64,
+                    j as f64 / (dims.nj - 1).max(1) as f64,
+                    k as f64 / (dims.nk - 1).max(1) as f64,
+                ));
+            }
+        }
+    }
+    CurvilinearBlock::new(0, dims, points)
+}
+
+/// Dims spanning sub-lane, exact-lane and multi-lane row lengths, plus
+/// a value vector of matching length.
+fn dims_and_values() -> impl Strategy<Value = (BlockDims, Vec<f64>)> {
+    (2usize..=11, 2usize..=7, 2usize..=7)
+        .prop_map(|(ni, nj, nk)| BlockDims::new(ni, nj, nk))
+        .prop_flat_map(|d| {
+            let n = d.n_points();
+            (Just(d), prop::collection::vec(-1.0f64..1.0, n..=n))
+        })
+}
+
+/// As above but with a velocity vector per point.
+fn dims_and_velocities() -> impl Strategy<Value = (BlockDims, Vec<[f64; 3]>)> {
+    (3usize..=9, 3usize..=7, 3usize..=7)
+        .prop_map(|(ni, nj, nk)| BlockDims::new(ni, nj, nk))
+        .prop_flat_map(|d| {
+            let n = d.n_points();
+            (
+                Just(d),
+                prop::collection::vec(prop::array::uniform3(-2.0f64..2.0), n..=n),
+            )
+        })
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    /// The SoA run-scan contour kernel reproduces the AoS oracle's
+    /// surface byte for byte on arbitrary fields — unpruned (pure scan
+    /// comparison) and pruned through `BrickTree::build_soa` (the shape
+    /// the parallel extraction path runs).
+    #[test]
+    fn soa_contour_is_byte_identical_to_aos_oracle(
+        (dims, values) in dims_and_values(),
+        iso in -1.2f64..1.2,
+    ) {
+        let grid = lattice(dims);
+        let field = ScalarField::new(dims, values);
+        let soa = ScalarFieldSoA::from(field.clone());
+
+        let (aos_soup, aos_stats) = extract_isosurface_oracle(&grid, &field, iso, None);
+        let (soa_soup, soa_stats) = extract_isosurface_soa_with_tree(&grid, &soa, iso, None);
+        prop_assert_eq!(soa_soup.to_bytes(), aos_soup.to_bytes());
+        prop_assert_eq!(soa_stats.triangles, aos_stats.triangles);
+        prop_assert_eq!(soa_stats.active_cells, aos_stats.active_cells);
+
+        let tree = BrickTree::build_soa(&soa);
+        let (pruned_soup, pruned_stats) =
+            extract_isosurface_soa_with_tree(&grid, &soa, iso, Some(&tree));
+        prop_assert_eq!(pruned_soup.to_bytes(), aos_soup.to_bytes());
+        prop_assert_eq!(pruned_stats.triangles, aos_stats.triangles);
+        prop_assert_eq!(
+            pruned_stats.cells_visited + pruned_stats.cells_skipped,
+            dims.n_cells(),
+            "visited + skipped must partition the block"
+        );
+    }
+
+    /// The staged λ₂ row kernels are an operation-for-operation
+    /// transcription of the per-point oracle, so the two fields must
+    /// agree to the last bit on arbitrary velocity data.
+    #[test]
+    fn lambda2_soa_rows_match_the_point_oracle_bitwise(
+        (dims, vel) in dims_and_velocities(),
+    ) {
+        let grid = lattice(dims);
+        let velocity = VectorField::new(
+            dims,
+            vel.iter().map(|v| Vec3::new(v[0], v[1], v[2])).collect(),
+        );
+        let data = BlockData::new(vira_grid::block::BlockStepId::new(0, 0), grid, velocity, 0.0);
+        let soa = lambda2_field_soa(&data);
+        let oracle = lambda2_field_oracle(&data);
+        prop_assert_eq!(soa.dims, oracle.dims);
+        prop_assert_eq!(bits(&soa.values), bits(&oracle.values));
+    }
+
+    /// The lane min/max scan agrees exactly with a branchy scalar fold.
+    #[test]
+    fn lane_minmax_matches_the_scalar_fold(
+        (dims, values) in dims_and_values(),
+    ) {
+        let field = ScalarField::new(dims, values.clone());
+        let soa = ScalarFieldSoA::new(dims, values.clone());
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in &values {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        prop_assert_eq!(field.range(), Some((lo, hi)));
+        prop_assert_eq!(soa.min_max(), Some((lo, hi)));
+    }
+
+    /// The fused Newton trilinear inversion (hoisted corner differences)
+    /// is bit-identical to the per-iteration oracle on random sheared
+    /// cells and probe points — including the divergence cases.
+    #[test]
+    fn fused_newton_inversion_matches_the_oracle_bitwise(
+        jitter in prop::array::uniform24(-0.2f64..0.2),
+        probe in prop::array::uniform3(-0.4f64..1.4),
+    ) {
+        let unit = [
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(1.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::new(1.0, 0.0, 1.0),
+            Vec3::new(0.0, 1.0, 1.0),
+            Vec3::new(1.0, 1.0, 1.0),
+        ];
+        let mut cell = unit;
+        for (c, j) in cell.iter_mut().zip(jitter.chunks(3)) {
+            *c = *c + Vec3::new(j[0], j[1], j[2]);
+        }
+        let p = Vec3::new(probe[0], probe[1], probe[2]);
+        let fused = invert_trilinear(&cell, p);
+        let oracle = invert_trilinear_oracle(&cell, p);
+        match (fused, oracle) {
+            (Some(a), Some(b)) => {
+                prop_assert_eq!(a.0.to_bits(), b.0.to_bits());
+                prop_assert_eq!(a.1.to_bits(), b.1.to_bits());
+                prop_assert_eq!(a.2.to_bits(), b.2.to_bits());
+            }
+            (None, None) => {}
+            (a, b) => prop_assert!(false, "fused {a:?} vs oracle {b:?}"),
+        }
+    }
+
+    /// `scoped_map` returns results in item order at every thread count,
+    /// with each item visited exactly once at its own index.
+    #[test]
+    fn scoped_map_preserves_item_order_at_any_width(
+        items in prop::collection::vec(any::<i64>(), 0..40),
+        threads in 1usize..9,
+    ) {
+        let got = scoped_map(threads, &items, |idx, &v| (idx, v.wrapping_mul(3)));
+        let want: Vec<(usize, i64)> = items
+            .iter()
+            .enumerate()
+            .map(|(idx, &v)| (idx, v.wrapping_mul(3)))
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+}

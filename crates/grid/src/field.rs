@@ -3,6 +3,7 @@
 //! system moves around.
 
 use crate::block::{trilinear, trilinear_vec3, BlockDims, BlockStepId, CurvilinearBlock};
+use crate::lanes;
 use crate::math::Vec3;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -53,16 +54,23 @@ impl ScalarField {
     }
 
     /// Minimum and maximum sample over the whole block; `None` when empty.
+    ///
+    /// Routed through the lane-parallel scan in [`crate::lanes`]; block
+    /// ranges that feed pruning are additionally memoized next to the
+    /// bricktree in `viracocha`'s derived-field cache.
     pub fn range(&self) -> Option<(f64, f64)> {
-        let mut it = self.values.iter().copied();
-        let first = it.next()?;
-        let mut lo = first;
-        let mut hi = first;
-        for v in it {
-            lo = lo.min(v);
-            hi = hi.max(v);
+        if self.values.is_empty() {
+            return None;
         }
-        Some((lo, hi))
+        Some(lanes::min_max(&self.values))
+    }
+
+    /// One contiguous row of point samples at fixed `(j, k)`, `i` from
+    /// `0` to `ni` — the slice primitive behind the vectorized kernels.
+    #[inline]
+    pub fn row(&self, j: usize, k: usize) -> &[f64] {
+        let base = self.dims.point_index(0, j, k);
+        &self.values[base..base + self.dims.ni]
     }
 
     /// Minimum and maximum over a half-open box of grid points, scanned
@@ -75,19 +83,7 @@ impl ScalarField {
         j: std::ops::Range<usize>,
         k: std::ops::Range<usize>,
     ) -> (f64, f64) {
-        debug_assert!(i.end <= self.dims.ni && j.end <= self.dims.nj && k.end <= self.dims.nk);
-        let mut lo = f64::INFINITY;
-        let mut hi = f64::NEG_INFINITY;
-        for kk in k {
-            for jj in j.clone() {
-                let base = self.dims.point_index(i.start, jj, kk);
-                for &v in &self.values[base..base + i.len()] {
-                    lo = lo.min(v);
-                    hi = hi.max(v);
-                }
-            }
-        }
-        (lo, hi)
+        ScalarFieldSoA::of(self).range_over_points(i, j, k)
     }
 
     /// Minimum and maximum over the eight corners of one cell.
@@ -152,6 +148,207 @@ impl VectorField {
             dims: self.dims,
             values: self.values.iter().map(|v| v.norm()).collect(),
         }
+    }
+}
+
+/// Structure-of-arrays view of a [`ScalarField`].
+///
+/// A scalar field already stores one contiguous `f64` array, so the SoA
+/// form shares the exact same buffer; the type exists so the vectorized
+/// kernels in `vira-extract` can take an explicitly lane-oriented input
+/// (row slices, lane-parallel range scans) without touching the serde
+/// wire type. Conversions in both directions move the buffer and are
+/// lossless by construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalarFieldSoA {
+    pub dims: BlockDims,
+    /// Point samples, `i` fastest; length `dims.n_points()`.
+    pub values: Vec<f64>,
+}
+
+impl ScalarFieldSoA {
+    pub fn new(dims: BlockDims, values: Vec<f64>) -> Self {
+        assert_eq!(values.len(), dims.n_points(), "scalar field size mismatch");
+        ScalarFieldSoA { dims, values }
+    }
+
+    #[inline]
+    pub fn at(&self, i: usize, j: usize, k: usize) -> f64 {
+        self.values[self.dims.point_index(i, j, k)]
+    }
+
+    /// One contiguous row of point samples at fixed `(j, k)`.
+    #[inline]
+    pub fn row(&self, j: usize, k: usize) -> &[f64] {
+        let base = self.dims.point_index(0, j, k);
+        &self.values[base..base + self.dims.ni]
+    }
+
+    /// Lane-parallel minimum and maximum over the block; `None` when
+    /// empty.
+    pub fn min_max(&self) -> Option<(f64, f64)> {
+        if self.values.is_empty() {
+            return None;
+        }
+        Some(lanes::min_max(&self.values))
+    }
+
+    /// Borrowing view over an existing AoS field (same layout, no copy).
+    pub fn of(field: &ScalarField) -> ScalarFieldSoAView<'_> {
+        ScalarFieldSoAView {
+            dims: field.dims,
+            values: &field.values,
+        }
+    }
+
+    /// Borrowing view over this field.
+    pub fn view(&self) -> ScalarFieldSoAView<'_> {
+        ScalarFieldSoAView {
+            dims: self.dims,
+            values: &self.values,
+        }
+    }
+}
+
+impl From<ScalarField> for ScalarFieldSoA {
+    fn from(f: ScalarField) -> Self {
+        ScalarFieldSoA {
+            dims: f.dims,
+            values: f.values,
+        }
+    }
+}
+
+impl From<ScalarFieldSoA> for ScalarField {
+    fn from(f: ScalarFieldSoA) -> Self {
+        ScalarField {
+            dims: f.dims,
+            values: f.values,
+        }
+    }
+}
+
+/// Borrowed counterpart of [`ScalarFieldSoA`], for running the
+/// vectorized kernels over a field owned elsewhere (e.g. an
+/// `Arc<ScalarField>` in the derived-field cache) without cloning the
+/// sample buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalarFieldSoAView<'a> {
+    pub dims: BlockDims,
+    pub values: &'a [f64],
+}
+
+impl ScalarFieldSoAView<'_> {
+    #[inline]
+    pub fn row(&self, j: usize, k: usize) -> &[f64] {
+        let base = self.dims.point_index(0, j, k);
+        &self.values[base..base + self.dims.ni]
+    }
+
+    /// Minimum and maximum over a half-open box of grid points, row-wise
+    /// through the lane-parallel fold (same contract as
+    /// [`ScalarField::range_over_points`]).
+    pub fn range_over_points(
+        &self,
+        i: std::ops::Range<usize>,
+        j: std::ops::Range<usize>,
+        k: std::ops::Range<usize>,
+    ) -> (f64, f64) {
+        debug_assert!(i.end <= self.dims.ni && j.end <= self.dims.nj && k.end <= self.dims.nk);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for kk in k {
+            for jj in j.clone() {
+                let base = self.dims.point_index(i.start, jj, kk);
+                (lo, hi) = lanes::min_max_seeded(lo, hi, &self.values[base..base + i.len()]);
+            }
+        }
+        (lo, hi)
+    }
+}
+
+/// Structure-of-arrays layout of a [`VectorField`]: one contiguous
+/// `f64` array per component, `i` fastest.
+///
+/// The hot kernels (velocity-gradient stencils, magnitude) read one
+/// component at a time; splitting the interleaved `Vec<Vec3>` into three
+/// planar arrays turns those reads into unit-stride streams the
+/// autovectorizer can chunk into lanes. Conversion from the serde AoS
+/// type is lossless (a pure permutation of the same `f64` values), so
+/// wire and DMS formats are untouched.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VectorFieldSoA {
+    pub dims: BlockDims,
+    pub xs: Vec<f64>,
+    pub ys: Vec<f64>,
+    pub zs: Vec<f64>,
+}
+
+impl VectorFieldSoA {
+    /// Splits a raw `Vec3` point array (e.g. a block's geometry) into
+    /// planar component arrays.
+    pub fn from_vec3s(dims: BlockDims, values: &[Vec3]) -> Self {
+        assert_eq!(values.len(), dims.n_points(), "vector field size mismatch");
+        let n = values.len();
+        let mut xs = vec![0.0; n];
+        let mut ys = vec![0.0; n];
+        let mut zs = vec![0.0; n];
+        for (p, v) in values.iter().enumerate() {
+            xs[p] = v.x;
+            ys[p] = v.y;
+            zs[p] = v.z;
+        }
+        VectorFieldSoA { dims, xs, ys, zs }
+    }
+
+    #[inline]
+    pub fn at(&self, i: usize, j: usize, k: usize) -> Vec3 {
+        let n = self.dims.point_index(i, j, k);
+        Vec3::new(self.xs[n], self.ys[n], self.zs[n])
+    }
+
+    /// Contiguous component rows at fixed `(j, k)`: `(x, y, z)`.
+    #[inline]
+    pub fn rows(&self, j: usize, k: usize) -> (&[f64], &[f64], &[f64]) {
+        let base = self.dims.point_index(0, j, k);
+        let end = base + self.dims.ni;
+        (&self.xs[base..end], &self.ys[base..end], &self.zs[base..end])
+    }
+
+    /// Magnitude field, lane-friendly: `sqrt(x² + y² + z²)` per point
+    /// over the planar arrays. Bit-identical to
+    /// [`VectorField::magnitude`] (same association as `Vec3::norm`).
+    pub fn magnitude(&self) -> ScalarFieldSoA {
+        let n = self.xs.len();
+        let mut values = vec![0.0; n];
+        for p in 0..n {
+            values[p] = (self.xs[p] * self.xs[p] + self.ys[p] * self.ys[p]
+                + self.zs[p] * self.zs[p])
+                .sqrt();
+        }
+        lanes::record_chunks(lanes::chunks_for(n));
+        ScalarFieldSoA {
+            dims: self.dims,
+            values,
+        }
+    }
+
+    /// Back-conversion to the interleaved serde type; exact inverse of
+    /// `From<&VectorField>`.
+    pub fn to_aos(&self) -> VectorField {
+        let values = (0..self.xs.len())
+            .map(|n| Vec3::new(self.xs[n], self.ys[n], self.zs[n]))
+            .collect();
+        VectorField {
+            dims: self.dims,
+            values,
+        }
+    }
+}
+
+impl From<&VectorField> for VectorFieldSoA {
+    fn from(f: &VectorField) -> Self {
+        VectorFieldSoA::from_vec3s(f.dims, &f.values)
     }
 }
 
@@ -247,6 +444,65 @@ mod tests {
         let bd = BlockData::new(BlockStepId::new(7, 0), g, v, 0.0);
         // 27 points of geometry + 27 velocity vectors, 24 bytes each.
         assert_eq!(bd.memory_bytes(), 27 * 24 * 2);
+    }
+
+    #[test]
+    fn soa_roundtrip_is_lossless() {
+        let f = VectorField::from_fn(dims(), |i, j, k| {
+            Vec3::new(i as f64 + 0.25, j as f64 - 0.5, k as f64 * 3.0)
+        });
+        let soa = VectorFieldSoA::from(&f);
+        assert_eq!(soa.to_aos(), f);
+        let s = f.magnitude();
+        let s_soa = ScalarFieldSoA::from(s.clone());
+        assert_eq!(ScalarField::from(s_soa), s);
+    }
+
+    #[test]
+    fn soa_magnitude_bit_identical_to_aos() {
+        let f = VectorField::from_fn(dims(), |i, j, k| {
+            Vec3::new(
+                (i as f64).sin() + 0.1,
+                (j as f64 * 1.7).cos(),
+                k as f64 - 1.3,
+            )
+        });
+        let aos = f.magnitude();
+        let soa = VectorFieldSoA::from(&f).magnitude();
+        assert_eq!(soa.values, aos.values);
+        assert!(aos
+            .values
+            .iter()
+            .zip(&soa.values)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn soa_rows_and_at_agree_with_aos() {
+        let f = VectorField::from_fn(dims(), |i, j, k| {
+            Vec3::new(i as f64, j as f64 * 2.0, k as f64 * 4.0)
+        });
+        let soa = VectorFieldSoA::from(&f);
+        let (xs, ys, zs) = soa.rows(1, 2);
+        for i in 0..3 {
+            assert_eq!(soa.at(i, 1, 2), f.at(i, 1, 2));
+            assert_eq!(Vec3::new(xs[i], ys[i], zs[i]), f.at(i, 1, 2));
+        }
+    }
+
+    #[test]
+    fn lane_range_matches_scalar_fold() {
+        // A field big enough to engage full lane chunks plus a tail.
+        let d = BlockDims::new(11, 5, 3);
+        let f = ScalarField::from_fn(d, |i, j, k| ((i * 31 + j * 7 + k * 3) % 13) as f64 - 6.0);
+        let mut lo = f.values[0];
+        let mut hi = f.values[0];
+        for &v in &f.values[1..] {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        assert_eq!(f.range(), Some((lo, hi)));
+        assert_eq!(ScalarFieldSoA::from(f).min_max(), Some((lo, hi)));
     }
 
     #[test]

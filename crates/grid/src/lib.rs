@@ -9,7 +9,10 @@
 //! * [`math`] — `Vec3`, `Mat3`, `Aabb` primitives.
 //! * [`block`] — structured block lattices and trilinear interpolation.
 //! * [`field`] — scalar/vector point fields and the [`field::BlockData`]
-//!   data item moved around by the data management system.
+//!   data item moved around by the data management system, plus the
+//!   structure-of-arrays forms consumed by the vectorized kernels.
+//! * [`lanes`] — lane-chunked min/max scan primitives behind those
+//!   kernels.
 //! * [`synth`] — analytic stand-ins for the paper's *Engine* and *Propfan*
 //!   datasets (Table 1 structure preserved).
 //! * [`topology`] — block adjacency for pathline continuation and
@@ -32,11 +35,15 @@ pub mod block;
 pub mod faces;
 pub mod field;
 pub mod io;
+pub mod lanes;
 pub mod math;
 pub mod synth;
 pub mod topology;
 
 pub use block::{BlockDims, BlockId, BlockStepId, CurvilinearBlock, StepId};
 pub use faces::{face_dims, face_points, matching_interface, Face, Interface};
-pub use field::{BlockData, ScalarField, SharedBlockData, VectorField};
+pub use field::{
+    BlockData, ScalarField, ScalarFieldSoA, ScalarFieldSoAView, SharedBlockData, VectorField,
+    VectorFieldSoA,
+};
 pub use math::{Aabb, Mat3, Vec3};

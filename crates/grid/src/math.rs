@@ -214,6 +214,7 @@ impl Mat3 {
     };
 
     /// Builds a matrix from three row vectors.
+    #[inline]
     pub fn from_rows(r0: Vec3, r1: Vec3, r2: Vec3) -> Mat3 {
         Mat3 {
             m: [r0.to_array(), r1.to_array(), r2.to_array()],
@@ -221,6 +222,7 @@ impl Mat3 {
     }
 
     /// Builds a matrix from three column vectors.
+    #[inline]
     pub fn from_cols(c0: Vec3, c1: Vec3, c2: Vec3) -> Mat3 {
         Mat3 {
             m: [
@@ -241,10 +243,12 @@ impl Mat3 {
         Vec3::new(self.m[0][j], self.m[1][j], self.m[2][j])
     }
 
+    #[inline]
     pub fn transpose(&self) -> Mat3 {
         Mat3::from_rows(self.col(0), self.col(1), self.col(2))
     }
 
+    #[inline]
     pub fn det(&self) -> f64 {
         let m = &self.m;
         m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
@@ -259,8 +263,18 @@ impl Mat3 {
         if d.abs() < 1e-300 {
             return None;
         }
+        Some(self.scaled_adjugate(1.0 / d))
+    }
+
+    /// The adjugate scaled by `inv_d` — the branch-free core of
+    /// [`Mat3::inverse`] (`inv_d = 1/det` gives the inverse). Exposed so
+    /// lane kernels can fold the singularity check into a value select
+    /// while computing the exact same entry expressions; with a
+    /// non-finite `inv_d` the entries are garbage the caller must
+    /// discard.
+    #[inline]
+    pub fn scaled_adjugate(&self, inv_d: f64) -> Mat3 {
         let m = &self.m;
-        let inv_d = 1.0 / d;
         let mut r = [[0.0; 3]; 3];
         r[0][0] = (m[1][1] * m[2][2] - m[1][2] * m[2][1]) * inv_d;
         r[0][1] = (m[0][2] * m[2][1] - m[0][1] * m[2][2]) * inv_d;
@@ -271,7 +285,7 @@ impl Mat3 {
         r[2][0] = (m[1][0] * m[2][1] - m[1][1] * m[2][0]) * inv_d;
         r[2][1] = (m[0][1] * m[2][0] - m[0][0] * m[2][1]) * inv_d;
         r[2][2] = (m[0][0] * m[1][1] - m[0][1] * m[1][0]) * inv_d;
-        Some(Mat3 { m: r })
+        Mat3 { m: r }
     }
 
     /// Matrix-vector product.
@@ -285,6 +299,7 @@ impl Mat3 {
     }
 
     /// Matrix-matrix product.
+    #[inline]
     pub fn mul_mat(&self, o: &Mat3) -> Mat3 {
         let mut r = [[0.0; 3]; 3];
         for (i, row) in r.iter_mut().enumerate() {
@@ -297,6 +312,7 @@ impl Mat3 {
 
     /// Symmetric part `(A + Aᵀ) / 2`.
     #[allow(clippy::needless_range_loop)]
+    #[inline]
     pub fn symmetric_part(&self) -> Mat3 {
         let t = self.transpose();
         let mut r = [[0.0; 3]; 3];
@@ -310,6 +326,7 @@ impl Mat3 {
 
     /// Anti-symmetric part `(A - Aᵀ) / 2`.
     #[allow(clippy::needless_range_loop)]
+    #[inline]
     pub fn antisymmetric_part(&self) -> Mat3 {
         let t = self.transpose();
         let mut r = [[0.0; 3]; 3];
@@ -322,12 +339,14 @@ impl Mat3 {
     }
 
     /// Sum of the diagonal entries.
+    #[inline]
     pub fn trace(&self) -> f64 {
         self.m[0][0] + self.m[1][1] + self.m[2][2]
     }
 
     /// Element-wise sum.
     #[allow(clippy::needless_range_loop)]
+    #[inline]
     pub fn add_mat(&self, o: &Mat3) -> Mat3 {
         let mut r = [[0.0; 3]; 3];
         for i in 0..3 {

@@ -302,6 +302,9 @@ pub const METRIC_REGISTRY: &[(&str, &str)] = &[
     ("dms_prefetch_issued_total", "Prefetch operations issued"),
     ("dms_prefetch_redundant_total", "Prefetches that found the item already cached"),
     ("dms_prefetch_waits_total", "Demand requests that waited on an in-flight prefetch"),
+    // extraction kernels
+    ("extract_lane_chunks_total", "Lane-width chunks processed by vectorized extraction kernels"),
+    ("extract_threads_total", "Threads entering intra-worker parallel extraction sections"),
     // fault injection
     ("fault_corrupt_total", "Frames corrupted by the fault plan"),
     ("fault_delay_total", "Frames delayed by the fault plan"),

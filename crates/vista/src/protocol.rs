@@ -151,6 +151,15 @@ pub struct JobReport {
     /// Finest-level bricks skipped whole.
     #[serde(default)]
     pub bricks_skipped: u64,
+    /// Modeled seconds spent inside intra-worker parallel extraction
+    /// sections, summed across the group (absent in frames from older
+    /// peers → 0; 0 on fully serial runs).
+    #[serde(default)]
+    pub extract_par_s: f64,
+    /// Maximum per-worker extraction thread count of the group (absent
+    /// in frames from older peers → 0; 1 = all workers ran serially).
+    #[serde(default)]
+    pub extract_threads: u32,
     /// Command retransmissions the scheduler issued for this job
     /// (absent in frames from older peers → 0).
     #[serde(default)]
@@ -529,6 +538,8 @@ mod tests {
             polylines: 0,
             cells_skipped: 1000,
             bricks_skipped: 12,
+            extract_par_s: 0.0625,
+            extract_threads: 4,
             retries: 2,
             degraded: true,
         };
@@ -579,6 +590,26 @@ mod tests {
         let back: JobReport = serde_json::from_value(v).unwrap();
         assert_eq!(back.retries, 0);
         assert!(!back.degraded);
+        assert_eq!(back.total_runtime_s, 2.0);
+    }
+
+    #[test]
+    fn report_without_extract_fields_decodes_with_zero_defaults() {
+        // Finals from schedulers predating intra-worker parallel
+        // extraction must still decode.
+        let report = JobReport {
+            total_runtime_s: 2.0,
+            extract_par_s: 0.5,
+            extract_threads: 8,
+            ..JobReport::default()
+        };
+        let mut v = serde_json::to_value(report).unwrap();
+        let obj = v.as_object_mut().unwrap();
+        obj.remove("extract_par_s");
+        obj.remove("extract_threads");
+        let back: JobReport = serde_json::from_value(v).unwrap();
+        assert_eq!(back.extract_par_s, 0.0);
+        assert_eq!(back.extract_threads, 0, "absent thread count means unknown");
         assert_eq!(back.total_runtime_s, 2.0);
     }
 

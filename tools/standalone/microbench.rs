@@ -1,0 +1,359 @@
+//! Standalone micro-benchmark harness for the registry-offline case.
+//!
+//! Mirrors the kernel benches in `crates/bench/benches/micro.rs` (same
+//! fixtures, same inner operations) but links only the bare-rustc shim
+//! build of `vira_obs`/`vira_grid`/`vira_extract`, so it runs where
+//! cargo cannot resolve criterion. Emits a JSON array of
+//! `{"name", "measured_ns"}` pairs on stdout in exactly the shape
+//! `vira_bench::micro_manifest::merge_measurements` consumes.
+//!
+//! Methodology: per bench, the iteration count is calibrated so one
+//! repetition takes a few milliseconds, then the **median** per-iteration
+//! time over several repetitions is reported — robust against one-off
+//! scheduling noise without criterion's full sampling machinery. Set
+//! `MICROBENCH_QUICK=1` for a fast smoke run (CI): fewer repetitions and
+//! a smaller time budget, same output shape.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use vira_extract::bricktree::BrickTree;
+use vira_extract::iso::{
+    extract_isosurface, extract_isosurface_oracle, extract_isosurface_soa_with_tree,
+    extract_isosurface_with_tree,
+};
+use vira_extract::lambda2::{lambda2_field_oracle, lambda2_field_soa};
+use vira_extract::locate::{invert_trilinear, invert_trilinear_oracle};
+use vira_extract::mesh::TriangleSoup;
+use vira_extract::par::scoped_map;
+use vira_extract::tetra::{contour_cell, CELL_TETRAHEDRA};
+use vira_grid::block::BlockStepId;
+use vira_grid::field::{BlockData, ScalarField, ScalarFieldSoA};
+use vira_grid::math::Vec3;
+use vira_grid::synth::test_cube;
+
+fn vortex_block(res: usize) -> BlockData {
+    test_cube(res, 1).generate(BlockStepId::new(0, 0))
+}
+
+fn speed_field(data: &BlockData) -> ScalarField {
+    data.velocity.magnitude()
+}
+
+struct Harness {
+    quick: bool,
+    results: Vec<(String, u64)>,
+}
+
+impl Harness {
+    fn new() -> Self {
+        Harness {
+            quick: std::env::var("MICROBENCH_QUICK").map(|v| v == "1").unwrap_or(false),
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `f` and records the median per-iteration nanoseconds.
+    fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        let (budget_ns, reps) = if self.quick {
+            (1_000_000u64, 5usize)
+        } else {
+            (5_000_000u64, 11usize)
+        };
+        // Calibrate: grow the per-rep iteration count until one rep
+        // costs at least `budget_ns`.
+        let mut iters = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t.elapsed().as_nanos() as u64;
+            if elapsed >= budget_ns || iters >= 1 << 30 {
+                break;
+            }
+            // Aim past the budget in one or two more doublings.
+            iters = (iters * 2).max(iters * budget_ns / elapsed.max(1) / 2);
+        }
+        let mut per_iter: Vec<u64> = (0..reps)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                (t.elapsed().as_nanos() as u64).max(iters) / iters
+            })
+            .collect();
+        per_iter.sort_unstable();
+        let median = per_iter[per_iter.len() / 2];
+        eprintln!("{name}: {median} ns/iter ({iters} iters x {reps} reps)");
+        self.results.push((name.to_string(), median));
+    }
+
+    fn emit(&self) {
+        println!("[");
+        for (idx, (name, ns)) in self.results.iter().enumerate() {
+            let comma = if idx + 1 == self.results.len() { "" } else { "," };
+            println!("  {{\"name\": \"{name}\", \"measured_ns\": {ns}}}{comma}");
+        }
+        println!("]");
+    }
+}
+
+// ---- baseline contouring kernel, kept verbatim from the criterion
+// bench so `tetra/contour_cell_active_baseline` measures the same code.
+
+fn edge_point(pa: Vec3, pb: Vec3, sa: f64, sb: f64, iso: f64) -> Vec3 {
+    let t = (iso - sa) / (sb - sa);
+    pa.lerp(pb, t.clamp(0.0, 1.0))
+}
+
+fn push_oriented(out: &mut TriangleSoup, a: Vec3, b: Vec3, c: Vec3, toward: Vec3) {
+    let n = (b - a).cross(c - a);
+    if n.dot(toward) < 0.0 {
+        out.push_tri(a, c, b);
+    } else {
+        out.push_tri(a, b, c);
+    }
+}
+
+fn contour_tetra_baseline(p: &[Vec3; 4], s: &[f64; 4], iso: f64, out: &mut TriangleSoup) -> usize {
+    let mut mask = 0usize;
+    for (i, &si) in s.iter().enumerate() {
+        if si > iso {
+            mask |= 1 << i;
+        }
+    }
+    if mask == 0 || mask == 0b1111 {
+        return 0;
+    }
+    let inside: Vec<usize> = (0..4).filter(|&i| mask & (1 << i) != 0).collect();
+    match inside.len() {
+        1 | 3 => {
+            let lone = if inside.len() == 1 {
+                inside[0]
+            } else {
+                (0..4).find(|i| !inside.contains(i)).expect("one outside")
+            };
+            let others: Vec<usize> = (0..4).filter(|&i| i != lone).collect();
+            let v: Vec<Vec3> = others
+                .iter()
+                .map(|&o| edge_point(p[lone], p[o], s[lone], s[o], iso))
+                .collect();
+            let centroid_others = (p[others[0]] + p[others[1]] + p[others[2]]) / 3.0;
+            let toward = if s[lone] > iso {
+                centroid_others - p[lone]
+            } else {
+                p[lone] - centroid_others
+            };
+            push_oriented(out, v[0], v[1], v[2], toward);
+            1
+        }
+        2 => {
+            let (a, b) = (inside[0], inside[1]);
+            let outside: Vec<usize> = (0..4).filter(|&i| i != a && i != b).collect();
+            let (c, d) = (outside[0], outside[1]);
+            let q0 = edge_point(p[a], p[c], s[a], s[c], iso);
+            let q1 = edge_point(p[b], p[c], s[b], s[c], iso);
+            let q2 = edge_point(p[b], p[d], s[b], s[d], iso);
+            let q3 = edge_point(p[a], p[d], s[a], s[d], iso);
+            let toward = (p[c] + p[d] - p[a] - p[b]) * 0.5;
+            push_oriented(out, q0, q1, q2, toward);
+            push_oriented(out, q0, q2, q3, toward);
+            2
+        }
+        _ => unreachable!(),
+    }
+}
+
+fn contour_cell_baseline(
+    corners: &[Vec3; 8],
+    scalars: &[f64; 8],
+    iso: f64,
+    out: &mut TriangleSoup,
+) -> usize {
+    let mut n = 0;
+    for tet in &CELL_TETRAHEDRA {
+        let p = [
+            corners[tet[0]],
+            corners[tet[1]],
+            corners[tet[2]],
+            corners[tet[3]],
+        ];
+        let s = [
+            scalars[tet[0]],
+            scalars[tet[1]],
+            scalars[tet[2]],
+            scalars[tet[3]],
+        ];
+        n += contour_tetra_baseline(&p, &s, iso, out);
+    }
+    n
+}
+
+/// The branchy scalar min/max fold `ScalarField::range` used before the
+/// lane scan, retained here as the AoS side of the `minmax` pair.
+fn scalar_range(values: &[f64]) -> Option<(f64, f64)> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in values {
+        if v < lo {
+            lo = v;
+        }
+        if v > hi {
+            hi = v;
+        }
+    }
+    Some((lo, hi))
+}
+
+fn main() {
+    let mut h = Harness::new();
+    vira_obs::set_enabled(false);
+
+    // ---- tetra pair (fixture from bench_contour) ----
+    let corners = [
+        Vec3::new(0.0, 0.0, 0.0),
+        Vec3::new(1.0, 0.0, 0.0),
+        Vec3::new(0.0, 1.0, 0.0),
+        Vec3::new(1.0, 1.0, 0.0),
+        Vec3::new(0.0, 0.0, 1.0),
+        Vec3::new(1.0, 0.0, 1.0),
+        Vec3::new(0.0, 1.0, 1.0),
+        Vec3::new(1.0, 1.0, 1.0),
+    ];
+    let scalars = [0.1, 0.9, 0.2, 0.8, 0.3, 0.7, 0.4, 0.6];
+    let mut out = TriangleSoup::with_capacity(16);
+    h.bench("tetra/contour_cell_active", || {
+        out.positions.clear();
+        contour_cell(black_box(&corners), black_box(&scalars), 0.5, &mut out)
+    });
+    h.bench("tetra/contour_cell_active_baseline", || {
+        out.positions.clear();
+        contour_cell_baseline(black_box(&corners), black_box(&scalars), 0.5, &mut out)
+    });
+
+    // ---- bricktree + sparse iso (fixture from bench_bricktree) ----
+    let data25 = vortex_block(25);
+    let grid25 = &data25.grid;
+    let sphere = ScalarField::from_fn(grid25.dims, |i, j, k| {
+        (grid25.point(i, j, k) - Vec3::splat(0.5)).norm()
+    });
+    let iso_sphere = 0.15;
+    h.bench("bricktree/build_25cubed", || BrickTree::build(black_box(&sphere)));
+    let tree25 = BrickTree::build(&sphere);
+    h.bench("bricktree/scan_sparse_25cubed", || {
+        let mut n = 0usize;
+        tree25.scan_candidates(black_box(iso_sphere), |_, _, _| n += 1);
+        n
+    });
+    h.bench("iso/extract_sparse_pruned", || {
+        extract_isosurface_with_tree(grid25, black_box(&sphere), iso_sphere, Some(&tree25))
+    });
+    h.bench("iso/extract_sparse_unpruned", || {
+        extract_isosurface_with_tree(grid25, black_box(&sphere), iso_sphere, None)
+    });
+
+    // ---- mesh encode/decode (fixture from bench_mesh_encode) ----
+    let data17 = vortex_block(17);
+    let speed17 = speed_field(&data17);
+    let (soup, _) = extract_isosurface(&data17.grid, &speed17, 0.15);
+    assert!(!soup.is_empty());
+    h.bench("mesh/soup_to_bytes", || black_box(&soup).to_bytes());
+    let bytes = soup.to_bytes();
+    h.bench("mesh/soup_from_bytes", || {
+        TriangleSoup::from_bytes(black_box(bytes.clone())).expect("well-formed")
+    });
+
+    // ---- contour pair: vectorized SoA run scan vs retained AoS oracle.
+    // Unpruned on the sparse 25-cubed sphere, so the pair isolates the
+    // cell *scan* (the part the SoA rewrite vectorizes) rather than the
+    // shared triangulation of active cells; pruned-vs-unpruned is
+    // covered by the iso/extract_sparse pair above. ----
+    let sphere_soa = ScalarFieldSoA::from(sphere.clone());
+    h.bench("contour/block_scan_soa", || {
+        extract_isosurface_soa_with_tree(grid25, black_box(&sphere_soa), iso_sphere, None)
+    });
+    h.bench("contour/block_scan_aos", || {
+        extract_isosurface_oracle(grid25, black_box(&sphere), iso_sphere, None)
+    });
+
+    // ---- lambda2 pair (fixture from bench_lambda2) ----
+    h.bench("lambda2/field_soa", || lambda2_field_soa(black_box(&data17)));
+    h.bench("lambda2/field_aos", || lambda2_field_oracle(black_box(&data17)));
+
+    // ---- min/max pair over a 25-cubed speed field ----
+    let speed25 = speed_field(&data25);
+    h.bench("minmax/block_range_lanes", || black_box(&speed25).range());
+    h.bench("minmax/block_range_scalar", || scalar_range(black_box(&speed25.values)));
+
+    // ---- Newton point-location pair on a sheared cell ----
+    let shear = |u: f64, v: f64, w: f64| {
+        Vec3::new(u + 0.3 * v + 0.1 * w, v + 0.2 * w * u, w + 0.15 * u * v)
+    };
+    let cell = [
+        shear(0.0, 0.0, 0.0),
+        shear(1.0, 0.0, 0.0),
+        shear(0.0, 1.0, 0.0),
+        shear(1.0, 1.0, 0.0),
+        shear(0.0, 0.0, 1.0),
+        shear(1.0, 0.0, 1.0),
+        shear(0.0, 1.0, 1.0),
+        shear(1.0, 1.0, 1.0),
+    ];
+    let probe = shear(0.37, 0.61, 0.22);
+    assert!(invert_trilinear(&cell, probe).is_some());
+    h.bench("locate/newton_fused", || invert_trilinear(black_box(&cell), black_box(probe)));
+    h.bench("locate/newton_aos", || {
+        invert_trilinear_oracle(black_box(&cell), black_box(probe))
+    });
+
+    // ---- intra-worker parallel block extraction: 8 items of 17-cubed
+    // (one block over 8 steps — the test-cube dataset is single-block),
+    // full SoA extraction per item, scoped pool at 1/2/4/8 threads ----
+    let blocks: Vec<(BlockData, ScalarFieldSoA, BrickTree)> = (0..8)
+        .map(|s| {
+            let data = test_cube(17, 8).generate(BlockStepId::new(0, s));
+            let soa: ScalarFieldSoA = speed_field(&data).into();
+            let tree = BrickTree::build_soa(&soa);
+            (data, soa, tree)
+        })
+        .collect();
+    for threads in [1usize, 2, 4, 8] {
+        h.bench(&format!("extract/parallel_blocks_{threads}t"), || {
+            scoped_map(threads, &blocks, |_, (data, soa, tree)| {
+                extract_isosurface_soa_with_tree(&data.grid, soa, 0.15, Some(tree))
+            })
+        });
+    }
+
+    // ---- obs layer (fixture from bench_obs) ----
+    vira_obs::set_enabled(false);
+    h.bench("obs/span_disabled", || vira_obs::span(black_box("bench.span"), "bench"));
+    vira_obs::set_enabled(true);
+    h.bench("obs/span_enabled", || {
+        vira_obs::span(black_box("bench.span"), "bench").arg("i", 1u64)
+    });
+    vira_obs::set_enabled(false);
+    let _ = vira_obs::drain();
+    let counter = vira_obs::counter("obs_bench_scratch_total");
+    h.bench("obs/counter_inc", || counter.inc());
+    let ctx = vira_obs::TraceCtx {
+        trace_id: 0x5eed,
+        parent_span_id: 7,
+    };
+    h.bench("obs/install_ctx", || vira_obs::install_ctx(black_box(ctx)));
+    vira_obs::set_enabled(true);
+    let guard = vira_obs::install_ctx(ctx);
+    h.bench("obs/span_under_ctx", || {
+        vira_obs::span(black_box("bench.span"), "bench").arg("i", 1u64)
+    });
+    drop(guard);
+    vira_obs::set_enabled(false);
+    let _ = vira_obs::drain();
+
+    h.emit();
+}
