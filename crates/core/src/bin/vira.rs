@@ -9,6 +9,8 @@
 //!          [--save surface.obj|surface.vtk] [--save-lines traces.vtk] \
 //!          [--trace-out traces/]
 //! vira trace-analyze traces/ [--check 0.25]   critical-path attribution
+//! vira top traces/ [--once] [--json]          live telemetry dashboard
+//! vira slo-report traces/ [--json]            replay SLOs from a recording
 //! ```
 //!
 //! Argument parsing is deliberately dependency-free. Diagnostics go
@@ -26,10 +28,30 @@ use vira_vista::{CommandParams, SubmitSpec, VistaClient};
 use viracocha::{default_registry, FaultPlan, Viracocha, ViracochaConfig};
 
 fn usage() -> ! {
-    eprintln!(
-        "usage:\n  vira commands\n  vira datasets\n  vira suggest --dataset <engine|propfan|cube> [--res N] [--exceed F]\n  vira run --dataset <engine|propfan|cube> --command <Name> [--workers N]\n           [--res N] [--dilation F] [--fault-plan <file>] [--param key=value]...\n           [--backfill on|off] [--max-skipped N] [--locality on|off]\n           [--fair-share on|off] [--trace-out <dir>]\n  vira trace-analyze <dir> [--check <min-coverage>]"
+    // Help goes through the structured event log like every other
+    // diagnostic (echoed to stderr by default), so nothing in the CLI
+    // bypasses `events.jsonl` when tracing is on.
+    vira_obs::error(
+        "vira",
+        "usage:\n  vira commands\n  vira datasets\n  vira suggest --dataset <engine|propfan|cube> [--res N] [--exceed F]\n  vira run --dataset <engine|propfan|cube> --command <Name> [--workers N]\n           [--res N] [--dilation F] [--fault-plan <file>] [--param key=value]...\n           [--backfill on|off] [--max-skipped N] [--locality on|off]\n           [--fair-share on|off] [--trace-out <dir>]\n           [--slo-job-latency-ms N] [--slo-ttfg-ms N]\n  vira top <dir> [--once] [--json] [--refresh <ms>]\n  vira slo-report <dir> [--json] [--slo-job-latency-ms N] [--slo-ttfg-ms N]\n  vira trace-analyze <dir> [--check <min-coverage>]",
+        &[],
     );
     std::process::exit(2);
+}
+
+/// Parses `--key` as a `T`, exiting through [`usage`] with a structured
+/// error instead of a raw panic when the value does not parse.
+fn flag_parse<T: std::str::FromStr>(args: &Args, key: &str, expects: &str) -> Option<T> {
+    args.flags.get(key).map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            vira_obs::error(
+                "vira",
+                &format!("--{key} expects {expects}, got '{v}'"),
+                &[],
+            );
+            usage();
+        })
+    })
 }
 
 /// Minimal flag parser: `--key value` pairs plus repeatable `--param
@@ -111,17 +133,13 @@ fn cmd_datasets() {
 }
 
 fn cmd_suggest(args: Args) {
-    let dataset = args.flags.get("dataset").cloned().unwrap_or_else(|| usage());
-    let res: usize = args
+    let dataset = args
         .flags
-        .get("res")
-        .map(|v| v.parse().expect("--res must be an integer"))
-        .unwrap_or(6);
-    let exceed: f64 = args
-        .flags
-        .get("exceed")
-        .map(|v| v.parse().expect("--exceed must be a number"))
-        .unwrap_or(0.1);
+        .get("dataset")
+        .cloned()
+        .unwrap_or_else(|| usage());
+    let res: usize = flag_parse(&args, "res", "an integer").unwrap_or(6);
+    let exceed: f64 = flag_parse(&args, "exceed", "a number").unwrap_or(0.1);
     let ds = build_dataset(&dataset, res);
     // Velocity-magnitude fields of the first time step, block by block.
     let fields: Vec<_> = (0..ds.spec.n_blocks)
@@ -153,23 +171,19 @@ fn parse_switch(flag: &str, value: &str) -> bool {
 }
 
 fn cmd_run(args: Args) {
-    let dataset = args.flags.get("dataset").cloned().unwrap_or_else(|| usage());
-    let command = args.flags.get("command").cloned().unwrap_or_else(|| usage());
-    let workers: usize = args
+    let dataset = args
         .flags
-        .get("workers")
-        .map(|v| v.parse().expect("--workers must be an integer"))
-        .unwrap_or(2);
-    let res: usize = args
+        .get("dataset")
+        .cloned()
+        .unwrap_or_else(|| usage());
+    let command = args
         .flags
-        .get("res")
-        .map(|v| v.parse().expect("--res must be an integer"))
-        .unwrap_or(6);
-    let dilation: f64 = args
-        .flags
-        .get("dilation")
-        .map(|v| v.parse().expect("--dilation must be a number"))
-        .unwrap_or(0.0);
+        .get("command")
+        .cloned()
+        .unwrap_or_else(|| usage());
+    let workers: usize = flag_parse(&args, "workers", "an integer").unwrap_or(2);
+    let res: usize = flag_parse(&args, "res", "an integer").unwrap_or(6);
+    let dilation: f64 = flag_parse(&args, "dilation", "a number").unwrap_or(0.0);
 
     let trace_out = args.flags.get("trace-out").map(std::path::PathBuf::from);
     if trace_out.is_some() {
@@ -188,10 +202,16 @@ fn cmd_run(args: Args) {
     if let Some(v) = args.flags.get("fair-share") {
         config.sched.fair_share = parse_switch("fair-share", v);
     }
-    if let Some(v) = args.flags.get("max-skipped") {
-        config.sched.max_skipped_dispatches =
-            v.parse().expect("--max-skipped must be an integer");
+    if let Some(n) = flag_parse(&args, "max-skipped", "an integer") {
+        config.sched.max_skipped_dispatches = n;
     }
+    if let Some(ms) = flag_parse::<u64>(&args, "slo-job-latency-ms", "milliseconds") {
+        config.telemetry.job_latency_slo_ns = ms.saturating_mul(1_000_000);
+    }
+    if let Some(ms) = flag_parse::<u64>(&args, "slo-ttfg-ms", "milliseconds") {
+        config.telemetry.ttfg_slo_ns = ms.saturating_mul(1_000_000);
+    }
+    config.telemetry.out_dir = trace_out.clone();
     let (backend, link) = match args.flags.get("fault-plan") {
         Some(path) => {
             let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -258,18 +278,29 @@ fn cmd_run(args: Args) {
                 out.packets.len()
             );
             if let Some(first) = out.first_result_wall {
-                println!("first data : {:.3} s wall after submit", first.as_secs_f64());
+                println!(
+                    "first data : {:.3} s wall after submit",
+                    first.as_secs_f64()
+                );
             }
             if let Some(path) = args.flags.get("save") {
                 match vira_extract::export::save_soup(&out.triangles, std::path::Path::new(path)) {
-                    Ok(()) => println!("saved      : {} ({} triangles)", path, out.triangles.n_triangles()),
+                    Ok(()) => println!(
+                        "saved      : {} ({} triangles)",
+                        path,
+                        out.triangles.n_triangles()
+                    ),
                     Err(e) => vira_obs::error("vira", &format!("could not save {path}: {e}"), &[]),
                 }
             }
             if let Some(path) = args.flags.get("save-lines") {
                 let save = std::fs::File::create(path).and_then(|f| {
                     let mut w = std::io::BufWriter::new(f);
-                    vira_extract::export::write_vtk_polylines(&out.polylines, "viracocha traces", &mut w)
+                    vira_extract::export::write_vtk_polylines(
+                        &out.polylines,
+                        "viracocha traces",
+                        &mut w,
+                    )
                 });
                 match save {
                     Ok(()) => println!("saved      : {} ({} polylines)", path, out.polylines.len()),
@@ -337,8 +368,7 @@ fn cmd_trace_analyze(args: Args) {
         std::process::exit(1);
     }
     print!("{}", vira_obs::render_table(&rows));
-    if let Some(v) = args.flags.get("check") {
-        let min: f64 = v.parse().expect("--check must be a fraction like 0.25");
+    if let Some(min) = flag_parse::<f64>(&args, "check", "a fraction like 0.25") {
         for r in &rows {
             if r.coverage < min {
                 vira_obs::error(
@@ -358,6 +388,328 @@ fn cmd_trace_analyze(args: Args) {
     }
 }
 
+/// One-line cluster summary plus quantile / rank / SLO tables from a
+/// parsed `telemetry.json` snapshot. Pure so the layout is unit-testable.
+fn render_top(snap: &vira_obs::json::Json) -> String {
+    use std::fmt::Write;
+    let mut o = String::new();
+    let t_ns = snap.get("t_ns").and_then(|v| v.as_u64()).unwrap_or(0);
+    let done = snap.get("final").and_then(|v| v.as_bool()).unwrap_or(false);
+    let cluster = snap.get("cluster");
+    let counter = |name: &str| -> u64 {
+        cluster
+            .and_then(|c| c.get("counters"))
+            .and_then(|c| c.get(name))
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0)
+    };
+    let gauge = |name: &str| -> f64 {
+        cluster
+            .and_then(|c| c.get("gauges"))
+            .and_then(|c| c.get(name))
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0)
+    };
+    let _ = writeln!(
+        o,
+        "vira top — snapshot at {:.3} s{}",
+        t_ns as f64 / 1e9,
+        if done { " (final)" } else { "" }
+    );
+    let _ = writeln!(
+        o,
+        "jobs       : {} done / {} failed / queue depth {:.0} / running {:.0}",
+        counter("sched_jobs_done_total"),
+        counter("sched_jobs_failed_total"),
+        gauge("sched_queue_depth"),
+        gauge("sched_running_jobs")
+    );
+    let dup = snap
+        .get("tsdb")
+        .and_then(|t| t.get("dup_dropped"))
+        .and_then(|v| v.as_u64())
+        .unwrap_or(0);
+    let _ = writeln!(
+        o,
+        "telemetry  : {} deltas shipped / {} heartbeats / {} duplicate deltas dropped",
+        counter("obs_deltas_shipped_total"),
+        counter("obs_heartbeats_total"),
+        dup
+    );
+
+    if let Some(quants) = cluster
+        .and_then(|c| c.get("quantiles"))
+        .and_then(|q| q.as_obj())
+    {
+        if !quants.is_empty() {
+            let _ = writeln!(
+                o,
+                "\n{:<28} {:>9} {:>14} {:>14} {:>14} {:>14}",
+                "histogram (ns)", "count", "mean", "p50<=", "p99<=", "p999<="
+            );
+            for (name, q) in quants {
+                let u = |k: &str| q.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+                let mean = q.get("mean").and_then(|v| v.as_f64()).unwrap_or(0.0);
+                let _ = writeln!(
+                    o,
+                    "{:<28} {:>9} {:>14.0} {:>14} {:>14} {:>14}",
+                    name,
+                    u("count"),
+                    mean,
+                    u("p50_ub"),
+                    u("p99_ub"),
+                    u("p999_ub")
+                );
+            }
+        }
+    }
+
+    if let Some(ranks) = snap.get("ranks").and_then(|r| r.as_arr()) {
+        if !ranks.is_empty() {
+            let _ = writeln!(
+                o,
+                "\n{:<5} {:<6} {:>9} {:>14} {:>7} {:>14}",
+                "rank", "alive", "resident", "clock off ns", "deltas", "delta age ms"
+            );
+            for r in ranks {
+                let u = |k: &str| r.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+                let alive = r.get("alive").and_then(|v| v.as_bool()).unwrap_or(false);
+                let offset = r
+                    .get("clock_offset_ns")
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or(0.0);
+                let _ = writeln!(
+                    o,
+                    "{:<5} {:<6} {:>9} {:>14.0} {:>7} {:>14.1}",
+                    u("rank"),
+                    if alive { "up" } else { "DEAD" },
+                    u("residency_blocks"),
+                    offset,
+                    u("deltas"),
+                    u("last_delta_age_ns") as f64 / 1e6
+                );
+            }
+        }
+    }
+
+    if let Some(slos) = snap.get("slo").and_then(|s| s.as_arr()) {
+        if !slos.is_empty() {
+            let _ = writeln!(
+                o,
+                "\n{:<22} {:>9} {:>11} {:>11} {:>8}",
+                "slo", "objective", "fast burn", "slow burn", "state"
+            );
+            for s in slos {
+                let f = |k: &str| s.get(k).and_then(|v| v.as_f64()).unwrap_or(0.0);
+                let name = s.get("name").and_then(|v| v.as_str()).unwrap_or("?");
+                let firing = s.get("firing").and_then(|v| v.as_bool()).unwrap_or(false);
+                let _ = writeln!(
+                    o,
+                    "{:<22} {:>9.3} {:>11.2} {:>11.2} {:>8}",
+                    name,
+                    f("objective"),
+                    f("fast_burn"),
+                    f("slow_burn"),
+                    if firing { "FIRING" } else { "ok" }
+                );
+            }
+        }
+    }
+    o
+}
+
+/// `vira top <dir>`: render the scheduler's `telemetry.json` snapshot.
+/// Follow mode (the default) re-reads every `--refresh` ms and exits
+/// once the run writes its final snapshot; `--once` renders a single
+/// frame and `--json` emits the raw snapshot for scripting/CI.
+fn cmd_top(args: Args) {
+    let Some(dir) = args.flags.get("dir").cloned() else {
+        usage();
+    };
+    let once = args.flags.contains_key("once");
+    let json = args.flags.contains_key("json");
+    let refresh_ms: u64 = flag_parse(&args, "refresh", "milliseconds").unwrap_or(500);
+    let path = std::path::Path::new(&dir).join("telemetry.json");
+    loop {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                if once {
+                    vira_obs::error(
+                        "vira",
+                        &format!(
+                            "cannot read {}: {e} (run with --trace-out?)",
+                            path.display()
+                        ),
+                        &[],
+                    );
+                    std::process::exit(1);
+                }
+                // Follow mode: the scheduler may not have written the
+                // first snapshot yet.
+                std::thread::sleep(std::time::Duration::from_millis(refresh_ms.max(50)));
+                continue;
+            }
+        };
+        let snap = match vira_obs::json::parse(&text) {
+            Ok(j) => j,
+            Err(e) => {
+                vira_obs::error(
+                    "vira",
+                    &format!("bad snapshot {}: {e}", path.display()),
+                    &[],
+                );
+                std::process::exit(1);
+            }
+        };
+        if json {
+            println!("{}", text.trim_end());
+        } else {
+            if !once {
+                // Clear and home: a stable dashboard under watch.
+                print!("\x1b[2J\x1b[H");
+            }
+            print!("{}", render_top(&snap));
+        }
+        let done = snap.get("final").and_then(|v| v.as_bool()).unwrap_or(false);
+        if once || done {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(refresh_ms.max(50)));
+    }
+}
+
+/// Folds raw samples into the same log2 layout the live histograms use.
+fn sparse_hist(samples: &[u64]) -> vira_obs::SparseHist {
+    let mut snap = vira_obs::HistogramSnapshot::default();
+    for &v in samples {
+        snap.buckets[vira_obs::Histogram::bucket_index(v)] += 1;
+        snap.count += 1;
+        snap.sum += v;
+    }
+    vira_obs::SparseHist::from_snapshot(&snap)
+}
+
+/// `vira slo-report <dir>`: replay a recording's flight spans through
+/// the same tsdb + SLO engine the live telemetry plane runs, as an
+/// independent cross-check of `telemetry.json`. Job runtimes come from
+/// `sched.job` spans and time-to-first-geometry from
+/// `vista.first_result` spans.
+fn cmd_slo_report(args: Args) {
+    let Some(dir) = args.flags.get("dir").cloned() else {
+        usage();
+    };
+    let json = args.flags.contains_key("json");
+    let defaults = viracocha::TelemetryConfig::default();
+    let job_slo_ns = flag_parse::<u64>(&args, "slo-job-latency-ms", "milliseconds")
+        .map(|ms| ms.saturating_mul(1_000_000))
+        .unwrap_or(defaults.job_latency_slo_ns);
+    let ttfg_slo_ns = flag_parse::<u64>(&args, "slo-ttfg-ms", "milliseconds")
+        .map(|ms| ms.saturating_mul(1_000_000))
+        .unwrap_or(defaults.ttfg_slo_ns);
+
+    let mut job_ns: Vec<u64> = Vec::new();
+    let mut ttfg_ns: Vec<u64> = Vec::new();
+    let entries = std::fs::read_dir(&dir).unwrap_or_else(|e| {
+        vira_obs::error("vira", &format!("cannot read {dir}: {e}"), &[]);
+        std::process::exit(1);
+    });
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !name.starts_with("flight-") || !name.ends_with(".jsonl") {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(entry.path()) else {
+            continue;
+        };
+        let spans = match vira_obs::parse_flight_spans(&text) {
+            Ok(spans) => spans,
+            Err(e) => {
+                vira_obs::error("vira", &format!("skipping malformed {name}: {e}"), &[]);
+                continue;
+            }
+        };
+        for span in spans {
+            match span.name.as_str() {
+                "sched.job" => job_ns.push(span.dur_ns),
+                "vista.first_result" => ttfg_ns.push(span.dur_ns),
+                _ => {}
+            }
+        }
+    }
+    if job_ns.is_empty() && ttfg_ns.is_empty() {
+        vira_obs::error(
+            "vira",
+            &format!("{dir}: no flight-<trace>.jsonl recordings (run with --trace-out)"),
+            &[],
+        );
+        std::process::exit(1);
+    }
+
+    // One synthetic delta replayed through the live-plane machinery.
+    let now = vira_obs::now_ns();
+    let mut delta = vira_obs::MetricsDelta {
+        rank: 0,
+        seq: 1,
+        t_ns: now,
+        ..Default::default()
+    };
+    delta
+        .counters
+        .push(("sched_jobs_done_total".into(), job_ns.len() as u64));
+    if !job_ns.is_empty() {
+        delta
+            .histograms
+            .push(("sched_job_runtime_ns".into(), sparse_hist(&job_ns)));
+    }
+    if !ttfg_ns.is_empty() {
+        delta
+            .histograms
+            .push(("vista_first_result_ns".into(), sparse_hist(&ttfg_ns)));
+    }
+    let mut db = vira_obs::Tsdb::new(vira_obs::TsdbConfig::default());
+    db.ingest(&delta, now);
+    let mut engine = vira_obs::SloEngine::new(vira_obs::default_specs(job_slo_ns, ttfg_slo_ns));
+    let statuses = engine.evaluate(&db, now);
+    let text = vira_obs::render_telemetry_json(&db, &statuses, &[], now, true);
+    if json {
+        println!("{text}");
+        return;
+    }
+    let snap = vira_obs::json::parse(&text).unwrap_or_else(|e| {
+        vira_obs::error("vira", &format!("internal render error: {e}"), &[]);
+        std::process::exit(1);
+    });
+    println!(
+        "slo report : {} jobs, {} first-geometry samples from {dir}",
+        job_ns.len(),
+        ttfg_ns.len()
+    );
+    print!("{}", render_top(&snap));
+    if statuses.iter().any(|s| s.firing) {
+        std::process::exit(1);
+    }
+}
+
+/// Rewrites a bare leading positional into `--dir` and gives listed
+/// boolean switches an implicit `true` value, so subcommands like
+/// `vira top traces/ --once --json` fit the `--key value` parser.
+fn rewrite_dir_and_switches(rest: &[String], switches: &[&str]) -> Vec<String> {
+    let mut out: Vec<String> = Vec::with_capacity(rest.len() + 2);
+    for (i, a) in rest.iter().enumerate() {
+        if i == 0 && !a.starts_with("--") {
+            out.push("--dir".to_string());
+            out.push(a.clone());
+        } else if switches.iter().any(|s| a == &format!("--{s}")) {
+            out.push(a.clone());
+            out.push("true".to_string());
+        } else {
+            out.push(a.clone());
+        }
+    }
+    out
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((sub, rest)) = argv.split_first() else {
@@ -368,17 +720,71 @@ fn main() {
         "datasets" => cmd_datasets(),
         "suggest" => cmd_suggest(parse_args(rest)),
         "run" => cmd_run(parse_args(rest)),
+        "top" => cmd_top(parse_args(&rewrite_dir_and_switches(
+            rest,
+            &["once", "json"],
+        ))),
+        "slo-report" => cmd_slo_report(parse_args(&rewrite_dir_and_switches(rest, &["json"]))),
         "trace-analyze" => {
-            // Accept the directory as a bare positional: rewrite it into
-            // the `--dir` flag the shared parser understands.
-            let mut rest = rest.to_vec();
-            if let Some(first) = rest.first() {
-                if !first.starts_with("--") {
-                    rest.splice(0..1, ["--dir".to_string(), first.clone()]);
-                }
-            }
-            cmd_trace_analyze(parse_args(&rest));
+            cmd_trace_analyze(parse_args(&rewrite_dir_and_switches(rest, &[])));
         }
         _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rewrite_handles_positional_dir_and_switches() {
+        let argv: Vec<String> = ["traces", "--once", "--json", "--refresh", "100"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let out = rewrite_dir_and_switches(&argv, &["once", "json"]);
+        let args = parse_args(&out);
+        assert_eq!(args.flags.get("dir").map(String::as_str), Some("traces"));
+        assert!(args.flags.contains_key("once"));
+        assert!(args.flags.contains_key("json"));
+        assert_eq!(args.flags.get("refresh").map(String::as_str), Some("100"));
+    }
+
+    #[test]
+    fn render_top_shows_quantiles_ranks_and_slos() {
+        let text = r#"{"v":1,"t_ns":2500000000,"final":true,
+            "cluster":{"counters":{"sched_jobs_done_total":7,"obs_deltas_shipped_total":12},
+                       "gauges":{"sched_queue_depth":0,"sched_running_jobs":1},
+                       "quantiles":{"sched_job_runtime_ns":{"count":7,"mean":1000.0,
+                           "p50_ub":1024,"p99_ub":2048,"p999_ub":2048}}},
+            "ranks":[{"rank":1,"alive":true,"residency_blocks":4,"clock_offset_ns":-12,
+                      "deltas":3,"last_delta_age_ns":1000000,"counters":{},"gauges":{}}],
+            "slo":[{"name":"job_latency_p99","objective":0.99,"fast_total":7,"slow_total":7,
+                    "fast_bad_fraction":0.5,"slow_bad_fraction":0.5,
+                    "fast_burn":50.0,"slow_burn":50.0,"firing":true}],
+            "tsdb":{"dup_dropped":1,"series_dropped":0,"scalar_points":9}}"#;
+        let snap = vira_obs::json::parse(text).expect("fixture parses");
+        let out = render_top(&snap);
+        assert!(out.contains("(final)"), "{out}");
+        assert!(out.contains("7 done"), "{out}");
+        assert!(out.contains("sched_job_runtime_ns"), "{out}");
+        assert!(out.contains("2048"), "{out}");
+        assert!(out.contains("job_latency_p99"), "{out}");
+        assert!(out.contains("FIRING"), "{out}");
+        assert!(out.contains("1 duplicate deltas dropped"), "{out}");
+        // Rank row: alive rank 1 with 4 resident blocks.
+        assert!(out.contains("up"), "{out}");
+    }
+
+    #[test]
+    fn sparse_hist_folds_samples_into_log2_buckets() {
+        let h = sparse_hist(&[1, 2, 3, 1000]);
+        let snap = h.to_snapshot();
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.sum, 1006);
+        // 1 → bucket 0, 2..3 → bucket 1, 1000 → bucket 9 (512..1023).
+        assert_eq!(snap.buckets[0], 1);
+        assert_eq!(snap.buckets[1], 2);
+        assert_eq!(snap.buckets[9], 1);
     }
 }

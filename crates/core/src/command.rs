@@ -12,7 +12,6 @@ use crate::wire;
 use parking_lot::RwLock;
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, OnceLock};
-use vira_obs as obs;
 use vira_comm::collective::Group;
 use vira_comm::link::EventSender;
 use vira_comm::transport::{CommError, Rank};
@@ -22,6 +21,7 @@ use vira_extract::mesh::{Polyline, TriangleSoup};
 use vira_grid::block::{BlockId, BlockStepId};
 use vira_grid::field::SharedBlockData;
 use vira_grid::synth::DatasetSpec;
+use vira_obs as obs;
 use vira_storage::costmodel::{ComputeCosts, CostCategory, Meter, SharedChannel, SimClock};
 use vira_storage::source::StorageError;
 use vira_vista::protocol::{CommandParams, EventHeader, JobId, PayloadKind};
@@ -197,7 +197,8 @@ impl<'a> JobCtx<'a> {
             self.meter
                 .charge(&self.clock, CostCategory::Send, delay_wall / dilation);
         } else {
-            self.meter.charge(&self.clock, CostCategory::Send, modeled_t);
+            self.meter
+                .charge(&self.clock, CostCategory::Send, modeled_t);
         }
     }
 
@@ -368,6 +369,7 @@ pub(crate) fn encode_output(
     meter: &Meter,
     dms: vira_dms::stats::DmsStatsSnapshot,
     residency: vira_dms::cache::ResidencyDigest,
+    obs_delta: String,
     error: Option<String>,
 ) -> bytes::Bytes {
     let kind = out.kind();
@@ -391,6 +393,7 @@ pub(crate) fn encode_output(
         attempt,
         payload_crc: 0, // filled in by encode_partial
         residency,
+        obs_delta,
         error,
         trace_id: ctx.trace_id,
         parent_span_id: ctx.parent_span_id,

@@ -12,8 +12,7 @@
 use super::seed_points;
 use crate::command::{Command, CommandError, CommandOutput, JobCtx};
 use vira_extract::pathline::{
-    trace_pathline, trace_streakline, MultiBlockSampler, PathlineConfig, SteadySampler,
-    TimeScheme,
+    trace_pathline, trace_streakline, MultiBlockSampler, PathlineConfig, SteadySampler, TimeScheme,
 };
 use vira_grid::block::BlockStepId;
 use vira_grid::field::SharedBlockData;
@@ -88,7 +87,8 @@ impl Command for Streamlines {
                 // Streamlines only ever touch the frozen level.
                 ctx_ref.load_block(BlockStepId::new(id.block, step)).ok()
             };
-            let inner = MultiBlockSampler::new(fetch, topo.clone(), ctx_ref.spec.n_steps, ctx_ref.spec.dt);
+            let inner =
+                MultiBlockSampler::new(fetch, topo.clone(), ctx_ref.spec.n_steps, ctx_ref.spec.dt);
             let mut sampler = SteadySampler::new(inner, frozen_t);
             ctx.charge_compute(cost_per_seed);
             let r = trace_pathline(&mut sampler, seed, 0.0, t_span, &cfg);

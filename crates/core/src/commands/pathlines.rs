@@ -98,7 +98,8 @@ fn run_pathlines(ctx: &mut JobCtx<'_>, use_dms: bool) -> Result<CommandOutput, C
         let ctx_ref: &JobCtx<'_> = ctx;
         let result = if use_dms {
             let fetch = |id: BlockStepId| ctx_ref.load_block(id).ok();
-            let sampler = MultiBlockSampler::new(fetch, topo.clone(), ctx_ref.spec.n_steps, ctx_ref.spec.dt);
+            let sampler =
+                MultiBlockSampler::new(fetch, topo.clone(), ctx_ref.spec.n_steps, ctx_ref.spec.dt);
             let mut charged = ChargedSampler {
                 inner: sampler,
                 ctx: ctx_ref,
@@ -109,10 +110,10 @@ fn run_pathlines(ctx: &mut JobCtx<'_>, use_dms: bool) -> Result<CommandOutput, C
             // No data management at all: every trace re-reads its items
             // from the file server (the sampler holds an item only for
             // the duration of one trace).
-            let fetch = |id: BlockStepId| -> Option<SharedBlockData> {
-                ctx_ref.direct_read(id).ok()
-            };
-            let sampler = MultiBlockSampler::new(fetch, topo.clone(), ctx_ref.spec.n_steps, ctx_ref.spec.dt);
+            let fetch =
+                |id: BlockStepId| -> Option<SharedBlockData> { ctx_ref.direct_read(id).ok() };
+            let sampler =
+                MultiBlockSampler::new(fetch, topo.clone(), ctx_ref.spec.n_steps, ctx_ref.spec.dt);
             let mut charged = ChargedSampler {
                 inner: sampler,
                 ctx: ctx_ref,

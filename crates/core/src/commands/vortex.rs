@@ -89,15 +89,13 @@ fn vortex_items(ctx: &mut JobCtx<'_>, use_dms: bool) -> Result<CommandOutput, Co
                 // threshold sweep builds it exactly once per block.
                 let (f, tree) =
                     ctx.derived
-                        .get_or_compute_with_tree(&ctx.dataset, kind, id, || {
-                            match derive(ctx) {
-                                Ok(f) => f,
-                                Err(e) => {
-                                    derive_err = Some(e);
-                                    vira_grid::ScalarField::from_fn(data.dims(), |_, _, _| {
-                                        f64::INFINITY
-                                    })
-                                }
+                        .get_or_compute_with_tree(&ctx.dataset, kind, id, || match derive(ctx) {
+                            Ok(f) => f,
+                            Err(e) => {
+                                derive_err = Some(e);
+                                vira_grid::ScalarField::from_fn(data.dims(), |_, _, _| {
+                                    f64::INFINITY
+                                })
                             }
                         });
                 if let Some(e) = derive_err {

@@ -107,6 +107,46 @@ impl Default for ExtractConfig {
     }
 }
 
+/// Live-telemetry plane tuning: heartbeat-shipped metric deltas, the
+/// scheduler's in-memory time-series store, SLO burn-rate evaluation
+/// and the periodic `telemetry.json` snapshot that `vira top` reads.
+///
+/// Telemetry is on by default but writes nothing unless `out_dir` is
+/// set (the `vira run --trace-out` directory); the delta harvest and
+/// SLO engine still run so alerts land in the event log either way.
+#[derive(Debug, Clone)]
+pub struct TelemetryConfig {
+    /// Master switch; off restores the pre-telemetry scheduler loop
+    /// (no heartbeats, no tsdb, no snapshots).
+    pub enabled: bool,
+    /// How often the scheduler fans out a telemetry heartbeat PING
+    /// (each pong carries that rank's pending metric delta home).
+    pub heartbeat_interval: Duration,
+    /// How often SLOs are evaluated and `telemetry.json` rewritten.
+    pub write_interval: Duration,
+    /// Where `telemetry.json` goes; `None` disables snapshot writing.
+    pub out_dir: Option<std::path::PathBuf>,
+    /// `job_latency_p99` SLO threshold: a job is good when its total
+    /// runtime stays at or below this (rounded up to the enclosing
+    /// log2 histogram bucket).
+    pub job_latency_slo_ns: u64,
+    /// `ttfg_p99` SLO threshold on submit-to-first-geometry latency.
+    pub ttfg_slo_ns: u64,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            enabled: true,
+            heartbeat_interval: Duration::from_millis(250),
+            write_interval: Duration::from_millis(1000),
+            out_dir: None,
+            job_latency_slo_ns: 30_000_000_000,
+            ttfg_slo_ns: 10_000_000_000,
+        }
+    }
+}
+
 /// Configuration of one Viracocha back-end instance.
 #[derive(Debug, Clone)]
 pub struct ViracochaConfig {
@@ -127,6 +167,8 @@ pub struct ViracochaConfig {
     pub sched: SchedulerConfig,
     /// Intra-worker parallel block extraction.
     pub extract: ExtractConfig,
+    /// Live telemetry plane (heartbeat deltas, tsdb, SLOs, `vira top`).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ViracochaConfig {
@@ -140,6 +182,7 @@ impl Default for ViracochaConfig {
             resilience: ResilienceConfig::default(),
             sched: SchedulerConfig::default(),
             extract: ExtractConfig::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -183,7 +226,10 @@ mod tests {
     fn scheduler_defaults_enable_all_policies() {
         let s = SchedulerConfig::default();
         assert!(s.backfill && s.locality && s.fair_share);
-        assert!(s.max_skipped_dispatches >= 1, "aging bound must be finite and positive");
+        assert!(
+            s.max_skipped_dispatches >= 1,
+            "aging bound must be finite and positive"
+        );
     }
 
     #[test]
@@ -191,7 +237,10 @@ mod tests {
         // Don't consult the env here — tests must be hermetic.
         let e = ExtractConfig { threads: 1 };
         assert_eq!(e.threads, 1);
-        let c = ViracochaConfig { extract: e, ..ViracochaConfig::default() };
+        let c = ViracochaConfig {
+            extract: e,
+            ..ViracochaConfig::default()
+        };
         assert!(c.extract.threads >= 1);
     }
 
@@ -200,13 +249,26 @@ mod tests {
         // Mirror of the Default impl's parse chain, exercised directly
         // so the test never mutates process-global env state.
         let parse = |v: &str| {
-            v.trim().parse::<usize>().ok().filter(|&t| t >= 1).unwrap_or(1)
+            v.trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&t| t >= 1)
+                .unwrap_or(1)
         };
         assert_eq!(parse("4"), 4);
         assert_eq!(parse(" 8 "), 8);
         assert_eq!(parse("0"), 1);
         assert_eq!(parse("banana"), 1);
         assert_eq!(parse(""), 1);
+    }
+
+    #[test]
+    fn telemetry_defaults_are_quiet_but_enabled() {
+        let t = TelemetryConfig::default();
+        assert!(t.enabled);
+        assert!(t.out_dir.is_none(), "no snapshot files unless a dir is set");
+        assert!(t.heartbeat_interval <= t.write_interval);
+        assert!(t.job_latency_slo_ns > 0 && t.ttfg_slo_ns > 0);
     }
 
     #[test]

@@ -370,7 +370,9 @@ mod tests {
         let cache = DerivedFieldCache::new(1 << 20);
         assert!(cache.peek_tree("E", "f", bs(0, 0)).is_none());
         cache.get_or_compute("E", "f", bs(0, 0), || field(3.0));
-        let (f, t) = cache.peek_tree("E", "f", bs(0, 0)).expect("field is cached");
+        let (f, t) = cache
+            .peek_tree("E", "f", bs(0, 0))
+            .expect("field is cached");
         assert_eq!(f.values[0], 3.0);
         assert_eq!(t.root_range(), (3.0, 3.0));
         // peek builds and memoizes the tree; the with_tree path reuses it.
@@ -405,9 +407,7 @@ mod tests {
             let cache = cache.clone();
             handles.push(std::thread::spawn(move || {
                 for i in 0..50u32 {
-                    let f = cache.get_or_compute("E", "f", bs(i % 8, 0), || {
-                        field((i % 8) as f64)
-                    });
+                    let f = cache.get_or_compute("E", "f", bs(i % 8, 0), || field((i % 8) as f64));
                     assert_eq!(f.values[0], (i % 8) as f64, "thread {t}");
                 }
             }));

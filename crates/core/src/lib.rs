@@ -57,7 +57,7 @@ pub mod worker;
 
 pub use command::{Command, CommandError, CommandOutput, CommandRegistry, JobCtx};
 pub use commands::default_registry;
-pub use config::{ResilienceConfig, SchedulerConfig, ViracochaConfig};
+pub use config::{ResilienceConfig, SchedulerConfig, TelemetryConfig, ViracochaConfig};
 pub use derived::DerivedFieldCache;
 pub use runtime::Viracocha;
 pub use vira_comm::fault::{FaultPlan, FaultStats, FaultStatsSnapshot, LinkFaults};

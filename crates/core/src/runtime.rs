@@ -56,10 +56,7 @@ impl Viracocha {
     /// through a [`FaultyTransport`] driven by `plan` — the chaos-test
     /// entry point. An inert plan behaves exactly like
     /// [`Viracocha::launch`].
-    pub fn launch_with_faults(
-        config: ViracochaConfig,
-        plan: FaultPlan,
-    ) -> (Viracocha, ClientSide) {
+    pub fn launch_with_faults(config: ViracochaConfig, plan: FaultPlan) -> (Viracocha, ClientSide) {
         Self::launch_faulty_with_registry(config, default_registry(), plan)
     }
 
@@ -132,6 +129,7 @@ impl Viracocha {
             n_workers: config.n_workers,
             resilience: config.resilience.clone(),
             sched: config.sched.clone(),
+            telemetry: config.telemetry.clone(),
         };
         let scheduler = std::thread::Builder::new()
             .name("vira-scheduler".into())

@@ -17,13 +17,12 @@
 //! are individually switchable via [`SchedulerConfig`].
 
 use crate::command::{CancelSet, CommandRegistry};
-use crate::config::{ResilienceConfig, SchedulerConfig};
+use crate::config::{ResilienceConfig, SchedulerConfig, TelemetryConfig};
 use crate::wire;
 use bytes::Bytes;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
-use vira_obs as obs;
 use vira_comm::endpoint::Endpoint;
 use vira_comm::link::ServerSide;
 use vira_comm::transport::{tags, CommError, LocalEndpoint, Rank, Transport};
@@ -31,6 +30,7 @@ use vira_dms::cache::ResidencyDigest;
 use vira_dms::server::DataServer;
 use vira_dms::{ItemId, ItemName, NameResolver};
 use vira_grid::block::BlockStepId;
+use vira_obs as obs;
 use vira_storage::costmodel::SimClock;
 use vira_vista::protocol::{
     decode_request, encode_event, ClientRequest, EventHeader, JobId, JobReport, PayloadKind,
@@ -108,6 +108,9 @@ static RESENDS: OnceLock<Arc<obs::Counter>> = OnceLock::new();
 static BACKFILLS: OnceLock<Arc<obs::Counter>> = OnceLock::new();
 static LOCALITY_HITS: OnceLock<Arc<obs::Counter>> = OnceLock::new();
 static STARVATION_AGED: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static HEARTBEATS: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static QUEUE_DEPTH: OnceLock<Arc<obs::Gauge>> = OnceLock::new();
+static RUNNING_JOBS: OnceLock<Arc<obs::Gauge>> = OnceLock::new();
 
 /// Everything the scheduler thread needs.
 pub struct SchedulerSetup<T: Transport = LocalEndpoint> {
@@ -120,6 +123,7 @@ pub struct SchedulerSetup<T: Transport = LocalEndpoint> {
     pub n_workers: usize,
     pub resilience: ResilienceConfig,
     pub sched: SchedulerConfig,
+    pub telemetry: TelemetryConfig,
 }
 
 /// The scheduler main loop; returns after a client `Shutdown` once all
@@ -135,6 +139,7 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
         n_workers,
         resilience,
         sched,
+        telemetry,
     } = setup;
     let mut free: Vec<bool> = vec![true; n_workers + 1];
     free[0] = false; // rank 0 is the scheduler itself
@@ -154,6 +159,16 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
     // Scheduler-side resolver: translates a job's (dataset, block, step)
     // footprint into the item ids the digests are keyed by.
     let resolver = NameResolver::new(server.names().clone());
+    // Telemetry plane: central time-series store fed by the workers'
+    // heartbeat-shipped metric deltas, and the SLO burn-rate engine
+    // evaluated on every snapshot write.
+    let mut tsdb = obs::Tsdb::new(obs::TsdbConfig::default());
+    let mut slo_engine = obs::SloEngine::new(obs::default_specs(
+        telemetry.job_latency_slo_ns,
+        telemetry.ttfg_slo_ns,
+    ));
+    let mut last_heartbeat = Instant::now();
+    let mut last_write = Instant::now();
 
     loop {
         let mut progressed = false;
@@ -257,8 +272,7 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
                             // nothing buffered to trim.
                         }
                         Ok(ClientRequest::Resume { job }) => {
-                            if let Some((_, frame)) =
-                                recent_finals.iter().find(|(j, _)| *j == job)
+                            if let Some((_, frame)) = recent_finals.iter().find(|(j, _)| *j == job)
                             {
                                 obs::counter_cached(&RESENDS, "vista_resend_total").inc();
                                 let _ = link.emit(frame.clone());
@@ -322,22 +336,26 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
             }
         }
 
-        // 2. Worker completions.
+        // 2. Worker completions, plus telemetry pongs answering the
+        // heartbeat pings of step 4b (probe pongs are consumed inside
+        // the probe loop; anything else is stale traffic and dropped).
         while let Ok(Some(msg)) = endpoint.try_recv_any() {
             progressed = true;
-            if msg.tag != tags::JOB_DONE {
-                continue;
+            match msg.tag {
+                tags::JOB_DONE => handle_job_done(
+                    msg.payload,
+                    &mut running,
+                    &mut free,
+                    &cancels,
+                    &clock,
+                    &link,
+                    &mut recent_finals,
+                    &mut residency,
+                    &mut tsdb,
+                ),
+                tags::PONG => harvest_obs_pong(&msg.payload, msg.from, &mut tsdb, &mut residency),
+                _ => {}
             }
-            handle_job_done(
-                msg.payload,
-                &mut running,
-                &mut free,
-                &cancels,
-                &clock,
-                &link,
-                &mut recent_finals,
-                &mut residency,
-            );
         }
 
         // 3. Dispatch: FIFO with bounded backfill. When the queue head
@@ -368,8 +386,7 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
             let free_ranks: Vec<Rank> = (1..=n_workers)
                 .filter(|&r| free[r] && !dead.contains(&r))
                 .collect();
-            let Some(idx) =
-                select_candidate(&queue, free_ranks.len(), alive, &sched, last_session)
+            let Some(idx) = select_candidate(&queue, free_ranks.len(), alive, &sched, last_session)
             else {
                 break;
             };
@@ -382,11 +399,7 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
                 for jumped in queue.iter_mut().take(idx) {
                     jumped.skipped += 1;
                     if jumped.skipped == sched.max_skipped_dispatches {
-                        obs::counter_cached(
-                            &STARVATION_AGED,
-                            "sched_starvation_aged_total",
-                        )
-                        .inc();
+                        obs::counter_cached(&STARVATION_AGED, "sched_starvation_aged_total").inc();
                     }
                 }
             }
@@ -417,8 +430,7 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
             let _trace = obs::install_ctx(q.ctx);
             if q.attempt == 0 {
                 q.first_wait = wait;
-                obs::histogram_cached(&QUEUE_WAIT_NS, "sched_queue_wait_ns")
-                    .record_duration(wait);
+                obs::histogram_cached(&QUEUE_WAIT_NS, "sched_queue_wait_ns").record_duration(wait);
                 obs::complete_span_ctx(
                     "sched.queued",
                     "sched",
@@ -530,24 +542,28 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
                         let _ = endpoint.send(r, tags::PING, nonce.clone());
                     }
                 }
-                let slice_end =
-                    (round_start + Duration::from_millis(25)).min(probe_deadline);
+                let slice_end = (round_start + Duration::from_millis(25)).min(probe_deadline);
                 loop {
                     let left = slice_end.saturating_duration_since(Instant::now());
                     if left.is_zero() {
                         break;
                     }
                     match endpoint.recv_tag_timeout(tags::PONG, left) {
+                        Ok(m) if is_obs_pong(&m.payload) => {
+                            // A heartbeat pong drained mid-probe: harvest
+                            // its delta instead of dropping it (the shared
+                            // nonce counter keeps it from ever aliasing
+                            // this probe's nonce).
+                            harvest_obs_pong(&m.payload, m.from, &mut tsdb, &mut residency);
+                        }
                         Ok(m)
-                            if pong_matches(&m.payload, &nonce)
-                                && run.group.contains(&m.from) =>
+                            if pong_matches(&m.payload, &nonce) && run.group.contains(&m.from) =>
                         {
                             // Workers append their cache-residency
                             // digest (and, on newer peers, their clock
                             // timestamp) after the echoed nonce;
                             // harvest both while we're here.
-                            let (digest, t_remote) =
-                                split_pong_tail(&m.payload[nonce.len()..]);
+                            let (digest, t_remote) = split_pong_tail(&m.payload[nonce.len()..]);
                             if let Some(d) = digest {
                                 if !d.is_unknown() {
                                     residency.insert(m.from, d);
@@ -560,13 +576,8 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
                                 // doubles as the flight recorder's clock
                                 // probe; min-RTT samples win over there.
                                 let rtt = obs::now_ns().saturating_sub(sent_ns);
-                                let offset =
-                                    t_remote as i64 - (sent_ns + rtt / 2) as i64;
-                                obs::flight::record_clock_offset(
-                                    m.from as u64,
-                                    offset,
-                                    rtt,
-                                );
+                                let offset = t_remote as i64 - (sent_ns + rtt / 2) as i64;
+                                obs::flight::record_clock_offset(m.from as u64, offset, rtt);
                             }
                             alive_ranks.insert(m.from);
                             if alive_ranks.len() == run.group.len() {
@@ -625,8 +636,58 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
             }
         }
 
+        // 4b. Telemetry plane: heartbeat pings fan the delta harvest
+        // out to every live rank, and the periodic snapshot write keeps
+        // `telemetry.json` fresh for `vira top` while evaluating SLOs.
+        if telemetry.enabled {
+            if last_heartbeat.elapsed() >= telemetry.heartbeat_interval {
+                last_heartbeat = Instant::now();
+                // Shares the probe's nonce counter so a heartbeat nonce
+                // can never alias an in-flight probe nonce.
+                probe_nonce += 1;
+                let payload = obs_ping_payload(probe_nonce);
+                let mut sent = 0u64;
+                for r in 1..=n_workers {
+                    if !dead.contains(&r) {
+                        let _ = endpoint.send(r, tags::PING, payload.clone());
+                        sent += 1;
+                    }
+                }
+                obs::counter_cached(&HEARTBEATS, "obs_heartbeats_total").add(sent);
+            }
+            if last_write.elapsed() >= telemetry.write_interval {
+                last_write = Instant::now();
+                telemetry_tick(
+                    &telemetry,
+                    &mut tsdb,
+                    &mut slo_engine,
+                    queue.len(),
+                    running.len(),
+                    n_workers,
+                    &dead,
+                    &residency,
+                    false,
+                );
+            }
+        }
+
         // 5. Exit once shut down and drained.
         if shutting_down && running.is_empty() {
+            if telemetry.enabled {
+                // One last snapshot, marked final so `vira top` in
+                // follow mode knows the run is over.
+                telemetry_tick(
+                    &telemetry,
+                    &mut tsdb,
+                    &mut slo_engine,
+                    queue.len(),
+                    running.len(),
+                    n_workers,
+                    &dead,
+                    &residency,
+                    true,
+                );
+            }
             for r in 1..=n_workers {
                 let _ = endpoint.send(r, tags::SHUTDOWN, Bytes::new());
             }
@@ -652,6 +713,7 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
                     &link,
                     &mut recent_finals,
                     &mut residency,
+                    &mut tsdb,
                 ),
                 Err(CommError::Timeout) => {}
                 Err(_) => return,
@@ -685,6 +747,126 @@ fn split_pong_tail(rest: &[u8]) -> (Option<ResidencyDigest>, Option<u64>) {
         return (ResidencyDigest::from_bytes(d), Some(ts));
     }
     (None, None)
+}
+
+/// Builds a telemetry heartbeat PING payload: the 8-byte LE nonce
+/// followed by the [`wire::OBS_PING_SUFFIX`] marker.
+fn obs_ping_payload(nonce: u64) -> Bytes {
+    let mut p = Vec::with_capacity(12);
+    p.extend_from_slice(&nonce.to_le_bytes());
+    p.extend_from_slice(wire::OBS_PING_SUFFIX);
+    Bytes::from(p)
+}
+
+/// True when a PONG answers a telemetry heartbeat: its echoed prefix is
+/// a 12-byte obs-ping payload.
+fn is_obs_pong(payload: &[u8]) -> bool {
+    payload.len() >= 12 && wire::is_obs_ping(&payload[..12])
+}
+
+/// Splits an obs-pong's post-echo bytes into the classic digest/clock
+/// pair plus the piggybacked delta blob, when one rides along. The
+/// trailer layout is `digest | clock(8) | blob | blob_len(4 LE)`; a
+/// blob must start with the `OBSD1` magic, so anything that fails the
+/// structural checks falls back to the classic [`split_pong_tail`]
+/// parse (old workers answer obs pings with classic pongs).
+fn split_obs_pong_tail(rest: &[u8]) -> (Option<ResidencyDigest>, Option<u64>, Option<&str>) {
+    const FULL: usize = vira_dms::cache::DIGEST_BITS / 8;
+    if rest.len() >= 13 {
+        let blob_len =
+            u32::from_le_bytes(rest[rest.len() - 4..].try_into().expect("4-byte trailer")) as usize;
+        if blob_len >= 1 && blob_len + 12 <= rest.len() {
+            let digest_len = rest.len() - 12 - blob_len;
+            if digest_len == 0 || digest_len == FULL {
+                let blob = &rest[digest_len + 8..digest_len + 8 + blob_len];
+                if blob.starts_with(vira_obs::ship::DELTA_MAGIC.as_bytes()) {
+                    if let Ok(s) = std::str::from_utf8(blob) {
+                        let (d, t) = split_pong_tail(&rest[..digest_len + 8]);
+                        return (d, t, Some(s));
+                    }
+                }
+            }
+        }
+    }
+    let (d, t) = split_pong_tail(rest);
+    (d, t, None)
+}
+
+/// Harvests one telemetry pong: residency digest into the placement
+/// map, the metric delta into the tsdb (per-rank seq numbers make the
+/// ingest idempotent, so duplicated frames on a lossy transport are
+/// dropped there). Non-obs pongs (stale probe answers) are ignored.
+fn harvest_obs_pong(
+    payload: &[u8],
+    from: Rank,
+    tsdb: &mut obs::Tsdb,
+    residency: &mut HashMap<Rank, ResidencyDigest>,
+) {
+    if !is_obs_pong(payload) {
+        return;
+    }
+    let (digest, _clock, blob) = split_obs_pong_tail(&payload[12..]);
+    if let Some(d) = digest {
+        if !d.is_unknown() {
+            residency.insert(from, d);
+        }
+    }
+    if let Some(blob) = blob {
+        if let Ok(delta) = obs::ship::decode(blob) {
+            tsdb.ingest(&delta, obs::now_ns());
+        }
+    }
+}
+
+/// One telemetry evaluation pass: refresh the scheduler gauges, cut and
+/// ingest rank 0's own metric delta, evaluate the SLOs (emitting any
+/// edge-triggered alert events), and — when an output directory is
+/// configured — atomically rewrite `telemetry.json`.
+#[allow(clippy::too_many_arguments)]
+fn telemetry_tick(
+    telemetry: &TelemetryConfig,
+    tsdb: &mut obs::Tsdb,
+    slo_engine: &mut obs::SloEngine,
+    queue_depth: usize,
+    running_jobs: usize,
+    n_workers: usize,
+    dead: &HashSet<Rank>,
+    residency: &HashMap<Rank, ResidencyDigest>,
+    final_snapshot: bool,
+) {
+    obs::gauge_cached(&QUEUE_DEPTH, "sched_queue_depth").set(queue_depth as i64);
+    obs::gauge_cached(&RUNNING_JOBS, "sched_running_jobs").set(running_jobs as i64);
+    let now = obs::now_ns();
+    // Rank 0 ships to itself: the scheduler's own counters (and, on an
+    // in-process world with its shared registry, anything the workers
+    // bumped since the last heartbeat) land in the tsdb without a wire
+    // round-trip.
+    if let Some(d) = obs::take_delta(0) {
+        tsdb.ingest(&d, now);
+    }
+    let statuses = slo_engine.evaluate(tsdb, now);
+    let Some(dir) = telemetry.out_dir.as_deref() else {
+        return;
+    };
+    let offsets: HashMap<u64, i64> = obs::flight::clock_offsets()
+        .into_iter()
+        .map(|(r, s)| (r, s.offset_ns))
+        .collect();
+    let ranks: Vec<obs::RankMeta> = (1..=n_workers)
+        .map(|r| obs::RankMeta {
+            rank: r as u64,
+            alive: !dead.contains(&r),
+            residency_blocks: residency.get(&r).map(|d| d.set_bits() as u64).unwrap_or(0),
+            clock_offset_ns: offsets.get(&(r as u64)).copied().unwrap_or(0),
+        })
+        .collect();
+    let text = obs::render_telemetry_json(tsdb, &statuses, &ranks, now, final_snapshot);
+    let _ = std::fs::create_dir_all(dir);
+    // Write-then-rename so `vira top` never reads a torn snapshot.
+    let tmp = dir.join("telemetry.json.tmp");
+    if std::fs::write(&tmp, &text).is_ok() {
+        let _ = std::fs::rename(&tmp, dir.join("telemetry.json"));
+    }
 }
 
 /// Picks the queue index to dispatch next, or `None` when nothing
@@ -723,10 +905,7 @@ fn select_candidate(
     sessions.sort_unstable();
     sessions.dedup();
     let pivot = match last_session {
-        Some(last) => sessions
-            .iter()
-            .position(|&s| s > last)
-            .unwrap_or(0),
+        Some(last) => sessions.iter().position(|&s| s > last).unwrap_or(0),
         None => 0,
     };
     for k in 0..sessions.len() {
@@ -836,16 +1015,24 @@ fn handle_job_done(
     link: &ServerSide,
     recent_finals: &mut VecDeque<(JobId, Bytes)>,
     residency: &mut HashMap<Rank, ResidencyDigest>,
+    tsdb: &mut obs::Tsdb,
 ) {
     let Some((done, payload)) = wire::decode_done(frame) else {
         return;
     };
-    // Harvest the group's piggybacked residency digests before any
-    // staleness filtering — even a superseded attempt reports current
-    // cache contents.
+    // Harvest the group's piggybacked residency digests and metric
+    // deltas before any staleness filtering — even a superseded attempt
+    // reports current cache contents, and a delta is a delta no matter
+    // which attempt carried it home (per-rank seq numbers in the tsdb
+    // drop true duplicates).
     for (r, d) in &done.residency {
         if !d.is_unknown() {
             residency.insert(*r, d.clone());
+        }
+    }
+    for (_, blob) in &done.obs_deltas {
+        if let Ok(delta) = obs::ship::decode(blob) {
+            tsdb.ingest(&delta, obs::now_ns());
         }
     }
     let stale = match running.get(&done.job) {
@@ -876,8 +1063,7 @@ fn handle_job_done(
             ("items", obs::ArgValue::U64(done.n_items as u64)),
         ],
     );
-    obs::histogram_cached(&JOB_RUNTIME_NS, "sched_job_runtime_ns")
-        .record_duration(run_elapsed);
+    obs::histogram_cached(&JOB_RUNTIME_NS, "sched_job_runtime_ns").record_duration(run_elapsed);
     if let Some(err) = done.error {
         obs::counter_cached(&JOBS_FAILED, "sched_jobs_failed_total").inc();
         let frame = encode_event(
@@ -980,15 +1166,20 @@ mod tests {
 
     #[test]
     fn backfill_overtakes_a_blocked_head() {
-        let queue: VecDeque<QueuedJob> =
-            vec![qj(1, 8, 0, 0), qj(2, 1, 0, 0)].into();
+        let queue: VecDeque<QueuedJob> = vec![qj(1, 8, 0, 0), qj(2, 1, 0, 0)].into();
         // One free rank: the 8-worker head is blocked, the 1-worker job
         // behind it fits.
-        assert_eq!(select_candidate(&queue, 1, 9, &backfill_only(), None), Some(1));
+        assert_eq!(
+            select_candidate(&queue, 1, 9, &backfill_only(), None),
+            Some(1)
+        );
         // Plain FIFO never looks past the head.
         assert_eq!(select_candidate(&queue, 1, 9, &plain_fifo(), None), None);
         // With enough free ranks the head wins under either policy.
-        assert_eq!(select_candidate(&queue, 8, 9, &backfill_only(), None), Some(0));
+        assert_eq!(
+            select_candidate(&queue, 8, 9, &backfill_only(), None),
+            Some(0)
+        );
         assert_eq!(select_candidate(&queue, 8, 9, &plain_fifo(), None), Some(0));
     }
 
@@ -997,17 +1188,20 @@ mod tests {
         let bound = SchedulerConfig::default().max_skipped_dispatches;
         // The blocked head has been jumped `bound` times: the job
         // behind it may no longer overtake.
-        let queue: VecDeque<QueuedJob> =
-            vec![qj(1, 2, 0, bound), qj(2, 1, 0, 0)].into();
+        let queue: VecDeque<QueuedJob> = vec![qj(1, 2, 0, bound), qj(2, 1, 0, 0)].into();
         assert_eq!(select_candidate(&queue, 1, 2, &backfill_only(), None), None);
         // Before the bound is reached, the overtake is allowed.
-        let queue: VecDeque<QueuedJob> =
-            vec![qj(1, 2, 0, bound - 1), qj(2, 1, 0, 0)].into();
-        assert_eq!(select_candidate(&queue, 1, 2, &backfill_only(), None), Some(1));
+        let queue: VecDeque<QueuedJob> = vec![qj(1, 2, 0, bound - 1), qj(2, 1, 0, 0)].into();
+        assert_eq!(
+            select_candidate(&queue, 1, 2, &backfill_only(), None),
+            Some(1)
+        );
         // The aged job itself stays dispatchable the moment it fits.
-        let queue: VecDeque<QueuedJob> =
-            vec![qj(1, 2, 0, bound), qj(2, 1, 0, 0)].into();
-        assert_eq!(select_candidate(&queue, 2, 2, &backfill_only(), None), Some(0));
+        let queue: VecDeque<QueuedJob> = vec![qj(1, 2, 0, bound), qj(2, 1, 0, 0)].into();
+        assert_eq!(
+            select_candidate(&queue, 2, 2, &backfill_only(), None),
+            Some(0)
+        );
     }
 
     #[test]
@@ -1026,8 +1220,7 @@ mod tests {
         // No history: FIFO order (smallest session first here).
         assert_eq!(select_candidate(&queue, 4, 4, &sched, None), Some(0));
         // Fair share never picks a job that does not fit.
-        let queue: VecDeque<QueuedJob> =
-            vec![qj(1, 1, 0, 0), qj(2, 3, 7, 0)].into();
+        let queue: VecDeque<QueuedJob> = vec![qj(1, 1, 0, 0), qj(2, 3, 7, 0)].into();
         assert_eq!(select_candidate(&queue, 1, 4, &sched, Some(0)), Some(0));
     }
 
@@ -1073,7 +1266,10 @@ mod tests {
         let dump = digest.to_bytes();
         assert_eq!(dump.len(), full);
         // Old worker, nonce only.
-        assert_eq!(split_pong_tail(&[]), (Some(ResidencyDigest::default()), None));
+        assert_eq!(
+            split_pong_tail(&[]),
+            (Some(ResidencyDigest::default()), None)
+        );
         // Old worker, digest only.
         let (d, t) = split_pong_tail(&dump);
         assert_eq!(d.as_ref(), Some(&digest));
@@ -1090,6 +1286,91 @@ mod tests {
         assert_eq!(t, Some(77));
         // Foreign payloads yield neither.
         assert_eq!(split_pong_tail(&[1, 2, 3]), (None, None));
+    }
+
+    #[test]
+    fn obs_pong_tail_split_covers_all_layouts() {
+        let full = vira_dms::cache::DIGEST_BITS / 8;
+        let mut digest = ResidencyDigest::empty();
+        digest.insert(ItemId(5));
+        let dump = digest.to_bytes();
+        let blob = "OBSD1 1 1 100\nc sched_jobs_done_total 2\n";
+
+        // New worker: digest | clock | blob | len.
+        let mut tail = dump.clone();
+        tail.extend_from_slice(&1234u64.to_le_bytes());
+        tail.extend_from_slice(blob.as_bytes());
+        tail.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+        let (d, t, b) = split_obs_pong_tail(&tail);
+        assert_eq!(d.as_ref(), Some(&digest));
+        assert_eq!(t, Some(1234));
+        assert_eq!(b, Some(blob));
+
+        // Unknown digest still parses: clock | blob | len.
+        let mut tail = 77u64.to_le_bytes().to_vec();
+        tail.extend_from_slice(blob.as_bytes());
+        tail.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+        let (d, t, b) = split_obs_pong_tail(&tail);
+        assert_eq!(d, Some(ResidencyDigest::default()));
+        assert_eq!(t, Some(77));
+        assert_eq!(b, Some(blob));
+
+        // Old worker answering an obs ping: classic digest|clock pong.
+        let mut classic = dump.clone();
+        classic.extend_from_slice(&55u64.to_le_bytes());
+        let (d, t, b) = split_obs_pong_tail(&classic);
+        assert_eq!(d.as_ref(), Some(&digest));
+        assert_eq!(t, Some(55));
+        assert_eq!(b, None);
+        assert_eq!(split_obs_pong_tail(&[]).2, None);
+
+        // A trailer whose blob lacks the OBSD1 magic is rejected (falls
+        // back to the classic parse, which also fails the odd length).
+        let mut bogus = 9u64.to_le_bytes().to_vec();
+        bogus.extend_from_slice(b"not a delta blob here");
+        bogus.extend_from_slice(&21u32.to_le_bytes());
+        assert_eq!(split_obs_pong_tail(&bogus), (None, None, None));
+        assert_eq!(full, 128, "layout constants baked into this test");
+    }
+
+    #[test]
+    fn obs_ping_payload_roundtrips_the_marker() {
+        let p = obs_ping_payload(42);
+        assert_eq!(p.len(), 12);
+        assert!(wire::is_obs_ping(&p));
+        assert_eq!(&p[..8], &42u64.to_le_bytes());
+        // A classic 8-byte probe nonce is not an obs ping.
+        assert!(!wire::is_obs_ping(&42u64.to_le_bytes()));
+        // An obs pong echoes the ping as its prefix.
+        let mut pong = p.to_vec();
+        pong.extend_from_slice(&7u64.to_le_bytes());
+        assert!(is_obs_pong(&pong));
+        assert!(!is_obs_pong(&pong[..11]));
+    }
+
+    #[test]
+    fn harvest_obs_pong_feeds_the_tsdb_and_residency_map() {
+        let mut tsdb = obs::Tsdb::new(obs::TsdbConfig::default());
+        let mut residency: HashMap<Rank, ResidencyDigest> = HashMap::new();
+        let mut digest = ResidencyDigest::empty();
+        digest.insert(ItemId(3));
+        let blob = "OBSD1 2 1 100\nc sched_jobs_done_total 5\n";
+        let mut pong = obs_ping_payload(1).to_vec();
+        pong.extend_from_slice(&digest.to_bytes());
+        pong.extend_from_slice(&123u64.to_le_bytes());
+        pong.extend_from_slice(blob.as_bytes());
+        pong.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+        harvest_obs_pong(&pong, 2, &mut tsdb, &mut residency);
+        assert_eq!(residency.get(&2), Some(&digest));
+        assert_eq!(tsdb.counter_total("sched_jobs_done_total"), 5);
+        // A duplicated frame (lossy transport) is dropped by seq.
+        harvest_obs_pong(&pong, 2, &mut tsdb, &mut residency);
+        assert_eq!(tsdb.counter_total("sched_jobs_done_total"), 5);
+        assert_eq!(tsdb.dup_dropped(), 1);
+        // Stale probe pongs (8-byte echo) are ignored outright.
+        let probe_pong = 9u64.to_le_bytes();
+        harvest_obs_pong(&probe_pong, 1, &mut tsdb, &mut residency);
+        assert!(residency.get(&1).is_none());
     }
 
     #[test]

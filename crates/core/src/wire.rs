@@ -41,6 +41,17 @@ pub struct CommandMsg {
     pub parent_span_id: u64,
 }
 
+/// Marker suffix a telemetry heartbeat PING carries after its 8-byte
+/// nonce (`nonce(8) | b"OBS1"`, 12 bytes total). Workers that know the
+/// marker append their pending metric delta to the pong; older workers
+/// echo the payload untouched and answer with a classic pong.
+pub const OBS_PING_SUFFIX: &[u8; 4] = b"OBS1";
+
+/// True when a PING payload requests a telemetry delta in the pong.
+pub fn is_obs_ping(payload: &[u8]) -> bool {
+    payload.len() == 12 && &payload[8..] == OBS_PING_SUFFIX
+}
+
 /// Worker → master: this worker's share of the result.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PartialHeader {
@@ -87,6 +98,11 @@ pub struct PartialHeader {
     pub trace_id: u64,
     #[serde(default)]
     pub parent_span_id: u64,
+    /// Piggybacked telemetry: this worker's metric delta in the
+    /// `OBSD1` text codec (`vira_obs::ship`), harvested by the master
+    /// into the DONE frame. Empty = none (older peers or nothing new).
+    #[serde(default)]
+    pub obs_delta: String,
     /// Set when the command failed on this worker.
     pub error: Option<String>,
 }
@@ -139,6 +155,12 @@ pub struct DoneHeader {
     pub trace_id: u64,
     #[serde(default)]
     pub parent_span_id: u64,
+    /// Piggybacked telemetry: the group's metric deltas (`OBSD1` text
+    /// codec) — the master's own plus any harvested from the partials —
+    /// keyed by producing rank, mirroring how `residency` rides DONE.
+    /// Empty = none (older peers or nothing new).
+    #[serde(default)]
+    pub obs_deltas: Vec<(Rank, String)>,
     pub error: Option<String>,
 }
 
@@ -321,6 +343,7 @@ mod tests {
             residency: Default::default(),
             trace_id: 0,
             parent_span_id: 0,
+            obs_delta: String::new(),
             error: None,
         };
         let payload = Bytes::from_static(b"geometry");
@@ -351,6 +374,7 @@ mod tests {
             residency: Default::default(),
             trace_id: 0,
             parent_span_id: 0,
+            obs_delta: String::new(),
             error: None,
         };
         let frame = encode_partial(&h, Bytes::from_static(b"geometry"));
@@ -380,6 +404,7 @@ mod tests {
             residency: Default::default(),
             trace_id: 0,
             parent_span_id: 0,
+            obs_deltas: Vec::new(),
             error: Some("worker 3 failed".into()),
         };
         let (h2, p) = decode_done(encode_done(&h, Bytes::new())).unwrap();
@@ -410,6 +435,7 @@ mod tests {
             residency: Default::default(),
             trace_id: 0,
             parent_span_id: 0,
+            obs_delta: String::new(),
             error: None,
         };
         let mut v = serde_json::to_value(&h).unwrap();
@@ -460,6 +486,7 @@ mod tests {
             residency: Default::default(),
             trace_id: 0,
             parent_span_id: 0,
+            obs_deltas: Vec::new(),
             error: None,
         };
         let mut v = serde_json::to_value(&h).unwrap();
@@ -527,6 +554,7 @@ mod tests {
             residency: vec![(1, d1.clone()), (2, d2.clone())],
             trace_id: 0,
             parent_span_id: 0,
+            obs_deltas: Vec::new(),
             error: None,
         };
         let (h2, _) = decode_done(encode_done(&h, Bytes::new())).unwrap();
@@ -555,6 +583,7 @@ mod tests {
             residency: ResidencyDigest::from_items([vira_dms::ItemId(3)]),
             trace_id: 0,
             parent_span_id: 0,
+            obs_delta: String::new(),
             error: None,
         };
         let mut v = serde_json::to_value(&h).unwrap();
@@ -584,6 +613,7 @@ mod tests {
             residency: vec![(1, ResidencyDigest::empty())],
             trace_id: 0,
             parent_span_id: 0,
+            obs_deltas: Vec::new(),
             error: None,
         };
         let mut v = serde_json::to_value(&d).unwrap();
@@ -623,7 +653,10 @@ mod tests {
         untraced.trace_id = 0;
         untraced.parent_span_id = 0;
         let old = decode_command(encode_command(&untraced)).unwrap();
-        assert_eq!(old.check, got.check, "trace fields must not perturb the check");
+        assert_eq!(
+            old.check, got.check,
+            "trace fields must not perturb the check"
+        );
         // Old writer -> new reader: frames without the fields decode
         // to the zero (no-trace) context.
         let mut v: serde_json::Value = serde_json::from_slice(&frame[4..]).unwrap();
@@ -660,6 +693,7 @@ mod tests {
             residency: Default::default(),
             trace_id: 42,
             parent_span_id: 9,
+            obs_deltas: Vec::new(),
             error: None,
         };
         let (h2, _) = decode_done(encode_done(&h, Bytes::new())).unwrap();
@@ -675,6 +709,77 @@ mod tests {
         buf.put_slice(&json);
         let (h2, _) = decode_done(buf.freeze()).unwrap();
         assert_eq!((h2.trace_id, h2.parent_span_id), (0, 0));
+    }
+
+    #[test]
+    fn obs_delta_fields_roundtrip_and_default_empty() {
+        // New writer -> new reader: the piggybacked telemetry delta
+        // rides the partial header verbatim.
+        let mut h = PartialHeader {
+            job: 7,
+            kind: PayloadKind::Triangles,
+            n_items: 1,
+            read_s: 0.0,
+            compute_s: 0.0,
+            send_s: 0.0,
+            dms: DmsStatsSnapshot::default(),
+            cells_skipped: 0,
+            bricks_skipped: 0,
+            extract_par_s: 0.0,
+            extract_threads: 0,
+            attempt: 0,
+            payload_crc: 0,
+            residency: Default::default(),
+            trace_id: 0,
+            parent_span_id: 0,
+            obs_delta: "OBSD1 2 1 100\nc sched_jobs_done_total 3\n".into(),
+            error: None,
+        };
+        let (h2, _) = decode_partial(encode_partial(&h, Bytes::new())).unwrap();
+        assert_eq!(h2.obs_delta, h.obs_delta);
+        // Old-writer frames (field absent) decode to an empty delta.
+        h.payload_crc = h2.payload_crc;
+        let mut v = serde_json::to_value(&h).unwrap();
+        v.as_object_mut().unwrap().remove("obs_delta");
+        let json = serde_json::to_vec(&v).unwrap();
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(json.len() as u32);
+        buf.put_slice(&json);
+        let (h2, _) = decode_partial(buf.freeze()).unwrap();
+        assert!(h2.obs_delta.is_empty());
+
+        let mut d = DoneHeader {
+            job: 7,
+            kind: PayloadKind::Triangles,
+            n_items: 1,
+            read_s: 0.0,
+            compute_s: 0.0,
+            send_s: 0.0,
+            merge_s: 0.0,
+            dms: DmsStatsSnapshot::default(),
+            cells_skipped: 0,
+            bricks_skipped: 0,
+            extract_par_s: 0.0,
+            extract_threads: 0,
+            attempt: 0,
+            payload_crc: 0,
+            residency: Default::default(),
+            trace_id: 0,
+            parent_span_id: 0,
+            obs_deltas: vec![(1, "OBSD1 1 4 200\ng dms_cache_blocks 9\n".into())],
+            error: None,
+        };
+        let (d2, _) = decode_done(encode_done(&d, Bytes::new())).unwrap();
+        assert_eq!(d2.obs_deltas, d.obs_deltas);
+        d.payload_crc = d2.payload_crc;
+        let mut v = serde_json::to_value(&d).unwrap();
+        v.as_object_mut().unwrap().remove("obs_deltas");
+        let json = serde_json::to_vec(&v).unwrap();
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(json.len() as u32);
+        buf.put_slice(&json);
+        let (d2, _) = decode_done(buf.freeze()).unwrap();
+        assert!(d2.obs_deltas.is_empty());
     }
 
     #[test]

@@ -100,10 +100,12 @@ pub fn worker_main<T: Transport>(setup: WorkerSetup<T>) {
                         // Liveness probe: echo the nonce back, with this
                         // node's cache-residency digest piggybacked so the
                         // scheduler can refresh its placement map for free.
+                        // Telemetry probes additionally carry home a metric
+                        // delta in the pong's trailer.
                         let _ = endpoint.send(
                             msg.from,
                             tags::PONG,
-                            pong_payload(&msg.payload, &proxy.residency_digest()),
+                            pong_reply(&msg.payload, &proxy, rank),
                         );
                         continue;
                     }
@@ -256,6 +258,7 @@ fn run_job<T: Transport>(
             &meter,
             dms,
             proxy.residency_digest(),
+            take_encoded_delta(rank),
             error,
         );
         let _ = endpoint.send(group.root(), tags::PARTIAL_RESULT, frame.clone());
@@ -308,11 +311,7 @@ fn run_job<T: Transport>(
                 }
             }
             tags::PING => {
-                let _ = endpoint.send(
-                    m.from,
-                    tags::PONG,
-                    pong_payload(&m.payload, &proxy.residency_digest()),
-                );
+                let _ = endpoint.send(m.from, tags::PONG, pong_reply(&m.payload, proxy, rank));
             }
             tags::COMMAND => {
                 let Some(c) = wire::decode_command(m.payload) else {
@@ -351,8 +350,19 @@ fn run_job<T: Transport>(
     // scheduler: the master's own cache plus each partial's snapshot.
     let mut residency: Vec<(Rank, vira_dms::cache::ResidencyDigest)> =
         vec![(rank, proxy.residency_digest())];
+    // Metric deltas riding the partials home: the master forwards them
+    // (plus its own cut) in the JOB_DONE so the scheduler's time-series
+    // store hears from every rank even between heartbeats.
+    let mut obs_deltas: Vec<(Rank, String)> = Vec::new();
+    let own_delta = take_encoded_delta(rank);
+    if !own_delta.is_empty() {
+        obs_deltas.push((rank, own_delta));
+    }
     for (from, (header, payload)) in partials {
         residency.push((from, header.residency));
+        if !header.obs_delta.is_empty() {
+            obs_deltas.push((from, header.obs_delta.clone()));
+        }
         total_read += header.read_s;
         total_compute += header.compute_s;
         total_send += header.send_s;
@@ -435,6 +445,7 @@ fn run_job<T: Transport>(
         attempt: msg.attempt,
         payload_crc: 0, // filled in by encode_done
         residency,
+        obs_deltas,
         error: first_error,
         trace_id: reply_ctx.trace_id,
         parent_span_id: reply_ctx.parent_span_id,
@@ -463,6 +474,40 @@ fn scaled_send_items(n_items: usize, scale: f64) -> usize {
         return 0;
     }
     ((n_items as f64 * scale).round() as usize).max(n_items)
+}
+
+/// Encodes this rank's pending metric delta for the wire, or the empty
+/// string when nothing interesting changed since the last cut.
+fn take_encoded_delta(rank: usize) -> String {
+    vira_obs::take_delta(rank as u64)
+        .map(|d| vira_obs::ship::encode(&d))
+        .unwrap_or_default()
+}
+
+/// Builds the PONG for a probe. Plain liveness pings get the classic
+/// `echo | digest | clock` payload; telemetry probes (`OBS1` suffix,
+/// see [`wire::is_obs_ping`]) additionally carry this rank's pending
+/// metric delta and a 4-byte LE blob-length trailer, so the scheduler's
+/// time-series store is fed by the heartbeat it already pays for.
+fn pong_reply(ping: &Bytes, proxy: &DataProxy, rank: usize) -> Bytes {
+    let base = pong_payload(ping, &proxy.residency_digest());
+    if !wire::is_obs_ping(ping) {
+        return base;
+    }
+    let blob = take_encoded_delta(rank);
+    if blob.is_empty() {
+        return base; // nothing to ship; classic pong
+    }
+    append_delta_trailer(&base, &blob)
+}
+
+/// Appends `blob | blob_len(4 LE)` after an existing pong payload.
+fn append_delta_trailer(base: &Bytes, blob: &str) -> Bytes {
+    let mut buf = BytesMut::with_capacity(base.len() + blob.len() + 4);
+    buf.extend_from_slice(base);
+    buf.extend_from_slice(blob.as_bytes());
+    buf.put_u32_le(blob.len() as u32);
+    buf.freeze()
 }
 
 /// PONG payload: the probe nonce echoed verbatim, followed by this

@@ -124,6 +124,12 @@ impl ResidencyDigest {
         items.iter().filter(|&&id| self.contains(id)).count()
     }
 
+    /// Number of set bits — a collision-folded lower bound on the
+    /// distinct resident blocks, good enough for a telemetry gauge.
+    pub fn set_bits(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
     /// Little-endian word dump for piggybacking on raw (non-JSON)
     /// frames such as PONG payloads. Unknown digests encode as empty.
     pub fn to_bytes(&self) -> Vec<u8> {

@@ -2,21 +2,34 @@
 //! artifacts against the schema self-checks.
 //!
 //! Usage:
-//!   obs-validate <trace-dir>...
+//!   obs-validate [--fail-on-drops] <trace-dir>...
 //!   obs-validate analyze <trace-dir> [--check <min-coverage>]
 //!
 //! Each directory is expected to contain `events.jsonl` and/or
 //! `trace.json` (as written by `vira_obs::export_all` or the bench
 //! runner's `--trace-out`), plus optionally `metrics.prom`,
-//! `metrics.json` and `flight-<trace>.jsonl` files. Exits non-zero
-//! with a diagnostic on the first invalid artifact; prints a per-file
-//! summary otherwise.
+//! `metrics.json`, `telemetry.json` and `flight-<trace>.jsonl` files.
+//! Exits non-zero with a diagnostic on the first invalid artifact;
+//! prints a per-file summary otherwise.
+//!
+//! Metric-registry checks run against the **artifacts**, not this
+//! process's own (empty) registry: every production family name found
+//! in a `metrics.json` must be declared in `METRIC_REGISTRY`
+//! (`test_*` scratch names are exempt), and registry names that never
+//! appear in any checked artifact are reported as a warning so the
+//! DESIGN.md mirror can't rot in either direction.
+//!
+//! `--fail-on-drops` turns span-ring overflow (`obs_spans_dropped_total
+//! > 0` in a checked `metrics.json`) from a warning into a failure;
+//! acceptance tests pass it, chaos runs — which legitimately drop under
+//! pressure — don't.
 //!
 //! `analyze` runs the critical-path analyzer over the directory's
 //! flight recordings and prints the attribution table; with
 //! `--check <frac>` it fails unless every job's stage attribution
 //! covers at least that fraction of its wall time.
 
+use std::collections::BTreeSet;
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -25,9 +38,77 @@ use vira_obs::export::{
     validate_events_jsonl, validate_prometheus_text,
 };
 use vira_obs::flight::validate_flight_jsonl;
+use vira_obs::json::{self, Json};
+use vira_obs::metrics::METRIC_REGISTRY;
 use vira_obs::{analyze_dir, render_table};
 
-fn check_dir(dir: &Path) -> Result<(), String> {
+/// Family names found in one parsed `metrics.json`, plus the exported
+/// span-drop count.
+fn scan_metrics_json(j: &Json) -> Result<(BTreeSet<String>, u64), String> {
+    let mut seen = BTreeSet::new();
+    for section in ["counters", "gauges", "histograms"] {
+        let obj = j
+            .get(section)
+            .and_then(|v| v.as_obj())
+            .ok_or_else(|| format!("missing '{section}' object"))?;
+        for (name, _) in obj {
+            seen.insert(name.clone());
+        }
+    }
+    let drops = j
+        .get("counters")
+        .and_then(|c| c.get("obs_spans_dropped_total"))
+        .and_then(|v| v.as_u64())
+        .unwrap_or(0);
+    Ok((seen, drops))
+}
+
+/// Structural check of a `telemetry.json` snapshot (as written by the
+/// scheduler and read back by `vira top`).
+fn validate_telemetry_json(text: &str) -> Result<(usize, usize), String> {
+    let j = json::parse(text)?;
+    if j.get("v").and_then(|v| v.as_u64()) != Some(1) {
+        return Err("telemetry.json: missing or unknown version 'v'".into());
+    }
+    let cluster = j.get("cluster").ok_or("telemetry.json: missing 'cluster'")?;
+    for section in ["counters", "gauges", "quantiles"] {
+        if cluster.get(section).and_then(|v| v.as_obj()).is_none() {
+            return Err(format!("telemetry.json: missing cluster.{section}"));
+        }
+    }
+    let ranks = j
+        .get("ranks")
+        .and_then(|v| v.as_arr())
+        .ok_or("telemetry.json: missing 'ranks' array")?;
+    for r in ranks {
+        if r.get("rank").and_then(|v| v.as_u64()).is_none() {
+            return Err("telemetry.json: rank row without 'rank'".into());
+        }
+    }
+    let slo = j
+        .get("slo")
+        .and_then(|v| v.as_arr())
+        .ok_or("telemetry.json: missing 'slo' array")?;
+    for s in slo {
+        for key in ["name", "fast_burn", "slow_burn", "firing"] {
+            if s.get(key).is_none() {
+                return Err(format!("telemetry.json: slo row without '{key}'"));
+            }
+        }
+    }
+    Ok((ranks.len(), slo.len()))
+}
+
+struct CheckOptions {
+    fail_on_drops: bool,
+}
+
+fn check_dir(
+    dir: &Path,
+    opts: &CheckOptions,
+    seen_families: &mut BTreeSet<String>,
+    metrics_files: &mut usize,
+) -> Result<(), String> {
     let mut found = 0;
     // Accept both a flat dir and a dir of per-experiment subdirs.
     let mut dirs = vec![dir.to_path_buf()];
@@ -68,6 +149,54 @@ fn check_dir(dir: &Path) -> Result<(), String> {
             println!("ok {} ({n} families)", prom.display());
             found += 1;
         }
+        let mj = d.join("metrics.json");
+        if mj.is_file() {
+            let text = std::fs::read_to_string(&mj)
+                .map_err(|e| format!("{}: {e}", mj.display()))?;
+            let j = json::parse(&text).map_err(|e| format!("{}: {e}", mj.display()))?;
+            let (seen, drops) =
+                scan_metrics_json(&j).map_err(|e| format!("{}: {e}", mj.display()))?;
+            // Forward drift: every production family in the artifact
+            // must be registered.
+            let unknown: Vec<&String> = seen
+                .iter()
+                .filter(|n| !n.starts_with("test_") && !vira_obs::is_registered(n))
+                .collect();
+            if !unknown.is_empty() {
+                return Err(format!(
+                    "{}: unregistered metric names (add to METRIC_REGISTRY + DESIGN.md): {}",
+                    mj.display(),
+                    unknown
+                        .iter()
+                        .map(|s| s.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+            if drops > 0 {
+                let msg = format!(
+                    "{}: obs_spans_dropped_total = {drops} (span rings overflowed)",
+                    mj.display()
+                );
+                if opts.fail_on_drops {
+                    return Err(msg);
+                }
+                println!("warn {msg}");
+            }
+            println!("ok {} ({} families)", mj.display(), seen.len());
+            seen_families.extend(seen);
+            *metrics_files += 1;
+            found += 1;
+        }
+        let tj = d.join("telemetry.json");
+        if tj.is_file() {
+            let text = std::fs::read_to_string(&tj)
+                .map_err(|e| format!("{}: {e}", tj.display()))?;
+            let (ranks, slos) =
+                validate_telemetry_json(&text).map_err(|e| format!("{}: {e}", tj.display()))?;
+            println!("ok {} ({ranks} ranks, {slos} SLOs)", tj.display());
+            found += 1;
+        }
         if let Ok(rd) = std::fs::read_dir(&d) {
             for entry in rd.flatten() {
                 let name = entry.file_name().to_string_lossy().into_owned();
@@ -90,11 +219,14 @@ fn check_dir(dir: &Path) -> Result<(), String> {
             dir.display()
         ));
     }
-    // Registry check: every production metric name that reaches the
-    // snapshot must be declared in obs::metrics::METRIC_REGISTRY (and
-    // the DESIGN.md table mirroring it). Test metrics are exempt.
+    // Belt-and-braces: any metric recorded by this process itself (the
+    // validators don't record, but keep the invariant) must be
+    // registered too.
     let snap = vira_obs::snapshot();
-    let unknown = unregistered_metric_names(&snap);
+    let unknown: Vec<String> = unregistered_metric_names(&snap)
+        .into_iter()
+        .filter(|n| !n.starts_with("test_"))
+        .collect();
     if !unknown.is_empty() {
         return Err(format!(
             "unregistered metric names (add to METRIC_REGISTRY + DESIGN.md): {}",
@@ -141,9 +273,9 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
-        eprintln!("usage: obs-validate <trace-dir>...");
+        eprintln!("usage: obs-validate [--fail-on-drops] <trace-dir>...");
         eprintln!("       obs-validate analyze <trace-dir> [--check <min-coverage>]");
         return ExitCode::from(2);
     }
@@ -156,10 +288,37 @@ fn main() -> ExitCode {
             }
         };
     }
+    let opts = CheckOptions {
+        fail_on_drops: args.iter().any(|a| a == "--fail-on-drops"),
+    };
+    args.retain(|a| a != "--fail-on-drops");
+    if args.is_empty() {
+        eprintln!("obs-validate: FAIL no trace directories given");
+        return ExitCode::FAILURE;
+    }
+    let mut seen_families = BTreeSet::new();
+    let mut metrics_files = 0usize;
     for a in &args {
-        if let Err(e) = check_dir(Path::new(a)) {
+        if let Err(e) = check_dir(Path::new(a), &opts, &mut seen_families, &mut metrics_files) {
             eprintln!("obs-validate: FAIL {e}");
             return ExitCode::FAILURE;
+        }
+    }
+    // Reverse drift: registry families that no checked artifact ever
+    // emitted. A warning, not a failure — a single run doesn't exercise
+    // every subsystem — but it keeps DESIGN.md's mirror honest.
+    if metrics_files > 0 {
+        let missing: Vec<&str> = METRIC_REGISTRY
+            .iter()
+            .map(|&(n, _)| n)
+            .filter(|n| !seen_families.contains(*n))
+            .collect();
+        if !missing.is_empty() {
+            println!(
+                "warn: {} registered metric(s) never emitted by the checked artifacts: {}",
+                missing.len(),
+                missing.join(", ")
+            );
         }
     }
     ExitCode::SUCCESS

@@ -32,7 +32,10 @@ pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod ring;
+pub mod ship;
+pub mod slo;
 pub mod trace;
+pub mod tsdb;
 
 pub use analyze::{analyze_dir, analyze_spans, render_table, JobAttribution};
 pub use event::{
@@ -51,8 +54,13 @@ pub use metrics::{
     metric_help, snapshot, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot,
     METRIC_REGISTRY,
 };
+pub use ship::{take_delta, MetricsDelta, SparseHist};
+pub use slo::{
+    default_specs, render_telemetry_json, RankMeta, SloEngine, SloSpec, SloStatus,
+};
 pub use trace::{
     complete_span, complete_span_ctx, current_ctx, drain, enabled, epoch, install_ctx, instant_ns,
     intern, next_span_id, now_ns, set_enabled, span, ArgValue, CtxGuard, SpanGuard, SpanRecord,
     TraceCtx, TraceDump,
 };
+pub use tsdb::{Tsdb, TsdbConfig};

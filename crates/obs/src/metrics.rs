@@ -319,6 +319,10 @@ pub const METRIC_REGISTRY: &[(&str, &str)] = &[
     ("link_event_frames_total", "Event frames sent to the client"),
     ("link_request_bytes_total", "Bytes of request frames sent by the client"),
     ("link_request_frames_total", "Request frames sent by the client"),
+    // observability plane
+    ("obs_deltas_shipped_total", "Metric deltas cut by the shipping cursor"),
+    ("obs_heartbeats_total", "Telemetry heartbeat pings sent by the scheduler"),
+    ("obs_spans_dropped_total", "Span records lost to ring-buffer overflow"),
     // scheduler
     ("sched_backfills_total", "Dispatches that jumped a blocked queue head"),
     ("sched_dead_ranks_total", "Ranks declared dead by the liveness probe"),
@@ -330,10 +334,14 @@ pub const METRIC_REGISTRY: &[(&str, &str)] = &[
     ("sched_jobs_rejected_total", "Submissions rejected before queueing"),
     ("sched_jobs_submitted_total", "Submissions accepted into the queue"),
     ("sched_locality_hits_total", "Placed ranks whose cache already held job items"),
+    ("sched_queue_depth", "Jobs currently waiting in the scheduler queue"),
     ("sched_queue_wait_ns", "Per-job queue-wait histogram"),
+    ("sched_running_jobs", "Jobs currently dispatched and not yet done"),
     ("sched_requeues_total", "Jobs requeued after a dead rank"),
     ("sched_retries_total", "Command frames retransmitted"),
     ("sched_starvation_aged_total", "Queue heads force-dispatched by the aging bound"),
+    // slo engine
+    ("slo_alerts_total", "SLO burn-rate alerts fired"),
     // vista client
     ("vista_dup_dropped_total", "Duplicate stream packets dropped by the client"),
     ("vista_first_result_ns", "Submit-to-first-geometry latency histogram"),

@@ -379,7 +379,17 @@ impl TraceDump {
 /// Consumes every span recorded since the previous drain, across all
 /// threads. Safe to call while other threads keep recording (their
 /// in-flight spans land in the next drain).
+///
+/// Ring overflow is surfaced as the `obs_spans_dropped_total` counter:
+/// each drain exports the increment of the (cumulative) per-ring drop
+/// counts since the previous drain, so silent span loss under pressure
+/// shows up in every metrics artifact and in shipped deltas. Drains are
+/// serialized by the thread-registry lock, which makes the watermark
+/// below race-free.
 pub fn drain() -> TraceDump {
+    static DROPPED_EXPORTED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    static DROPPED_TOTAL: std::sync::OnceLock<std::sync::Arc<crate::metrics::Counter>> =
+        std::sync::OnceLock::new();
     let threads = tracer().threads.lock().unwrap();
     let mut out = Vec::with_capacity(threads.len());
     for buf in threads.iter() {
@@ -389,6 +399,12 @@ pub fn drain() -> TraceDump {
             spans: buf.ring.drain(),
             dropped: buf.ring.dropped(),
         });
+    }
+    let total: u64 = out.iter().map(|t| t.dropped).sum();
+    let prev = DROPPED_EXPORTED.swap(total, std::sync::atomic::Ordering::Relaxed);
+    if total > prev {
+        crate::metrics::counter_cached(&DROPPED_TOTAL, "obs_spans_dropped_total")
+            .add(total - prev);
     }
     TraceDump { threads: out }
 }
