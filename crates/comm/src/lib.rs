@@ -13,15 +13,19 @@
 //!   visualization host and the scheduler.
 //! * [`fault`] — deterministic fault injection: [`fault::FaultyTransport`]
 //!   perturbs any transport from a seeded, replayable [`fault::FaultPlan`].
+//! * [`socket`] — the real multi-process transport: framed TCP /
+//!   Unix-domain sockets in a star topology behind the same trait.
 
 pub mod collective;
 pub mod endpoint;
 pub mod fault;
 pub mod link;
+pub mod socket;
 pub mod transport;
 
 pub use collective::{barrier, broadcast, gather, Group};
 pub use endpoint::Endpoint;
 pub use fault::{FaultPlan, FaultStats, FaultStatsSnapshot, FaultyTransport, LinkFaults};
 pub use link::{client_server_link, ClientSide, EventSender, ServerSide};
+pub use socket::{SocketAddrSpec, SocketHub, SocketListener, SocketSender, SocketWorker};
 pub use transport::{tags, CommError, LocalEndpoint, LocalWorld, Message, Rank, Tag, Transport};

@@ -135,22 +135,43 @@ impl ServerSide {
     /// transmission of worker results to the visualization system").
     pub fn event_sender(&self) -> EventSender {
         EventSender {
-            tx: self.to_client.clone(),
+            sink: Sink::Link(self.to_client.clone()),
         }
     }
+}
+
+/// Where an [`EventSender`] delivers its frames: straight onto the
+/// client link (same-process back-end), or through an arbitrary hook —
+/// remote worker processes forward frames to the scheduler as
+/// `CLIENT_EVENT` messages, and the scheduler re-emits them here.
+#[derive(Clone)]
+enum Sink {
+    Link(Sender<Bytes>),
+    Hook(Arc<dyn Fn(Bytes) -> Result<(), CommError> + Send + Sync>),
 }
 
 /// A cloneable handle for emitting events toward the client from any
 /// thread.
 #[derive(Clone)]
 pub struct EventSender {
-    tx: Sender<Bytes>,
+    sink: Sink,
 }
 
 impl EventSender {
+    /// An event sender that delivers through `f` instead of a link —
+    /// the transport-agnostic seam remote worker processes plug into.
+    pub fn from_fn(f: impl Fn(Bytes) -> Result<(), CommError> + Send + Sync + 'static) -> Self {
+        EventSender {
+            sink: Sink::Hook(Arc::new(f)),
+        }
+    }
+
     pub fn emit(&self, frame: Bytes) -> Result<(), CommError> {
         count_event(&frame);
-        self.tx.send(frame).map_err(|_| CommError::Disconnected)
+        match &self.sink {
+            Sink::Link(tx) => tx.send(frame).map_err(|_| CommError::Disconnected),
+            Sink::Hook(f) => f(frame),
+        }
     }
 }
 

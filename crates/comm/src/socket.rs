@@ -1,0 +1,1345 @@
+//! Real multi-process transport: framed TCP / Unix-domain sockets.
+//!
+//! The paper's deployment runs the scheduler and the workers as
+//! separate processes talking MPI/TCP; [`crate::transport::LocalWorld`]
+//! stands in for that world with in-process channels. This module is
+//! the real thing behind the same [`Transport`] trait: a star topology
+//! where every worker process holds one stream to the scheduler process
+//! (rank 0), which routes worker-to-worker frames. Layers 2 and 3 are
+//! unchanged — per the layered design they never learn whether a frame
+//! crossed a channel, a Unix socket or a TCP connection.
+//!
+//! ## Frame format
+//!
+//! Every message, including the handshake, is one length-prefixed frame
+//! (all integers little-endian):
+//!
+//! ```text
+//! magic "VFR1" (4) | len (u32) | to (u32) | from (u32) | tag (u32) | crc (u32) | payload (len)
+//! ```
+//!
+//! `crc` is FNV-1a over the `to | from | tag` words followed by the
+//! payload (0 is reserved, a real 0 is nudged to 1 — same convention as
+//! the layer-2 wire headers). A frame whose checksum fails is dropped
+//! where it lands; the stream stays synchronized because the frame's
+//! extent was known. A corrupted *length* desynchronizes the stream:
+//! the decoder scans forward to the next magic and reports how many
+//! bytes it had to skip, so a socket reader can surface persistent
+//! garbage as [`CommError::Disconnected`] instead of spinning.
+//!
+//! ## Handshake and rank assignment
+//!
+//! Workers connect (with retry — the scheduler may still be binding)
+//! and send a `HELLO` frame carrying the protocol version. The
+//! scheduler accepts connections until `n_workers` ranks have joined,
+//! assigning rank ids 1..=N in connection order, and answers each with
+//! a `WELCOME` frame carrying the assigned rank and the world size.
+//!
+//! ## Failure semantics
+//!
+//! A lost worker connection is *silence*, not an error: the hub marks
+//! the peer dead, subsequent sends to it are dropped, and the
+//! scheduler-side `recv` keeps working. The existing resilience path
+//! (retransmit → liveness probe → dead-rank conviction → requeue)
+//! notices the silence exactly as it notices a killed in-process rank.
+//! On the worker side a lost hub connection *is* fatal — `recv` returns
+//! [`CommError::Disconnected`] and the worker loop exits, the same
+//! "world torn down" path the in-process transport takes.
+
+use crate::transport::{CommError, Message, Rank, Tag, Transport};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use vira_obs as obs;
+
+/// Wire protocol version carried in the `HELLO` frame. Bumped on any
+/// incompatible frame-format change; the hub rejects mismatches.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Frame preamble. A fixed magic keeps the decoder re-synchronizable:
+/// after losing framing it scans for the next occurrence.
+pub const FRAME_MAGIC: [u8; 4] = *b"VFR1";
+
+/// Fixed bytes before the payload: magic + len + to + from + tag + crc.
+pub const FRAME_HEADER_LEN: usize = 24;
+
+/// Upper bound on a frame payload. Anything larger is treated as a
+/// corrupted length (false magic) rather than an allocation request.
+pub const MAX_FRAME_PAYLOAD: usize = 1 << 30;
+
+/// Handshake tags live at the top of the tag space, far above
+/// [`crate::transport::tags::USER_BASE`], and never reach layer 2.
+pub const TAG_HELLO: Tag = u32::MAX - 1;
+/// See [`TAG_HELLO`].
+pub const TAG_WELCOME: Tag = u32::MAX - 2;
+
+// Socket-level metrics, named per the DESIGN.md registry conventions.
+static FRAMES_SENT: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static BYTES_SENT: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static FRAMES_RECV: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static FRAMES_CORRUPT: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static RESYNC_BYTES: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+
+fn count_sent(frame_len: usize) {
+    obs::counter_cached(&FRAMES_SENT, "socket_frames_sent_total").inc();
+    obs::counter_cached(&BYTES_SENT, "socket_bytes_sent_total").add(frame_len as u64);
+}
+
+/// FNV-1a (32-bit) over an iterator of byte slices.
+fn fnv1a_multi<'a>(parts: impl IntoIterator<Item = &'a [u8]>) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for part in parts {
+        for &b in part {
+            h ^= b as u32;
+            h = h.wrapping_mul(0x0100_0193);
+        }
+    }
+    h
+}
+
+/// Checksum of one frame: FNV-1a over the addressing words and the
+/// payload. `0` means "unchecked" in layer-2 headers, so a real zero
+/// digest is nudged to 1 here too — one convention across the stack.
+pub fn frame_crc(to: u32, from: u32, tag: u32, payload: &[u8]) -> u32 {
+    let h = fnv1a_multi([
+        &to.to_le_bytes()[..],
+        &from.to_le_bytes()[..],
+        &tag.to_le_bytes()[..],
+        payload,
+    ]);
+    if h == 0 {
+        1
+    } else {
+        h
+    }
+}
+
+/// A decoded frame. `to`/`from` are wire-level rank ids.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    pub to: u32,
+    pub from: u32,
+    pub tag: Tag,
+    pub payload: Bytes,
+}
+
+/// Encodes one frame, header and payload, into a single buffer (one
+/// `write_all` per send keeps frames atomic without a writer thread).
+pub fn encode_frame(to: u32, from: u32, tag: Tag, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    buf.extend_from_slice(&FRAME_MAGIC);
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&to.to_le_bytes());
+    buf.extend_from_slice(&from.to_le_bytes());
+    buf.extend_from_slice(&tag.to_le_bytes());
+    buf.extend_from_slice(&frame_crc(to, from, tag, payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// One step of the incremental decoder.
+#[derive(Debug, PartialEq)]
+pub enum DecodeStep {
+    /// A complete, checksum-valid frame.
+    Frame(Frame),
+    /// A structurally complete frame failed its checksum and was
+    /// dropped. The stream stays synchronized.
+    Corrupt,
+    /// `n` bytes before the next plausible frame start were discarded
+    /// (garbage, or the wake of a corrupted length field).
+    Resync(usize),
+}
+
+/// Incremental frame decoder over an arbitrary chunking of the byte
+/// stream. Pure — no sockets — so it is unit- and property-testable,
+/// and the reader threads just feed it whatever `read` returned.
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameDecoder {
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Appends raw stream bytes.
+    pub fn feed(&mut self, data: &[u8]) {
+        // Compact before growing: the consumed prefix is dead weight.
+        if self.pos > 0 && (self.pos == self.buf.len() || self.pos >= 64 * 1024) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Bytes currently buffered but not yet consumed.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Pulls the next decode step, or `None` when more bytes are
+    /// needed to make progress. Deliberately not an `Iterator`: `None`
+    /// means "feed me", not "exhausted".
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<DecodeStep> {
+        let b = &self.buf[self.pos..];
+        // Locate the next magic; discard anything in front of it, but
+        // keep a possible magic prefix at the very end of the buffer.
+        let at = b
+            .windows(FRAME_MAGIC.len())
+            .position(|w| w == FRAME_MAGIC);
+        let Some(at) = at else {
+            let keep = longest_magic_suffix(b);
+            let skip = b.len() - keep;
+            if skip > 0 {
+                self.pos += skip;
+                obs::counter_cached(&RESYNC_BYTES, "socket_resync_bytes_total").add(skip as u64);
+                return Some(DecodeStep::Resync(skip));
+            }
+            return None;
+        };
+        if at > 0 {
+            self.pos += at;
+            obs::counter_cached(&RESYNC_BYTES, "socket_resync_bytes_total").add(at as u64);
+            return Some(DecodeStep::Resync(at));
+        }
+        if b.len() < FRAME_HEADER_LEN {
+            return None;
+        }
+        let word = |i: usize| u32::from_le_bytes(b[i..i + 4].try_into().expect("4 bytes"));
+        let len = word(4) as usize;
+        if len > MAX_FRAME_PAYLOAD {
+            // A magic that fronts an absurd length is a false positive
+            // (or a corrupted length): step past one byte and rescan.
+            self.pos += 1;
+            obs::counter_cached(&RESYNC_BYTES, "socket_resync_bytes_total").inc();
+            return Some(DecodeStep::Resync(1));
+        }
+        if b.len() < FRAME_HEADER_LEN + len {
+            return None;
+        }
+        let (to, from, tag, crc) = (word(8), word(12), word(16), word(20));
+        let payload = &b[FRAME_HEADER_LEN..FRAME_HEADER_LEN + len];
+        let ok = frame_crc(to, from, tag, payload) == crc;
+        let payload = Bytes::copy_from_slice(payload);
+        self.pos += FRAME_HEADER_LEN + len;
+        if !ok {
+            obs::counter_cached(&FRAMES_CORRUPT, "socket_frames_corrupt_total").inc();
+            return Some(DecodeStep::Corrupt);
+        }
+        obs::counter_cached(&FRAMES_RECV, "socket_frames_recv_total").inc();
+        Some(DecodeStep::Frame(Frame {
+            to,
+            from,
+            tag,
+            payload,
+        }))
+    }
+}
+
+/// Length of the longest strict prefix of [`FRAME_MAGIC`] that `b`
+/// ends with — those bytes may yet become a magic and must be kept.
+fn longest_magic_suffix(b: &[u8]) -> usize {
+    for keep in (1..FRAME_MAGIC.len()).rev() {
+        if b.len() >= keep && b[b.len() - keep..] == FRAME_MAGIC[..keep] {
+            return keep;
+        }
+    }
+    0
+}
+
+/// A parsed `--listen` / `--connect` address: `tcp:host:port`,
+/// `unix:/path`, a bare `host:port` (TCP) or a bare path (Unix).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SocketAddrSpec {
+    Tcp(String),
+    Unix(PathBuf),
+}
+
+impl SocketAddrSpec {
+    pub fn parse(s: &str) -> Result<SocketAddrSpec, String> {
+        if let Some(rest) = s.strip_prefix("unix:") {
+            if rest.is_empty() {
+                return Err(format!("'{s}': empty unix socket path"));
+            }
+            return Ok(SocketAddrSpec::Unix(PathBuf::from(rest)));
+        }
+        if let Some(rest) = s.strip_prefix("tcp:") {
+            return SocketAddrSpec::parse_tcp(rest);
+        }
+        if s.contains('/') {
+            return Ok(SocketAddrSpec::Unix(PathBuf::from(s)));
+        }
+        SocketAddrSpec::parse_tcp(s)
+    }
+
+    fn parse_tcp(s: &str) -> Result<SocketAddrSpec, String> {
+        if s.rsplit_once(':').is_none() {
+            return Err(format!("'{s}': TCP address needs host:port"));
+        }
+        Ok(SocketAddrSpec::Tcp(s.to_string()))
+    }
+}
+
+impl std::fmt::Display for SocketAddrSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SocketAddrSpec::Tcp(a) => write!(f, "tcp:{a}"),
+            SocketAddrSpec::Unix(p) => write!(f, "unix:{}", p.display()),
+        }
+    }
+}
+
+/// One connected stream, TCP or Unix — the only place the two APIs
+/// diverge.
+enum Stream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Stream {
+    fn try_clone(&self) -> std::io::Result<Stream> {
+        match self {
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+        }
+    }
+
+    fn shutdown(&self) {
+        match self {
+            Stream::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            #[cfg(unix)]
+            Stream::Unix(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+
+    fn set_read_timeout(&self, t: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(t),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_read_timeout(t),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// Writes one frame under the peer's writer lock. Frames are single
+/// buffers, so concurrent senders interleave at frame granularity.
+fn write_frame(writer: &Mutex<Stream>, to: u32, from: u32, tag: Tag, payload: &[u8]) -> bool {
+    let buf = encode_frame(to, from, tag, payload);
+    let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+    let ok = w.write_all(&buf).is_ok();
+    if ok {
+        count_sent(buf.len());
+    }
+    ok
+}
+
+/// Reads frames until `stop` says otherwise, feeding the decoder with
+/// whatever sized chunks the socket produces. Returns when the stream
+/// ends, errors, or desynchronizes beyond repair.
+///
+/// `dec` is the handshake's decoder, carried over so bytes that
+/// arrived in the same read as the HELLO/WELCOME (frames sent the
+/// instant the handshake completed) are decoded, not dropped — it is
+/// drained before the first read.
+fn reader_loop(mut stream: Stream, mut dec: FrameDecoder, mut on_frame: impl FnMut(Frame) -> bool) {
+    let mut chunk = vec![0u8; 64 * 1024];
+    loop {
+        while let Some(step) = dec.next() {
+            match step {
+                DecodeStep::Frame(f) => {
+                    if !on_frame(f) {
+                        return;
+                    }
+                }
+                // Corrupt frames and skipped garbage are counted by the
+                // decoder; on a reliable stream they indicate peer bugs,
+                // not transit damage, but dropping them keeps the
+                // failure mode "silence" either way — the liveness
+                // probe, not a panic, decides what happens next.
+                DecodeStep::Corrupt | DecodeStep::Resync(_) => {}
+            }
+        }
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => return, // EOF: peer closed
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        };
+        dec.feed(&chunk[..n]);
+    }
+}
+
+/// One accepted worker connection as the hub sees it.
+struct Peer {
+    writer: Mutex<Stream>,
+    alive: AtomicBool,
+}
+
+struct HubShared {
+    /// Index = rank - 1.
+    peers: Vec<Peer>,
+}
+
+impl HubShared {
+    /// Forwards an encoded frame to `to` (1-based), dropping it when
+    /// the peer is gone — dead peers are silence, never errors.
+    fn route(&self, frame: &Frame) {
+        let Some(peer) = self.peers.get(frame.to as usize - 1) else {
+            return;
+        };
+        if !peer.alive.load(Ordering::Acquire) {
+            return;
+        }
+        if !write_frame(&peer.writer, frame.to, frame.from, frame.tag, &frame.payload) {
+            peer.alive.store(false, Ordering::Release);
+        }
+    }
+}
+
+/// The scheduler-process endpoint (rank 0) of a socket world: accepts
+/// `n_workers` connections, then routes frames. Implements
+/// [`Transport`] so [`Endpoint`](crate::endpoint::Endpoint), the
+/// scheduler loop and [`FaultyTransport`](crate::fault::FaultyTransport)
+/// stack on top unchanged.
+pub struct SocketHub {
+    shared: Arc<HubShared>,
+    inbox_tx: Sender<Message>,
+    inbox_rx: Receiver<Message>,
+    n_workers: usize,
+    readers: Vec<JoinHandle<()>>,
+}
+
+/// A bound listener, not yet a world: call
+/// [`accept_world`](SocketListener::accept_world) to collect the ranks.
+pub struct SocketListener {
+    kind: ListenerKind,
+    local: String,
+    /// Unix socket path to unlink on drop.
+    cleanup: Option<PathBuf>,
+}
+
+enum ListenerKind {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl SocketListener {
+    /// Binds the listen address. For `tcp:host:0` the OS picks a port;
+    /// [`local_addr`](SocketListener::local_addr) reports it.
+    pub fn bind(spec: &SocketAddrSpec) -> std::io::Result<SocketListener> {
+        match spec {
+            SocketAddrSpec::Tcp(addr) => {
+                let l = TcpListener::bind(addr)?;
+                let local = l
+                    .local_addr()
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|_| addr.clone());
+                Ok(SocketListener {
+                    kind: ListenerKind::Tcp(l),
+                    local: format!("tcp:{local}"),
+                    cleanup: None,
+                })
+            }
+            #[cfg(unix)]
+            SocketAddrSpec::Unix(path) => {
+                // A stale socket file from a crashed run blocks bind.
+                let _ = std::fs::remove_file(path);
+                let l = UnixListener::bind(path)?;
+                Ok(SocketListener {
+                    kind: ListenerKind::Unix(l),
+                    local: format!("unix:{}", path.display()),
+                    cleanup: Some(path.clone()),
+                })
+            }
+            #[cfg(not(unix))]
+            SocketAddrSpec::Unix(_) => Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "unix sockets need a unix platform",
+            )),
+        }
+    }
+
+    /// The bound address in `--connect` syntax.
+    pub fn local_addr(&self) -> &str {
+        &self.local
+    }
+
+    fn accept_stream(&self) -> std::io::Result<Stream> {
+        match &self.kind {
+            ListenerKind::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+            #[cfg(unix)]
+            ListenerKind::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+        }
+    }
+
+    fn set_nonblocking(&self, nb: bool) -> std::io::Result<()> {
+        match &self.kind {
+            ListenerKind::Tcp(l) => l.set_nonblocking(nb),
+            #[cfg(unix)]
+            ListenerKind::Unix(l) => l.set_nonblocking(nb),
+        }
+    }
+
+    /// Accepts and handshakes `n_workers` connections (rank ids 1..=N
+    /// in connection order), then starts the per-peer reader threads
+    /// and returns the routing hub. Fails when fewer ranks joined
+    /// within `timeout`.
+    pub fn accept_world(
+        self,
+        n_workers: usize,
+        timeout: Duration,
+    ) -> std::io::Result<SocketHub> {
+        assert!(n_workers >= 1, "world must have at least one worker");
+        let deadline = Instant::now() + timeout;
+        self.set_nonblocking(true)?;
+        let world = (n_workers + 1) as u32;
+        let mut streams: Vec<(Stream, FrameDecoder)> = Vec::with_capacity(n_workers);
+        while streams.len() < n_workers {
+            match self.accept_stream() {
+                Ok(stream) => {
+                    let rank = (streams.len() + 1) as u32;
+                    match handshake_server(&stream, rank, world, deadline) {
+                        Ok(dec) => streams.push((stream, dec)),
+                        Err(_) => stream.shutdown(), // bad hello: reject
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            format!(
+                                "only {}/{} workers connected within {timeout:?}",
+                                streams.len(),
+                                n_workers
+                            ),
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let (inbox_tx, inbox_rx) = unbounded();
+        let shared = Arc::new(HubShared {
+            peers: streams
+                .iter()
+                .map(|(s, _)| {
+                    s.set_read_timeout(None).ok();
+                    Ok(Peer {
+                        writer: Mutex::new(s.try_clone()?),
+                        alive: AtomicBool::new(true),
+                    })
+                })
+                .collect::<std::io::Result<Vec<_>>>()?,
+        });
+        let readers = streams
+            .into_iter()
+            .enumerate()
+            .map(|(i, (stream, dec))| {
+                let peer_rank = (i + 1) as u32;
+                let shared = shared.clone();
+                let tx = inbox_tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("vira-sock-r{peer_rank}"))
+                    .spawn(move || {
+                        reader_loop(stream, dec, |f| {
+                            // Frames must carry the connection's own
+                            // identity; anything else is a peer bug.
+                            if f.from != peer_rank {
+                                return true;
+                            }
+                            if f.to == 0 {
+                                let _ = tx.send(Message {
+                                    from: f.from as Rank,
+                                    tag: f.tag,
+                                    payload: f.payload,
+                                });
+                            } else {
+                                shared.route(&f);
+                            }
+                            true
+                        });
+                        shared.peers[i].alive.store(false, Ordering::Release);
+                    })
+                    .expect("failed to spawn socket reader")
+            })
+            .collect();
+        Ok(SocketHub {
+            shared,
+            inbox_tx,
+            inbox_rx,
+            n_workers,
+            readers,
+        })
+    }
+}
+
+impl Drop for SocketListener {
+    fn drop(&mut self) {
+        if let Some(p) = self.cleanup.take() {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+/// Server side of the handshake: expect `HELLO`, answer `WELCOME`.
+/// Returns the handshake decoder so any bytes read past the HELLO are
+/// handed to the peer's reader thread instead of being dropped.
+fn handshake_server(
+    stream: &Stream,
+    rank: u32,
+    world: u32,
+    deadline: Instant,
+) -> std::io::Result<FrameDecoder> {
+    let mut rd = stream.try_clone()?;
+    let (hello, dec) = read_one_frame(&mut rd, deadline)?;
+    if hello.tag != TAG_HELLO {
+        return Err(protocol_err("expected HELLO"));
+    }
+    let version = hello
+        .payload
+        .get(..4)
+        .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+        .unwrap_or(0);
+    if version != PROTOCOL_VERSION {
+        return Err(protocol_err(&format!(
+            "protocol version mismatch: peer {version}, ours {PROTOCOL_VERSION}"
+        )));
+    }
+    let mut welcome = Vec::with_capacity(8);
+    welcome.extend_from_slice(&rank.to_le_bytes());
+    welcome.extend_from_slice(&world.to_le_bytes());
+    let mut w = stream.try_clone()?;
+    w.write_all(&encode_frame(rank, 0, TAG_WELCOME, &welcome))?;
+    Ok(dec)
+}
+
+fn protocol_err(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Blocking read of exactly one valid frame, bounded by `deadline`.
+/// Used only during the handshake; afterwards the reader threads own
+/// the stream. Returns the decoder alongside the frame: a read may
+/// have pulled in bytes beyond the handshake frame (the peer is free
+/// to send the moment its side completes), and those must seed the
+/// reader thread's decoder or they would be lost.
+fn read_one_frame(
+    stream: &mut Stream,
+    deadline: Instant,
+) -> std::io::Result<(Frame, FrameDecoder)> {
+    let mut dec = FrameDecoder::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        while let Some(step) = dec.next() {
+            if let DecodeStep::Frame(f) = step {
+                return Ok((f, dec));
+            }
+        }
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "handshake timed out",
+            ));
+        }
+        stream.set_read_timeout(Some(left.max(Duration::from_millis(1))))?;
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(protocol_err("peer closed during handshake")),
+            Ok(n) => dec.feed(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+impl Transport for SocketHub {
+    fn rank(&self) -> Rank {
+        0
+    }
+
+    fn world_size(&self) -> usize {
+        self.n_workers + 1
+    }
+
+    fn send(&self, to: Rank, tag: Tag, payload: Bytes) -> Result<(), CommError> {
+        if to == 0 {
+            return self
+                .inbox_tx
+                .send(Message {
+                    from: 0,
+                    tag,
+                    payload,
+                })
+                .map_err(|_| CommError::Disconnected);
+        }
+        if to > self.n_workers {
+            return Err(CommError::UnknownRank(to));
+        }
+        self.shared.route(&Frame {
+            to: to as u32,
+            from: 0,
+            tag,
+            payload,
+        });
+        Ok(())
+    }
+
+    fn recv(&self) -> Result<Message, CommError> {
+        self.inbox_rx.recv().map_err(|_| CommError::Disconnected)
+    }
+
+    fn try_recv(&self) -> Result<Option<Message>, CommError> {
+        match self.inbox_rx.try_recv() {
+            Ok(m) => Ok(Some(m)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(CommError::Disconnected),
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Message, CommError> {
+        match self.inbox_rx.recv_timeout(timeout) {
+            Ok(m) => Ok(m),
+            Err(RecvTimeoutError::Timeout) => Err(CommError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(CommError::Disconnected),
+        }
+    }
+}
+
+impl SocketHub {
+    /// True while rank `r`'s connection is up (test/ops introspection;
+    /// the scheduler itself only ever observes silence).
+    pub fn peer_alive(&self, r: Rank) -> bool {
+        r >= 1
+            && r <= self.n_workers
+            && self.shared.peers[r - 1].alive.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for SocketHub {
+    fn drop(&mut self) {
+        // Closing the writers unblocks the reader threads (EOF on the
+        // worker side closes the other half).
+        for p in &self.shared.peers {
+            if let Ok(w) = p.writer.lock() {
+                w.shutdown();
+            }
+        }
+        for h in self.readers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A cheap cloneable handle that can inject frames toward the hub from
+/// outside the worker loop — the remote worker's event-streaming path.
+#[derive(Clone)]
+pub struct SocketSender {
+    writer: Arc<Mutex<Stream>>,
+    rank: u32,
+}
+
+impl SocketSender {
+    /// Sends `payload` to `to` with `tag` over the worker's stream.
+    pub fn send(&self, to: Rank, tag: Tag, payload: &[u8]) -> Result<(), CommError> {
+        if write_frame(&self.writer, to as u32, self.rank, tag, payload) {
+            Ok(())
+        } else {
+            Err(CommError::Disconnected)
+        }
+    }
+}
+
+/// The worker-process endpoint of a socket world: one stream to the
+/// hub, a reader thread filling the inbox. Self-sends round-trip
+/// through the hub, which preserves global frame ordering.
+pub struct SocketWorker {
+    rank: Rank,
+    world: usize,
+    writer: Arc<Mutex<Stream>>,
+    inbox_rx: Receiver<Message>,
+    reader: Option<JoinHandle<()>>,
+}
+
+impl SocketWorker {
+    /// Connects to a listening hub, retrying until `timeout` (the
+    /// scheduler may still be starting), and completes the handshake.
+    /// Returns the endpoint knowing its assigned rank and world size.
+    pub fn connect(spec: &SocketAddrSpec, timeout: Duration) -> std::io::Result<SocketWorker> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let err = match Self::connect_once(spec, deadline) {
+                Ok(w) => return Ok(w),
+                Err(e) => e,
+            };
+            if Instant::now() >= deadline {
+                return Err(err);
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+
+    fn connect_once(spec: &SocketAddrSpec, deadline: Instant) -> std::io::Result<SocketWorker> {
+        let stream = match spec {
+            SocketAddrSpec::Tcp(addr) => Stream::Tcp(TcpStream::connect(addr)?),
+            #[cfg(unix)]
+            SocketAddrSpec::Unix(path) => Stream::Unix(UnixStream::connect(path)?),
+            #[cfg(not(unix))]
+            SocketAddrSpec::Unix(_) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::Unsupported,
+                    "unix sockets need a unix platform",
+                ))
+            }
+        };
+        let mut w = stream.try_clone()?;
+        w.write_all(&encode_frame(0, 0, TAG_HELLO, &PROTOCOL_VERSION.to_le_bytes()))?;
+        let mut rd = stream.try_clone()?;
+        let (welcome, dec) = read_one_frame(&mut rd, deadline)?;
+        if welcome.tag != TAG_WELCOME || welcome.payload.len() < 8 {
+            return Err(protocol_err("expected WELCOME"));
+        }
+        let rank = u32::from_le_bytes(welcome.payload[..4].try_into().expect("4 bytes")) as Rank;
+        let world =
+            u32::from_le_bytes(welcome.payload[4..8].try_into().expect("4 bytes")) as usize;
+        if rank == 0 || rank >= world {
+            return Err(protocol_err("WELCOME carried an invalid rank"));
+        }
+        stream.set_read_timeout(None)?;
+        let (tx, inbox_rx) = unbounded();
+        let my_rank = rank as u32;
+        let reader_stream = stream.try_clone()?;
+        let reader = std::thread::Builder::new()
+            .name(format!("vira-sock-w{rank}"))
+            .spawn(move || {
+                reader_loop(reader_stream, dec, |f| {
+                    if f.to != my_rank {
+                        return true; // misrouted: drop
+                    }
+                    // The worker loop exits on a Disconnected recv; the
+                    // channel disconnects when this thread returns and
+                    // drops `tx`.
+                    tx.send(Message {
+                        from: f.from as Rank,
+                        tag: f.tag,
+                        payload: f.payload,
+                    })
+                    .is_ok()
+                });
+            })
+            .expect("failed to spawn socket reader");
+        Ok(SocketWorker {
+            rank,
+            world,
+            writer: Arc::new(Mutex::new(stream)),
+            inbox_rx,
+            reader: Some(reader),
+        })
+    }
+
+    /// A cloneable frame injector sharing this endpoint's stream (used
+    /// to forward client-bound event frames from command threads).
+    pub fn sender(&self) -> SocketSender {
+        SocketSender {
+            writer: self.writer.clone(),
+            rank: self.rank as u32,
+        }
+    }
+}
+
+impl Transport for SocketWorker {
+    fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    fn world_size(&self) -> usize {
+        self.world
+    }
+
+    fn send(&self, to: Rank, tag: Tag, payload: Bytes) -> Result<(), CommError> {
+        if to >= self.world {
+            return Err(CommError::UnknownRank(to));
+        }
+        if write_frame(&self.writer, to as u32, self.rank as u32, tag, &payload) {
+            Ok(())
+        } else {
+            Err(CommError::Disconnected)
+        }
+    }
+
+    fn recv(&self) -> Result<Message, CommError> {
+        self.inbox_rx.recv().map_err(|_| CommError::Disconnected)
+    }
+
+    fn try_recv(&self) -> Result<Option<Message>, CommError> {
+        match self.inbox_rx.try_recv() {
+            Ok(m) => Ok(Some(m)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(CommError::Disconnected),
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Message, CommError> {
+        match self.inbox_rx.recv_timeout(timeout) {
+            Ok(m) => Ok(m),
+            Err(RecvTimeoutError::Timeout) => Err(CommError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(CommError::Disconnected),
+        }
+    }
+}
+
+impl Drop for SocketWorker {
+    fn drop(&mut self) {
+        if let Ok(w) = self.writer.lock() {
+            w.shutdown();
+        }
+        if let Some(h) = self.reader.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::tags;
+
+    #[test]
+    fn frame_roundtrips_through_the_decoder() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&encode_frame(2, 1, tags::PARTIAL_RESULT, b"hello"));
+        let Some(DecodeStep::Frame(f)) = dec.next() else {
+            panic!("expected a frame");
+        };
+        assert_eq!((f.to, f.from, f.tag), (2, 1, tags::PARTIAL_RESULT));
+        assert_eq!(&f.payload[..], b"hello");
+        assert_eq!(dec.next(), None);
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn decoder_survives_byte_at_a_time_feeding() {
+        let wire = encode_frame(1, 0, tags::COMMAND, &[7u8; 100]);
+        let mut dec = FrameDecoder::new();
+        let mut got = 0;
+        for b in &wire {
+            dec.feed(std::slice::from_ref(b));
+            while let Some(step) = dec.next() {
+                assert!(matches!(step, DecodeStep::Frame(_)));
+                got += 1;
+            }
+        }
+        assert_eq!(got, 1);
+    }
+
+    #[test]
+    fn corrupt_payload_is_dropped_and_stream_stays_synchronized() {
+        let mut wire = encode_frame(1, 0, 5, b"damaged payload");
+        let last = wire.len() - 1;
+        wire[last] ^= 0xff;
+        wire.extend_from_slice(&encode_frame(1, 0, 6, b"good"));
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire);
+        assert_eq!(dec.next(), Some(DecodeStep::Corrupt));
+        let Some(DecodeStep::Frame(f)) = dec.next() else {
+            panic!("expected the follow-up frame");
+        };
+        assert_eq!(f.tag, 6);
+    }
+
+    #[test]
+    fn corrupt_header_fields_fail_the_checksum() {
+        for field_off in [8usize, 12, 16] {
+            // to, from, tag
+            let mut wire = encode_frame(2, 1, 42, b"x");
+            wire[field_off] ^= 0x01;
+            let mut dec = FrameDecoder::new();
+            dec.feed(&wire);
+            assert_eq!(dec.next(), Some(DecodeStep::Corrupt), "offset {field_off}");
+        }
+    }
+
+    #[test]
+    fn garbage_before_a_frame_is_resynced_past() {
+        let mut wire = b"not a frame at all".to_vec();
+        wire.extend_from_slice(&encode_frame(3, 2, 9, b"payload"));
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire);
+        assert_eq!(dec.next(), Some(DecodeStep::Resync(18)));
+        assert!(matches!(dec.next(), Some(DecodeStep::Frame(_))));
+    }
+
+    #[test]
+    fn absurd_length_is_treated_as_false_magic() {
+        let mut wire = FRAME_MAGIC.to_vec();
+        wire.extend_from_slice(&u32::MAX.to_le_bytes()); // len
+        wire.extend_from_slice(&[0u8; 16]);
+        wire.extend_from_slice(&encode_frame(1, 0, 1, b"ok"));
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire);
+        let mut frames = 0;
+        while let Some(step) = dec.next() {
+            if matches!(step, DecodeStep::Frame(_)) {
+                frames += 1;
+            }
+        }
+        assert_eq!(frames, 1, "the real frame behind the false magic decodes");
+    }
+
+    #[test]
+    fn truncated_frame_waits_for_more_bytes() {
+        let wire = encode_frame(1, 0, 7, &[1, 2, 3, 4]);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire[..wire.len() - 2]);
+        assert_eq!(dec.next(), None, "incomplete frame must not decode");
+        dec.feed(&wire[wire.len() - 2..]);
+        assert!(matches!(dec.next(), Some(DecodeStep::Frame(_))));
+    }
+
+    #[test]
+    fn crc_is_never_zero() {
+        // fnv1a(to=0,from=0,tag=0,[]) happens to be non-zero; the nudge
+        // is still pinned so the "unchecked" sentinel stays reserved.
+        assert_ne!(frame_crc(0, 0, 0, b""), 0);
+        for tag in 0..200u32 {
+            assert_ne!(frame_crc(1, 2, tag, b"abc"), 0);
+        }
+    }
+
+    #[test]
+    fn addr_spec_parsing() {
+        assert_eq!(
+            SocketAddrSpec::parse("tcp:127.0.0.1:9000").unwrap(),
+            SocketAddrSpec::Tcp("127.0.0.1:9000".into())
+        );
+        assert_eq!(
+            SocketAddrSpec::parse("127.0.0.1:9000").unwrap(),
+            SocketAddrSpec::Tcp("127.0.0.1:9000".into())
+        );
+        assert_eq!(
+            SocketAddrSpec::parse("unix:/tmp/v.sock").unwrap(),
+            SocketAddrSpec::Unix("/tmp/v.sock".into())
+        );
+        assert_eq!(
+            SocketAddrSpec::parse("/tmp/v.sock").unwrap(),
+            SocketAddrSpec::Unix("/tmp/v.sock".into())
+        );
+        assert!(SocketAddrSpec::parse("unix:").is_err());
+        assert!(SocketAddrSpec::parse("nocolon").is_err());
+        assert_eq!(
+            SocketAddrSpec::parse("unix:/tmp/v.sock").unwrap().to_string(),
+            "unix:/tmp/v.sock"
+        );
+    }
+
+    /// Builds a connected world over the given listener spec: the hub
+    /// plus `n` worker endpoints (connected from spawned threads).
+    fn socket_world(spec: &SocketAddrSpec, n: usize) -> (SocketHub, Vec<SocketWorker>) {
+        let listener = SocketListener::bind(spec).expect("bind");
+        let addr = SocketAddrSpec::parse(listener.local_addr()).expect("parse own addr");
+        let joiners: Vec<_> = (0..n)
+            .map(|_| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    SocketWorker::connect(&addr, Duration::from_secs(10)).expect("connect")
+                })
+            })
+            .collect();
+        let hub = listener
+            .accept_world(n, Duration::from_secs(10))
+            .expect("accept");
+        let mut workers: Vec<SocketWorker> =
+            joiners.into_iter().map(|h| h.join().unwrap()).collect();
+        workers.sort_by_key(|w| w.rank());
+        (hub, workers)
+    }
+
+    fn tmp_sock(name: &str) -> SocketAddrSpec {
+        let p = std::env::temp_dir().join(format!(
+            "vira-sock-test-{}-{name}.sock",
+            std::process::id()
+        ));
+        SocketAddrSpec::Unix(p)
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn unix_world_ranks_and_roundtrip() {
+        let (hub, workers) = socket_world(&tmp_sock("roundtrip"), 2);
+        assert_eq!(hub.rank(), 0);
+        assert_eq!(hub.world_size(), 3);
+        let ranks: Vec<Rank> = workers.iter().map(|w| w.rank()).collect();
+        assert_eq!(ranks, vec![1, 2]);
+        assert!(workers.iter().all(|w| w.world_size() == 3));
+
+        // Hub → worker.
+        hub.send(1, tags::COMMAND, Bytes::from_static(b"cmd")).unwrap();
+        let m = workers[0].recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!((m.from, m.tag), (0, tags::COMMAND));
+        assert_eq!(&m.payload[..], b"cmd");
+
+        // Worker → hub.
+        workers[0]
+            .send(0, tags::JOB_DONE, Bytes::from_static(b"done"))
+            .unwrap();
+        let m = hub.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!((m.from, m.tag), (1, tags::JOB_DONE));
+
+        // Worker → worker, routed through the hub.
+        workers[1]
+            .send(1, tags::PARTIAL_RESULT, Bytes::from_static(b"part"))
+            .unwrap();
+        let m = workers[0].recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!((m.from, m.tag), (2, tags::PARTIAL_RESULT));
+
+        // Self-send round-trips through the hub.
+        workers[1].send(2, 77, Bytes::from_static(b"me")).unwrap();
+        let m = workers[1].recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!((m.from, m.tag), (2, 77));
+
+        // Ordering from one sender is preserved.
+        for i in 0..100u8 {
+            hub.send(2, 5, Bytes::copy_from_slice(&[i])).unwrap();
+        }
+        for i in 0..100u8 {
+            let m = workers[1].recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(m.payload[0], i);
+        }
+
+        assert_eq!(
+            hub.send(9, 1, Bytes::new()).unwrap_err(),
+            CommError::UnknownRank(9)
+        );
+        assert_eq!(
+            workers[0].send(7, 1, Bytes::new()).unwrap_err(),
+            CommError::UnknownRank(7)
+        );
+    }
+
+    #[test]
+    fn tcp_world_roundtrip_and_large_payload() {
+        let (hub, workers) = socket_world(&SocketAddrSpec::Tcp("127.0.0.1:0".into()), 1);
+        // A payload spanning many reader chunks survives intact.
+        let big: Vec<u8> = (0..1_000_000u32).map(|i| i as u8).collect();
+        hub.send(1, tags::DMS, Bytes::from(big.clone())).unwrap();
+        let m = workers[0].recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(m.payload.len(), big.len());
+        assert_eq!(&m.payload[..], &big[..]);
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn dead_worker_is_silence_for_the_hub_not_an_error() {
+        let (hub, mut workers) = socket_world(&tmp_sock("dead"), 2);
+        assert!(hub.peer_alive(1) && hub.peer_alive(2));
+        // Worker 1 dies (process exit ≙ dropping the endpoint).
+        drop(workers.remove(0));
+        // Sends to the dead rank keep succeeding (dropped silently)…
+        for _ in 0..10 {
+            hub.send(1, tags::PING, Bytes::new()).unwrap();
+            std::thread::sleep(Duration::from_millis(10));
+            if !hub.peer_alive(1) {
+                break;
+            }
+        }
+        assert!(!hub.peer_alive(1), "reader must notice the hangup");
+        hub.send(1, tags::PING, Bytes::new()).unwrap();
+        // …recv never turns into Disconnected while the hub lives…
+        assert_eq!(
+            hub.recv_timeout(Duration::from_millis(50)).unwrap_err(),
+            CommError::Timeout
+        );
+        // …and the surviving rank still works both ways.
+        hub.send(2, tags::COMMAND, Bytes::from_static(b"go")).unwrap();
+        let m = workers[0].recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(m.tag, tags::COMMAND);
+        workers[0].send(0, tags::PONG, Bytes::new()).unwrap();
+        assert_eq!(
+            hub.recv_timeout(Duration::from_secs(5)).unwrap().tag,
+            tags::PONG
+        );
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn hub_teardown_disconnects_workers() {
+        let (hub, workers) = socket_world(&tmp_sock("teardown"), 1);
+        drop(hub);
+        let w = &workers[0];
+        // The reader notices EOF and drops the inbox sender.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match w.recv_timeout(Duration::from_millis(50)) {
+                Err(CommError::Disconnected) => break,
+                Err(CommError::Timeout) if Instant::now() < deadline => continue,
+                other => panic!("expected Disconnected, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn connect_retries_until_the_listener_appears() {
+        // Reserve a port, then release it so the first connect attempts
+        // fail; the listener binds it again shortly after.
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap().to_string();
+        drop(probe);
+        let spec = SocketAddrSpec::Tcp(addr.clone());
+        let joiner = {
+            let spec = spec.clone();
+            std::thread::spawn(move || SocketWorker::connect(&spec, Duration::from_secs(10)))
+        };
+        std::thread::sleep(Duration::from_millis(150));
+        let listener = SocketListener::bind(&spec).expect("bind");
+        let hub = listener
+            .accept_world(1, Duration::from_secs(10))
+            .expect("accept");
+        let worker = joiner.join().unwrap().expect("late connect succeeds");
+        assert_eq!(worker.rank(), 1);
+        drop(hub);
+    }
+
+    #[test]
+    fn frames_coalesced_with_welcome_reach_the_worker() {
+        // A fake hub answers the HELLO with WELCOME and a data frame in
+        // one write, so both land in the worker's handshake read. The
+        // data frame must be handed to the reader thread, not dropped
+        // with the handshake decoder (a real hub sends the moment
+        // accept_world returns, racing connect_once the same way).
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let fake_hub = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut dec = FrameDecoder::new();
+            let mut buf = [0u8; 256];
+            loop {
+                if let Some(DecodeStep::Frame(f)) = dec.next() {
+                    assert_eq!(f.tag, TAG_HELLO);
+                    break;
+                }
+                let n = s.read(&mut buf).unwrap();
+                assert!(n > 0, "worker closed before HELLO");
+                dec.feed(&buf[..n]);
+            }
+            let mut welcome = Vec::new();
+            welcome.extend_from_slice(&1u32.to_le_bytes());
+            welcome.extend_from_slice(&2u32.to_le_bytes());
+            let mut wire = encode_frame(1, 0, TAG_WELCOME, &welcome);
+            wire.extend_from_slice(&encode_frame(1, 0, 77, b"right-behind-welcome"));
+            s.write_all(&wire).unwrap();
+            s // keep the connection open until the assertion ran
+        });
+        let w = SocketWorker::connect(&SocketAddrSpec::Tcp(addr), Duration::from_secs(5)).unwrap();
+        let m = w.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!((m.from, m.tag), (0, 77));
+        assert_eq!(&m.payload[..], b"right-behind-welcome");
+        drop(fake_hub.join().unwrap());
+    }
+
+    #[test]
+    fn frames_coalesced_with_hello_reach_the_hub() {
+        // Mirror image: a peer that pipelines a frame right behind its
+        // HELLO. The hub's handshake read pulls both; the second frame
+        // must reach the inbox through the reader thread's decoder.
+        let listener = SocketListener::bind(&SocketAddrSpec::Tcp("127.0.0.1:0".into())).unwrap();
+        let addr = listener.local_addr().trim_start_matches("tcp:").to_string();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(&addr).unwrap();
+            let mut wire = encode_frame(0, 0, TAG_HELLO, &PROTOCOL_VERSION.to_le_bytes());
+            wire.extend_from_slice(&encode_frame(0, 1, 88, b"eager"));
+            s.write_all(&wire).unwrap();
+            let mut buf = [0u8; 256];
+            let _ = s.read(&mut buf); // wait for the WELCOME
+            s
+        });
+        let hub = listener.accept_world(1, Duration::from_secs(5)).unwrap();
+        let m = hub.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!((m.from, m.tag), (1, 88));
+        assert_eq!(&m.payload[..], b"eager");
+        drop(client.join().unwrap());
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn socket_sender_injects_frames_to_the_hub() {
+        let (hub, workers) = socket_world(&tmp_sock("sender"), 1);
+        let sender = workers[0].sender();
+        let h = std::thread::spawn(move || sender.send(0, 2000, b"event").unwrap());
+        let m = hub.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!((m.from, m.tag), (1, 2000));
+        assert_eq!(&m.payload[..], b"event");
+        h.join().unwrap();
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn endpoint_and_faulty_transport_stack_on_sockets() {
+        use crate::endpoint::Endpoint;
+        use crate::fault::{FaultPlan, FaultStats, FaultyTransport};
+
+        let (hub, mut workers) = socket_world(&tmp_sock("stack"), 1);
+        // The chaos decorator wraps the socket transport like any other.
+        let plan = Arc::new(FaultPlan::new(3));
+        let stats = Arc::new(FaultStats::default());
+        let hub = FaultyTransport::new(hub, plan, stats);
+        let mut ep = Endpoint::new(hub);
+        let w = workers.remove(0);
+        w.send(0, 10, Bytes::from_static(b"a")).unwrap();
+        w.send(0, 20, Bytes::from_static(b"b")).unwrap();
+        // Tag-selective receive buffers the other frame.
+        let m = ep.recv_tag_timeout(20, Duration::from_secs(5)).unwrap();
+        assert_eq!(&m.payload[..], b"b");
+        assert_eq!(ep.buffered_len(), 1);
+        assert_eq!(&ep.recv_tag(10).unwrap().payload[..], b"a");
+    }
+}

@@ -43,6 +43,11 @@ pub mod tags {
     pub const PING: Tag = 7;
     /// Worker → scheduler: liveness probe reply.
     pub const PONG: Tag = 8;
+    /// Worker → scheduler: a client-bound event frame to relay over the
+    /// visualization link (used by remote worker processes, whose
+    /// [`EventSender`](crate::link::EventSender) cannot share a channel
+    /// with the client).
+    pub const CLIENT_EVENT: Tag = 9;
     /// First tag available to applications built on the framework.
     pub const USER_BASE: Tag = 1000;
 }

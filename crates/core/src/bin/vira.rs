@@ -11,6 +11,10 @@
 //! vira trace-analyze traces/ [--check 0.25]   critical-path attribution
 //! vira top traces/ [--once] [--json]          live telemetry dashboard
 //! vira slo-report traces/ [--json]            replay SLOs from a recording
+//! vira serve --listen unix:/tmp/vira.sock --ranks 3 --dataset cube \
+//!            --command IsoDataMan --param iso=0.15 [--spawn-local] \
+//!            [--jobs N] [--save-soup out] [--fault-plan <file>]
+//! vira worker --connect unix:/tmp/vira.sock --dataset cube [--res N]
 //! ```
 //!
 //! Argument parsing is deliberately dependency-free. Diagnostics go
@@ -19,13 +23,21 @@
 //! and writes `trace.json` / `events.jsonl` / `metrics.prom` there.
 
 use std::collections::HashMap;
+use std::io::Write as _;
 use std::sync::Arc;
+use std::time::Duration;
+use vira_comm::fault::{FaultStats, FaultyTransport};
+use vira_comm::link::EventSender;
+use vira_comm::socket::{SocketAddrSpec, SocketListener, SocketWorker};
+use vira_comm::transport::{tags, Transport};
 use vira_extract::stats::suggest_iso_level;
 use vira_grid::block::BlockStepId;
 use vira_grid::synth::{self, SyntheticDataset};
 use vira_storage::source::CachedSynthSource;
 use vira_vista::{CommandParams, SubmitSpec, VistaClient};
-use viracocha::{default_registry, FaultPlan, Viracocha, ViracochaConfig};
+use viracocha::{
+    default_registry, run_remote_worker, FaultPlan, TransportConfig, Viracocha, ViracochaConfig,
+};
 
 fn usage() -> ! {
     // Help goes through the structured event log like every other
@@ -33,7 +45,7 @@ fn usage() -> ! {
     // bypasses `events.jsonl` when tracing is on.
     vira_obs::error(
         "vira",
-        "usage:\n  vira commands\n  vira datasets\n  vira suggest --dataset <engine|propfan|cube> [--res N] [--exceed F]\n  vira run --dataset <engine|propfan|cube> --command <Name> [--workers N]\n           [--res N] [--dilation F] [--fault-plan <file>] [--param key=value]...\n           [--backfill on|off] [--max-skipped N] [--locality on|off]\n           [--fair-share on|off] [--trace-out <dir>]\n           [--slo-job-latency-ms N] [--slo-ttfg-ms N]\n  vira top <dir> [--once] [--json] [--refresh <ms>]\n  vira slo-report <dir> [--json] [--slo-job-latency-ms N] [--slo-ttfg-ms N]\n  vira trace-analyze <dir> [--check <min-coverage>]",
+        "usage:\n  vira commands\n  vira datasets\n  vira suggest --dataset <engine|propfan|cube> [--res N] [--exceed F]\n  vira run --dataset <engine|propfan|cube> --command <Name> [--workers N]\n           [--res N] [--dilation F] [--fault-plan <file>] [--param key=value]...\n           [--backfill on|off] [--max-skipped N] [--locality on|off]\n           [--fair-share on|off] [--trace-out <dir>]\n           [--slo-job-latency-ms N] [--slo-ttfg-ms N]\n  vira serve --listen <tcp:host:port|unix:/path> --ranks N\n           --dataset <engine|propfan|cube> --command <Name> [--res N]\n           [--param key=value]... [--jobs N] [--workers N] [--spawn-local]\n           [--fast-resilience] [--save-soup <prefix>] [--fault-plan <file>]\n           [--accept-timeout-ms N] [--trace-out <dir>]\n  vira worker --connect <tcp:host:port|unix:/path>\n           --dataset <engine|propfan|cube> [--res N] [--connect-timeout-ms N]\n  vira top <dir> [--once] [--json] [--refresh <ms>]\n  vira slo-report <dir> [--json] [--slo-job-latency-ms N] [--slo-ttfg-ms N]\n  vira trace-analyze <dir> [--check <min-coverage>]",
         &[],
     );
     std::process::exit(2);
@@ -340,6 +352,250 @@ fn cmd_run(args: Args) {
             ),
         }
     }
+}
+
+/// Exits through a structured error message.
+fn fail(msg: &str) -> ! {
+    vira_obs::error("vira", msg, &[]);
+    std::process::exit(1);
+}
+
+/// The chaos-test resilience profile (`--fast-resilience`): the same
+/// aggressive timeouts `tests/chaos.rs` uses, so a killed worker
+/// process is convicted and its job requeued within test time instead
+/// of the production-grade multi-second defaults.
+fn fast_resilience(config: &mut ViracochaConfig) {
+    config.resilience.dispatch_timeout = Duration::from_millis(150);
+    config.resilience.backoff_factor = 1.5;
+    config.resilience.max_retransmits = 2;
+    config.resilience.probe_timeout = Duration::from_millis(500);
+    config.resilience.gather_timeout = Duration::from_secs(10);
+    config.resilience.max_attempts = 3;
+}
+
+/// `vira serve`: the scheduler/master process of a multi-process
+/// deployment. Binds the listen address, waits for `--ranks` worker
+/// processes to handshake (optionally forking them itself with
+/// `--spawn-local`), then drives `--jobs` identical jobs through the
+/// normal Vista session and shuts the world down. Emits one
+/// machine-parseable `RESULT ...` line per job (the multiproc harness
+/// greps these) and, with `--save-soup`, the merged triangle soup of
+/// job *i* as raw bytes at `<prefix>.<i>` for byte-identity checks.
+fn cmd_serve(args: Args) {
+    let listen = args.flags.get("listen").cloned().unwrap_or_else(|| usage());
+    let ranks: usize = flag_parse(&args, "ranks", "an integer").unwrap_or(3);
+    let dataset = args
+        .flags
+        .get("dataset")
+        .cloned()
+        .unwrap_or_else(|| usage());
+    let command = args
+        .flags
+        .get("command")
+        .cloned()
+        .unwrap_or_else(|| "IsoDataMan".to_string());
+    let workers: usize = flag_parse(&args, "workers", "an integer").unwrap_or(ranks);
+    let res: usize = flag_parse(&args, "res", "an integer").unwrap_or(6);
+    let jobs: usize = flag_parse(&args, "jobs", "an integer").unwrap_or(1);
+    let accept_ms: u64 =
+        flag_parse(&args, "accept-timeout-ms", "milliseconds").unwrap_or(30_000);
+    let trace_out = args.flags.get("trace-out").map(std::path::PathBuf::from);
+    if trace_out.is_some() {
+        vira_obs::set_enabled(true);
+    }
+
+    let spec = SocketAddrSpec::parse(&listen)
+        .unwrap_or_else(|e| fail(&format!("bad --listen address: {e}")));
+    let listener = SocketListener::bind(&spec)
+        .unwrap_or_else(|e| fail(&format!("cannot bind {spec}: {e}")));
+    let addr = listener.local_addr().to_string();
+    println!("serving    : {addr} ({ranks} worker ranks)");
+    let _ = std::io::stdout().flush();
+
+    let mut children = Vec::new();
+    if args.flags.contains_key("spawn-local") {
+        let exe = std::env::current_exe()
+            .unwrap_or_else(|e| fail(&format!("cannot locate own binary: {e}")));
+        for _ in 0..ranks {
+            let child = std::process::Command::new(&exe)
+                .args([
+                    "worker",
+                    "--connect",
+                    &addr,
+                    "--dataset",
+                    &dataset,
+                    "--res",
+                    &res.to_string(),
+                ])
+                .spawn()
+                .unwrap_or_else(|e| fail(&format!("cannot spawn local worker: {e}")));
+            children.push(child);
+        }
+    }
+
+    let hub = listener
+        .accept_world(ranks, Duration::from_millis(accept_ms))
+        .unwrap_or_else(|e| fail(&format!("worker handshake failed: {e}")));
+    println!("world      : all {ranks} worker ranks connected");
+    let _ = std::io::stdout().flush();
+
+    let mut config = ViracochaConfig::for_tests(ranks);
+    config.proxy.prefetcher = "obl".into();
+    if let Ok(t) = TransportConfig::from_addr(&listen) {
+        config.transport = t;
+    }
+    if args.flags.contains_key("fast-resilience") {
+        fast_resilience(&mut config);
+    }
+    config.telemetry.out_dir = trace_out.clone();
+
+    let (backend, link) = match args.flags.get("fault-plan") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(&format!("cannot read fault plan {path}: {e}")));
+            let plan = FaultPlan::parse_str(&text)
+                .unwrap_or_else(|e| fail(&format!("bad fault plan {path}: {e}")));
+            println!("fault plan : {path} (seed {})", plan.seed);
+            let stats = Arc::new(FaultStats::default());
+            let faulty = FaultyTransport::new(hub, Arc::new(plan), stats.clone());
+            Viracocha::launch_master_on_transport(
+                config,
+                default_registry(),
+                faulty,
+                Some(stats),
+            )
+        }
+        None => Viracocha::launch_master_on_transport(config, default_registry(), hub, None),
+    };
+    // The scheduler process registers the dataset too: it validates
+    // specs and scores locality; the worker processes register their
+    // own copies (same deterministic synthetic source).
+    let ds = build_dataset(&dataset, res);
+    let ds_name = ds.spec.name.clone();
+    backend.register_dataset(Arc::new(CachedSynthSource::new(ds)), false);
+
+    let mut params = CommandParams::new();
+    for (k, v) in &args.params {
+        params = params.set(k, v.clone());
+    }
+    let spec = SubmitSpec {
+        command: command.clone(),
+        dataset: ds_name,
+        params,
+        workers,
+    };
+    let mut client = VistaClient::new(link);
+    let mut failed = 0usize;
+    for i in 0..jobs {
+        match client.run(&spec) {
+            Ok(out) => {
+                println!(
+                    "RESULT job={i} ok=1 triangles={} polylines={} packets={} degraded={} retries={}",
+                    out.triangles.n_triangles(),
+                    out.polylines.len(),
+                    out.packets.len(),
+                    u32::from(out.report.degraded),
+                    out.report.retries,
+                );
+                if let Some(prefix) = args.flags.get("save-soup") {
+                    let path = format!("{prefix}.{i}");
+                    match std::fs::write(&path, out.triangles.to_bytes()) {
+                        Ok(()) => println!("saved soup : {path}"),
+                        Err(e) => {
+                            vira_obs::error("vira", &format!("could not save {path}: {e}"), &[])
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                failed += 1;
+                println!("RESULT job={i} ok=0 error={e}");
+            }
+        }
+        let _ = std::io::stdout().flush();
+    }
+    if let Some(stats) = backend.fault_stats() {
+        let s = stats.snapshot();
+        println!(
+            "faults     : {} injected ({} dropped / {} duplicated / {} delayed / {} reordered / {} truncated / {} corrupted / {} ranks killed)",
+            s.injected, s.dropped, s.duplicated, s.delayed, s.reordered, s.truncated, s.corrupted, s.killed_ranks
+        );
+    }
+    let _ = client.shutdown();
+    backend.join();
+    // With --spawn-local, reap the children: the SHUTDOWN broadcast
+    // (or, for a killed rank, the hub teardown) ends each of them.
+    for mut c in children {
+        let _ = c.wait();
+    }
+    if let Some(dir) = trace_out {
+        match vira_obs::export_all(&dir) {
+            Ok(s) => println!(
+                "trace      : {} spans, {} events, {} flight recordings -> {}",
+                s.spans,
+                s.events,
+                s.flights,
+                dir.display()
+            ),
+            Err(e) => vira_obs::error(
+                "vira",
+                &format!("trace export to {} failed: {e}", dir.display()),
+                &[],
+            ),
+        }
+    }
+    println!("serve done : {jobs} jobs, {failed} failed");
+    let _ = std::io::stdout().flush();
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// `vira worker`: one worker rank of a multi-process deployment.
+/// Connects (with retry) to a `vira serve` hub, learns its rank from
+/// the handshake, registers the same deterministic dataset the
+/// scheduler uses, and serves jobs until SHUTDOWN or connection loss.
+fn cmd_worker(args: Args) {
+    let connect = args
+        .flags
+        .get("connect")
+        .cloned()
+        .unwrap_or_else(|| usage());
+    let dataset = args
+        .flags
+        .get("dataset")
+        .cloned()
+        .unwrap_or_else(|| usage());
+    let res: usize = flag_parse(&args, "res", "an integer").unwrap_or(6);
+    let timeout_ms: u64 =
+        flag_parse(&args, "connect-timeout-ms", "milliseconds").unwrap_or(30_000);
+
+    let spec = SocketAddrSpec::parse(&connect)
+        .unwrap_or_else(|e| fail(&format!("bad --connect address: {e}")));
+    let transport = SocketWorker::connect(&spec, Duration::from_millis(timeout_ms))
+        .unwrap_or_else(|e| fail(&format!("cannot join {spec}: {e}")));
+    let (rank, world) = (transport.rank(), transport.world_size());
+    println!("joined as rank {rank} of {world} via {spec}");
+    let _ = std::io::stdout().flush();
+
+    // Client-bound streamed packets ride the transport to the
+    // scheduler as CLIENT_EVENT frames; it re-emits them on the real
+    // client link.
+    let sender = transport.sender();
+    let events =
+        EventSender::from_fn(move |frame| sender.send(0, tags::CLIENT_EVENT, &frame));
+
+    let mut config = ViracochaConfig::for_tests(world - 1);
+    config.proxy.prefetcher = "obl".into();
+    if let Ok(t) = TransportConfig::from_addr(&connect) {
+        config.transport = t;
+    }
+    let ds = build_dataset(&dataset, res);
+    run_remote_worker(config, default_registry(), transport, events, |server| {
+        server.register_dataset(Arc::new(CachedSynthSource::new(ds)), false);
+    });
+    println!("worker rank {rank} exiting");
+    let _ = std::io::stdout().flush();
 }
 
 /// Runs the critical-path analyzer over a `--trace-out` directory's
@@ -720,6 +976,11 @@ fn main() {
         "datasets" => cmd_datasets(),
         "suggest" => cmd_suggest(parse_args(rest)),
         "run" => cmd_run(parse_args(rest)),
+        "serve" => cmd_serve(parse_args(&rewrite_dir_and_switches(
+            rest,
+            &["spawn-local", "fast-resilience"],
+        ))),
+        "worker" => cmd_worker(parse_args(rest)),
         "top" => cmd_top(parse_args(&rewrite_dir_and_switches(
             rest,
             &["once", "json"],

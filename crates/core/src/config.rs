@@ -147,6 +147,74 @@ impl Default for TelemetryConfig {
     }
 }
 
+/// Which layer-1 transport a deployment runs on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportKind {
+    /// In-process channels: scheduler and workers are threads of one
+    /// process (the historical default, and still the test default).
+    Local,
+    /// TCP sockets: workers are separate processes, possibly on other
+    /// hosts, connecting to the scheduler's listen address.
+    Tcp,
+    /// Unix-domain sockets: separate processes on one host.
+    Unix,
+}
+
+/// Deployment transport selection — `local` in-process channels versus
+/// real sockets (`vira serve` / `vira worker`). Layers 2 and 3 never
+/// see the difference; this only steers which layer-1 implementation
+/// the launcher assembles.
+#[derive(Debug, Clone)]
+pub struct TransportConfig {
+    pub kind: TransportKind,
+    /// Listen/connect address for socket transports (`host:port` for
+    /// TCP, a filesystem path for Unix). Unused for `Local`.
+    pub addr: Option<String>,
+    /// How long `vira serve` waits for all worker ranks to join.
+    pub accept_timeout: Duration,
+    /// How long `vira worker` retries connecting before giving up.
+    pub connect_timeout: Duration,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            kind: TransportKind::Local,
+            addr: None,
+            accept_timeout: Duration::from_secs(30),
+            connect_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+impl TransportConfig {
+    /// A socket transport config from a `--listen` / `--connect` style
+    /// address: `tcp:host:port`, `unix:/path`, bare `host:port` (TCP)
+    /// or a bare path (Unix).
+    pub fn from_addr(addr: &str) -> Result<TransportConfig, String> {
+        let kind = match vira_comm::SocketAddrSpec::parse(addr)? {
+            vira_comm::SocketAddrSpec::Tcp(_) => TransportKind::Tcp,
+            vira_comm::SocketAddrSpec::Unix(_) => TransportKind::Unix,
+        };
+        Ok(TransportConfig {
+            kind,
+            addr: Some(addr.to_string()),
+            ..TransportConfig::default()
+        })
+    }
+
+    /// The parsed socket address, when this is a socket transport.
+    pub fn spec(&self) -> Option<vira_comm::SocketAddrSpec> {
+        match self.kind {
+            TransportKind::Local => None,
+            _ => self
+                .addr
+                .as_deref()
+                .and_then(|a| vira_comm::SocketAddrSpec::parse(a).ok()),
+        }
+    }
+}
+
 /// Configuration of one Viracocha back-end instance.
 #[derive(Debug, Clone)]
 pub struct ViracochaConfig {
@@ -169,6 +237,8 @@ pub struct ViracochaConfig {
     pub extract: ExtractConfig,
     /// Live telemetry plane (heartbeat deltas, tsdb, SLOs, `vira top`).
     pub telemetry: TelemetryConfig,
+    /// Deployment transport (in-process channels vs real sockets).
+    pub transport: TransportConfig,
 }
 
 impl Default for ViracochaConfig {
@@ -183,6 +253,7 @@ impl Default for ViracochaConfig {
             sched: SchedulerConfig::default(),
             extract: ExtractConfig::default(),
             telemetry: TelemetryConfig::default(),
+            transport: TransportConfig::default(),
         }
     }
 }
@@ -269,6 +340,19 @@ mod tests {
         assert!(t.out_dir.is_none(), "no snapshot files unless a dir is set");
         assert!(t.heartbeat_interval <= t.write_interval);
         assert!(t.job_latency_slo_ns > 0 && t.ttfg_slo_ns > 0);
+    }
+
+    #[test]
+    fn transport_config_parses_socket_addrs() {
+        let t = TransportConfig::from_addr("unix:/tmp/v.sock").unwrap();
+        assert_eq!(t.kind, TransportKind::Unix);
+        assert!(t.spec().is_some());
+        let t = TransportConfig::from_addr("127.0.0.1:7700").unwrap();
+        assert_eq!(t.kind, TransportKind::Tcp);
+        assert!(TransportConfig::from_addr("unix:").is_err());
+        let local = TransportConfig::default();
+        assert_eq!(local.kind, TransportKind::Local);
+        assert!(local.spec().is_none(), "local transport has no address");
     }
 
     #[test]

@@ -57,7 +57,10 @@ pub mod worker;
 
 pub use command::{Command, CommandError, CommandOutput, CommandRegistry, JobCtx};
 pub use commands::default_registry;
-pub use config::{ResilienceConfig, SchedulerConfig, TelemetryConfig, ViracochaConfig};
+pub use config::{
+    ResilienceConfig, SchedulerConfig, TelemetryConfig, TransportConfig, TransportKind,
+    ViracochaConfig,
+};
 pub use derived::DerivedFieldCache;
-pub use runtime::Viracocha;
+pub use runtime::{run_remote_worker, Viracocha};
 pub use vira_comm::fault::{FaultPlan, FaultStats, FaultStatsSnapshot, LinkFaults};

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use vira_comm::endpoint::Endpoint;
 use vira_comm::fault::{FaultPlan, FaultStats, FaultyTransport};
-use vira_comm::link::{client_server_link, ClientSide};
+use vira_comm::link::{client_server_link, ClientSide, EventSender};
 use vira_comm::transport::{LocalWorld, Transport};
 use vira_dms::server::{DataServer, SharedCache};
 use vira_storage::costmodel::{SharedChannel, SimClock};
@@ -149,6 +149,60 @@ impl Viracocha {
         )
     }
 
+    /// Launches only the scheduler (rank 0) of a multi-process
+    /// deployment on a pre-connected transport whose worker ranks live
+    /// in other OS processes (`vira serve`). The returned handle joins
+    /// the scheduler thread only; the worker processes exit on the
+    /// scheduler's `SHUTDOWN` broadcast or when their hub connection
+    /// drops. `fault_stats` accompanies a
+    /// [`FaultyTransport`]-wrapped hub (the socket chaos leg).
+    pub fn launch_master_on_transport<T: Transport + Send + 'static>(
+        config: ViracochaConfig,
+        registry: CommandRegistry,
+        transport: T,
+        fault_stats: Option<Arc<FaultStats>>,
+    ) -> (Viracocha, ClientSide) {
+        assert!(config.n_workers >= 1, "need at least one worker");
+        assert_eq!(transport.rank(), 0, "the master must hold rank 0");
+        assert_eq!(
+            transport.world_size(),
+            config.n_workers + 1,
+            "transport world must match n_workers + scheduler"
+        );
+        let clock = SimClock::new(config.dilation);
+        let server = DataServer::new(clock.clone(), config.server.clone());
+        let registry = Arc::new(registry);
+        let cancels: CancelSet = Arc::new(RwLock::new(HashSet::new()));
+        let (client_side, server_side) = client_server_link();
+        let setup = SchedulerSetup {
+            endpoint: Endpoint::new(transport),
+            link: server_side,
+            server: server.clone(),
+            clock: clock.clone(),
+            registry: registry.clone(),
+            cancels,
+            n_workers: config.n_workers,
+            resilience: config.resilience.clone(),
+            sched: config.sched.clone(),
+            telemetry: config.telemetry.clone(),
+        };
+        let scheduler = std::thread::Builder::new()
+            .name("vira-scheduler".into())
+            .spawn(move || scheduler_main(setup))
+            .expect("failed to spawn scheduler");
+        (
+            Viracocha {
+                server,
+                clock,
+                registry,
+                scheduler: Some(scheduler),
+                workers: Vec::new(),
+                fault_stats,
+            },
+            client_side,
+        )
+    }
+
     /// The central data server (dataset registry, name service, peer
     /// directory).
     pub fn server(&self) -> &Arc<DataServer> {
@@ -195,6 +249,49 @@ impl Viracocha {
             let _ = w.join();
         }
     }
+}
+
+/// Runs one worker rank of a multi-process deployment on the calling
+/// thread (`vira worker`): builds the rank-local service state a
+/// single-process back-end would share — clock, data server, cancel
+/// set, client uplink — and enters the worker loop. Returns when the
+/// scheduler sends `SHUTDOWN` or the hub connection is lost.
+///
+/// `register` populates this process's dataset registry before the
+/// first command arrives; every rank must register the same datasets
+/// the scheduler process did (synthetic sources are deterministic, so
+/// the specs agree). `events` is where streamed client packets go — a
+/// remote worker forwards them to the scheduler as `CLIENT_EVENT`
+/// frames via [`EventSender::from_fn`], and the scheduler re-emits
+/// them on the real client link.
+///
+/// Known scope limits of the process-per-rank world, by design: the
+/// cancel set and the DMS peer directory are process-local, so remote
+/// cancellation and cross-process peer cache transfers are inert
+/// (jobs still complete correctly; locality scoring just sees fewer
+/// peers).
+pub fn run_remote_worker<T: Transport>(
+    config: ViracochaConfig,
+    registry: CommandRegistry,
+    transport: T,
+    events: EventSender,
+    register: impl FnOnce(&Arc<DataServer>),
+) {
+    let clock = SimClock::new(config.dilation);
+    let server = DataServer::new(clock.clone(), config.server.clone());
+    register(&server);
+    let cancels: CancelSet = Arc::new(RwLock::new(HashSet::new()));
+    let setup = WorkerSetup {
+        endpoint: Endpoint::new(transport),
+        server,
+        clock,
+        registry: Arc::new(registry),
+        config,
+        events,
+        cancels,
+        uplink: SharedChannel::new(),
+    };
+    worker_main(setup);
 }
 
 impl Drop for Viracocha {

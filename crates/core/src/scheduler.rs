@@ -354,6 +354,13 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
                     &mut tsdb,
                 ),
                 tags::PONG => harvest_obs_pong(&msg.payload, msg.from, &mut tsdb, &mut residency),
+                // A remote worker process streaming packets to the
+                // client: its EventSender cannot share the link, so the
+                // frame rode the transport here and is re-emitted on
+                // the real client link verbatim.
+                tags::CLIENT_EVENT => {
+                    let _ = link.emit(msg.payload);
+                }
                 _ => {}
             }
         }

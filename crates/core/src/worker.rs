@@ -54,6 +54,18 @@ enum JobExit {
     Shutdown,
 }
 
+/// Crash hook for the multi-process harness: aborts this process at a
+/// named point when `VIRA_TEST_ABORT` selects it. The variable is only
+/// ever set on one spawned `vira worker` child by `tests/multiproc.rs`,
+/// to pin down mid-job connection loss (e.g. between PARTIAL and DONE);
+/// it is inert in-process because the whole back-end would die with it.
+fn test_abort_point(point: &str) {
+    if std::env::var("VIRA_TEST_ABORT").as_deref() == Ok(point) {
+        eprintln!("[vira-test] aborting at point '{point}'");
+        std::process::abort();
+    }
+}
+
 /// Builds this node's proxy configuration (unique spill dir per rank).
 fn proxy_config_for(rank: usize, base: &ProxyConfig) -> ProxyConfig {
     let mut cfg = base.clone();
@@ -262,6 +274,7 @@ fn run_job<T: Transport>(
             error,
         );
         let _ = endpoint.send(group.root(), tags::PARTIAL_RESULT, frame.clone());
+        test_abort_point("after-partial");
         return JobExit::Sent {
             dest: group.root(),
             tag: tags::PARTIAL_RESULT,
@@ -451,6 +464,7 @@ fn run_job<T: Transport>(
         parent_span_id: reply_ctx.parent_span_id,
     };
     let frame = wire::encode_done(&done, payload);
+    test_abort_point("before-done");
     let _ = endpoint.send(0, tags::JOB_DONE, frame.clone());
     JobExit::Sent {
         dest: 0,

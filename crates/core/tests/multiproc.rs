@@ -1,0 +1,392 @@
+//! Cross-process deployment harness: `vira serve` + N `vira worker`
+//! OS processes over a Unix socket in a tempdir.
+//!
+//! Every scale and resilience claim pinned by the in-process suites is
+//! re-pinned here against the real socket transport: byte-identical
+//! geometry, graceful SHUTDOWN, `--spawn-local`, and — via the
+//! `VIRA_TEST_ABORT` crash hooks in `worker.rs` — a worker process
+//! dying mid-job, recovered by the existing retransmit → probe →
+//! dead-rank → requeue path instead of a panic or a hang.
+//!
+//! The tests run serially (shared CPU budget; each one spawns four
+//! processes) and each uses its own socket path, so a crashed test
+//! never wedges the next.
+
+#![cfg(unix)]
+
+use bytes::Bytes;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Mutex, MutexGuard};
+use vira_extract::mesh::TriangleSoup;
+use vira_grid::synth::test_cube;
+use vira_storage::source::CachedSynthSource;
+use vira_vista::{CommandParams, JobOutcome, SubmitSpec, VistaClient};
+use viracocha::{Viracocha, ViracochaConfig};
+
+/// Path of the `vira` binary under test, provided by cargo.
+const VIRA: &str = env!("CARGO_BIN_EXE_vira");
+const RES: usize = 8;
+const RANKS: usize = 3;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    // A poisoned lock only means another multiproc test failed.
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A per-test scratch directory (socket, soup files, fault plans),
+/// removed on drop. No tempfile crate: unique by pid + test name.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> TempDir {
+        let p = std::env::temp_dir().join(format!("vira-mp-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        std::fs::create_dir_all(&p).expect("create tempdir");
+        TempDir(p)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn unix_addr(sock: &Path) -> String {
+    format!("unix:{}", sock.display())
+}
+
+/// Spawns `vira serve` on `sock` with the standard cube/iso job spec
+/// plus `extra` flags. Stdout is piped for RESULT-line scraping.
+fn spawn_serve(sock: &Path, extra: &[&str]) -> Child {
+    let mut cmd = Command::new(VIRA);
+    cmd.args([
+        "serve",
+        "--listen",
+        &unix_addr(sock),
+        "--ranks",
+        &RANKS.to_string(),
+        "--dataset",
+        "cube",
+        "--res",
+        &RES.to_string(),
+        "--command",
+        "IsoDataMan",
+        "--param",
+        "iso=0.15",
+        "--param",
+        "n_steps=2",
+        "--accept-timeout-ms",
+        "60000",
+    ]);
+    cmd.args(extra);
+    cmd.stdout(Stdio::piped()).stderr(Stdio::inherit());
+    cmd.spawn().expect("spawn vira serve")
+}
+
+/// Spawns one `vira worker` and blocks until its handshake line
+/// reports the assigned rank — rank ids are assigned in connection
+/// order, so sequential calls give the caller deterministic placement
+/// (needed to aim a crash hook at the group master or a member).
+fn spawn_worker_expect_rank(sock: &Path, env: Option<(&str, &str)>, want_rank: usize) -> Child {
+    let mut cmd = Command::new(VIRA);
+    cmd.args([
+        "worker",
+        "--connect",
+        &unix_addr(sock),
+        "--dataset",
+        "cube",
+        "--res",
+        &RES.to_string(),
+    ]);
+    if let Some((k, v)) = env {
+        cmd.env(k, v);
+    }
+    cmd.stdout(Stdio::piped()).stderr(Stdio::null());
+    let mut child = cmd.spawn().expect("spawn vira worker");
+    let out = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(out).lines();
+    loop {
+        let line = lines
+            .next()
+            .expect("worker closed stdout before joining")
+            .expect("read worker stdout");
+        if let Some(rest) = line.strip_prefix("joined as rank ") {
+            let rank: usize = rest
+                .split_whitespace()
+                .next()
+                .and_then(|t| t.parse().ok())
+                .unwrap_or_else(|| panic!("unparsable join line: {line}"));
+            assert_eq!(rank, want_rank, "workers must join in spawn order");
+            break;
+        }
+    }
+    // Keep draining in the background so the child never blocks on a
+    // full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    child
+}
+
+fn wait_ok(child: Child, who: &str) -> String {
+    let out = child.wait_with_output().expect("wait for child");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(out.status.success(), "{who} failed; stdout:\n{stdout}");
+    stdout
+}
+
+/// One serve RESULT line parsed into (ok, triangles, degraded, retries).
+fn parse_result(stdout: &str, job: usize) -> (bool, u64, bool, u64) {
+    let tag = format!("RESULT job={job} ");
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with(&tag))
+        .unwrap_or_else(|| panic!("no RESULT line for job {job} in:\n{stdout}"));
+    let get = |k: &str| {
+        let prefix = format!("{k}=");
+        line.split_whitespace()
+            .find_map(|t| t.strip_prefix(&prefix).map(str::to_string))
+    };
+    (
+        get("ok").as_deref() == Some("1"),
+        get("triangles").and_then(|v| v.parse().ok()).unwrap_or(0),
+        get("degraded").as_deref() == Some("1"),
+        get("retries").and_then(|v| v.parse().ok()).unwrap_or(0),
+    )
+}
+
+/// The identical job through the historical in-process transport — the
+/// baseline every socket run must match byte for byte.
+fn in_process_outcome() -> JobOutcome {
+    let mut config = ViracochaConfig::for_tests(RANKS);
+    config.proxy.prefetcher = "obl".into();
+    let (backend, link) = Viracocha::launch(config);
+    backend.register_dataset(
+        Arc::new(CachedSynthSource::new(Arc::new(test_cube(RES, 4)))),
+        false,
+    );
+    let mut client = VistaClient::new(link);
+    let out = client
+        .run(&SubmitSpec {
+            command: "IsoDataMan".into(),
+            dataset: "TestCube".into(),
+            params: CommandParams::new().set("iso", 0.15).set("n_steps", 2),
+            workers: RANKS,
+        })
+        .expect("in-process job");
+    client.shutdown().expect("shutdown");
+    backend.join();
+    out
+}
+
+fn soup_from_file(path: &Path) -> TriangleSoup {
+    let bytes = std::fs::read(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    TriangleSoup::from_bytes(Bytes::from(bytes)).expect("parse saved soup")
+}
+
+/// Exact bit-level vertex view, order-independent: a degraded requeue
+/// runs on a different group split, so merge order may differ while
+/// the geometry must not (mirror of `tests/chaos.rs::sorted_bits`).
+fn sorted_bits(soup: &TriangleSoup) -> Vec<[u32; 3]> {
+    let mut v: Vec<[u32; 3]> = soup
+        .positions
+        .iter()
+        .map(|p| [p[0].to_bits(), p[1].to_bits(), p[2].to_bits()])
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+/// Acceptance criterion: `vira serve` + 3 separate worker OS processes
+/// over a Unix socket produce the same TriangleSoup, byte for byte, as
+/// the in-process transport — and the whole world shuts down
+/// gracefully (every process exits 0).
+#[test]
+fn socket_world_matches_in_process_byte_identically() {
+    let _g = serial();
+    let tmp = TempDir::new("bytes");
+    let sock = tmp.path().join("hub.sock");
+    let soup = tmp.path().join("soup");
+    let serve = spawn_serve(
+        &sock,
+        &["--jobs", "1", "--save-soup", soup.to_str().unwrap()],
+    );
+    let workers: Vec<Child> = (1..=RANKS)
+        .map(|r| spawn_worker_expect_rank(&sock, None, r))
+        .collect();
+    let stdout = wait_ok(serve, "vira serve");
+    let (ok, tris, degraded, retries) = parse_result(&stdout, 0);
+    assert!(ok && !degraded && retries == 0, "clean socket run:\n{stdout}");
+    assert!(tris > 0, "the job must produce geometry:\n{stdout}");
+    for w in workers {
+        wait_ok(w, "vira worker"); // graceful SHUTDOWN reached them all
+    }
+
+    let baseline = in_process_outcome();
+    assert_eq!(baseline.triangles.n_triangles() as u64, tris);
+    let socket_soup = soup_from_file(&tmp.path().join("soup.0"));
+    // Same group, same rank order, same merge: raw bytes must match,
+    // not just the sorted view.
+    assert_eq!(
+        socket_soup.to_bytes(),
+        baseline.triangles.to_bytes(),
+        "socket transport changed the merged geometry"
+    );
+}
+
+/// `--spawn-local` forks its own worker processes and still reaps
+/// everything; back-to-back jobs on one session reuse the world.
+#[test]
+fn spawn_local_runs_multiple_jobs() {
+    let _g = serial();
+    let tmp = TempDir::new("spawnlocal");
+    let sock = tmp.path().join("hub.sock");
+    let serve = spawn_serve(&sock, &["--spawn-local", "--jobs", "2"]);
+    let stdout = wait_ok(serve, "vira serve");
+    let (ok0, tris0, deg0, _) = parse_result(&stdout, 0);
+    let (ok1, tris1, deg1, _) = parse_result(&stdout, 1);
+    assert!(ok0 && ok1, "both jobs complete:\n{stdout}");
+    assert!(!deg0 && !deg1, "no degradation on a healthy world:\n{stdout}");
+    assert_eq!(tris0, tris1, "identical jobs, identical geometry");
+    assert!(tris0 > 0);
+}
+
+/// The socket chaos leg: a seeded lossy `FaultPlan` on the hub
+/// transport *plus* an actual worker-process death mid-run. The
+/// existing retransmit → probe → dead-rank → requeue path must recover
+/// both jobs with geometry bit-identical to a clean in-process run.
+#[test]
+fn killed_worker_process_recovers_byte_identically() {
+    let _g = serial();
+    let tmp = TempDir::new("chaos");
+    let sock = tmp.path().join("hub.sock");
+    let soup = tmp.path().join("soup");
+    let plan = tmp.path().join("chaos.plan");
+    std::fs::write(&plan, "seed 7\nall drop 0.05 dup 0.02\n").expect("write plan");
+    let serve = spawn_serve(
+        &sock,
+        &[
+            "--jobs",
+            "2",
+            "--fast-resilience",
+            "--fault-plan",
+            plan.to_str().unwrap(),
+            "--save-soup",
+            soup.to_str().unwrap(),
+        ],
+    );
+    let w1 = spawn_worker_expect_rank(&sock, None, 1);
+    let w2 = spawn_worker_expect_rank(&sock, None, 2);
+    // Rank 3 (a non-root group member) dies right after shipping its
+    // first partial — from then on it is a silent, dead OS process.
+    let w3 = spawn_worker_expect_rank(&sock, Some(("VIRA_TEST_ABORT", "after-partial")), 3);
+    let stdout = wait_ok(serve, "vira serve");
+    let (ok0, tris0, deg0, _) = parse_result(&stdout, 0);
+    let (ok1, tris1, deg1, _) = parse_result(&stdout, 1);
+    assert!(ok0 && ok1, "both jobs must complete:\n{stdout}");
+    assert!(tris0 > 0 && tris1 > 0);
+    assert!(
+        deg0 ^ deg1,
+        "exactly one job sees the death as a degraded requeue; the \
+         other runs clean (before the kill, or on the shrunken \
+         survivor pool):\n{stdout}"
+    );
+    let st3 = w3.wait_with_output().expect("wait for killed worker");
+    assert!(!st3.status.success(), "rank 3 must have died abnormally");
+    wait_ok(w1, "worker 1");
+    wait_ok(w2, "worker 2");
+
+    let base = sorted_bits(&in_process_outcome().triangles);
+    for j in 0..2 {
+        let got = sorted_bits(&soup_from_file(&tmp.path().join(format!("soup.{j}"))));
+        assert_eq!(got, base, "job {j} geometry diverged under chaos");
+    }
+}
+
+/// Regression (satellite fix): losing the *group master's* connection
+/// between PARTIAL and DONE — the worst spot, the scheduler already
+/// paid for the whole job — must map onto the liveness-probe/dead-rank
+/// path and requeue on the survivors, not panic or hang the scheduler.
+#[test]
+fn master_death_between_partial_and_done_requeues_instead_of_hanging() {
+    let _g = serial();
+    let tmp = TempDir::new("masterdeath");
+    let sock = tmp.path().join("hub.sock");
+    let soup = tmp.path().join("soup");
+    let serve = spawn_serve(
+        &sock,
+        &[
+            "--jobs",
+            "1",
+            "--fast-resilience",
+            "--save-soup",
+            soup.to_str().unwrap(),
+        ],
+    );
+    // Rank 1 is the group root: it gathers the partials, merges, and
+    // dies just before sending JOB_DONE (SIGABRT ≙ SIGKILL for the
+    // transport: the connection simply drops mid-job).
+    let w1 = spawn_worker_expect_rank(&sock, Some(("VIRA_TEST_ABORT", "before-done")), 1);
+    let w2 = spawn_worker_expect_rank(&sock, None, 2);
+    let w3 = spawn_worker_expect_rank(&sock, None, 3);
+    let stdout = wait_ok(serve, "vira serve");
+    let (ok, tris, degraded, retries) = parse_result(&stdout, 0);
+    assert!(ok, "the job must still complete:\n{stdout}");
+    assert!(degraded, "recovery must be a degraded requeue:\n{stdout}");
+    assert!(retries >= 1, "the dead master was retransmitted to first:\n{stdout}");
+    assert!(tris > 0);
+    let st1 = w1.wait_with_output().expect("wait for killed master");
+    assert!(!st1.status.success(), "rank 1 must have died abnormally");
+    wait_ok(w2, "worker 2");
+    wait_ok(w3, "worker 3");
+
+    let base = sorted_bits(&in_process_outcome().triangles);
+    let got = sorted_bits(&soup_from_file(&tmp.path().join("soup.0")));
+    assert_eq!(got, base, "requeued job geometry diverged");
+}
+
+/// TCP works end to end too (the quickstart path for real remote
+/// workers): one job over 127.0.0.1 with an OS-assigned port, workers
+/// spawned by the server itself.
+#[test]
+fn tcp_spawn_local_roundtrip() {
+    let _g = serial();
+    let tmp = TempDir::new("tcp");
+    let mut cmd = Command::new(VIRA);
+    cmd.args([
+        "serve",
+        "--listen",
+        "tcp:127.0.0.1:0",
+        "--ranks",
+        "2",
+        "--dataset",
+        "cube",
+        "--res",
+        &RES.to_string(),
+        "--command",
+        "IsoDataMan",
+        "--param",
+        "iso=0.15",
+        "--param",
+        "n_steps=2",
+        "--spawn-local",
+        "--jobs",
+        "1",
+        "--workers",
+        "2",
+    ]);
+    cmd.current_dir(tmp.path());
+    cmd.stdout(Stdio::piped()).stderr(Stdio::inherit());
+    let serve = cmd.spawn().expect("spawn vira serve");
+    let stdout = wait_ok(serve, "vira serve (tcp)");
+    let (ok, tris, degraded, _) = parse_result(&stdout, 0);
+    assert!(ok && !degraded, "clean tcp run:\n{stdout}");
+    assert!(tris > 0);
+}

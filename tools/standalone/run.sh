@@ -35,6 +35,8 @@ build_shims() {
     --crate-name serde_json -o "$OUT/libserde_json.rlib"
   "$RUSTC" --edition 2021 --crate-type rlib shims/bytes_shim.rs \
     --crate-name bytes -o "$OUT/libbytes.rlib"
+  "$RUSTC" --edition 2021 --crate-type rlib shims/crossbeam_shim.rs \
+    --crate-name crossbeam -o "$OUT/libcrossbeam.rlib"
 }
 
 # build_crates [extra rustc flags...] — rlibs of the real workspace crates.
@@ -57,6 +59,14 @@ build_crates() {
 }
 
 run_tests() {
+  echo "== unit tests: vira-comm (channels via crossbeam shim) =="
+  "$RUSTC" --edition 2021 -O --test "$REPO/crates/comm/src/lib.rs" \
+    --crate-name vira_comm \
+    --extern bytes="$OUT/libbytes.rlib" \
+    --extern crossbeam="$OUT/libcrossbeam.rlib" \
+    --extern vira_obs="$OUT/libvira_obs.rlib" \
+    -L "$OUT" -o "$OUT/comm_unit"
+  "$OUT/comm_unit" --quiet
   echo "== unit tests: vira-obs =="
   "$RUSTC" --edition 2021 -O --test "$REPO/crates/obs/src/lib.rs" \
     --crate-name vira_obs -o "$OUT/obs_unit"

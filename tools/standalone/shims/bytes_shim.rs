@@ -20,6 +20,10 @@ impl Bytes {
         Bytes::from(s.to_vec())
     }
 
+    pub fn copy_from_slice(s: &[u8]) -> Self {
+        Bytes::from(s.to_vec())
+    }
+
     pub fn len(&self) -> usize {
         self.end - self.start
     }
@@ -56,6 +60,12 @@ impl From<Vec<u8>> for Bytes {
 impl From<&[u8]> for Bytes {
     fn from(v: &[u8]) -> Self {
         Bytes::from(v.to_vec())
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(v: &[u8]) -> Self {
+        BytesMut { data: v.to_vec() }
     }
 }
 
@@ -98,6 +108,10 @@ impl BytesMut {
 
     pub fn extend_from_slice(&mut self, s: &[u8]) {
         self.data.extend_from_slice(s);
+    }
+
+    pub fn truncate(&mut self, len: usize) {
+        self.data.truncate(len);
     }
 
     pub fn freeze(self) -> Bytes {
