@@ -267,6 +267,74 @@ impl FaultDecision {
     }
 }
 
+/// Applies truncation / corruption from a [`FaultDecision`] to a
+/// payload copy. Shared between [`FaultyTransport`] and the socket
+/// hub's worker↔worker forward path, so both injection sites mangle
+/// payloads identically for the same decision.
+///
+/// Corruption prefers the binary region of a layer-2 frame
+/// (`u32 LE header-len | JSON | payload`) when one exists, so that
+/// silent bit flips land where only a checksum can catch them; flips
+/// inside the JSON header are almost always caught by serde and are
+/// equivalent to a drop once the decoder rejects the frame.
+pub fn apply_payload_faults(d: &FaultDecision, payload: &Bytes) -> Bytes {
+    let mut buf: BytesMut = BytesMut::from(&payload[..]);
+    if d.truncate && !buf.is_empty() {
+        let keep = (d.entropy % buf.len() as u64) as usize;
+        buf.truncate(keep);
+    }
+    if d.corrupt && !buf.is_empty() {
+        let body_start = if buf.len() >= 4 {
+            let hlen = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+            let start = 4usize.saturating_add(hlen);
+            if start < buf.len() {
+                start
+            } else {
+                0
+            }
+        } else {
+            0
+        };
+        let span = buf.len() - body_start;
+        let bit = splitmix64(d.entropy) % (span as u64 * 8);
+        let byte = body_start + (bit / 8) as usize;
+        buf[byte] ^= 1 << (bit % 8);
+    }
+    buf.freeze()
+}
+
+/// One kind of injected fault, for shared stats recording.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    Drop,
+    Duplicate,
+    Delay,
+    Reorder,
+    Truncate,
+    Corrupt,
+    Kill,
+}
+
+/// Records one injected fault into `stats` and the obs registry. Both
+/// injection sites — [`FaultyTransport`] on the send side and the
+/// socket hub on its internal forward path — count through here, so a
+/// chaos run's totals add up no matter where a frame was perturbed.
+pub fn record_fault(stats: &FaultStats, kind: FaultKind) {
+    stats.injected.fetch_add(1, Ordering::Relaxed);
+    obs::counter_cached(&INJECTED, "fault_injected_total").inc();
+    let (field, cell, name): (&AtomicU64, _, _) = match kind {
+        FaultKind::Drop => (&stats.dropped, &DROPPED, "fault_drop_total"),
+        FaultKind::Duplicate => (&stats.duplicated, &DUPLICATED, "fault_dup_total"),
+        FaultKind::Delay => (&stats.delayed, &DELAYED, "fault_delay_total"),
+        FaultKind::Reorder => (&stats.reordered, &REORDERED, "fault_reorder_total"),
+        FaultKind::Truncate => (&stats.truncated, &TRUNCATED, "fault_truncate_total"),
+        FaultKind::Corrupt => (&stats.corrupted, &CORRUPTED, "fault_corrupt_total"),
+        FaultKind::Kill => (&stats.killed_ranks, &KILLED, "fault_rank_killed_total"),
+    };
+    field.fetch_add(1, Ordering::Relaxed);
+    obs::counter_cached(cell, name).inc();
+}
+
 /// SplitMix64 — tiny, high-quality 64-bit mixer (public domain
 /// construction; see Steele et al., "Fast splittable pseudorandom
 /// number generators").
@@ -395,46 +463,6 @@ impl<T: Transport> FaultyTransport<T> {
         self.killed.load(Ordering::Relaxed)
     }
 
-    fn count(&self, field: &AtomicU64, cell: &'static OnceLock<Arc<obs::Counter>>, name: &'static str) {
-        field.fetch_add(1, Ordering::Relaxed);
-        self.stats.injected.fetch_add(1, Ordering::Relaxed);
-        obs::counter_cached(&INJECTED, "fault_injected_total").inc();
-        obs::counter_cached(cell, name).inc();
-    }
-
-    /// Applies truncation / corruption to a payload copy.
-    ///
-    /// Corruption prefers the binary region of a layer-2 frame
-    /// (`u32 LE header-len | JSON | payload`) when one exists, so that
-    /// silent bit flips land where only a checksum can catch them;
-    /// flips inside the JSON header are almost always caught by serde
-    /// and are equivalent to a drop once the decoder rejects the frame.
-    fn mutate(&self, d: &FaultDecision, payload: &Bytes) -> Bytes {
-        let mut buf: BytesMut = BytesMut::from(&payload[..]);
-        if d.truncate && !buf.is_empty() {
-            let keep = (d.entropy % buf.len() as u64) as usize;
-            buf.truncate(keep);
-        }
-        if d.corrupt && !buf.is_empty() {
-            let body_start = if buf.len() >= 4 {
-                let hlen = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
-                let start = 4usize.saturating_add(hlen);
-                if start < buf.len() {
-                    start
-                } else {
-                    0
-                }
-            } else {
-                0
-            };
-            let span = buf.len() - body_start;
-            let bit = splitmix64(d.entropy) % (span as u64 * 8);
-            let byte = body_start + (bit / 8) as usize;
-            buf[byte] ^= 1 << (bit % 8);
-        }
-        buf.freeze()
-    }
-
     /// Takes any held-back message for `to` (to be flushed after the
     /// current one, completing the adjacent swap).
     fn take_held(&self, to: Rank) -> Option<(Tag, Bytes)> {
@@ -461,7 +489,7 @@ impl<T: Transport> Transport for FaultyTransport<T> {
         if let Some(after) = self.plan.kill_for(self.rank()) {
             if total >= after {
                 if !self.killed.swap(true, Ordering::Relaxed) {
-                    self.count(&self.stats.killed_ranks, &KILLED, "fault_rank_killed_total");
+                    record_fault(&self.stats, FaultKind::Kill);
                 }
                 return Ok(()); // mute: the message is silently lost
             }
@@ -481,7 +509,7 @@ impl<T: Transport> Transport for FaultyTransport<T> {
         let held = self.take_held(to);
 
         if d.drop {
-            self.count(&self.stats.dropped, &DROPPED, "fault_drop_total");
+            record_fault(&self.stats, FaultKind::Drop);
             // The swap partner still has to go out or it would turn a
             // reorder into an unplanned drop.
             if let Some((htag, hpay)) = held {
@@ -492,21 +520,21 @@ impl<T: Transport> Transport for FaultyTransport<T> {
 
         let mut out = payload;
         if d.truncate {
-            self.count(&self.stats.truncated, &TRUNCATED, "fault_truncate_total");
+            record_fault(&self.stats, FaultKind::Truncate);
         }
         if d.corrupt {
-            self.count(&self.stats.corrupted, &CORRUPTED, "fault_corrupt_total");
+            record_fault(&self.stats, FaultKind::Corrupt);
         }
         if d.truncate || d.corrupt {
-            out = self.mutate(&d, &out);
+            out = apply_payload_faults(&d, &out);
         }
         if d.delay_us > 0 {
-            self.count(&self.stats.delayed, &DELAYED, "fault_delay_total");
+            record_fault(&self.stats, FaultKind::Delay);
             std::thread::sleep(Duration::from_micros(d.delay_us));
         }
 
         if d.reorder && held.is_none() {
-            self.count(&self.stats.reordered, &REORDERED, "fault_reorder_total");
+            record_fault(&self.stats, FaultKind::Reorder);
             self.held
                 .lock()
                 .expect("reorder buffer poisoned")
@@ -516,7 +544,7 @@ impl<T: Transport> Transport for FaultyTransport<T> {
 
         self.inner.send(to, tag, out.clone())?;
         if d.duplicate {
-            self.count(&self.stats.duplicated, &DUPLICATED, "fault_dup_total");
+            record_fault(&self.stats, FaultKind::Duplicate);
             self.inner.send(to, tag, out)?;
         }
         if let Some((htag, hpay)) = held {

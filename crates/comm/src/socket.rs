@@ -46,7 +46,8 @@
 //! [`CommError::Disconnected`] and the worker loop exits, the same
 //! "world torn down" path the in-process transport takes.
 
-use crate::transport::{CommError, Message, Rank, Tag, Transport};
+use crate::fault::{apply_payload_faults, record_fault, FaultKind, FaultPlan, FaultStats};
+use crate::transport::{tags, CommError, Message, Rank, Tag, Transport};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::io::{Read, Write};
@@ -54,7 +55,7 @@ use std::net::{TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -80,6 +81,12 @@ pub const MAX_FRAME_PAYLOAD: usize = 1 << 30;
 pub const TAG_HELLO: Tag = u32::MAX - 1;
 /// See [`TAG_HELLO`].
 pub const TAG_WELCOME: Tag = u32::MAX - 2;
+/// Rejoin handshake: a restarted worker process reclaiming a
+/// previously-convicted rank sends `REJOIN` (payload: protocol
+/// version, claimed rank — both u32 LE) instead of `HELLO`, and the
+/// hub answers `WELCOME` when the claim is valid. See
+/// [`SocketWorker::rejoin`].
+pub const TAG_REJOIN: Tag = u32::MAX - 3;
 
 // Socket-level metrics, named per the DESIGN.md registry conventions.
 static FRAMES_SENT: OnceLock<Arc<obs::Counter>> = OnceLock::new();
@@ -418,11 +425,42 @@ fn reader_loop(mut stream: Stream, mut dec: FrameDecoder, mut on_frame: impl FnM
 struct Peer {
     writer: Mutex<Stream>,
     alive: AtomicBool,
+    /// Bumped on every rejoin. A reader thread (or a failed route
+    /// write) only marks the peer dead while its stream generation is
+    /// still current, so a stale reader exiting late cannot kill a
+    /// peer that already reconnected.
+    generation: AtomicU64,
+}
+
+/// Fault injection for the hub's worker↔worker forward path. Frames a
+/// worker sends to another worker cross the hub without touching any
+/// `Transport::send`, so the send-side
+/// [`FaultyTransport`](crate::fault::FaultyTransport) decorator never
+/// sees them; the hub applies the same seeded plan here.
+struct RouteFaults {
+    plan: Arc<FaultPlan>,
+    stats: Arc<FaultStats>,
+    world: usize,
+    /// Per directed link `(from, to)` frame index — the same
+    /// replayable index scheme as the decorator — flattened as
+    /// `from * world + to`.
+    index: Vec<AtomicU64>,
+}
+
+impl RouteFaults {
+    fn next_index(&self, from: u32, to: u32) -> u64 {
+        let slot = from as usize * self.world + to as usize;
+        self.index
+            .get(slot)
+            .map(|c| c.fetch_add(1, Ordering::Relaxed))
+            .unwrap_or(0)
+    }
 }
 
 struct HubShared {
     /// Index = rank - 1.
     peers: Vec<Peer>,
+    route_faults: OnceLock<RouteFaults>,
 }
 
 impl HubShared {
@@ -435,8 +473,62 @@ impl HubShared {
         if !peer.alive.load(Ordering::Acquire) {
             return;
         }
-        if !write_frame(&peer.writer, frame.to, frame.from, frame.tag, &frame.payload) {
+        if let Some(rf) = self.route_faults.get() {
+            // Only worker-originated forwards: hub→worker frames
+            // (`from` = 0) already crossed the send-side decorator,
+            // and SHUTDOWN is exempt everywhere (see the fault module
+            // docs).
+            if frame.from != 0 && frame.tag != tags::SHUTDOWN {
+                return self.route_faulted(rf, peer, frame);
+            }
+        }
+        self.write_to_peer(peer, frame.to, frame.from, frame.tag, &frame.payload);
+    }
+
+    /// Writes one frame to `peer`, marking it dead on failure — unless
+    /// a rejoin swapped the stream mid-write, in which case the failure
+    /// belonged to the previous generation.
+    fn write_to_peer(&self, peer: &Peer, to: u32, from: u32, tag: Tag, payload: &[u8]) {
+        let generation = peer.generation.load(Ordering::Acquire);
+        if !write_frame(&peer.writer, to, from, tag, payload)
+            && peer.generation.load(Ordering::Acquire) == generation
+        {
             peer.alive.store(false, Ordering::Release);
+        }
+    }
+
+    /// The faulted forward path: drop / duplicate / delay / truncate /
+    /// corrupt, decided by the seeded plan. Reorder needs the one-slot
+    /// hold-back the decorator keeps; the hub's forward path stays
+    /// stateless per frame and leaves adjacent swaps to the decorator.
+    fn route_faulted(&self, rf: &RouteFaults, peer: &Peer, frame: &Frame) {
+        let index = rf.next_index(frame.from, frame.to);
+        let d = rf.plan.decision(frame.from as Rank, frame.to as Rank, index);
+        if d.is_clean() {
+            return self.write_to_peer(peer, frame.to, frame.from, frame.tag, &frame.payload);
+        }
+        if d.drop {
+            record_fault(&rf.stats, FaultKind::Drop);
+            return;
+        }
+        let mut payload = frame.payload.clone();
+        if d.truncate {
+            record_fault(&rf.stats, FaultKind::Truncate);
+        }
+        if d.corrupt {
+            record_fault(&rf.stats, FaultKind::Corrupt);
+        }
+        if d.truncate || d.corrupt {
+            payload = apply_payload_faults(&d, &payload);
+        }
+        if d.delay_us > 0 {
+            record_fault(&rf.stats, FaultKind::Delay);
+            std::thread::sleep(Duration::from_micros(d.delay_us));
+        }
+        self.write_to_peer(peer, frame.to, frame.from, frame.tag, &payload);
+        if d.duplicate {
+            record_fault(&rf.stats, FaultKind::Duplicate);
+            self.write_to_peer(peer, frame.to, frame.from, frame.tag, &payload);
         }
     }
 }
@@ -451,7 +543,11 @@ pub struct SocketHub {
     inbox_tx: Sender<Message>,
     inbox_rx: Receiver<Message>,
     n_workers: usize,
-    readers: Vec<JoinHandle<()>>,
+    /// Reader threads, one per live stream; rejoins append, so the
+    /// acceptor shares the vec.
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    accept_stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
 }
 
 /// A bound listener, not yet a world: call
@@ -530,6 +626,12 @@ impl SocketListener {
     /// in connection order), then starts the per-peer reader threads
     /// and returns the routing hub. Fails when fewer ranks joined
     /// within `timeout`.
+    ///
+    /// The listener stays open after the world forms: a background
+    /// acceptor keeps taking connections so a restarted worker can
+    /// reclaim its old rank via the [`TAG_REJOIN`] handshake. The
+    /// acceptor (and with it the listener, whose drop unlinks a unix
+    /// socket path) stops when the hub is dropped.
     pub fn accept_world(
         self,
         n_workers: usize,
@@ -575,50 +677,195 @@ impl SocketListener {
                     Ok(Peer {
                         writer: Mutex::new(s.try_clone()?),
                         alive: AtomicBool::new(true),
+                        generation: AtomicU64::new(0),
                     })
                 })
                 .collect::<std::io::Result<Vec<_>>>()?,
+            route_faults: OnceLock::new(),
         });
-        let readers = streams
-            .into_iter()
-            .enumerate()
-            .map(|(i, (stream, dec))| {
-                let peer_rank = (i + 1) as u32;
-                let shared = shared.clone();
-                let tx = inbox_tx.clone();
-                std::thread::Builder::new()
-                    .name(format!("vira-sock-r{peer_rank}"))
-                    .spawn(move || {
-                        reader_loop(stream, dec, |f| {
-                            // Frames must carry the connection's own
-                            // identity; anything else is a peer bug.
-                            if f.from != peer_rank {
-                                return true;
-                            }
-                            if f.to == 0 {
-                                let _ = tx.send(Message {
-                                    from: f.from as Rank,
-                                    tag: f.tag,
-                                    payload: f.payload,
-                                });
-                            } else {
-                                shared.route(&f);
-                            }
-                            true
-                        });
-                        shared.peers[i].alive.store(false, Ordering::Release);
-                    })
-                    .expect("failed to spawn socket reader")
-            })
-            .collect();
+        let readers = Arc::new(Mutex::new(
+            streams
+                .into_iter()
+                .enumerate()
+                .map(|(i, (stream, dec))| {
+                    spawn_peer_reader(
+                        shared.clone(),
+                        inbox_tx.clone(),
+                        stream,
+                        dec,
+                        (i + 1) as u32,
+                        0,
+                    )
+                })
+                .collect::<Vec<_>>(),
+        ));
+        let accept_stop = Arc::new(AtomicBool::new(false));
+        let accept = spawn_rejoin_acceptor(
+            self,
+            shared.clone(),
+            inbox_tx.clone(),
+            readers.clone(),
+            accept_stop.clone(),
+            world,
+        );
         Ok(SocketHub {
             shared,
             inbox_tx,
             inbox_rx,
             n_workers,
             readers,
+            accept_stop,
+            accept: Some(accept),
         })
     }
+}
+
+/// Spawns the reader thread for one hub↔worker stream. `generation`
+/// pins which incarnation of the peer this reader serves; a rejoin
+/// bumps it so a stale reader's exit cannot mark the new stream dead.
+fn spawn_peer_reader(
+    shared: Arc<HubShared>,
+    tx: Sender<Message>,
+    stream: Stream,
+    dec: FrameDecoder,
+    peer_rank: u32,
+    generation: u64,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("vira-sock-r{peer_rank}"))
+        .spawn(move || {
+            reader_loop(stream, dec, |f| {
+                // Frames must carry the connection's own
+                // identity; anything else is a peer bug.
+                if f.from != peer_rank {
+                    return true;
+                }
+                if f.to == 0 {
+                    let _ = tx.send(Message {
+                        from: f.from as Rank,
+                        tag: f.tag,
+                        payload: f.payload,
+                    });
+                } else {
+                    shared.route(&f);
+                }
+                true
+            });
+            let peer = &shared.peers[peer_rank as usize - 1];
+            if peer.generation.load(Ordering::Acquire) == generation {
+                peer.alive.store(false, Ordering::Release);
+            }
+        })
+        .expect("failed to spawn socket reader")
+}
+
+/// Keeps the listener accepting after the world formed so a restarted
+/// worker can reclaim its rank (see [`TAG_REJOIN`]). The listener
+/// moves into the thread; its drop (unix socket unlink) runs when the
+/// hub stops the acceptor.
+fn spawn_rejoin_acceptor(
+    listener: SocketListener,
+    shared: Arc<HubShared>,
+    tx: Sender<Message>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    stop: Arc<AtomicBool>,
+    world: u32,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("vira-sock-accept".to_string())
+        .spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                match listener.accept_stream() {
+                    Ok(stream) => match handshake_rejoin(&stream, &shared, world) {
+                        Ok((rank, dec, generation)) => {
+                            let h = spawn_peer_reader(
+                                shared.clone(),
+                                tx.clone(),
+                                stream,
+                                dec,
+                                rank,
+                                generation,
+                            );
+                            readers.lock().unwrap_or_else(|e| e.into_inner()).push(h);
+                            // Tell layer 2 the rank is back; the
+                            // scheduler clears its dead-rank exclusion
+                            // on this tag.
+                            let _ = tx.send(Message {
+                                from: rank as Rank,
+                                tag: tags::REJOIN,
+                                payload: Bytes::new(),
+                            });
+                        }
+                        Err(_) => stream.shutdown(),
+                    },
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => break,
+                }
+            }
+        })
+        .expect("failed to spawn rejoin acceptor")
+}
+
+/// Hub side of the rejoin handshake: expect `REJOIN` carrying the
+/// protocol version and a claimed rank, validate that the rank exists
+/// and is currently dead, swap the peer's stream, and answer
+/// `WELCOME`. Returns the reclaimed rank, the handshake decoder (bytes
+/// read past the REJOIN belong to the new reader) and the peer's new
+/// stream generation.
+fn handshake_rejoin(
+    stream: &Stream,
+    shared: &HubShared,
+    world: u32,
+) -> std::io::Result<(u32, FrameDecoder, u64)> {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut rd = stream.try_clone()?;
+    let (frame, dec) = read_one_frame(&mut rd, deadline)?;
+    if frame.tag != TAG_REJOIN {
+        return Err(protocol_err("expected REJOIN"));
+    }
+    let word = |i: usize| {
+        frame
+            .payload
+            .get(i..i + 4)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    };
+    let version = word(0).unwrap_or(0);
+    if version != PROTOCOL_VERSION {
+        return Err(protocol_err(&format!(
+            "protocol version mismatch: peer {version}, ours {PROTOCOL_VERSION}"
+        )));
+    }
+    let rank = word(4).ok_or_else(|| protocol_err("REJOIN missing a rank"))?;
+    let peer = (rank >= 1)
+        .then(|| shared.peers.get(rank as usize - 1))
+        .flatten()
+        .ok_or_else(|| protocol_err("REJOIN claimed an unknown rank"))?;
+    if peer.alive.load(Ordering::Acquire) {
+        return Err(protocol_err("REJOIN claimed a rank that is still connected"));
+    }
+    stream.set_read_timeout(None)?;
+    let new_writer = stream.try_clone()?;
+    // Bump the generation before touching the old stream so a stale
+    // reader that exits during the swap no longer matches and cannot
+    // mark the reborn peer dead.
+    let generation = peer.generation.fetch_add(1, Ordering::AcqRel) + 1;
+    {
+        let mut w = peer.writer.lock().unwrap_or_else(|e| e.into_inner());
+        w.shutdown(); // unblock any reader still stuck on the old stream
+        *w = new_writer;
+    }
+    peer.alive.store(true, Ordering::Release);
+    let mut welcome = Vec::with_capacity(8);
+    welcome.extend_from_slice(&rank.to_le_bytes());
+    welcome.extend_from_slice(&world.to_le_bytes());
+    if !write_frame(&peer.writer, rank, 0, TAG_WELCOME, &welcome) {
+        peer.alive.store(false, Ordering::Release);
+        return Err(protocol_err("rejoining peer closed before WELCOME"));
+    }
+    Ok((rank, dec, generation))
 }
 
 impl Drop for SocketListener {
@@ -764,10 +1011,31 @@ impl SocketHub {
             && r <= self.n_workers
             && self.shared.peers[r - 1].alive.load(Ordering::Acquire)
     }
+
+    /// Enables fault injection on the hub-internal worker↔worker
+    /// forward path (see [`RouteFaults`] — the chaos decorator never
+    /// sees those frames). Applies the same seeded `plan` and counts
+    /// into the same `stats` as the decorator; hub→worker frames and
+    /// SHUTDOWN are exempt. Idempotent: the first call wins.
+    pub fn set_route_faults(&self, plan: Arc<FaultPlan>, stats: Arc<FaultStats>) {
+        let world = self.n_workers + 1;
+        let _ = self.shared.route_faults.set(RouteFaults {
+            plan,
+            stats,
+            world,
+            index: (0..world * world).map(|_| AtomicU64::new(0)).collect(),
+        });
+    }
 }
 
 impl Drop for SocketHub {
     fn drop(&mut self) {
+        // Stop the rejoin acceptor first: it must not resurrect peers
+        // while the writers are being torn down.
+        self.accept_stop.store(true, Ordering::Release);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
         // Closing the writers unblocks the reader threads (EOF on the
         // worker side closes the other half).
         for p in &self.shared.peers {
@@ -775,7 +1043,11 @@ impl Drop for SocketHub {
                 w.shutdown();
             }
         }
-        for h in self.readers.drain(..) {
+        let handles: Vec<JoinHandle<()>> = {
+            let mut rs = self.readers.lock().unwrap_or_else(|e| e.into_inner());
+            rs.drain(..).collect()
+        };
+        for h in handles {
             let _ = h.join();
         }
     }
@@ -800,6 +1072,10 @@ impl SocketSender {
     }
 }
 
+/// Observes every inbound frame on a worker's reader thread — see
+/// [`SocketWorker::set_frame_tap`].
+pub type FrameTap = Arc<dyn Fn(&Frame) + Send + Sync>;
+
 /// The worker-process endpoint of a socket world: one stream to the
 /// hub, a reader thread filling the inbox. Self-sends round-trip
 /// through the hub, which preserves global frame ordering.
@@ -809,27 +1085,74 @@ pub struct SocketWorker {
     writer: Arc<Mutex<Stream>>,
     inbox_rx: Receiver<Message>,
     reader: Option<JoinHandle<()>>,
+    tap: Arc<Mutex<Option<FrameTap>>>,
 }
 
 impl SocketWorker {
     /// Connects to a listening hub, retrying until `timeout` (the
     /// scheduler may still be starting), and completes the handshake.
     /// Returns the endpoint knowing its assigned rank and world size.
+    /// When the deadline passes, the error is a structured
+    /// [`std::io::ErrorKind::TimedOut`] naming the address, the number
+    /// of attempts and the last underlying failure — a worker that
+    /// never finds its hub fails loudly, it does not retry forever.
     pub fn connect(spec: &SocketAddrSpec, timeout: Duration) -> std::io::Result<SocketWorker> {
-        let deadline = Instant::now() + timeout;
+        Self::connect_loop(spec, timeout, None)
+    }
+
+    /// Reconnects to a hub whose world already formed, reclaiming
+    /// `claim_rank` — a rank whose previous process died and was
+    /// convicted by the scheduler. Retries like
+    /// [`connect`](SocketWorker::connect): the hub refuses the claim
+    /// while the old connection still looks alive (or while the rank
+    /// is unknown), and refusal is cheap, so polling until `timeout`
+    /// doubles as "wait for the hub to notice the old process died".
+    pub fn rejoin(
+        spec: &SocketAddrSpec,
+        claim_rank: Rank,
+        timeout: Duration,
+    ) -> std::io::Result<SocketWorker> {
+        Self::connect_loop(spec, timeout, Some(claim_rank))
+    }
+
+    fn connect_loop(
+        spec: &SocketAddrSpec,
+        timeout: Duration,
+        rejoin_as: Option<Rank>,
+    ) -> std::io::Result<SocketWorker> {
+        let start = Instant::now();
+        let deadline = start + timeout;
+        let mut attempts: u64 = 0;
         loop {
-            let err = match Self::connect_once(spec, deadline) {
+            attempts += 1;
+            let err = match Self::connect_once(spec, deadline, rejoin_as) {
                 Ok(w) => return Ok(w),
                 Err(e) => e,
             };
             if Instant::now() >= deadline {
-                return Err(err);
+                let what = if rejoin_as.is_some() {
+                    "rejoin the hub"
+                } else {
+                    "connect to the hub"
+                };
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    format!(
+                        "could not {what} at {spec} within {timeout:?} \
+                         ({attempts} attempts over {:.1?}; last error: {err})",
+                        start.elapsed()
+                    ),
+                ));
             }
             std::thread::sleep(Duration::from_millis(25));
         }
     }
 
-    fn connect_once(spec: &SocketAddrSpec, deadline: Instant) -> std::io::Result<SocketWorker> {
+    fn connect_once(
+        spec: &SocketAddrSpec,
+        deadline: Instant,
+        rejoin_as: Option<Rank>,
+    ) -> std::io::Result<SocketWorker> {
         let stream = match spec {
             SocketAddrSpec::Tcp(addr) => Stream::Tcp(TcpStream::connect(addr)?),
             #[cfg(unix)]
@@ -843,7 +1166,17 @@ impl SocketWorker {
             }
         };
         let mut w = stream.try_clone()?;
-        w.write_all(&encode_frame(0, 0, TAG_HELLO, &PROTOCOL_VERSION.to_le_bytes()))?;
+        match rejoin_as {
+            None => {
+                w.write_all(&encode_frame(0, 0, TAG_HELLO, &PROTOCOL_VERSION.to_le_bytes()))?
+            }
+            Some(r) => {
+                let mut hello = Vec::with_capacity(8);
+                hello.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+                hello.extend_from_slice(&(r as u32).to_le_bytes());
+                w.write_all(&encode_frame(0, r as u32, TAG_REJOIN, &hello))?;
+            }
+        }
         let mut rd = stream.try_clone()?;
         let (welcome, dec) = read_one_frame(&mut rd, deadline)?;
         if welcome.tag != TAG_WELCOME || welcome.payload.len() < 8 {
@@ -855,16 +1188,30 @@ impl SocketWorker {
         if rank == 0 || rank >= world {
             return Err(protocol_err("WELCOME carried an invalid rank"));
         }
+        if rejoin_as.is_some_and(|r| r != rank) {
+            return Err(protocol_err("WELCOME did not confirm the claimed rank"));
+        }
         stream.set_read_timeout(None)?;
         let (tx, inbox_rx) = unbounded();
         let my_rank = rank as u32;
         let reader_stream = stream.try_clone()?;
+        let tap: Arc<Mutex<Option<FrameTap>>> = Arc::new(Mutex::new(None));
+        let reader_tap = tap.clone();
         let reader = std::thread::Builder::new()
             .name(format!("vira-sock-w{rank}"))
             .spawn(move || {
                 reader_loop(reader_stream, dec, |f| {
                     if f.to != my_rank {
                         return true; // misrouted: drop
+                    }
+                    // Clone the tap out of the lock so user code never
+                    // runs under it.
+                    let t = reader_tap
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .clone();
+                    if let Some(t) = t {
+                        t(&f);
                     }
                     // The worker loop exits on a Disconnected recv; the
                     // channel disconnects when this thread returns and
@@ -884,6 +1231,7 @@ impl SocketWorker {
             writer: Arc::new(Mutex::new(stream)),
             inbox_rx,
             reader: Some(reader),
+            tap,
         })
     }
 
@@ -894,6 +1242,20 @@ impl SocketWorker {
             writer: self.writer.clone(),
             rank: self.rank as u32,
         }
+    }
+
+    /// Installs an observer the reader thread calls on every inbound
+    /// frame *before* queueing it to the inbox. This is the remote
+    /// worker's mid-job control channel: the worker loop only drains
+    /// its inbox between jobs, so an out-of-band frame — a
+    /// cancellation, say — must act from the reader thread (e.g. by
+    /// inserting the job id into the process-local cancel set) to
+    /// reach a command that is already running. The frame is still
+    /// delivered to the inbox afterwards. The tap runs on the reader
+    /// thread ahead of every subsequent frame on the stream, so it
+    /// must be fast and must not block. Replaces any earlier tap.
+    pub fn set_frame_tap(&self, tap: impl Fn(&Frame) + Send + Sync + 'static) {
+        *self.tap.lock().unwrap_or_else(|e| e.into_inner()) = Some(Arc::new(tap));
     }
 }
 
@@ -1341,5 +1703,133 @@ mod tests {
         assert_eq!(&m.payload[..], b"b");
         assert_eq!(ep.buffered_len(), 1);
         assert_eq!(&ep.recv_tag(10).unwrap().payload[..], b"a");
+    }
+
+    #[test]
+    fn connect_timeout_error_names_address_and_attempts() {
+        // Reserve a port and release it so nothing is listening there.
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap().to_string();
+        drop(probe);
+        let err = match SocketWorker::connect(
+            &SocketAddrSpec::Tcp(addr.clone()),
+            Duration::from_millis(200),
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("nothing listens there; connect must fail"),
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+        let msg = err.to_string();
+        assert!(msg.contains(&addr), "error should name the address: {msg}");
+        assert!(msg.contains("attempts"), "error should count attempts: {msg}");
+        assert!(msg.contains("last error"), "error should keep the cause: {msg}");
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn frame_tap_sees_frames_before_the_inbox() {
+        let (hub, workers) = socket_world(&tmp_sock("tap"), 1);
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        {
+            let seen = seen.clone();
+            workers[0].set_frame_tap(move |f: &Frame| {
+                seen.lock().unwrap().push((f.tag, f.payload.clone()));
+            });
+        }
+        hub.send(1, 42, Bytes::from_static(b"tapped")).unwrap();
+        let m = workers[0].recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(m.tag, 42);
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 1, "the tap observed the frame");
+        assert_eq!(seen[0].0, 42);
+        assert_eq!(&seen[0].1[..], b"tapped");
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn killed_worker_rejoins_and_reclaims_its_rank() {
+        let spec = tmp_sock("rejoin");
+        let listener = SocketListener::bind(&spec).expect("bind");
+        let addr = SocketAddrSpec::parse(listener.local_addr()).unwrap();
+        let joiners: Vec<_> = (0..2)
+            .map(|_| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    SocketWorker::connect(&addr, Duration::from_secs(10)).unwrap()
+                })
+            })
+            .collect();
+        let hub = listener.accept_world(2, Duration::from_secs(10)).unwrap();
+        let mut workers: Vec<_> = joiners.into_iter().map(|h| h.join().unwrap()).collect();
+        workers.sort_by_key(|w| w.rank());
+
+        // A claim for a rank that is still connected is refused until
+        // the deadline.
+        let err = match SocketWorker::rejoin(&addr, 2, Duration::from_millis(200)) {
+            Err(e) => e,
+            Ok(_) => panic!("a live rank must not be reclaimable"),
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+
+        // Rank 1's process "dies".
+        drop(workers.remove(0));
+        for _ in 0..200 {
+            if !hub.peer_alive(1) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(!hub.peer_alive(1), "hub must notice the hangup");
+
+        // The restarted process reclaims its rank…
+        let w1 = SocketWorker::rejoin(&addr, 1, Duration::from_secs(10)).expect("rejoin");
+        assert_eq!(w1.rank(), 1);
+        assert_eq!(w1.world_size(), 3);
+        assert!(hub.peer_alive(1));
+
+        // …the hub inbox carries the layer-2 REJOIN notification…
+        let m = hub.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!((m.from, m.tag), (1, tags::REJOIN));
+
+        // …and the rank serves traffic again, both directions.
+        hub.send(1, tags::COMMAND, Bytes::from_static(b"again")).unwrap();
+        let m = w1.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(&m.payload[..], b"again");
+        w1.send(0, tags::JOB_DONE, Bytes::from_static(b"ok")).unwrap();
+        assert_eq!(
+            hub.recv_timeout(Duration::from_secs(5)).unwrap().tag,
+            tags::JOB_DONE
+        );
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn hub_forward_faults_hit_worker_to_worker_frames_only() {
+        use crate::fault::{FaultPlan, FaultStats};
+
+        let (hub, workers) = socket_world(&tmp_sock("routefault"), 2);
+        let plan = Arc::new(FaultPlan::parse_str("seed 1\nlink 1 2 drop 1.0\n").unwrap());
+        let stats = Arc::new(FaultStats::default());
+        hub.set_route_faults(plan, stats.clone());
+
+        // Worker 1 → worker 2 is forwarded by the hub and dropped there.
+        workers[0].send(2, 70, Bytes::from_static(b"lost")).unwrap();
+        // Worker 1 → hub is not on the faulted link; since both frames
+        // share one stream and the hub reader is sequential, seeing
+        // this one means the forward above was already processed.
+        workers[0].send(0, 71, Bytes::from_static(b"up")).unwrap();
+        assert_eq!(hub.recv_timeout(Duration::from_secs(5)).unwrap().tag, 71);
+        // Hub → worker 2 bypasses the route faults (`from` = 0).
+        hub.send(2, 72, Bytes::from_static(b"down")).unwrap();
+        assert_eq!(
+            workers[1].recv_timeout(Duration::from_secs(5)).unwrap().tag,
+            72
+        );
+        assert_eq!(
+            workers[1].try_recv().unwrap(),
+            None,
+            "the worker→worker frame was dropped by the hub"
+        );
+        assert_eq!(stats.snapshot().dropped, 1);
     }
 }

@@ -48,6 +48,14 @@ pub mod tags {
     /// [`EventSender`](crate::link::EventSender) cannot share a channel
     /// with the client).
     pub const CLIENT_EVENT: Tag = 9;
+    /// Scheduler → worker: cancel a running job (payload: the job id).
+    /// Fanned to every rank of the job's work group so rank-local
+    /// cancel sets trip mid-extraction even across processes.
+    pub const CANCEL: Tag = 10;
+    /// Hub → scheduler: a previously-convicted worker rank has
+    /// reconnected and completed the rejoin handshake; the scheduler
+    /// clears its dead-rank exclusion (payload empty, `from` = rank).
+    pub const REJOIN: Tag = 11;
     /// First tag available to applications built on the framework.
     pub const USER_BASE: Tag = 1000;
 }

@@ -36,7 +36,8 @@ use vira_grid::synth::{self, SyntheticDataset};
 use vira_storage::source::CachedSynthSource;
 use vira_vista::{CommandParams, SubmitSpec, VistaClient};
 use viracocha::{
-    default_registry, run_remote_worker, FaultPlan, TransportConfig, Viracocha, ViracochaConfig,
+    default_registry, run_remote_worker_with_cancels, CancelSet, FaultPlan, TransportConfig,
+    Viracocha, ViracochaConfig,
 };
 
 fn usage() -> ! {
@@ -45,7 +46,7 @@ fn usage() -> ! {
     // bypasses `events.jsonl` when tracing is on.
     vira_obs::error(
         "vira",
-        "usage:\n  vira commands\n  vira datasets\n  vira suggest --dataset <engine|propfan|cube> [--res N] [--exceed F]\n  vira run --dataset <engine|propfan|cube> --command <Name> [--workers N]\n           [--res N] [--dilation F] [--fault-plan <file>] [--param key=value]...\n           [--backfill on|off] [--max-skipped N] [--locality on|off]\n           [--fair-share on|off] [--trace-out <dir>]\n           [--slo-job-latency-ms N] [--slo-ttfg-ms N]\n  vira serve --listen <tcp:host:port|unix:/path> --ranks N\n           --dataset <engine|propfan|cube> --command <Name> [--res N]\n           [--param key=value]... [--jobs N] [--workers N] [--spawn-local]\n           [--fast-resilience] [--save-soup <prefix>] [--fault-plan <file>]\n           [--accept-timeout-ms N] [--trace-out <dir>]\n  vira worker --connect <tcp:host:port|unix:/path>\n           --dataset <engine|propfan|cube> [--res N] [--connect-timeout-ms N]\n  vira top <dir> [--once] [--json] [--refresh <ms>]\n  vira slo-report <dir> [--json] [--slo-job-latency-ms N] [--slo-ttfg-ms N]\n  vira trace-analyze <dir> [--check <min-coverage>]",
+        "usage:\n  vira commands\n  vira datasets\n  vira suggest --dataset <engine|propfan|cube> [--res N] [--exceed F]\n  vira run --dataset <engine|propfan|cube> --command <Name> [--workers N]\n           [--res N] [--dilation F] [--fault-plan <file>] [--param key=value]...\n           [--backfill on|off] [--max-skipped N] [--locality on|off]\n           [--fair-share on|off] [--trace-out <dir>]\n           [--slo-job-latency-ms N] [--slo-ttfg-ms N]\n  vira serve --listen <tcp:host:port|unix:/path> --ranks N\n           --dataset <engine|propfan|cube> --command <Name> [--res N]\n           [--param key=value]... [--jobs N] [--workers N] [--spawn-local]\n           [--fast-resilience] [--save-soup <prefix>] [--fault-plan <file>]\n           [--fault-hub-forwards] [--cancel-after-packets N] [--pause-ms N]\n           [--accept-timeout-ms N] [--trace-out <dir>]\n  vira worker --connect <tcp:host:port|unix:/path>\n           --dataset <engine|propfan|cube> [--res N] [--connect-timeout-ms N]\n           [--rejoin <rank>]\n  vira top <dir> [--once] [--json] [--refresh <ms>]\n  vira slo-report <dir> [--json] [--slo-job-latency-ms N] [--slo-ttfg-ms N]\n  vira trace-analyze <dir> [--check <min-coverage>]",
         &[],
     );
     std::process::exit(2);
@@ -399,6 +400,9 @@ fn cmd_serve(args: Args) {
     let jobs: usize = flag_parse(&args, "jobs", "an integer").unwrap_or(1);
     let accept_ms: u64 =
         flag_parse(&args, "accept-timeout-ms", "milliseconds").unwrap_or(30_000);
+    let cancel_after: Option<usize> =
+        flag_parse(&args, "cancel-after-packets", "a packet count");
+    let pause_ms: u64 = flag_parse(&args, "pause-ms", "milliseconds").unwrap_or(0);
     let trace_out = args.flags.get("trace-out").map(std::path::PathBuf::from);
     if trace_out.is_some() {
         vira_obs::set_enabled(true);
@@ -456,8 +460,14 @@ fn cmd_serve(args: Args) {
             let plan = FaultPlan::parse_str(&text)
                 .unwrap_or_else(|e| fail(&format!("bad fault plan {path}: {e}")));
             println!("fault plan : {path} (seed {})", plan.seed);
+            let plan = Arc::new(plan);
             let stats = Arc::new(FaultStats::default());
-            let faulty = FaultyTransport::new(hub, Arc::new(plan), stats.clone());
+            if args.flags.contains_key("fault-hub-forwards") {
+                // Also inject on the hub's worker->worker forward path,
+                // which the scheduler-side decorator never sees.
+                hub.set_route_faults(plan.clone(), stats.clone());
+            }
+            let faulty = FaultyTransport::new(hub, plan, stats.clone());
             Viracocha::launch_master_on_transport(
                 config,
                 default_registry(),
@@ -465,7 +475,12 @@ fn cmd_serve(args: Args) {
                 Some(stats),
             )
         }
-        None => Viracocha::launch_master_on_transport(config, default_registry(), hub, None),
+        None => {
+            if args.flags.contains_key("fault-hub-forwards") {
+                fail("--fault-hub-forwards needs --fault-plan");
+            }
+            Viracocha::launch_master_on_transport(config, default_registry(), hub, None)
+        }
     };
     // The scheduler process registers the dataset too: it validates
     // specs and scores locality; the worker processes register their
@@ -487,15 +502,27 @@ fn cmd_serve(args: Args) {
     let mut client = VistaClient::new(link);
     let mut failed = 0usize;
     for i in 0..jobs {
-        match client.run(&spec) {
+        if i > 0 && pause_ms > 0 {
+            // Window between jobs for out-of-band events (worker death,
+            // rejoin) to land before the next submission.
+            std::thread::sleep(Duration::from_millis(pause_ms));
+        }
+        let outcome = match cancel_after {
+            Some(n) => client
+                .submit(&spec)
+                .and_then(|job| client.collect_cancelling_after(job, n)),
+            None => client.run(&spec),
+        };
+        match outcome {
             Ok(out) => {
                 println!(
-                    "RESULT job={i} ok=1 triangles={} polylines={} packets={} degraded={} retries={}",
+                    "RESULT job={i} ok=1 triangles={} polylines={} packets={} degraded={} retries={} cancelled={}",
                     out.triangles.n_triangles(),
                     out.polylines.len(),
                     out.packets.len(),
                     u32::from(out.report.degraded),
                     out.report.retries,
+                    u32::from(out.cancelled),
                 );
                 if let Some(prefix) = args.flags.get("save-soup") {
                     let path = format!("{prefix}.{i}");
@@ -567,16 +594,44 @@ fn cmd_worker(args: Args) {
         .cloned()
         .unwrap_or_else(|| usage());
     let res: usize = flag_parse(&args, "res", "an integer").unwrap_or(6);
-    let timeout_ms: u64 =
-        flag_parse(&args, "connect-timeout-ms", "milliseconds").unwrap_or(30_000);
+    let rejoin: Option<usize> = flag_parse(&args, "rejoin", "a rank");
+
+    let mut tconf = TransportConfig::from_addr(&connect)
+        .unwrap_or_else(|e| fail(&format!("bad --connect address: {e}")));
+    if let Some(ms) = flag_parse::<u64>(&args, "connect-timeout-ms", "milliseconds") {
+        tconf.connect_timeout = Duration::from_millis(ms);
+    }
 
     let spec = SocketAddrSpec::parse(&connect)
         .unwrap_or_else(|e| fail(&format!("bad --connect address: {e}")));
-    let transport = SocketWorker::connect(&spec, Duration::from_millis(timeout_ms))
-        .unwrap_or_else(|e| fail(&format!("cannot join {spec}: {e}")));
+    let transport = match rejoin {
+        Some(rank) => SocketWorker::rejoin(&spec, rank, tconf.connect_timeout),
+        None => SocketWorker::connect(&spec, tconf.connect_timeout),
+    }
+    .unwrap_or_else(|e| fail(&format!("cannot join {spec}: {e}")));
     let (rank, world) = (transport.rank(), transport.world_size());
-    println!("joined as rank {rank} of {world} via {spec}");
+    if rejoin.is_some() {
+        println!("rejoined as rank {rank} of {world} via {spec}");
+    } else {
+        println!("joined as rank {rank} of {world} via {spec}");
+    }
     let _ = std::io::stdout().flush();
+
+    // Mid-job cancellation: the worker loop only drains its inbox
+    // between jobs, so CANCEL frames are intercepted on the socket
+    // reader thread and dropped straight into the rank-local cancel
+    // set, where `ctx.is_cancelled()` sees them during extraction.
+    let cancels = CancelSet::default();
+    {
+        let cancels = cancels.clone();
+        transport.set_frame_tap(move |frame| {
+            if frame.tag == tags::CANCEL {
+                if let Some(job) = viracocha::wire::decode_cancel(&frame.payload) {
+                    cancels.write().insert(job);
+                }
+            }
+        });
+    }
 
     // Client-bound streamed packets ride the transport to the
     // scheduler as CLIENT_EVENT frames; it re-emits them on the real
@@ -587,11 +642,9 @@ fn cmd_worker(args: Args) {
 
     let mut config = ViracochaConfig::for_tests(world - 1);
     config.proxy.prefetcher = "obl".into();
-    if let Ok(t) = TransportConfig::from_addr(&connect) {
-        config.transport = t;
-    }
+    config.transport = tconf;
     let ds = build_dataset(&dataset, res);
-    run_remote_worker(config, default_registry(), transport, events, |server| {
+    run_remote_worker_with_cancels(config, default_registry(), transport, events, cancels, |server| {
         server.register_dataset(Arc::new(CachedSynthSource::new(ds)), false);
     });
     println!("worker rank {rank} exiting");
@@ -978,7 +1031,7 @@ fn main() {
         "run" => cmd_run(parse_args(rest)),
         "serve" => cmd_serve(parse_args(&rewrite_dir_and_switches(
             rest,
-            &["spawn-local", "fast-resilience"],
+            &["spawn-local", "fast-resilience", "fault-hub-forwards"],
         ))),
         "worker" => cmd_worker(parse_args(rest)),
         "top" => cmd_top(parse_args(&rewrite_dir_and_switches(

@@ -55,12 +55,12 @@ pub mod scheduler;
 pub mod wire;
 pub mod worker;
 
-pub use command::{Command, CommandError, CommandOutput, CommandRegistry, JobCtx};
+pub use command::{CancelSet, Command, CommandError, CommandOutput, CommandRegistry, JobCtx};
 pub use commands::default_registry;
 pub use config::{
     ResilienceConfig, SchedulerConfig, TelemetryConfig, TransportConfig, TransportKind,
     ViracochaConfig,
 };
 pub use derived::DerivedFieldCache;
-pub use runtime::{run_remote_worker, Viracocha};
+pub use runtime::{run_remote_worker, run_remote_worker_with_cancels, Viracocha};
 pub use vira_comm::fault::{FaultPlan, FaultStats, FaultStatsSnapshot, LinkFaults};

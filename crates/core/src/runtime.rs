@@ -32,6 +32,7 @@ pub struct Viracocha {
     scheduler: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     fault_stats: Option<Arc<FaultStats>>,
+    cancels: CancelSet,
 }
 
 impl Viracocha {
@@ -125,7 +126,7 @@ impl Viracocha {
             server: server.clone(),
             clock: clock.clone(),
             registry: registry.clone(),
-            cancels,
+            cancels: cancels.clone(),
             n_workers: config.n_workers,
             resilience: config.resilience.clone(),
             sched: config.sched.clone(),
@@ -144,6 +145,7 @@ impl Viracocha {
                 scheduler: Some(scheduler),
                 workers,
                 fault_stats,
+                cancels,
             },
             client_side,
         )
@@ -180,7 +182,7 @@ impl Viracocha {
             server: server.clone(),
             clock: clock.clone(),
             registry: registry.clone(),
-            cancels,
+            cancels: cancels.clone(),
             n_workers: config.n_workers,
             resilience: config.resilience.clone(),
             sched: config.sched.clone(),
@@ -198,6 +200,7 @@ impl Viracocha {
                 scheduler: Some(scheduler),
                 workers: Vec::new(),
                 fault_stats,
+                cancels,
             },
             client_side,
         )
@@ -223,6 +226,13 @@ impl Viracocha {
     /// launched with [`Viracocha::launch_with_faults`].
     pub fn fault_stats(&self) -> Option<&Arc<FaultStats>> {
         self.fault_stats.as_ref()
+    }
+
+    /// The shared cancellation set — exposed so tests can assert it is
+    /// drained after cancels resolve (an entry that outlives its job is
+    /// a leak: nothing else ever removes it).
+    pub fn cancel_set(&self) -> &CancelSet {
+        &self.cancels
     }
 
     /// Registers a dataset with the data server. `replicated` makes it
@@ -265,11 +275,18 @@ impl Viracocha {
 /// frames via [`EventSender::from_fn`], and the scheduler re-emits
 /// them on the real client link.
 ///
-/// Known scope limits of the process-per-rank world, by design: the
-/// cancel set and the DMS peer directory are process-local, so remote
-/// cancellation and cross-process peer cache transfers are inert
-/// (jobs still complete correctly; locality scoring just sees fewer
-/// peers).
+/// Cancellation across processes: the scheduler fans a `CANCEL` frame
+/// to every rank of a cancelled job's work group, and `vira worker`
+/// installs a socket-reader frame tap that inserts the job id into
+/// this process's cancel set the moment the frame arrives — even while
+/// the worker thread is deep inside an extraction — so
+/// `JobCtx::is_cancelled` trips mid-job exactly like in-process. Pass
+/// that tap-shared set via [`run_remote_worker_with_cancels`]; the
+/// plain [`run_remote_worker`] builds a private set and therefore only
+/// honors cancels between jobs. Remaining known scope limit: the DMS
+/// peer directory is process-local, so cross-process peer cache
+/// transfers are inert (jobs still complete correctly; locality
+/// scoring just sees fewer peers).
 pub fn run_remote_worker<T: Transport>(
     config: ViracochaConfig,
     registry: CommandRegistry,
@@ -277,10 +294,24 @@ pub fn run_remote_worker<T: Transport>(
     events: EventSender,
     register: impl FnOnce(&Arc<DataServer>),
 ) {
+    let cancels: CancelSet = Arc::new(RwLock::new(HashSet::new()));
+    run_remote_worker_with_cancels(config, registry, transport, events, cancels, register);
+}
+
+/// [`run_remote_worker`] with a caller-owned cancel set — the handle a
+/// transport-level frame tap (see `SocketWorker::set_frame_tap`) uses
+/// to deliver cross-process cancellation into the running job.
+pub fn run_remote_worker_with_cancels<T: Transport>(
+    config: ViracochaConfig,
+    registry: CommandRegistry,
+    transport: T,
+    events: EventSender,
+    cancels: CancelSet,
+    register: impl FnOnce(&Arc<DataServer>),
+) {
     let clock = SimClock::new(config.dilation);
     let server = DataServer::new(clock.clone(), config.server.clone());
     register(&server);
-    let cancels: CancelSet = Arc::new(RwLock::new(HashSet::new()));
     let setup = WorkerSetup {
         endpoint: Endpoint::new(transport),
         server,

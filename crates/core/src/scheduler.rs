@@ -98,6 +98,8 @@ static JOBS_REJECTED: OnceLock<Arc<obs::Counter>> = OnceLock::new();
 static JOBS_DISPATCHED: OnceLock<Arc<obs::Counter>> = OnceLock::new();
 static JOBS_DONE: OnceLock<Arc<obs::Counter>> = OnceLock::new();
 static JOBS_FAILED: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static JOBS_CANCELLED: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static REJOINS: OnceLock<Arc<obs::Counter>> = OnceLock::new();
 static IDLE_WAIT_NS: OnceLock<Arc<obs::Counter>> = OnceLock::new();
 static QUEUE_WAIT_NS: OnceLock<Arc<obs::Histogram>> = OnceLock::new();
 static JOB_RUNTIME_NS: OnceLock<Arc<obs::Histogram>> = OnceLock::new();
@@ -250,19 +252,48 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
                             });
                         }
                         Ok(ClientRequest::Cancel { job }) => {
-                            cancels.write().insert(job);
-                            // A job still in the queue is dropped outright.
-                            if let Some(pos) = queue.iter().position(|q| q.job == job) {
-                                queue.remove(pos);
-                                let _ = link.emit(encode_event(
-                                    &EventHeader::Final {
-                                        job,
-                                        kind: PayloadKind::None,
-                                        n_items: 0,
-                                        report: JobReport::default(),
-                                    },
-                                    Bytes::new(),
-                                ));
+                            match cancel_disposition(job, &queue, &running) {
+                                CancelDisposition::Queued(pos) => {
+                                    // A job still in the queue is dropped
+                                    // outright. It will never reach
+                                    // handle_job_done, so nothing may enter
+                                    // the cancel set here — an entry for a
+                                    // dequeued job would live forever.
+                                    queue.remove(pos);
+                                    obs::counter_cached(
+                                        &JOBS_CANCELLED,
+                                        "sched_jobs_cancelled_total",
+                                    )
+                                    .inc();
+                                    let frame = encode_event(
+                                        &EventHeader::Cancelled {
+                                            job,
+                                            report: JobReport::default(),
+                                        },
+                                        Bytes::new(),
+                                    );
+                                    remember_final(&mut recent_finals, job, frame.clone());
+                                    let _ = link.emit(frame);
+                                }
+                                CancelDisposition::Running(group) => {
+                                    // Trip the job's cancel flag everywhere:
+                                    // the shared-set insert covers in-process
+                                    // workers, the CANCEL fan-out reaches
+                                    // each remote rank's process-local set
+                                    // mid-extraction. The entry is cleared
+                                    // when the (early) DONE arrives.
+                                    cancels.write().insert(job);
+                                    let notice = wire::encode_cancel(job);
+                                    for r in group {
+                                        let _ = endpoint.send(r, tags::CANCEL, notice.clone());
+                                    }
+                                }
+                                CancelDisposition::Unknown => {
+                                    // Cancel of a finished (or never-known)
+                                    // job: idempotent no-op. The client
+                                    // already has — or will never get — a
+                                    // terminal event.
+                                }
                             }
                         }
                         Ok(ClientRequest::Ack { .. }) => {
@@ -320,6 +351,10 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
                     shutting_down = true;
                     for q in queue.drain(..) {
                         obs::counter_cached(&JOBS_FAILED, "sched_jobs_failed_total").inc();
+                        // A drained job will never reach handle_job_done;
+                        // any cancel-set entry it still owns (e.g. from a
+                        // conviction/requeue race) must not outlive it.
+                        cancels.write().remove(&q.job);
                         let frame = encode_event(
                             &EventHeader::Error {
                                 job: q.job,
@@ -354,6 +389,19 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
                     &mut tsdb,
                 ),
                 tags::PONG => harvest_obs_pong(&msg.payload, msg.from, &mut tsdb, &mut residency),
+                // A previously-convicted worker rank completed the hub's
+                // rejoin handshake: lift its dead-rank exclusion so it
+                // is eligible for placement again. Probe/placement state
+                // tied to the old process is discarded — the restarted
+                // process has a cold cache.
+                tags::REJOIN => {
+                    let r = msg.from;
+                    if r >= 1 && r <= n_workers && dead.remove(&r) {
+                        residency.remove(&r);
+                        free[r] = !running.values().any(|run| run.group.contains(&r));
+                        obs::counter_cached(&REJOINS, "sched_rejoins_total").inc();
+                    }
+                }
                 // A remote worker process streaming packets to the
                 // client: its EventSender cannot share the link, so the
                 // frame rode the transport here and is re-emitted on
@@ -614,7 +662,23 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
                     obs::counter_cached(&DEAD_RANKS, "sched_dead_ranks_total").inc();
                 }
             }
-            cancels.write().remove(&job);
+            if cancels.write().remove(&job) {
+                // The client had already cancelled this job; its group
+                // died before the DONE could confirm. Terminate with the
+                // Cancelled final instead of requeueing work nobody
+                // wants.
+                obs::counter_cached(&JOBS_CANCELLED, "sched_jobs_cancelled_total").inc();
+                let frame = encode_event(
+                    &EventHeader::Cancelled {
+                        job,
+                        report: JobReport::default(),
+                    },
+                    Bytes::new(),
+                );
+                remember_final(&mut recent_finals, job, frame.clone());
+                let _ = link.emit(frame);
+                continue;
+            }
             let mut q = run.q;
             q.attempt += 1;
             q.degraded = true;
@@ -997,6 +1061,37 @@ fn place_group(
     (group, total)
 }
 
+/// Where a cancel request lands relative to the job's lifecycle. The
+/// three cases need three different actions — drop from the queue,
+/// fan CANCEL to the running group, or nothing (idempotent cancel of a
+/// finished job) — and only the running case may touch the cancel set.
+enum CancelDisposition {
+    /// Still queued at this index: drop it, emit the Cancelled final
+    /// directly. Must NOT enter the cancel set (it would leak — a
+    /// dequeued job never reaches `handle_job_done`).
+    Queued(usize),
+    /// Running on these ranks: mark the cancel set and fan the CANCEL
+    /// tag to every group member.
+    Running(Vec<Rank>),
+    /// Neither queued nor running — already finished (or never
+    /// submitted): no-op.
+    Unknown,
+}
+
+fn cancel_disposition(
+    job: JobId,
+    queue: &VecDeque<QueuedJob>,
+    running: &HashMap<JobId, RunningJob>,
+) -> CancelDisposition {
+    if let Some(pos) = queue.iter().position(|q| q.job == job) {
+        CancelDisposition::Queued(pos)
+    } else if let Some(run) = running.get(&job) {
+        CancelDisposition::Running(run.group.clone())
+    } else {
+        CancelDisposition::Unknown
+    }
+}
+
 /// Remembers a job's final (or error) event frame for client resume
 /// requests, evicting the oldest entry past the cap.
 fn remember_final(recent: &mut VecDeque<(JobId, Bytes)>, job: JobId, frame: Bytes) {
@@ -1055,7 +1150,11 @@ fn handle_job_done(
     for &r in &run.group {
         free[r] = true;
     }
-    cancels.write().remove(&done.job);
+    // The cancel-set entry doubles as the cancelled-job marker: when
+    // the DONE answers a cancelled job, the client gets a `Cancelled`
+    // terminal (payload discarded) instead of a `Final` — the
+    // DONE-after-CANCEL half of the race, handled idempotently.
+    let was_cancelled = cancels.write().remove(&done.job);
     let run_elapsed = run.accepted_at.elapsed();
     let total_runtime_s = clock.wall_to_modeled(run_elapsed);
     obs::complete_span_ctx(
@@ -1071,6 +1170,35 @@ fn handle_job_done(
         ],
     );
     obs::histogram_cached(&JOB_RUNTIME_NS, "sched_job_runtime_ns").record_duration(run_elapsed);
+    if was_cancelled {
+        // Whatever geometry (or error) the late DONE carried is
+        // discarded — the client abandoned the job and must see exactly
+        // one `Cancelled` terminal. Accounting is still reported so the
+        // cost of the aborted work stays visible.
+        obs::counter_cached(&JOBS_CANCELLED, "sched_jobs_cancelled_total").inc();
+        let report = JobReport {
+            total_runtime_s,
+            read_s: done.read_s,
+            compute_s: done.compute_s,
+            send_s: done.send_s,
+            queue_wait_s: run.queue_wait_s,
+            requeue_wait_s: run.requeue_wait_s,
+            merge_s: done.merge_s,
+            retries: run.q.retries,
+            degraded: run.q.degraded,
+            ..JobReport::default()
+        };
+        let frame = encode_event(
+            &EventHeader::Cancelled {
+                job: done.job,
+                report,
+            },
+            Bytes::new(),
+        );
+        remember_final(recent_finals, done.job, frame.clone());
+        let _ = link.emit(frame);
+        return;
+    }
     if let Some(err) = done.error {
         obs::counter_cached(&JOBS_FAILED, "sched_jobs_failed_total").inc();
         let frame = encode_event(
@@ -1169,6 +1297,43 @@ mod tests {
             locality: false,
             ..SchedulerConfig::default()
         }
+    }
+
+    fn rj(job: JobId, group: Vec<Rank>) -> RunningJob {
+        let now = Instant::now();
+        RunningJob {
+            group,
+            accepted_at: now,
+            queue_wait_s: 0.0,
+            requeue_wait_s: 0.0,
+            q: qj(job, 1, 0, 0),
+            frame: Bytes::new(),
+            deadline: now + Duration::from_secs(1),
+            cur_timeout: Duration::from_secs(1),
+            retransmits: 0,
+        }
+    }
+
+    #[test]
+    fn cancel_disposition_covers_queued_running_and_finished() {
+        let queue: VecDeque<QueuedJob> = vec![qj(1, 1, 0, 0), qj(2, 1, 0, 0)].into();
+        let mut running: HashMap<JobId, RunningJob> = HashMap::new();
+        running.insert(3, rj(3, vec![1, 4]));
+        // Queued: reported by index, never via the cancel set.
+        assert!(matches!(
+            cancel_disposition(2, &queue, &running),
+            CancelDisposition::Queued(1)
+        ));
+        // Running: the CANCEL fan-out targets exactly the work group.
+        match cancel_disposition(3, &queue, &running) {
+            CancelDisposition::Running(g) => assert_eq!(g, vec![1, 4]),
+            _ => panic!("job 3 is running"),
+        }
+        // Finished/unknown: idempotent no-op.
+        assert!(matches!(
+            cancel_disposition(9, &queue, &running),
+            CancelDisposition::Unknown
+        ));
     }
 
     #[test]

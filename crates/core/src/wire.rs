@@ -275,9 +275,30 @@ pub fn decode_done(frame: Bytes) -> Option<(DoneHeader, Bytes)> {
     Some((h, p))
 }
 
+/// Scheduler → worker cancel notice: the bare job id, 8 bytes LE. Kept
+/// deliberately tiny and JSON-free so the socket reader thread can
+/// decode it inline without pulling a payload apart mid-stream.
+pub fn encode_cancel(job: JobId) -> Bytes {
+    Bytes::copy_from_slice(&job.to_le_bytes())
+}
+
+pub fn decode_cancel(payload: &[u8]) -> Option<JobId> {
+    let bytes: [u8; 8] = payload.try_into().ok()?;
+    Some(JobId::from_le_bytes(bytes))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cancel_roundtrip() {
+        assert_eq!(decode_cancel(&encode_cancel(0)), Some(0));
+        assert_eq!(decode_cancel(&encode_cancel(u64::MAX)), Some(u64::MAX));
+        assert_eq!(decode_cancel(&encode_cancel(42)), Some(42));
+        assert_eq!(decode_cancel(b"short"), None, "truncated payload");
+        assert_eq!(decode_cancel(&[0u8; 9]), None, "oversized payload");
+    }
 
     #[test]
     fn command_roundtrip() {

@@ -127,6 +127,17 @@ pub fn worker_main<T: Transport>(setup: WorkerSetup<T>) {
                         };
                         c
                     }
+                    tags::CANCEL => {
+                        // A cancel notice arriving between jobs is stale
+                        // by ordering: the per-peer FIFO guarantees the
+                        // job's COMMAND preceded it, so the job already
+                        // finished here. Inserting the id now would
+                        // poison the rank-local cancel set forever.
+                        // (Mid-job delivery is handled by the socket
+                        // reader's frame tap / the shared in-process
+                        // set, not this loop.)
+                        continue;
+                    }
                     _ => {
                         // Unexpected traffic (stale partials after
                         // errors or abandoned attempts): drop.
@@ -336,6 +347,16 @@ fn run_job<T: Transport>(
                 // The scheduler moved on (requeue or new dispatch):
                 // abandon this gather and serve the new command.
                 return JobExit::Superseded(Box::new(c));
+            }
+            tags::CANCEL => {
+                // The client cancelled the very job this master is
+                // gathering: trip the rank-local set so cancellation
+                // checks during the remaining gather/merge fire.
+                // Notices for other (already finished) jobs are stale
+                // and dropped.
+                if wire::decode_cancel(&m.payload) == Some(msg.job) {
+                    cancels.write().insert(msg.job);
+                }
             }
             tags::SHUTDOWN => return JobExit::Shutdown,
             _ => {}

@@ -436,6 +436,27 @@ fn cancel_of_queued_job_returns_empty_final() {
     finish(backend, client);
 }
 
+/// Regression: cancelling a job that is still *queued* must not leave
+/// its id behind in the shared cancel set — the job never dispatches,
+/// so nothing would ever clean the entry up, and the set would grow
+/// forever in a long interactive session.
+#[test]
+fn cancel_of_queued_job_leaves_no_cancel_set_residue() {
+    let (backend, mut client) = launch(1, "none");
+    let j1 = client.submit(&iso_spec(1)).unwrap();
+    let j2 = client.submit(&iso_spec(1)).unwrap(); // queued behind j1
+    client.cancel(j2).unwrap();
+    let o1 = client.collect(j1).unwrap();
+    assert!(o1.triangles.n_triangles() > 0);
+    let o2 = client.collect(j2).unwrap();
+    assert!(o2.cancelled, "a queued-job cancel ends in a Cancelled final");
+    assert!(
+        backend.cancel_set().read().is_empty(),
+        "queue-position cancels never dispatch, so the cancel set must stay empty"
+    );
+    finish(backend, client);
+}
+
 #[test]
 fn engine_dataset_runs_through_the_framework() {
     // A scaled-down Engine: 23 blocks, multi-block distribution across 3

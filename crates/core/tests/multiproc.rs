@@ -162,6 +162,15 @@ fn parse_result(stdout: &str, job: usize) -> (bool, u64, bool, u64) {
     )
 }
 
+/// One key of one RESULT line (for fields outside the common 4-tuple).
+fn parse_result_field(stdout: &str, job: usize, key: &str) -> Option<String> {
+    let tag = format!("RESULT job={job} ");
+    let line = stdout.lines().find(|l| l.starts_with(&tag))?;
+    let prefix = format!("{key}=");
+    line.split_whitespace()
+        .find_map(|t| t.strip_prefix(&prefix).map(str::to_string))
+}
+
 /// The identical job through the historical in-process transport — the
 /// baseline every socket run must match byte for byte.
 fn in_process_outcome() -> JobOutcome {
@@ -350,6 +359,215 @@ fn master_death_between_partial_and_done_requeues_instead_of_hanging() {
     let base = sorted_bits(&in_process_outcome().triangles);
     let got = sorted_bits(&soup_from_file(&tmp.path().join("soup.0")));
     assert_eq!(got, base, "requeued job geometry diverged");
+}
+
+/// Spawns a worker that *rejoins* a previously-convicted rank and
+/// blocks until its handshake line confirms the claimed rank.
+fn spawn_rejoin_worker(sock: &Path, claim_rank: usize) -> Child {
+    let mut cmd = Command::new(VIRA);
+    cmd.args([
+        "worker",
+        "--connect",
+        &unix_addr(sock),
+        "--dataset",
+        "cube",
+        "--res",
+        &RES.to_string(),
+        "--rejoin",
+        &claim_rank.to_string(),
+    ]);
+    cmd.stdout(Stdio::piped()).stderr(Stdio::null());
+    let mut child = cmd.spawn().expect("spawn rejoin worker");
+    let out = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(out).lines();
+    loop {
+        let line = lines
+            .next()
+            .expect("rejoin worker closed stdout before joining")
+            .expect("read rejoin worker stdout");
+        if let Some(rest) = line.strip_prefix("rejoined as rank ") {
+            let rank: usize = rest
+                .split_whitespace()
+                .next()
+                .and_then(|t| t.parse().ok())
+                .unwrap_or_else(|| panic!("unparsable rejoin line: {line}"));
+            assert_eq!(rank, claim_rank, "hub must confirm the claimed rank");
+            break;
+        }
+    }
+    std::thread::spawn(move || for _ in lines {});
+    child
+}
+
+/// In-process ProgressiveIso run — the uncancelled triangle count the
+/// cross-process cancel leg must stay strictly below.
+fn in_process_progressive_triangles() -> u64 {
+    let mut config = ViracochaConfig::for_tests(RANKS);
+    config.proxy.prefetcher = "obl".into();
+    let (backend, link) = Viracocha::launch(config);
+    backend.register_dataset(
+        Arc::new(CachedSynthSource::new(Arc::new(test_cube(RES, 4)))),
+        false,
+    );
+    let mut client = VistaClient::new(link);
+    let out = client
+        .run(&SubmitSpec {
+            command: "ProgressiveIso".into(),
+            dataset: "TestCube".into(),
+            params: CommandParams::new()
+                .set("iso", 0.15)
+                .set("n_steps", 4)
+                .set("levels", 5),
+            workers: RANKS,
+        })
+        .expect("in-process progressive job");
+    client.shutdown().expect("shutdown");
+    backend.join();
+    out.triangles.n_triangles() as u64
+}
+
+/// Tentpole acceptance: a client-initiated cancel mid-stream crosses
+/// the process boundary. `--cancel-after-packets 1` makes the serve
+/// client fire `Cancel` after the first streamed partial; the
+/// scheduler fans CANCEL frames to every worker process, whose socket
+/// reader drops the job id into the rank-local cancel set so
+/// `ctx.is_cancelled()` trips mid-extraction. Exactly one Cancelled
+/// final comes back (`cancelled=1`, still `ok=1`) and the job's
+/// geometry is truncated relative to an uncancelled run.
+#[test]
+fn cross_process_cancel_truncates_the_job() {
+    let _g = serial();
+    let tmp = TempDir::new("cancel");
+    let sock = tmp.path().join("hub.sock");
+    // ProgressiveIso with extra levels: a long, many-packet job, so
+    // the cancel lands while plenty of extraction is still ahead.
+    let serve = spawn_serve(
+        &sock,
+        &[
+            "--spawn-local",
+            "--jobs",
+            "1",
+            "--command",
+            "ProgressiveIso",
+            "--param",
+            "n_steps=4",
+            "--param",
+            "levels=5",
+            "--cancel-after-packets",
+            "1",
+        ],
+    );
+    let stdout = wait_ok(serve, "vira serve (cancel)");
+    let (ok, tris, degraded, retries) = parse_result(&stdout, 0);
+    assert!(ok, "a cancelled job still yields a final outcome:\n{stdout}");
+    assert!(!degraded && retries == 0, "cancel is not a fault:\n{stdout}");
+    assert_eq!(
+        parse_result_field(&stdout, 0, "cancelled").as_deref(),
+        Some("1"),
+        "the final must be Cancelled:\n{stdout}"
+    );
+    assert_eq!(
+        stdout.matches("RESULT job=0 ").count(),
+        1,
+        "exactly one final per cancelled job (no DONE after Cancelled):\n{stdout}"
+    );
+    let full = in_process_progressive_triangles();
+    assert!(
+        tris < full,
+        "cancel must truncate extraction ({tris} streamed vs {full} uncancelled):\n{stdout}"
+    );
+}
+
+/// Tentpole acceptance: kill → convict → restart → `--rejoin`. The
+/// group master (rank 1) dies between PARTIAL and DONE, so job 0
+/// deterministically convicts it (degraded requeue, retries ≥ 1, as
+/// pinned by the master-death test above). During the `--pause-ms`
+/// window a fresh OS process reclaims rank 1 via the REJOIN handshake;
+/// the scheduler must *clear the conviction* — observable as
+/// `sched_rejoins_total ≥ 1` in the exported metrics, which only
+/// increments when a rank is removed from the dead set — and job 1
+/// runs clean. The rejoined process then receives the final SHUTDOWN
+/// like everyone else (exit 0).
+#[test]
+fn killed_worker_process_rejoins_and_serves_again() {
+    let _g = serial();
+    let tmp = TempDir::new("rejoin");
+    let sock = tmp.path().join("hub.sock");
+    let traces = tmp.path().join("traces");
+    let mut serve = spawn_serve(
+        &sock,
+        &[
+            "--jobs",
+            "2",
+            "--fast-resilience",
+            "--pause-ms",
+            "4000",
+            "--trace-out",
+            traces.to_str().unwrap(),
+        ],
+    );
+    let w1 = spawn_worker_expect_rank(&sock, Some(("VIRA_TEST_ABORT", "before-done")), 1);
+    let w2 = spawn_worker_expect_rank(&sock, None, 2);
+    let w3 = spawn_worker_expect_rank(&sock, None, 3);
+
+    // Scrape serve stdout incrementally: the rejoin has to happen
+    // inside the pause between job 0 and job 1.
+    let out = serve.stdout.take().expect("piped serve stdout");
+    let mut lines = BufReader::new(out).lines();
+    let mut collected: Vec<String> = Vec::new();
+    loop {
+        let line = lines
+            .next()
+            .expect("serve ended before job 0 finished")
+            .expect("read serve stdout");
+        let done = line.starts_with("RESULT job=0 ");
+        collected.push(line);
+        if done {
+            break;
+        }
+    }
+    let st1 = w1.wait_with_output().expect("wait for killed master");
+    assert!(!st1.status.success(), "rank 1 must have died abnormally");
+
+    // Restart rank 1: blocks until the hub's WELCOME confirms the
+    // reclaimed rank, which also means the REJOIN event reached the
+    // scheduler's inbox.
+    let w1b = spawn_rejoin_worker(&sock, 1);
+
+    for line in lines {
+        collected.push(line.expect("read serve stdout"));
+    }
+    let status = serve.wait().expect("wait for serve");
+    let stdout = collected.join("\n");
+    assert!(status.success(), "serve failed:\n{stdout}");
+
+    let (ok0, tris0, deg0, retries0) = parse_result(&stdout, 0);
+    let (ok1, tris1, deg1, retries1) = parse_result(&stdout, 1);
+    assert!(ok0 && ok1, "both jobs must complete:\n{stdout}");
+    assert!(tris0 > 0 && tris1 > 0);
+    assert!(
+        deg0 && retries0 >= 1,
+        "job 0 convicts the dead master (degraded requeue):\n{stdout}"
+    );
+    assert!(
+        !deg1 && retries1 == 0,
+        "job 1 runs clean on the rejoined world:\n{stdout}"
+    );
+    // The conviction was really lifted: sched_rejoins_total increments
+    // only when the scheduler removes a rank from its dead set. (A
+    // shrunken 2-worker world would also run job 1 clean — this is
+    // what distinguishes an actual rejoin.)
+    let prom = std::fs::read_to_string(traces.join("metrics.prom"))
+        .expect("serve exported metrics.prom");
+    let rejoins: u64 = prom
+        .lines()
+        .find_map(|l| l.strip_prefix("sched_rejoins_total "))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or_else(|| panic!("no sched_rejoins_total sample in:\n{prom}"));
+    assert!(rejoins >= 1, "scheduler never cleared the conviction:\n{prom}");
+    wait_ok(w2, "worker 2");
+    wait_ok(w3, "worker 3");
+    wait_ok(w1b, "rejoined worker 1");
 }
 
 /// TCP works end to end too (the quickstart path for real remote

@@ -74,6 +74,10 @@ pub struct JobOutcome {
     /// Wall time from submission to the final event.
     pub total_wall: Duration,
     pub report: JobReport,
+    /// True when the job terminated with a `Cancelled` event instead of
+    /// a `Final`; geometry assembled from partials that arrived before
+    /// the cancel is kept.
+    pub cancelled: bool,
 }
 
 /// Client-side errors.
@@ -235,6 +239,28 @@ impl VistaClient {
     /// belonging to other jobs are not expected in the single-outstanding
     /// usage pattern and are skipped.
     pub fn collect(&mut self, job: JobId) -> Result<JobOutcome, ClientError> {
+        self.collect_inner(job, None)
+    }
+
+    /// Like [`collect`](Self::collect), but sends a
+    /// [`ClientRequest::Cancel`] once `after_packets` streamed partials
+    /// have arrived, then keeps collecting until the terminal event —
+    /// the interactive-steering pattern of aborting a long extraction
+    /// mid-stream. The returned outcome has `cancelled == true` when
+    /// the back-end honored the cancel before finishing.
+    pub fn collect_cancelling_after(
+        &mut self,
+        job: JobId,
+        after_packets: usize,
+    ) -> Result<JobOutcome, ClientError> {
+        self.collect_inner(job, Some(after_packets))
+    }
+
+    fn collect_inner(
+        &mut self,
+        job: JobId,
+        cancel_after: Option<usize>,
+    ) -> Result<JobOutcome, ClientError> {
         let t0 = Instant::now();
         // Install the job's trace context so the collect span (and any
         // events fired while assembling) land in the job's flight
@@ -255,6 +281,8 @@ impl VistaClient {
         // that did make it through the first time; geometry must not
         // be ingested twice.
         let mut seen: std::collections::HashSet<(usize, u32)> = std::collections::HashSet::new();
+        // Threshold for the mid-stream cancel, disarmed once sent.
+        let mut cancel_at = cancel_after;
         loop {
             let (header, payload) = self.next_event_for(job)?;
             match header {
@@ -304,6 +332,11 @@ impl VistaClient {
                         n_items,
                         cumulative_items: cumulative,
                     });
+                    if cancel_at.is_some_and(|n| packets.len() >= n) {
+                        cancel_at = None;
+                        self.link
+                            .request(encode_request(&ClientRequest::Cancel { job }))?;
+                    }
                 }
                 EventHeader::Final {
                     kind,
@@ -343,10 +376,29 @@ impl VistaClient {
                         first_result_wall: first,
                         total_wall: elapsed,
                         report,
+                        cancelled: false,
                     });
                 }
                 EventHeader::Error { message, .. } => {
                     return Err(ClientError::JobFailed(message));
+                }
+                EventHeader::Cancelled { report, .. } => {
+                    // Terminal: the back-end confirms no more events for
+                    // this job. Partials assembled so far stay valid.
+                    obs::counter_cached(&JOBS_COLLECTED, "vista_jobs_collected_total").inc();
+                    span.set_arg("packets", packets.len());
+                    span.set_arg("cancelled", 1u64);
+                    return Ok(JobOutcome {
+                        job,
+                        triangles,
+                        polylines,
+                        packets,
+                        progress,
+                        first_result_wall: first,
+                        total_wall: t0.elapsed(),
+                        report,
+                        cancelled: true,
+                    });
                 }
                 EventHeader::Progress {
                     from_worker,
@@ -593,6 +645,49 @@ mod tests {
         assert_eq!(out.packets.len(), 3);
         let seqs: Vec<u32> = out.packets.iter().map(|p| p.seq).collect();
         assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn cancelled_final_keeps_streamed_geometry() {
+        let (client_side, server_side) = client_server_link();
+        let h = std::thread::spawn(move || {
+            let frame = server_side.next_request().unwrap();
+            let ClientRequest::Submit { job, .. } = decode_request(frame).unwrap() else {
+                panic!("expected submit");
+            };
+            for seq in 0..2u32 {
+                server_side
+                    .emit(triangle_packet(job, seq, 0, &one_tri()))
+                    .unwrap();
+            }
+            // The client cancels after the second packet; confirm the
+            // request arrives, then terminate with Cancelled.
+            let frame = server_side.next_request().unwrap();
+            match decode_request(frame).unwrap() {
+                ClientRequest::Cancel { job: j } => assert_eq!(j, job),
+                other => panic!("expected cancel, got {other:?}"),
+            }
+            server_side
+                .emit(encode_event(
+                    &EventHeader::Cancelled {
+                        job,
+                        report: JobReport {
+                            triangles: 2,
+                            ..JobReport::default()
+                        },
+                    },
+                    Bytes::new(),
+                ))
+                .unwrap();
+        });
+        let mut client = VistaClient::new(client_side);
+        let job = client.submit(&spec()).unwrap();
+        let out = client.collect_cancelling_after(job, 2).unwrap();
+        h.join().unwrap();
+        assert!(out.cancelled);
+        assert_eq!(out.triangles.n_triangles(), 2, "pre-cancel partials kept");
+        assert_eq!(out.packets.len(), 2);
+        assert_eq!(out.report.triangles, 2);
     }
 
     #[test]

@@ -204,6 +204,16 @@ pub enum EventHeader {
         job: JobId,
         message: String,
     },
+    /// The job was cancelled (client request) and will produce no more
+    /// events. Replaces `Final` for cancelled jobs — whether the job
+    /// was still queued or already running when the cancel arrived, the
+    /// client sees exactly one terminal `Cancelled` event. Geometry
+    /// already streamed as partials stays valid; any payload a late
+    /// DONE carried is discarded.
+    Cancelled {
+        job: JobId,
+        report: JobReport,
+    },
     /// Computation progress of one worker (the paper's §9 suggestion of
     /// a progress indicator in the virtual environment).
     Progress {
@@ -222,6 +232,7 @@ impl EventHeader {
             | EventHeader::Partial { job, .. }
             | EventHeader::Final { job, .. }
             | EventHeader::Error { job, .. }
+            | EventHeader::Cancelled { job, .. }
             | EventHeader::Progress { job, .. } => *job,
         }
     }
@@ -649,6 +660,26 @@ mod tests {
         let back = decode_polylines(encode_polylines(&lines)).unwrap();
         assert_eq!(back, lines);
         assert!(decode_polylines(Bytes::from_static(b"z")).is_err());
+    }
+
+    #[test]
+    fn cancelled_event_roundtrip() {
+        let report = JobReport {
+            total_runtime_s: 1.5,
+            triangles: 40,
+            ..JobReport::default()
+        };
+        let frame = encode_event(&EventHeader::Cancelled { job: 8, report }, Bytes::new());
+        let (h, payload) = decode_event(frame).unwrap();
+        assert!(payload.is_empty());
+        match h {
+            EventHeader::Cancelled { job, report: r } => {
+                assert_eq!(job, 8);
+                assert_eq!(r, report);
+            }
+            other => panic!("wrong header {other:?}"),
+        }
+        assert_eq!(h.job(), 8);
     }
 
     #[test]
