@@ -1,0 +1,195 @@
+//! E19 — the load plane: thousands of synthetic Vista sessions driven
+//! through the in-process back-end by `viracocha::loadgen`, with and
+//! without admission control.
+//!
+//! Three studies on the same seeded mixed command stream (iso / λ₂ /
+//! pathlines / progressive):
+//!
+//! 1. **Closed loop** — per-session think-time rounds, the sustainable
+//!    baseline. Reported: throughput and job-latency / TTFG tails.
+//! 2. **Open loop, admission off** — Poisson arrivals faster than the
+//!    back-end serves; the queue absorbs the excess (the historical
+//!    unbounded behavior). Reported: tail latencies under overload.
+//! 3. **Open loop, tight quotas** — the same offered stream against a
+//!    bounded queue and per-session quotas: excess is shed with a
+//!    retry-after hint instead of queued. Reported: offered vs.
+//!    admitted vs. shed throughput and the (smaller) tails of the jobs
+//!    that were admitted.
+//!
+//! Expectation: shedding trades completed work for tail latency — the
+//! quota run completes fewer jobs but its admitted jobs see far lower
+//! p99 than the unbounded overload run.
+
+use crate::config::BenchConfig;
+use crate::result::{ExperimentResult, Row};
+use std::sync::Arc;
+use vira_storage::source::SynthSource;
+use vira_vista::VistaClient;
+use viracocha::loadgen::{self, Arrival, LoadOutcome, LoadPlan};
+use viracocha::{Viracocha, ViracochaConfig};
+
+/// Exact percentile over raw samples (not histogram-bucketed): the
+/// bench report is the ground truth the live plane's bucketed
+/// quantiles are compared against.
+pub fn percentile_ns(samples: &[u64], q: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut s = samples.to_vec();
+    s.sort_unstable();
+    let rank = ((q * s.len() as f64).ceil() as usize).clamp(1, s.len());
+    s[rank - 1]
+}
+
+/// One configuration of the study: launch a fresh back-end, drive the
+/// plan, shut down.
+pub fn drive(workers: usize, admission_bound: Option<usize>, plan: &LoadPlan) -> LoadOutcome {
+    let mut config = ViracochaConfig::for_tests(workers);
+    if let Some(bound) = admission_bound {
+        config.admission.enabled = true;
+        config.admission.max_queue_depth = bound;
+        config.admission.max_session_queued = 2;
+        config.admission.max_session_running = 1;
+        config.admission.retry_after_ms = 1;
+    }
+    let (backend, link) = Viracocha::launch(config);
+    backend.register_dataset(
+        Arc::new(SynthSource::new(Arc::new(vira_grid::synth::test_cube(
+            6, 2,
+        )))),
+        false,
+    );
+    let mut client = VistaClient::new(link);
+    let out = loadgen::run(&mut client, plan).expect("load run");
+    client.shutdown().expect("shutdown");
+    backend.join();
+    out
+}
+
+fn push_outcome(e: &mut ExperimentResult, series: &str, out: &LoadOutcome) {
+    let wall_s = (out.wall_ns as f64 / 1e9).max(1e-9);
+    e.push(Row::new(series, "offered", out.offered as f64, "jobs"));
+    e.push(Row::new(series, "admitted", out.admitted() as f64, "jobs"));
+    e.push(Row::new(series, "shed", out.shed as f64, "jobs"));
+    e.push(Row::new(series, "completed", out.completed as f64, "jobs"));
+    e.push(Row::new(
+        series,
+        "goodput",
+        out.completed as f64 / wall_s,
+        "jobs/s",
+    ));
+    for (q, label) in [(0.50, "job p50"), (0.99, "job p99"), (0.999, "job p999")] {
+        e.push(Row::new(
+            series,
+            label,
+            percentile_ns(&out.job_latency_ns, q) as f64 / 1e6,
+            "ms",
+        ));
+    }
+    e.push(Row::new(
+        series,
+        "ttfg p99",
+        percentile_ns(&out.ttfg_ns, 0.99) as f64 / 1e6,
+        "ms",
+    ));
+}
+
+pub fn run(cfg: &BenchConfig) -> ExperimentResult {
+    let mut e = ExperimentResult::new(
+        "e19-load",
+        "session load plane: arrival processes and admission control",
+        "§1.1 many-analyst operation (load study)",
+    );
+    // Scale the session count down for quick runs, up for full ones.
+    let quick = cfg.max_workers() <= 4;
+    let (sessions, jobs) = if quick { (64, 192) } else { (2000, 4000) };
+    let workers = 2;
+
+    let closed = drive(
+        workers,
+        None,
+        &LoadPlan::new(
+            sessions,
+            jobs,
+            19,
+            Arrival::ClosedLoop { think_ms: 1 },
+            "TestCube",
+        ),
+    );
+    push_outcome(&mut e, "closed-loop", &closed);
+
+    let mut open = LoadPlan::new(
+        sessions,
+        jobs,
+        19,
+        Arrival::OpenLoop { rate_hz: 500.0 },
+        "TestCube",
+    );
+    open.window = 64;
+    let unbounded = drive(workers, None, &open);
+    push_outcome(&mut e, "open-loop unbounded", &unbounded);
+
+    let quota = drive(workers, Some(8), &open);
+    push_outcome(&mut e, "open-loop tight-quota", &quota);
+
+    e.note(format!(
+        "{sessions} sessions, {jobs} offered jobs per configuration, seeded \
+         mixed stream (IsoDataMan / VortexDataMan / PathlinesDataMan / \
+         ProgressiveIso) on the test cube, {workers} workers."
+    ));
+    e.note(
+        "Open-loop runs offer 500 jobs/s Poisson — far above service \
+         capacity; the unbounded run queues the excess, the quota run \
+         (queue bound 8, 2 queued + 1 running per session) sheds it.",
+    );
+    e.note(
+        "Expectation: the quota run completes fewer jobs but its admitted \
+         jobs see much lower tail latency than the unbounded overload run.",
+    );
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_exact_on_raw_samples() {
+        let s: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_ns(&s, 0.50), 50);
+        assert_eq!(percentile_ns(&s, 0.99), 99);
+        assert_eq!(percentile_ns(&s, 0.999), 100);
+        assert_eq!(percentile_ns(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn tight_quotas_shed_and_cut_the_tail() {
+        let _guard = crate::timing_lock();
+        let sessions = 4;
+        let jobs = 48;
+        let mut open = LoadPlan::new(
+            sessions,
+            jobs,
+            7,
+            Arrival::OpenLoop { rate_hz: 2000.0 },
+            "TestCube",
+        );
+        open.window = 32;
+        let unbounded = drive(1, None, &open);
+        let quota = drive(1, Some(4), &open);
+        assert!(unbounded.balanced(), "{unbounded:?}");
+        assert!(quota.balanced(), "{quota:?}");
+        assert_eq!(unbounded.shed, 0, "no admission control, no sheds");
+        assert_eq!(unbounded.completed, jobs as u64);
+        assert!(quota.shed > 0, "tight quotas must shed: {quota:?}");
+        assert!(quota.completed > 0);
+        // The whole point of shedding: admitted jobs wait behind a
+        // bounded queue, so their completion tail shrinks.
+        let p99_unbounded = percentile_ns(&unbounded.job_latency_ns, 0.99);
+        let p99_quota = percentile_ns(&quota.job_latency_ns, 0.99);
+        assert!(
+            p99_quota < p99_unbounded,
+            "bounded queue must cut the admitted tail ({p99_quota} vs {p99_unbounded})"
+        );
+    }
+}

@@ -11,6 +11,9 @@
 //! vira trace-analyze traces/ [--check 0.25]   critical-path attribution
 //! vira top traces/ [--once] [--json]          live telemetry dashboard
 //! vira slo-report traces/ [--json]            replay SLOs from a recording
+//! vira load --sessions 1000 --arrival open --rate 200 [--admission on] \
+//!           [--trace-out traces/] [--json]    synthetic session load plane
+//! vira load-report traces/ [--json]           offered/admitted/shed + tails
 //! vira serve --listen unix:/tmp/vira.sock --ranks 3 --dataset cube \
 //!            --command IsoDataMan --param iso=0.15 [--spawn-local] \
 //!            [--jobs N] [--save-soup out] [--fault-plan <file>]
@@ -35,9 +38,10 @@ use vira_grid::block::BlockStepId;
 use vira_grid::synth::{self, SyntheticDataset};
 use vira_storage::source::CachedSynthSource;
 use vira_vista::{CommandParams, SubmitSpec, VistaClient};
+use viracocha::loadgen::{self, Arrival, LoadOutcome, LoadPlan};
 use viracocha::{
-    default_registry, run_remote_worker_with_cancels, CancelSet, FaultPlan, TransportConfig,
-    Viracocha, ViracochaConfig,
+    default_registry, run_remote_worker_with_cancels, AdmissionConfig, CancelSet, FaultPlan,
+    TransportConfig, Viracocha, ViracochaConfig,
 };
 
 fn usage() -> ! {
@@ -46,7 +50,7 @@ fn usage() -> ! {
     // bypasses `events.jsonl` when tracing is on.
     vira_obs::error(
         "vira",
-        "usage:\n  vira commands\n  vira datasets\n  vira suggest --dataset <engine|propfan|cube> [--res N] [--exceed F]\n  vira run --dataset <engine|propfan|cube> --command <Name> [--workers N]\n           [--res N] [--dilation F] [--fault-plan <file>] [--param key=value]...\n           [--backfill on|off] [--max-skipped N] [--locality on|off]\n           [--fair-share on|off] [--trace-out <dir>]\n           [--slo-job-latency-ms N] [--slo-ttfg-ms N]\n  vira serve --listen <tcp:host:port|unix:/path> --ranks N\n           --dataset <engine|propfan|cube> --command <Name> [--res N]\n           [--param key=value]... [--jobs N] [--workers N] [--spawn-local]\n           [--fast-resilience] [--save-soup <prefix>] [--fault-plan <file>]\n           [--fault-hub-forwards] [--cancel-after-packets N] [--pause-ms N]\n           [--accept-timeout-ms N] [--trace-out <dir>]\n  vira worker --connect <tcp:host:port|unix:/path>\n           --dataset <engine|propfan|cube> [--res N] [--connect-timeout-ms N]\n           [--rejoin <rank>]\n  vira top <dir> [--once] [--json] [--refresh <ms>]\n  vira slo-report <dir> [--json] [--slo-job-latency-ms N] [--slo-ttfg-ms N]\n  vira trace-analyze <dir> [--check <min-coverage>]",
+        "usage:\n  vira commands\n  vira datasets\n  vira suggest --dataset <engine|propfan|cube> [--res N] [--exceed F]\n  vira run --dataset <engine|propfan|cube> --command <Name> [--workers N]\n           [--res N] [--dilation F] [--fault-plan <file>] [--param key=value]...\n           [--backfill on|off] [--max-skipped N] [--locality on|off]\n           [--fair-share on|off] [--trace-out <dir>]\n           [--slo-job-latency-ms N] [--slo-ttfg-ms N]\n           [--admission on|off] [--max-queue-depth N] [--max-session-queued N]\n           [--max-session-running N] [--retry-after-ms N]\n  vira load [--dataset <engine|propfan|cube>] [--res N] [--workers N]\n           [--sessions N] [--jobs N] [--seed N] [--arrival open|closed]\n           [--rate F] [--think-ms N] [--window N] [--retries N]\n           [--admission on|off] [--max-queue-depth N] [--max-session-queued N]\n           [--max-session-running N] [--retry-after-ms N]\n           [--json] [--trace-out <dir>]\n  vira load-report <dir> [--json] [--slo-job-latency-ms N] [--slo-ttfg-ms N]\n  vira serve --listen <tcp:host:port|unix:/path> --ranks N\n           --dataset <engine|propfan|cube> --command <Name> [--res N]\n           [--param key=value]... [--jobs N] [--workers N] [--spawn-local]\n           [--fast-resilience] [--save-soup <prefix>] [--fault-plan <file>]\n           [--fault-hub-forwards] [--cancel-after-packets N] [--pause-ms N]\n           [--accept-timeout-ms N] [--trace-out <dir>]\n  vira worker --connect <tcp:host:port|unix:/path>\n           --dataset <engine|propfan|cube> [--res N] [--connect-timeout-ms N]\n           [--rejoin <rank>]\n  vira top <dir> [--once] [--json] [--refresh <ms>]\n  vira slo-report <dir> [--json] [--slo-job-latency-ms N] [--slo-ttfg-ms N]\n  vira trace-analyze <dir> [--check <min-coverage>]",
         &[],
     );
     std::process::exit(2);
@@ -183,6 +187,27 @@ fn parse_switch(flag: &str, value: &str) -> bool {
     }
 }
 
+/// Applies the shared admission-control flags (`vira run` and `vira
+/// load` take the same set). Bound flags only take effect together with
+/// `--admission on`; defaults come from [`AdmissionConfig`].
+fn apply_admission_flags(config: &mut ViracochaConfig, args: &Args) {
+    if let Some(v) = args.flags.get("admission") {
+        config.admission.enabled = parse_switch("admission", v);
+    }
+    if let Some(n) = flag_parse(args, "max-queue-depth", "an integer") {
+        config.admission.max_queue_depth = n;
+    }
+    if let Some(n) = flag_parse(args, "max-session-queued", "an integer") {
+        config.admission.max_session_queued = n;
+    }
+    if let Some(n) = flag_parse(args, "max-session-running", "an integer") {
+        config.admission.max_session_running = n;
+    }
+    if let Some(ms) = flag_parse::<u64>(args, "retry-after-ms", "milliseconds") {
+        config.admission.retry_after_ms = ms;
+    }
+}
+
 fn cmd_run(args: Args) {
     let dataset = args
         .flags
@@ -218,6 +243,7 @@ fn cmd_run(args: Args) {
     if let Some(n) = flag_parse(&args, "max-skipped", "an integer") {
         config.sched.max_skipped_dispatches = n;
     }
+    apply_admission_flags(&mut config, &args);
     if let Some(ms) = flag_parse::<u64>(&args, "slo-job-latency-ms", "milliseconds") {
         config.telemetry.job_latency_slo_ns = ms.saturating_mul(1_000_000);
     }
@@ -355,6 +381,244 @@ fn cmd_run(args: Args) {
     }
 }
 
+/// (count, p50, p99, p999) upper bounds over raw nanosecond samples,
+/// folded through the same log2 buckets the live histograms use — so
+/// the CLI's numbers are directly comparable to `vira top` /
+/// `telemetry.json` quantile rows (same bucket error).
+fn tail_ubs(samples: &[u64]) -> (u64, u64, u64, u64) {
+    let snap = sparse_hist(samples).to_snapshot();
+    (
+        snap.count,
+        snap.quantile_upper_bound(0.50),
+        snap.quantile_upper_bound(0.99),
+        snap.quantile_upper_bound(0.999),
+    )
+}
+
+/// Human-readable `vira load` summary. Pure so the layout is testable.
+fn render_load_summary(plan: &LoadPlan, admission: &AdmissionConfig, out: &LoadOutcome) -> String {
+    use std::fmt::Write;
+    let mut o = String::new();
+    let arrival = match plan.arrival {
+        Arrival::OpenLoop { rate_hz } => format!("open-loop {rate_hz:.1} jobs/s"),
+        Arrival::ClosedLoop { think_ms } => format!("closed-loop {think_ms} ms think"),
+    };
+    let wall_s = (out.wall_ns as f64 / 1e9).max(1e-9);
+    let _ = writeln!(
+        o,
+        "load plane : {} sessions, {arrival}, seed {}",
+        plan.sessions, plan.seed
+    );
+    let admission_line = if admission.enabled {
+        format!(
+            "on (queue <= {}, {} queued + {} running per session, retry-after {} ms)",
+            admission.max_queue_depth,
+            admission.max_session_queued,
+            admission.max_session_running,
+            admission.retry_after_ms
+        )
+    } else {
+        "off (unbounded queue)".to_string()
+    };
+    let _ = writeln!(o, "admission  : {admission_line}");
+    let _ = writeln!(
+        o,
+        "offered    : {} submissions ({} resubmits after busy)",
+        out.offered, out.resubmitted
+    );
+    let _ = writeln!(
+        o,
+        "admitted   : {} ({:.1} % of offered)",
+        out.admitted(),
+        100.0 * out.admitted() as f64 / out.offered.max(1) as f64
+    );
+    let _ = writeln!(
+        o,
+        "shed       : {} busy rejections / {} refused",
+        out.shed, out.refused
+    );
+    let _ = writeln!(
+        o,
+        "completed  : {} ok / {} failed in {:.2} s ({:.1} jobs/s goodput)",
+        out.completed,
+        out.failed,
+        wall_s,
+        out.completed as f64 / wall_s
+    );
+    let (n, p50, p99, p999) = tail_ubs(&out.job_latency_ns);
+    if n > 0 {
+        let _ = writeln!(
+            o,
+            "job latency: p50 <= {:.2} ms, p99 <= {:.2} ms, p999 <= {:.2} ms ({n} samples)",
+            p50 as f64 / 1e6,
+            p99 as f64 / 1e6,
+            p999 as f64 / 1e6
+        );
+    }
+    let (n, p50, p99, p999) = tail_ubs(&out.ttfg_ns);
+    if n > 0 {
+        let _ = writeln!(
+            o,
+            "ttfg       : p50 <= {:.2} ms, p99 <= {:.2} ms, p999 <= {:.2} ms ({n} samples)",
+            p50 as f64 / 1e6,
+            p99 as f64 / 1e6,
+            p999 as f64 / 1e6
+        );
+    }
+    let _ = writeln!(
+        o,
+        "balance    : offered == completed + failed + shed + refused: {}",
+        if out.balanced() { "ok" } else { "BROKEN" }
+    );
+    o
+}
+
+/// Machine-readable `vira load --json` summary (hand-rolled: every
+/// value is a number or bool, nothing needs escaping).
+fn render_load_json(plan: &LoadPlan, admission: &AdmissionConfig, out: &LoadOutcome) -> String {
+    let (jn, jp50, jp99, jp999) = tail_ubs(&out.job_latency_ns);
+    let (tn, tp50, tp99, tp999) = tail_ubs(&out.ttfg_ns);
+    let arrival = match plan.arrival {
+        Arrival::OpenLoop { rate_hz } => format!("\"arrival\":\"open\",\"rate_hz\":{rate_hz}"),
+        Arrival::ClosedLoop { think_ms } => {
+            format!("\"arrival\":\"closed\",\"think_ms\":{think_ms}")
+        }
+    };
+    format!(
+        concat!(
+            "{{\"sessions\":{},{},\"seed\":{},\"admission\":{},",
+            "\"offered\":{},\"admitted\":{},\"shed\":{},\"refused\":{},",
+            "\"completed\":{},\"failed\":{},\"resubmitted\":{},",
+            "\"wall_ns\":{},\"balanced\":{},",
+            "\"job_latency\":{{\"count\":{},\"p50_ub\":{},\"p99_ub\":{},\"p999_ub\":{}}},",
+            "\"ttfg\":{{\"count\":{},\"p50_ub\":{},\"p99_ub\":{},\"p999_ub\":{}}}}}"
+        ),
+        plan.sessions,
+        arrival,
+        plan.seed,
+        admission.enabled,
+        out.offered,
+        out.admitted(),
+        out.shed,
+        out.refused,
+        out.completed,
+        out.failed,
+        out.resubmitted,
+        out.wall_ns,
+        out.balanced(),
+        jn,
+        jp50,
+        jp99,
+        jp999,
+        tn,
+        tp50,
+        tp99,
+        tp999
+    )
+}
+
+/// `vira load`: the e19 load plane on the in-process transport —
+/// replays `--sessions` synthetic Vista sessions with a seeded mixed
+/// command stream (iso / λ₂ / pathlines / progressive) against a
+/// freshly launched back-end and reports offered vs. admitted vs. shed
+/// throughput plus job-latency / TTFG tails. With `--trace-out` the run
+/// records telemetry + flight data for `vira load-report`. Exits
+/// non-zero if any job fails outright or the bookkeeping identity
+/// `offered == completed + failed + shed + refused` breaks.
+fn cmd_load(args: Args) {
+    let dataset = args
+        .flags
+        .get("dataset")
+        .cloned()
+        .unwrap_or_else(|| "cube".to_string());
+    let res: usize = flag_parse(&args, "res", "an integer").unwrap_or(6);
+    let workers: usize = flag_parse(&args, "workers", "an integer").unwrap_or(2);
+    let sessions: u64 = flag_parse(&args, "sessions", "a session count").unwrap_or(1000);
+    let jobs: usize =
+        flag_parse(&args, "jobs", "a job count").unwrap_or((sessions as usize).saturating_mul(2));
+    let seed: u64 = flag_parse(&args, "seed", "an integer").unwrap_or(19);
+    let json = args.flags.contains_key("json");
+    let arrival = match args
+        .flags
+        .get("arrival")
+        .map(String::as_str)
+        .unwrap_or("open")
+    {
+        "open" => Arrival::OpenLoop {
+            rate_hz: flag_parse(&args, "rate", "jobs per second").unwrap_or(200.0),
+        },
+        "closed" => Arrival::ClosedLoop {
+            think_ms: flag_parse(&args, "think-ms", "milliseconds").unwrap_or(10),
+        },
+        other => {
+            vira_obs::error(
+                "vira",
+                &format!("--arrival expects open|closed, got '{other}'"),
+                &[],
+            );
+            usage();
+        }
+    };
+    let trace_out = args.flags.get("trace-out").map(std::path::PathBuf::from);
+    if trace_out.is_some() {
+        vira_obs::set_enabled(true);
+    }
+
+    let mut config = ViracochaConfig::for_tests(workers);
+    config.proxy.prefetcher = "obl".into();
+    apply_admission_flags(&mut config, &args);
+    config.telemetry.out_dir = trace_out.clone();
+    let admission = config.admission.clone();
+
+    let (backend, link) = Viracocha::launch(config);
+    let ds = build_dataset(&dataset, res);
+    let ds_name = ds.spec.name.clone();
+    backend.register_dataset(Arc::new(CachedSynthSource::new(ds)), false);
+
+    let mut plan = LoadPlan::new(sessions, jobs, seed, arrival, &ds_name);
+    if let Some(w) = flag_parse(&args, "window", "an integer") {
+        plan.window = w;
+    }
+    if let Some(r) = flag_parse(&args, "retries", "an integer") {
+        plan.max_retries = r;
+    }
+
+    let mut client = VistaClient::new(link);
+    let out =
+        loadgen::run(&mut client, &plan).unwrap_or_else(|e| fail(&format!("load run failed: {e}")));
+    let _ = client.shutdown();
+    backend.join();
+
+    if json {
+        println!("{}", render_load_json(&plan, &admission, &out));
+    } else {
+        print!("{}", render_load_summary(&plan, &admission, &out));
+    }
+    if let Some(dir) = trace_out {
+        match vira_obs::export_all(&dir) {
+            Ok(s) => {
+                if !json {
+                    println!(
+                        "trace      : {} spans, {} events, {} flight recordings -> {}",
+                        s.spans,
+                        s.events,
+                        s.flights,
+                        dir.display()
+                    );
+                }
+            }
+            Err(e) => vira_obs::error(
+                "vira",
+                &format!("trace export to {} failed: {e}", dir.display()),
+                &[],
+            ),
+        }
+    }
+    if !out.balanced() || out.failed > 0 {
+        std::process::exit(1);
+    }
+}
+
 /// Exits through a structured error message.
 fn fail(msg: &str) -> ! {
     vira_obs::error("vira", msg, &[]);
@@ -398,10 +662,8 @@ fn cmd_serve(args: Args) {
     let workers: usize = flag_parse(&args, "workers", "an integer").unwrap_or(ranks);
     let res: usize = flag_parse(&args, "res", "an integer").unwrap_or(6);
     let jobs: usize = flag_parse(&args, "jobs", "an integer").unwrap_or(1);
-    let accept_ms: u64 =
-        flag_parse(&args, "accept-timeout-ms", "milliseconds").unwrap_or(30_000);
-    let cancel_after: Option<usize> =
-        flag_parse(&args, "cancel-after-packets", "a packet count");
+    let accept_ms: u64 = flag_parse(&args, "accept-timeout-ms", "milliseconds").unwrap_or(30_000);
+    let cancel_after: Option<usize> = flag_parse(&args, "cancel-after-packets", "a packet count");
     let pause_ms: u64 = flag_parse(&args, "pause-ms", "milliseconds").unwrap_or(0);
     let trace_out = args.flags.get("trace-out").map(std::path::PathBuf::from);
     if trace_out.is_some() {
@@ -410,8 +672,8 @@ fn cmd_serve(args: Args) {
 
     let spec = SocketAddrSpec::parse(&listen)
         .unwrap_or_else(|e| fail(&format!("bad --listen address: {e}")));
-    let listener = SocketListener::bind(&spec)
-        .unwrap_or_else(|e| fail(&format!("cannot bind {spec}: {e}")));
+    let listener =
+        SocketListener::bind(&spec).unwrap_or_else(|e| fail(&format!("cannot bind {spec}: {e}")));
     let addr = listener.local_addr().to_string();
     println!("serving    : {addr} ({ranks} worker ranks)");
     let _ = std::io::stdout().flush();
@@ -468,12 +730,7 @@ fn cmd_serve(args: Args) {
                 hub.set_route_faults(plan.clone(), stats.clone());
             }
             let faulty = FaultyTransport::new(hub, plan, stats.clone());
-            Viracocha::launch_master_on_transport(
-                config,
-                default_registry(),
-                faulty,
-                Some(stats),
-            )
+            Viracocha::launch_master_on_transport(config, default_registry(), faulty, Some(stats))
         }
         None => {
             if args.flags.contains_key("fault-hub-forwards") {
@@ -637,16 +894,22 @@ fn cmd_worker(args: Args) {
     // scheduler as CLIENT_EVENT frames; it re-emits them on the real
     // client link.
     let sender = transport.sender();
-    let events =
-        EventSender::from_fn(move |frame| sender.send(0, tags::CLIENT_EVENT, &frame));
+    let events = EventSender::from_fn(move |frame| sender.send(0, tags::CLIENT_EVENT, &frame));
 
     let mut config = ViracochaConfig::for_tests(world - 1);
     config.proxy.prefetcher = "obl".into();
     config.transport = tconf;
     let ds = build_dataset(&dataset, res);
-    run_remote_worker_with_cancels(config, default_registry(), transport, events, cancels, |server| {
-        server.register_dataset(Arc::new(CachedSynthSource::new(ds)), false);
-    });
+    run_remote_worker_with_cancels(
+        config,
+        default_registry(),
+        transport,
+        events,
+        cancels,
+        |server| {
+            server.register_dataset(Arc::new(CachedSynthSource::new(ds)), false);
+        },
+    );
     println!("worker rank {rank} exiting");
     let _ = std::io::stdout().flush();
 }
@@ -733,6 +996,19 @@ fn render_top(snap: &vira_obs::json::Json) -> String {
         gauge("sched_queue_depth"),
         gauge("sched_running_jobs")
     );
+    let admitted = counter("sched_admitted_total");
+    let shed = counter("sched_shed_total");
+    if admitted > 0 || shed > 0 {
+        let _ = writeln!(
+            o,
+            "admission  : {} offered = {} admitted + {} shed ({} via session quota) / queue high-watermark {}",
+            admitted + shed,
+            admitted,
+            shed,
+            counter("sched_quota_rejections_total"),
+            counter("sched_queue_high_watermark")
+        );
+    }
     let dup = snap
         .get("tsdb")
         .and_then(|t| t.get("dup_dropped"))
@@ -917,35 +1193,7 @@ fn cmd_slo_report(args: Args) {
         .map(|ms| ms.saturating_mul(1_000_000))
         .unwrap_or(defaults.ttfg_slo_ns);
 
-    let mut job_ns: Vec<u64> = Vec::new();
-    let mut ttfg_ns: Vec<u64> = Vec::new();
-    let entries = std::fs::read_dir(&dir).unwrap_or_else(|e| {
-        vira_obs::error("vira", &format!("cannot read {dir}: {e}"), &[]);
-        std::process::exit(1);
-    });
-    for entry in entries.flatten() {
-        let name = entry.file_name().to_string_lossy().into_owned();
-        if !name.starts_with("flight-") || !name.ends_with(".jsonl") {
-            continue;
-        }
-        let Ok(text) = std::fs::read_to_string(entry.path()) else {
-            continue;
-        };
-        let spans = match vira_obs::parse_flight_spans(&text) {
-            Ok(spans) => spans,
-            Err(e) => {
-                vira_obs::error("vira", &format!("skipping malformed {name}: {e}"), &[]);
-                continue;
-            }
-        };
-        for span in spans {
-            match span.name.as_str() {
-                "sched.job" => job_ns.push(span.dur_ns),
-                "vista.first_result" => ttfg_ns.push(span.dur_ns),
-                _ => {}
-            }
-        }
-    }
+    let (job_ns, ttfg_ns) = collect_flight_durations(&dir);
     if job_ns.is_empty() && ttfg_ns.is_empty() {
         vira_obs::error(
             "vira",
@@ -1000,6 +1248,176 @@ fn cmd_slo_report(args: Args) {
     }
 }
 
+/// Collects replayed span durations from a recording directory:
+/// (`sched.job` runtimes, `vista.first_result` TTFG samples).
+fn collect_flight_durations(dir: &str) -> (Vec<u64>, Vec<u64>) {
+    let mut job_ns: Vec<u64> = Vec::new();
+    let mut ttfg_ns: Vec<u64> = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return (job_ns, ttfg_ns);
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !name.starts_with("flight-") || !name.ends_with(".jsonl") {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(entry.path()) else {
+            continue;
+        };
+        let spans = match vira_obs::parse_flight_spans(&text) {
+            Ok(spans) => spans,
+            Err(e) => {
+                vira_obs::error("vira", &format!("skipping malformed {name}: {e}"), &[]);
+                continue;
+            }
+        };
+        for span in spans {
+            match span.name.as_str() {
+                "sched.job" => job_ns.push(span.dur_ns),
+                "vista.first_result" => ttfg_ns.push(span.dur_ns),
+                _ => {}
+            }
+        }
+    }
+    (job_ns, ttfg_ns)
+}
+
+/// `vira load-report <dir>`: post-mortem for a `vira load --trace-out`
+/// (or any traced) run. Combines the live `telemetry.json` snapshot —
+/// admission counters, queue high-watermark, per-cohort quantiles —
+/// with an *independent* replay of the flight recordings through the
+/// same tsdb + SLO engine, and reports offered vs. admitted vs. shed
+/// plus which SLO is burning hardest. The replay inherits the live
+/// admission counters so the shed-ratio SLO evaluates on real
+/// offered/shed data. `--json` emits `{"live":…,"replay":…}` so CI can
+/// cross-check live quantiles against the replay within bucket error.
+fn cmd_load_report(args: Args) {
+    let Some(dir) = args.flags.get("dir").cloned() else {
+        usage();
+    };
+    let json = args.flags.contains_key("json");
+    let defaults = viracocha::TelemetryConfig::default();
+    let job_slo_ns = flag_parse::<u64>(&args, "slo-job-latency-ms", "milliseconds")
+        .map(|ms| ms.saturating_mul(1_000_000))
+        .unwrap_or(defaults.job_latency_slo_ns);
+    let ttfg_slo_ns = flag_parse::<u64>(&args, "slo-ttfg-ms", "milliseconds")
+        .map(|ms| ms.saturating_mul(1_000_000))
+        .unwrap_or(defaults.ttfg_slo_ns);
+
+    let live_path = std::path::Path::new(&dir).join("telemetry.json");
+    let live_text = std::fs::read_to_string(&live_path).ok();
+    let live = live_text
+        .as_deref()
+        .and_then(|t| vira_obs::json::parse(t).ok());
+    let live_counter = |name: &str| -> u64 {
+        live.as_ref()
+            .and_then(|s| s.get("cluster"))
+            .and_then(|c| c.get("counters"))
+            .and_then(|c| c.get(name))
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0)
+    };
+    let admitted = live_counter("sched_admitted_total");
+    let shed = live_counter("sched_shed_total");
+    let quota = live_counter("sched_quota_rejections_total");
+    let high_watermark = live_counter("sched_queue_high_watermark");
+
+    let (job_ns, ttfg_ns) = collect_flight_durations(&dir);
+    if job_ns.is_empty() && ttfg_ns.is_empty() && live.is_none() {
+        fail(&format!(
+            "{dir}: no telemetry.json and no flight-<trace>.jsonl recordings (run vira load with --trace-out)"
+        ));
+    }
+
+    // One synthetic delta replayed through the live-plane machinery.
+    // The admission counters are copied over from the live snapshot so
+    // the shed-ratio SLO sees the run's real offered/shed split.
+    let now = vira_obs::now_ns();
+    let mut delta = vira_obs::MetricsDelta {
+        rank: 0,
+        seq: 1,
+        t_ns: now,
+        ..Default::default()
+    };
+    delta
+        .counters
+        .push(("sched_jobs_done_total".into(), job_ns.len() as u64));
+    if admitted > 0 || shed > 0 {
+        delta
+            .counters
+            .push(("sched_admitted_total".into(), admitted));
+        delta.counters.push(("sched_shed_total".into(), shed));
+        delta
+            .counters
+            .push(("sched_quota_rejections_total".into(), quota));
+    }
+    if !job_ns.is_empty() {
+        delta
+            .histograms
+            .push(("sched_job_runtime_ns".into(), sparse_hist(&job_ns)));
+    }
+    if !ttfg_ns.is_empty() {
+        delta
+            .histograms
+            .push(("vista_first_result_ns".into(), sparse_hist(&ttfg_ns)));
+    }
+    let mut db = vira_obs::Tsdb::new(vira_obs::TsdbConfig::default());
+    db.ingest(&delta, now);
+    let mut engine = vira_obs::SloEngine::new(vira_obs::default_specs(job_slo_ns, ttfg_slo_ns));
+    let statuses = engine.evaluate(&db, now);
+    let replay_text = vira_obs::render_telemetry_json(&db, &statuses, &[], now, true);
+
+    if json {
+        let live_json = live_text
+            .as_deref()
+            .map(|t| t.trim_end().to_string())
+            .unwrap_or_else(|| "null".to_string());
+        println!("{{\"live\":{live_json},\"replay\":{replay_text}}}");
+        return;
+    }
+
+    println!("load report: {dir}");
+    if admitted > 0 || shed > 0 {
+        println!(
+            "admission  : offered {} = admitted {} + shed {} ({} via session quota)",
+            admitted + shed,
+            admitted,
+            shed,
+            quota
+        );
+        println!("queue      : high-watermark {high_watermark} jobs");
+    } else {
+        println!(
+            "admission  : no live admission counters (telemetry.json missing or admission idle)"
+        );
+    }
+    println!(
+        "replay     : {} job spans, {} first-geometry spans",
+        job_ns.len(),
+        ttfg_ns.len()
+    );
+    let hottest = statuses
+        .iter()
+        .filter(|s| s.fast_burn > 0.0)
+        .max_by(|a, b| a.fast_burn.total_cmp(&b.fast_burn));
+    match hottest {
+        Some(s) if s.firing => println!(
+            "burning    : {} burned first ({:.1}x fast burn, FIRING)",
+            s.name, s.fast_burn
+        ),
+        Some(s) => println!(
+            "burning    : hottest is {} ({:.1}x fast burn, within budget)",
+            s.name, s.fast_burn
+        ),
+        None => println!("burning    : no SLO consuming error budget"),
+    }
+    let snap = vira_obs::json::parse(&replay_text).unwrap_or_else(|e| {
+        vira_obs::error("vira", &format!("internal render error: {e}"), &[]);
+        std::process::exit(1);
+    });
+    print!("{}", render_top(&snap));
+}
+
 /// Rewrites a bare leading positional into `--dir` and gives listed
 /// boolean switches an implicit `true` value, so subcommands like
 /// `vira top traces/ --once --json` fit the `--key value` parser.
@@ -1039,6 +1457,10 @@ fn main() {
             &["once", "json"],
         ))),
         "slo-report" => cmd_slo_report(parse_args(&rewrite_dir_and_switches(rest, &["json"]))),
+        "load" => cmd_load(parse_args(&rewrite_dir_and_switches(rest, &["json"]))),
+        "load-report" => {
+            cmd_load_report(parse_args(&rewrite_dir_and_switches(rest, &["json"])));
+        }
         "trace-analyze" => {
             cmd_trace_analyze(parse_args(&rewrite_dir_and_switches(rest, &[])));
         }
@@ -1088,6 +1510,96 @@ mod tests {
         assert!(out.contains("1 duplicate deltas dropped"), "{out}");
         // Rank row: alive rank 1 with 4 resident blocks.
         assert!(out.contains("up"), "{out}");
+    }
+
+    #[test]
+    fn render_top_shows_the_admission_row_when_counters_are_present() {
+        let text = r#"{"v":1,"t_ns":1000000000,"final":true,
+            "cluster":{"counters":{"sched_jobs_done_total":90,
+                                   "sched_admitted_total":95,"sched_shed_total":5,
+                                   "sched_quota_rejections_total":2,
+                                   "sched_queue_high_watermark":8},
+                       "gauges":{}},
+            "ranks":[],"slo":[],"tsdb":{"dup_dropped":0}}"#;
+        let snap = vira_obs::json::parse(text).expect("fixture parses");
+        let out = render_top(&snap);
+        assert!(
+            out.contains("admission  : 100 offered = 95 admitted + 5 shed (2 via session quota) / queue high-watermark 8"),
+            "{out}"
+        );
+        // No admission traffic -> no row.
+        let idle = vira_obs::json::parse(
+            r#"{"v":1,"t_ns":1,"final":true,"cluster":{"counters":{},"gauges":{}},
+                "ranks":[],"slo":[],"tsdb":{"dup_dropped":0}}"#,
+        )
+        .expect("fixture parses");
+        assert!(!render_top(&idle).contains("admission"));
+    }
+
+    #[test]
+    fn load_renderers_report_the_balance_and_tails() {
+        let plan = LoadPlan::new(
+            100,
+            400,
+            7,
+            Arrival::OpenLoop { rate_hz: 250.0 },
+            "TestCube",
+        );
+        let admission = AdmissionConfig {
+            enabled: true,
+            max_queue_depth: 8,
+            max_session_queued: 2,
+            max_session_running: 1,
+            retry_after_ms: 5,
+        };
+        let out = LoadOutcome {
+            offered: 400,
+            completed: 380,
+            failed: 0,
+            shed: 20,
+            refused: 0,
+            resubmitted: 12,
+            job_latency_ns: vec![1_000_000; 380],
+            ttfg_ns: vec![500_000; 380],
+            wall_ns: 2_000_000_000,
+        };
+        assert!(out.balanced());
+        let text = render_load_summary(&plan, &admission, &out);
+        assert!(
+            text.contains("100 sessions, open-loop 250.0 jobs/s"),
+            "{text}"
+        );
+        assert!(text.contains("queue <= 8"), "{text}");
+        assert!(
+            text.contains("admitted   : 380 (95.0 % of offered)"),
+            "{text}"
+        );
+        assert!(text.contains("20 busy rejections"), "{text}");
+        assert!(text.contains("190.0 jobs/s goodput"), "{text}");
+        assert!(
+            text.contains("balance    : offered == completed + failed + shed + refused: ok"),
+            "{text}"
+        );
+        let j = render_load_json(&plan, &admission, &out);
+        let parsed = vira_obs::json::parse(&j).expect("load json parses");
+        assert_eq!(parsed.get("offered").and_then(|v| v.as_u64()), Some(400));
+        assert_eq!(parsed.get("shed").and_then(|v| v.as_u64()), Some(20));
+        assert_eq!(parsed.get("balanced").and_then(|v| v.as_bool()), Some(true));
+        assert_eq!(
+            parsed
+                .get("job_latency")
+                .and_then(|h| h.get("count"))
+                .and_then(|v| v.as_u64()),
+            Some(380)
+        );
+        // All samples are 1 ms -> the p50 upper bound is the enclosing
+        // log2 bucket boundary, strictly above the sample.
+        let p50 = parsed
+            .get("job_latency")
+            .and_then(|h| h.get("p50_ub"))
+            .and_then(|v| v.as_u64())
+            .expect("p50_ub");
+        assert!(p50 >= 1_000_000, "{p50}");
     }
 
     #[test]

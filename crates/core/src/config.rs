@@ -107,6 +107,46 @@ impl Default for ExtractConfig {
     }
 }
 
+/// Admission control and backpressure for the scheduler's job queue.
+///
+/// With admission off (the default) the queue is unbounded and every
+/// valid submit is accepted — the historical behaviour. Turning it on
+/// bounds the global queue and applies per-session quotas; a submit
+/// that would exceed a bound is *shed* with a structured `Busy`
+/// rejection carrying a `retry_after_ms` hint instead of growing the
+/// queue without limit. Shedding early keeps admitted jobs' tail
+/// latency bounded under overload — the load plane's core invariant.
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Master switch; off restores unbounded queueing.
+    pub enabled: bool,
+    /// Bound on the number of queued (not yet dispatched) jobs across
+    /// all sessions. Submits beyond it are shed (`sched_shed_total`).
+    pub max_queue_depth: usize,
+    /// Per-session bound on queued jobs. Submits beyond it are
+    /// rejected with a quota `Busy` (`sched_quota_rejections_total`).
+    pub max_session_queued: usize,
+    /// Per-session bound on jobs concurrently running on workers.
+    /// Counted together with that session's queued jobs at admission.
+    pub max_session_running: usize,
+    /// Base retry hint returned on a `Busy` rejection; the scheduler
+    /// scales it with queue fullness so clients back off harder the
+    /// deeper the overload.
+    pub retry_after_ms: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            enabled: false,
+            max_queue_depth: 1024,
+            max_session_queued: 64,
+            max_session_running: 8,
+            retry_after_ms: 50,
+        }
+    }
+}
+
 /// Live-telemetry plane tuning: heartbeat-shipped metric deltas, the
 /// scheduler's in-memory time-series store, SLO burn-rate evaluation
 /// and the periodic `telemetry.json` snapshot that `vira top` reads.
@@ -233,6 +273,8 @@ pub struct ViracochaConfig {
     pub resilience: ResilienceConfig,
     /// Dispatch policy (backfill, locality placement, fair share).
     pub sched: SchedulerConfig,
+    /// Admission control / backpressure (bounded queue, session quotas).
+    pub admission: AdmissionConfig,
     /// Intra-worker parallel block extraction.
     pub extract: ExtractConfig,
     /// Live telemetry plane (heartbeat deltas, tsdb, SLOs, `vira top`).
@@ -251,6 +293,7 @@ impl Default for ViracochaConfig {
             server: ServerConfig::default(),
             resilience: ResilienceConfig::default(),
             sched: SchedulerConfig::default(),
+            admission: AdmissionConfig::default(),
             extract: ExtractConfig::default(),
             telemetry: TelemetryConfig::default(),
             transport: TransportConfig::default(),
@@ -331,6 +374,18 @@ mod tests {
         assert_eq!(parse("0"), 1);
         assert_eq!(parse("banana"), 1);
         assert_eq!(parse(""), 1);
+    }
+
+    #[test]
+    fn admission_defaults_to_unbounded_queueing() {
+        let a = AdmissionConfig::default();
+        assert!(!a.enabled, "admission must be opt-in for compatibility");
+        assert!(a.max_queue_depth >= 1);
+        assert!(a.max_session_queued >= 1);
+        assert!(a.max_session_running >= 1);
+        assert!(a.retry_after_ms > 0, "busy rejections must carry a hint");
+        let c = ViracochaConfig::default();
+        assert!(!c.admission.enabled);
     }
 
     #[test]

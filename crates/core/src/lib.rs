@@ -50,6 +50,7 @@ pub mod command;
 pub mod commands;
 pub mod config;
 pub mod derived;
+pub mod loadgen;
 pub mod runtime;
 pub mod scheduler;
 pub mod wire;
@@ -58,9 +59,10 @@ pub mod worker;
 pub use command::{CancelSet, Command, CommandError, CommandOutput, CommandRegistry, JobCtx};
 pub use commands::default_registry;
 pub use config::{
-    ResilienceConfig, SchedulerConfig, TelemetryConfig, TransportConfig, TransportKind,
-    ViracochaConfig,
+    AdmissionConfig, ResilienceConfig, SchedulerConfig, TelemetryConfig, TransportConfig,
+    TransportKind, ViracochaConfig,
 };
 pub use derived::DerivedFieldCache;
+pub use loadgen::{Arrival, LoadOutcome, LoadPlan};
 pub use runtime::{run_remote_worker, run_remote_worker_with_cancels, Viracocha};
 pub use vira_comm::fault::{FaultPlan, FaultStats, FaultStatsSnapshot, LinkFaults};

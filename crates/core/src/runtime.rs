@@ -130,6 +130,7 @@ impl Viracocha {
             n_workers: config.n_workers,
             resilience: config.resilience.clone(),
             sched: config.sched.clone(),
+            admission: config.admission.clone(),
             telemetry: config.telemetry.clone(),
         };
         let scheduler = std::thread::Builder::new()
@@ -186,6 +187,7 @@ impl Viracocha {
             n_workers: config.n_workers,
             resilience: config.resilience.clone(),
             sched: config.sched.clone(),
+            admission: config.admission.clone(),
             telemetry: config.telemetry.clone(),
         };
         let scheduler = std::thread::Builder::new()

@@ -17,7 +17,7 @@
 //! are individually switchable via [`SchedulerConfig`].
 
 use crate::command::{CancelSet, CommandRegistry};
-use crate::config::{ResilienceConfig, SchedulerConfig, TelemetryConfig};
+use crate::config::{AdmissionConfig, ResilienceConfig, SchedulerConfig, TelemetryConfig};
 use crate::wire;
 use bytes::Bytes;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -113,6 +113,30 @@ static STARVATION_AGED: OnceLock<Arc<obs::Counter>> = OnceLock::new();
 static HEARTBEATS: OnceLock<Arc<obs::Counter>> = OnceLock::new();
 static QUEUE_DEPTH: OnceLock<Arc<obs::Gauge>> = OnceLock::new();
 static RUNNING_JOBS: OnceLock<Arc<obs::Gauge>> = OnceLock::new();
+// Admission-control metrics (load plane; see DESIGN.md "Load plane &
+// admission control").
+static ADMITTED: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static SHED: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static QUOTA_REJECTIONS: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static QUEUE_HIGH_WATERMARK: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static JOB_LATENCY_COHORTS: OnceLock<Vec<Arc<obs::Histogram>>> = OnceLock::new();
+
+/// Session-cohort fan-out for the per-cohort job-latency histograms.
+/// Sessions hash onto a fixed small set of cohorts so the load plane
+/// gets per-session-class tail latency without a per-session metric
+/// family (ten thousand sessions would blow up the registry and every
+/// OBSD1 delta). Mirrors the client's `vista_ttfg_cohort*_ns`.
+const SESSION_COHORTS: u64 = 4;
+
+/// The log2 latency histogram for `session`'s cohort.
+fn job_latency_cohort(session: u64) -> Arc<obs::Histogram> {
+    let cohorts = JOB_LATENCY_COHORTS.get_or_init(|| {
+        (0..SESSION_COHORTS)
+            .map(|k| obs::histogram(&format!("sched_job_latency_cohort{k}_ns")))
+            .collect()
+    });
+    cohorts[(session % SESSION_COHORTS) as usize].clone()
+}
 
 /// Everything the scheduler thread needs.
 pub struct SchedulerSetup<T: Transport = LocalEndpoint> {
@@ -125,6 +149,7 @@ pub struct SchedulerSetup<T: Transport = LocalEndpoint> {
     pub n_workers: usize,
     pub resilience: ResilienceConfig,
     pub sched: SchedulerConfig,
+    pub admission: AdmissionConfig,
     pub telemetry: TelemetryConfig,
 }
 
@@ -141,6 +166,7 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
         n_workers,
         resilience,
         sched,
+        admission,
         telemetry,
     } = setup;
     let mut free: Vec<bool> = vec![true; n_workers + 1];
@@ -171,6 +197,9 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
     ));
     let mut last_heartbeat = Instant::now();
     let mut last_write = Instant::now();
+    // Deepest queue this run has seen; `note_queue_depth` keeps the
+    // monotone high-watermark counter in sync with it.
+    let mut queue_high_watermark: usize = 0;
 
     loop {
         let mut progressed = false;
@@ -198,6 +227,8 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
                                     &EventHeader::JobRejected {
                                         job,
                                         reason: "back-end is shutting down".into(),
+                                        retry_after_ms: None,
+                                        queue_depth: None,
                                     },
                                     Bytes::new(),
                                 ));
@@ -210,6 +241,8 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
                                     &EventHeader::JobRejected {
                                         job,
                                         reason: format!("unknown command '{command}'"),
+                                        retry_after_ms: None,
+                                        queue_depth: None,
                                     },
                                     Bytes::new(),
                                 ));
@@ -222,6 +255,42 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
                                     &EventHeader::JobRejected {
                                         job,
                                         reason: format!("dataset '{dataset}' not registered"),
+                                        retry_after_ms: None,
+                                        queue_depth: None,
+                                    },
+                                    Bytes::new(),
+                                ));
+                                continue;
+                            }
+                            // Admission control: shed instead of growing
+                            // the queue without bound. Sheds are *not*
+                            // validation rejects — they carry the retry
+                            // hint and count against sched_shed_total so
+                            // offered = admitted + shed (+ rejected).
+                            if let Some(verdict) =
+                                admission_verdict(&admission, &queue, &running, session)
+                            {
+                                let depth = queue.len();
+                                obs::counter_cached(&SHED, "sched_shed_total").inc();
+                                let reason = match verdict {
+                                    AdmissionReject::QueueFull => {
+                                        "busy: scheduler queue is full".to_string()
+                                    }
+                                    AdmissionReject::SessionQuota => {
+                                        obs::counter_cached(
+                                            &QUOTA_REJECTIONS,
+                                            "sched_quota_rejections_total",
+                                        )
+                                        .inc();
+                                        format!("busy: session {session} is over its quota")
+                                    }
+                                };
+                                let _ = link.emit(encode_event(
+                                    &EventHeader::JobRejected {
+                                        job,
+                                        reason,
+                                        retry_after_ms: Some(busy_retry_hint(&admission, depth)),
+                                        queue_depth: Some(depth as u64),
                                     },
                                     Bytes::new(),
                                 ));
@@ -229,6 +298,7 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
                             }
                             obs::counter_cached(&JOBS_SUBMITTED, "sched_jobs_submitted_total")
                                 .inc();
+                            obs::counter_cached(&ADMITTED, "sched_admitted_total").inc();
                             let now = Instant::now();
                             queue.push_back(QueuedJob {
                                 job,
@@ -250,6 +320,7 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
                                     parent_span_id,
                                 },
                             });
+                            note_queue_depth(queue.len(), &mut queue_high_watermark);
                         }
                         Ok(ClientRequest::Cancel { job }) => {
                             match cancel_disposition(job, &queue, &running) {
@@ -260,6 +331,7 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
                                     // the cancel set here — an entry for a
                                     // dequeued job would live forever.
                                     queue.remove(pos);
+                                    note_queue_depth(queue.len(), &mut queue_high_watermark);
                                     obs::counter_cached(
                                         &JOBS_CANCELLED,
                                         "sched_jobs_cancelled_total",
@@ -332,10 +404,13 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
                                     &EventHeader::JobRejected {
                                         job: q.job,
                                         reason: "back-end is shutting down".into(),
+                                        retry_after_ms: None,
+                                        queue_depth: None,
                                     },
                                     Bytes::new(),
                                 ));
                             }
+                            note_queue_depth(queue.len(), &mut queue_high_watermark);
                         }
                         Err(_) => { /* malformed request: ignore */ }
                     }
@@ -365,6 +440,7 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
                         remember_final(&mut recent_finals, q.job, frame.clone());
                         let _ = link.emit(frame);
                     }
+                    note_queue_depth(queue.len(), &mut queue_high_watermark);
                     break;
                 }
                 Err(_) => break,
@@ -425,6 +501,7 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
             let alive: usize = (1..=n_workers).filter(|r| !dead.contains(r)).count();
             if alive == 0 {
                 let q = queue.pop_front().expect("non-empty just checked");
+                note_queue_depth(queue.len(), &mut queue_high_watermark);
                 obs::counter_cached(&JOBS_FAILED, "sched_jobs_failed_total").inc();
                 let frame = encode_event(
                     &EventHeader::Error {
@@ -446,6 +523,7 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
                 break;
             };
             let mut q = queue.remove(idx).expect("selected index in bounds");
+            note_queue_depth(queue.len(), &mut queue_high_watermark);
             if idx > 0 {
                 obs::counter_cached(&BACKFILLS, "sched_backfills_total").inc();
                 // Every job the pick jumped over ages by one; the first
@@ -704,6 +782,7 @@ pub fn scheduler_main<T: Transport>(setup: SchedulerSetup<T>) {
                 obs::counter_cached(&REQUEUES, "sched_requeues_total").inc();
                 q.workers = q.workers.min(alive_total);
                 queue.push_front(q);
+                note_queue_depth(queue.len(), &mut queue_high_watermark);
             }
         }
 
@@ -1092,6 +1171,63 @@ fn cancel_disposition(
     }
 }
 
+/// Why admission refused a submit: the bounded global queue is full,
+/// or the submitting session is over its own queued/in-flight budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AdmissionReject {
+    QueueFull,
+    SessionQuota,
+}
+
+/// Pure admission decision for one submit. `None` means admit: control
+/// is disabled, or the queue and the session's budget both have room.
+/// Global bound first — a full queue sheds everyone, fairness between
+/// sessions is the quota's job, not the bound's.
+fn admission_verdict(
+    admission: &AdmissionConfig,
+    queue: &VecDeque<QueuedJob>,
+    running: &HashMap<JobId, RunningJob>,
+    session: u64,
+) -> Option<AdmissionReject> {
+    if !admission.enabled {
+        return None;
+    }
+    if queue.len() >= admission.max_queue_depth {
+        return Some(AdmissionReject::QueueFull);
+    }
+    let queued_s = queue.iter().filter(|q| q.session == session).count();
+    let running_s = running.values().filter(|r| r.q.session == session).count();
+    if queued_s >= admission.max_session_queued
+        || queued_s + running_s >= admission.max_session_queued + admission.max_session_running
+    {
+        return Some(AdmissionReject::SessionQuota);
+    }
+    None
+}
+
+/// Retry-after hint attached to a shed: the configured base plus a
+/// linear ramp up to 2x of it as the queue fills. A fuller scheduler
+/// pushes retries further out instead of inviting every shed client
+/// back at the same instant.
+fn busy_retry_hint(admission: &AdmissionConfig, depth: usize) -> u64 {
+    let max = admission.max_queue_depth.max(1) as u64;
+    let depth = (depth as u64).min(max);
+    admission.retry_after_ms + admission.retry_after_ms * depth / max
+}
+
+/// Refreshes the queue-depth gauge at the mutation site — not only on
+/// the telemetry tick, so bursts shorter than a write interval still
+/// show — and keeps the monotone high-watermark counter exactly equal
+/// to the deepest queue this scheduler run has observed.
+fn note_queue_depth(depth: usize, high_watermark: &mut usize) {
+    obs::gauge_cached(&QUEUE_DEPTH, "sched_queue_depth").set(depth as i64);
+    if depth > *high_watermark {
+        obs::counter_cached(&QUEUE_HIGH_WATERMARK, "sched_queue_high_watermark")
+            .add((depth - *high_watermark) as u64);
+        *high_watermark = depth;
+    }
+}
+
 /// Remembers a job's final (or error) event frame for client resume
 /// requests, evicting the oldest entry past the cap.
 fn remember_final(recent: &mut VecDeque<(JobId, Bytes)>, job: JobId, frame: Bytes) {
@@ -1170,6 +1306,7 @@ fn handle_job_done(
         ],
     );
     obs::histogram_cached(&JOB_RUNTIME_NS, "sched_job_runtime_ns").record_duration(run_elapsed);
+    job_latency_cohort(run.q.session).record_duration(run_elapsed);
     if was_cancelled {
         // Whatever geometry (or error) the late DONE carried is
         // discarded — the client abandoned the job and must see exactly
@@ -1394,6 +1531,151 @@ mod tests {
         // Fair share never picks a job that does not fit.
         let queue: VecDeque<QueuedJob> = vec![qj(1, 1, 0, 0), qj(2, 3, 7, 0)].into();
         assert_eq!(select_candidate(&queue, 1, 4, &sched, Some(0)), Some(0));
+    }
+
+    fn strict_admission() -> AdmissionConfig {
+        AdmissionConfig {
+            enabled: true,
+            max_queue_depth: 4,
+            max_session_queued: 2,
+            max_session_running: 1,
+            retry_after_ms: 50,
+        }
+    }
+
+    #[test]
+    fn admission_disabled_admits_everything() {
+        let admission = AdmissionConfig::default();
+        assert!(!admission.enabled);
+        // Far past every bound, yet admitted: disabled admission is the
+        // historical unbounded-queue behavior.
+        let queue: VecDeque<QueuedJob> = (0..5000).map(|j| qj(j, 1, 3, 0)).collect();
+        let running: HashMap<JobId, RunningJob> = HashMap::new();
+        assert_eq!(admission_verdict(&admission, &queue, &running, 3), None);
+    }
+
+    #[test]
+    fn admission_sheds_on_full_queue_then_on_session_quota() {
+        let admission = strict_admission();
+        let running: HashMap<JobId, RunningJob> = HashMap::new();
+        // Global bound first: a full queue sheds even a quota-clean
+        // session.
+        let queue: VecDeque<QueuedJob> = (0..4).map(|j| qj(j, 1, j, 0)).collect();
+        assert_eq!(
+            admission_verdict(&admission, &queue, &running, 99),
+            Some(AdmissionReject::QueueFull)
+        );
+        // Under the global bound, the per-session queued budget bites…
+        let queue: VecDeque<QueuedJob> = vec![qj(1, 1, 7, 0), qj(2, 1, 7, 0)].into();
+        assert_eq!(
+            admission_verdict(&admission, &queue, &running, 7),
+            Some(AdmissionReject::SessionQuota)
+        );
+        // …while another session still gets in.
+        assert_eq!(admission_verdict(&admission, &queue, &running, 8), None);
+        // Queued + running budget: one queued job plus enough in-flight
+        // work crosses the combined quota.
+        let queue: VecDeque<QueuedJob> = vec![qj(1, 1, 7, 0)].into();
+        let mut running: HashMap<JobId, RunningJob> = HashMap::new();
+        for j in 10..12 {
+            let mut run = rj(j, vec![1]);
+            run.q.session = 7;
+            running.insert(j, run);
+        }
+        assert_eq!(
+            admission_verdict(&admission, &queue, &running, 7),
+            Some(AdmissionReject::SessionQuota)
+        );
+        // The same load on someone else's session is irrelevant.
+        assert_eq!(admission_verdict(&admission, &queue, &running, 8), None);
+    }
+
+    #[test]
+    fn busy_retry_hint_ramps_with_queue_depth() {
+        let admission = AdmissionConfig {
+            retry_after_ms: 50,
+            max_queue_depth: 100,
+            ..strict_admission()
+        };
+        // Empty queue: the base hint. Full queue: exactly double.
+        assert_eq!(busy_retry_hint(&admission, 0), 50);
+        assert_eq!(busy_retry_hint(&admission, 50), 75);
+        assert_eq!(busy_retry_hint(&admission, 100), 100);
+        // Depth beyond the bound clamps instead of overflowing the ramp.
+        assert_eq!(busy_retry_hint(&admission, 100_000), 100);
+        // A zero bound must not divide by zero.
+        let degenerate = AdmissionConfig {
+            max_queue_depth: 0,
+            retry_after_ms: 10,
+            ..strict_admission()
+        };
+        assert_eq!(busy_retry_hint(&degenerate, 0), 10);
+    }
+
+    #[test]
+    fn queue_high_watermark_tracks_the_deepest_queue_only() {
+        let mut hwm = 0usize;
+        note_queue_depth(3, &mut hwm);
+        assert_eq!(hwm, 3);
+        // Draining the queue never lowers the watermark…
+        note_queue_depth(0, &mut hwm);
+        assert_eq!(hwm, 3);
+        // …and a deeper burst raises it by exactly the difference.
+        note_queue_depth(5, &mut hwm);
+        assert_eq!(hwm, 5);
+        note_queue_depth(5, &mut hwm);
+        assert_eq!(hwm, 5);
+    }
+
+    proptest::proptest! {
+        /// Fair-share starvation bound: with K distinct sessions all
+        /// holding fitting jobs, no session waits more than K
+        /// consecutive dispatches — for any queue interleaving and any
+        /// pivot (`last_session`), including wrap-around past the
+        /// largest session id.
+        #[test]
+        fn fair_share_serves_every_session_within_k_dispatches(
+            entries in proptest::collection::vec(0u64..6, 1..24),
+            last in proptest::option::of(proptest::prelude::any::<u64>()),
+        ) {
+            let sched = SchedulerConfig {
+                locality: false,
+                ..SchedulerConfig::default()
+            };
+            let mut queue: VecDeque<QueuedJob> = entries
+                .iter()
+                .enumerate()
+                .map(|(j, &s)| qj(j as u64, 1, s, 0))
+                .collect();
+            let k = {
+                let mut s: Vec<u64> = entries.clone();
+                s.sort_unstable();
+                s.dedup();
+                s.len()
+            };
+            let mut last_session = last;
+            let mut waited: HashMap<u64, usize> = HashMap::new();
+            while !queue.is_empty() {
+                // Every job fits (1 worker, 16 free): a starved session
+                // can only be the rotation's fault.
+                let idx = select_candidate(&queue, 16, 16, &sched, last_session)
+                    .expect("fitting jobs are always dispatchable");
+                let q = queue.remove(idx).unwrap();
+                waited.remove(&q.session);
+                for w in queue.iter() {
+                    if w.session != q.session {
+                        let n = waited.entry(w.session).or_insert(0);
+                        *n += 1;
+                        proptest::prop_assert!(
+                            *n < k,
+                            "session {} waited {} dispatches with only {} sessions live",
+                            w.session, n, k
+                        );
+                    }
+                }
+                last_session = Some(q.session);
+            }
+        }
     }
 
     #[test]

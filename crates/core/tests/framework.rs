@@ -119,7 +119,10 @@ fn parallel_extraction_is_byte_identical_to_serial() {
     let serial = run_with(1);
     let parallel = run_with(4);
     assert!(serial.triangles.n_triangles() > 0);
-    assert_eq!(serial.triangles, parallel.triangles, "exact order, exact bits");
+    assert_eq!(
+        serial.triangles, parallel.triangles,
+        "exact order, exact bits"
+    );
     // The report says which path ran: 4 items on this worker, so the
     // full 4-thread fan-out engages; the serial run never enters the
     // parallel section.
@@ -204,7 +207,9 @@ fn vortex_commands_find_the_test_vortex() {
             .run(&SubmitSpec {
                 command: cmd.into(),
                 dataset: "TestCube".into(),
-                params: CommandParams::new().set("threshold", -0.05).set("n_steps", 1),
+                params: CommandParams::new()
+                    .set("threshold", -0.05)
+                    .set("n_steps", 1),
                 workers: 2,
             })
             .unwrap();
@@ -223,7 +228,9 @@ fn streamed_vortex_streams_and_matches() {
         .run(&SubmitSpec {
             command: "VortexDataMan".into(),
             dataset: "TestCube".into(),
-            params: CommandParams::new().set("threshold", -0.05).set("n_steps", 1),
+            params: CommandParams::new()
+                .set("threshold", -0.05)
+                .set("n_steps", 1),
             workers: 2,
         })
         .unwrap();
@@ -449,7 +456,10 @@ fn cancel_of_queued_job_leaves_no_cancel_set_residue() {
     let o1 = client.collect(j1).unwrap();
     assert!(o1.triangles.n_triangles() > 0);
     let o2 = client.collect(j2).unwrap();
-    assert!(o2.cancelled, "a queued-job cancel ends in a Cancelled final");
+    assert!(
+        o2.cancelled,
+        "a queued-job cancel ends in a Cancelled final"
+    );
     assert!(
         backend.cancel_set().read().is_empty(),
         "queue-position cancels never dispatch, so the cancel set must stay empty"
@@ -670,12 +680,8 @@ fn derived_field_cache_preserves_geometry_and_saves_compute() {
 
 #[test]
 fn scheduler_survives_malformed_frames() {
-    
     let (backend, link) = Viracocha::launch(ViracochaConfig::for_tests(1));
-    backend.register_dataset(
-        Arc::new(SynthSource::new(Arc::new(test_cube(8, 2)))),
-        false,
-    );
+    backend.register_dataset(Arc::new(SynthSource::new(Arc::new(test_cube(8, 2)))), false);
     // Raw garbage straight onto the link: the scheduler must ignore it.
     link.request(bytes::Bytes::from_static(b"\xde\xad\xbe\xef garbage"))
         .unwrap();
@@ -720,7 +726,7 @@ fn shutdown_rejects_new_submissions_but_drains_running_jobs() {
     // silently.
     match client.collect(job) {
         Ok(out) => assert!(out.triangles.n_triangles() > 0),
-        Err(ClientError::Rejected(reason)) => assert!(reason.contains("shutting down")),
+        Err(ClientError::Rejected(reason)) => assert!(reason.message().contains("shutting down")),
         Err(other) => panic!("job dropped silently: {other:?}"),
     }
     match late {

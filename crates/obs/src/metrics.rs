@@ -148,9 +148,7 @@ impl HistogramSnapshot {
         HistogramSnapshot {
             count: self.count.saturating_sub(earlier.count),
             sum: self.sum.saturating_sub(earlier.sum),
-            buckets: std::array::from_fn(|i| {
-                self.buckets[i].saturating_sub(earlier.buckets[i])
-            }),
+            buckets: std::array::from_fn(|i| self.buckets[i].saturating_sub(earlier.buckets[i])),
         }
     }
 
@@ -285,26 +283,77 @@ pub fn histogram_cached<'a>(
 /// deliberately absent: they never reach exported artifacts.
 pub const METRIC_REGISTRY: &[(&str, &str)] = &[
     // costmodel
-    ("costmodel_compute_modeled_ns_total", "Modeled compute time charged by commands"),
-    ("costmodel_read_modeled_ns_total", "Modeled read time charged by storage"),
-    ("costmodel_send_modeled_ns_total", "Modeled send time charged by the uplink"),
-    ("costmodel_wall_slept_ns_total", "Wall time actually slept to honour dilation"),
+    (
+        "costmodel_compute_modeled_ns_total",
+        "Modeled compute time charged by commands",
+    ),
+    (
+        "costmodel_read_modeled_ns_total",
+        "Modeled read time charged by storage",
+    ),
+    (
+        "costmodel_send_modeled_ns_total",
+        "Modeled send time charged by the uplink",
+    ),
+    (
+        "costmodel_wall_slept_ns_total",
+        "Wall time actually slept to honour dilation",
+    ),
     // dms
-    ("dms_demand_requests_total", "Block requests served by the DMS proxy"),
-    ("dms_fallback_total", "Loads that fell back after a peer/replica failure"),
-    ("dms_l1_hits_total", "Demand requests answered from the memory cache"),
-    ("dms_l2_hits_total", "Demand requests answered from the node disk cache"),
-    ("dms_loads_fileserver_total", "Cold loads served by the central file server"),
-    ("dms_loads_peer_total", "Cold loads served by a peer node cache"),
-    ("dms_loads_replica_total", "Cold loads served by a node-local replica"),
-    ("dms_misses_total", "Demand requests that missed every cache tier"),
-    ("dms_prefetch_hits_total", "Demand requests answered by a completed prefetch"),
+    (
+        "dms_demand_requests_total",
+        "Block requests served by the DMS proxy",
+    ),
+    (
+        "dms_fallback_total",
+        "Loads that fell back after a peer/replica failure",
+    ),
+    (
+        "dms_l1_hits_total",
+        "Demand requests answered from the memory cache",
+    ),
+    (
+        "dms_l2_hits_total",
+        "Demand requests answered from the node disk cache",
+    ),
+    (
+        "dms_loads_fileserver_total",
+        "Cold loads served by the central file server",
+    ),
+    (
+        "dms_loads_peer_total",
+        "Cold loads served by a peer node cache",
+    ),
+    (
+        "dms_loads_replica_total",
+        "Cold loads served by a node-local replica",
+    ),
+    (
+        "dms_misses_total",
+        "Demand requests that missed every cache tier",
+    ),
+    (
+        "dms_prefetch_hits_total",
+        "Demand requests answered by a completed prefetch",
+    ),
     ("dms_prefetch_issued_total", "Prefetch operations issued"),
-    ("dms_prefetch_redundant_total", "Prefetches that found the item already cached"),
-    ("dms_prefetch_waits_total", "Demand requests that waited on an in-flight prefetch"),
+    (
+        "dms_prefetch_redundant_total",
+        "Prefetches that found the item already cached",
+    ),
+    (
+        "dms_prefetch_waits_total",
+        "Demand requests that waited on an in-flight prefetch",
+    ),
     // extraction kernels
-    ("extract_lane_chunks_total", "Lane-width chunks processed by vectorized extraction kernels"),
-    ("extract_threads_total", "Threads entering intra-worker parallel extraction sections"),
+    (
+        "extract_lane_chunks_total",
+        "Lane-width chunks processed by vectorized extraction kernels",
+    ),
+    (
+        "extract_threads_total",
+        "Threads entering intra-worker parallel extraction sections",
+    ),
     // fault injection
     ("fault_corrupt_total", "Frames corrupted by the fault plan"),
     ("fault_delay_total", "Frames delayed by the fault plan"),
@@ -315,44 +364,177 @@ pub const METRIC_REGISTRY: &[(&str, &str)] = &[
     ("fault_reorder_total", "Frames reordered by the fault plan"),
     ("fault_truncate_total", "Frames truncated by the fault plan"),
     // comm links
-    ("link_event_bytes_total", "Bytes of event frames sent to the client"),
+    (
+        "link_event_bytes_total",
+        "Bytes of event frames sent to the client",
+    ),
     ("link_event_frames_total", "Event frames sent to the client"),
-    ("link_request_bytes_total", "Bytes of request frames sent by the client"),
-    ("link_request_frames_total", "Request frames sent by the client"),
+    (
+        "link_request_bytes_total",
+        "Bytes of request frames sent by the client",
+    ),
+    (
+        "link_request_frames_total",
+        "Request frames sent by the client",
+    ),
     // observability plane
-    ("obs_deltas_shipped_total", "Metric deltas cut by the shipping cursor"),
-    ("obs_heartbeats_total", "Telemetry heartbeat pings sent by the scheduler"),
-    ("obs_spans_dropped_total", "Span records lost to ring-buffer overflow"),
+    (
+        "obs_deltas_shipped_total",
+        "Metric deltas cut by the shipping cursor",
+    ),
+    (
+        "obs_heartbeats_total",
+        "Telemetry heartbeat pings sent by the scheduler",
+    ),
+    (
+        "obs_spans_dropped_total",
+        "Span records lost to ring-buffer overflow",
+    ),
     // scheduler
-    ("sched_backfills_total", "Dispatches that jumped a blocked queue head"),
-    ("sched_dead_ranks_total", "Ranks declared dead by the liveness probe"),
-    ("sched_idle_wait_ns_total", "Scheduler time spent idle waiting for messages"),
-    ("sched_job_runtime_ns", "Per-job accept-to-done runtime histogram"),
-    ("sched_jobs_dispatched_total", "Jobs dispatched to a worker group"),
+    (
+        "sched_admitted_total",
+        "Submissions that passed admission control",
+    ),
+    (
+        "sched_backfills_total",
+        "Dispatches that jumped a blocked queue head",
+    ),
+    (
+        "sched_dead_ranks_total",
+        "Ranks declared dead by the liveness probe",
+    ),
+    (
+        "sched_idle_wait_ns_total",
+        "Scheduler time spent idle waiting for messages",
+    ),
+    (
+        "sched_job_latency_cohort0_ns",
+        "Accept-to-done runtime histogram, session cohort 0",
+    ),
+    (
+        "sched_job_latency_cohort1_ns",
+        "Accept-to-done runtime histogram, session cohort 1",
+    ),
+    (
+        "sched_job_latency_cohort2_ns",
+        "Accept-to-done runtime histogram, session cohort 2",
+    ),
+    (
+        "sched_job_latency_cohort3_ns",
+        "Accept-to-done runtime histogram, session cohort 3",
+    ),
+    (
+        "sched_job_runtime_ns",
+        "Per-job accept-to-done runtime histogram",
+    ),
+    (
+        "sched_jobs_dispatched_total",
+        "Jobs dispatched to a worker group",
+    ),
     ("sched_jobs_done_total", "Jobs finished successfully"),
-    ("sched_jobs_failed_total", "Jobs that ended in an error report"),
-    ("sched_jobs_rejected_total", "Submissions rejected before queueing"),
-    ("sched_jobs_submitted_total", "Submissions accepted into the queue"),
-    ("sched_locality_hits_total", "Placed ranks whose cache already held job items"),
-    ("sched_queue_depth", "Jobs currently waiting in the scheduler queue"),
+    (
+        "sched_jobs_failed_total",
+        "Jobs that ended in an error report",
+    ),
+    (
+        "sched_jobs_rejected_total",
+        "Submissions rejected before queueing",
+    ),
+    (
+        "sched_jobs_submitted_total",
+        "Submissions accepted into the queue",
+    ),
+    (
+        "sched_locality_hits_total",
+        "Placed ranks whose cache already held job items",
+    ),
+    (
+        "sched_queue_depth",
+        "Jobs currently waiting in the scheduler queue",
+    ),
+    (
+        "sched_queue_high_watermark",
+        "Deepest scheduler queue observed (monotone counter)",
+    ),
     ("sched_queue_wait_ns", "Per-job queue-wait histogram"),
-    ("sched_running_jobs", "Jobs currently dispatched and not yet done"),
+    (
+        "sched_quota_rejections_total",
+        "Sheds caused by a per-session quota",
+    ),
+    (
+        "sched_running_jobs",
+        "Jobs currently dispatched and not yet done",
+    ),
     ("sched_requeues_total", "Jobs requeued after a dead rank"),
     ("sched_retries_total", "Command frames retransmitted"),
-    ("sched_starvation_aged_total", "Queue heads force-dispatched by the aging bound"),
+    (
+        "sched_shed_total",
+        "Submissions shed by admission control (busy rejections)",
+    ),
+    (
+        "sched_starvation_aged_total",
+        "Queue heads force-dispatched by the aging bound",
+    ),
     // slo engine
     ("slo_alerts_total", "SLO burn-rate alerts fired"),
     // vista client
-    ("vista_dup_dropped_total", "Duplicate stream packets dropped by the client"),
-    ("vista_first_result_ns", "Submit-to-first-geometry latency histogram"),
-    ("vista_jobs_collected_total", "Jobs fully collected by the client"),
-    ("vista_packets_total", "Stream packets received by the client"),
-    ("vista_resend_total", "Stream packets resent from the session buffer"),
-    ("vista_stream_bytes_total", "Bytes of streamed geometry received"),
-    ("vista_stream_items_total", "Geometry items received by the client"),
+    (
+        "vista_busy_rejections_total",
+        "Busy (shed) rejections observed by the client",
+    ),
+    (
+        "vista_dup_dropped_total",
+        "Duplicate stream packets dropped by the client",
+    ),
+    (
+        "vista_first_result_ns",
+        "Submit-to-first-geometry latency histogram",
+    ),
+    (
+        "vista_jobs_collected_total",
+        "Jobs fully collected by the client",
+    ),
+    (
+        "vista_packets_total",
+        "Stream packets received by the client",
+    ),
+    (
+        "vista_resend_total",
+        "Stream packets resent from the session buffer",
+    ),
+    (
+        "vista_stream_bytes_total",
+        "Bytes of streamed geometry received",
+    ),
+    (
+        "vista_stream_items_total",
+        "Geometry items received by the client",
+    ),
+    (
+        "vista_ttfg_cohort0_ns",
+        "Submit-to-first-geometry histogram, session cohort 0",
+    ),
+    (
+        "vista_ttfg_cohort1_ns",
+        "Submit-to-first-geometry histogram, session cohort 1",
+    ),
+    (
+        "vista_ttfg_cohort2_ns",
+        "Submit-to-first-geometry histogram, session cohort 2",
+    ),
+    (
+        "vista_ttfg_cohort3_ns",
+        "Submit-to-first-geometry histogram, session cohort 3",
+    ),
     // workers
-    ("worker_stream_items_total", "Geometry items streamed by workers"),
-    ("worker_stream_packets_total", "Stream packets sent by workers"),
+    (
+        "worker_stream_items_total",
+        "Geometry items streamed by workers",
+    ),
+    (
+        "worker_stream_packets_total",
+        "Stream packets sent by workers",
+    ),
 ];
 
 /// `# HELP` text for a registered family, if any.
@@ -404,10 +586,7 @@ impl MetricsSnapshot {
     }
 
     pub fn gauge(&self, name: &str) -> Option<i64> {
-        self.gauges
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|&(_, v)| v)
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
     }
 
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {

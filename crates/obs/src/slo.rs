@@ -87,18 +87,42 @@ impl SloSpec {
     }
 }
 
-/// The stock cluster SLOs: job latency, time-to-first-geometry, and
-/// job error rate. Thresholds are deliberately loose defaults — deploys
-/// tune them through `TelemetryConfig`.
+/// The stock cluster SLOs: job latency and time-to-first-geometry at
+/// p99 and p999, job error rate, and the admission shed ratio (good =
+/// admitted, bad = shed — burns when the load plane sheds more than 1%
+/// of offered submissions). Thresholds are deliberately loose defaults
+/// — deploys tune them through `TelemetryConfig`.
 pub fn default_specs(job_latency_ns: u64, ttfg_ns: u64) -> Vec<SloSpec> {
     vec![
-        SloSpec::latency("job_latency_p99", "sched_job_runtime_ns", job_latency_ns, 0.99),
+        SloSpec::latency(
+            "job_latency_p99",
+            "sched_job_runtime_ns",
+            job_latency_ns,
+            0.99,
+        ),
+        // The tail objective reuses the same threshold: it asks that
+        // all but 0.1% of jobs stay under the *same* bound the p99
+        // objective tolerates 1% exceeding — a strictly tighter SLO
+        // that burns first when the far tail collapses.
+        SloSpec::latency(
+            "job_latency_p999",
+            "sched_job_runtime_ns",
+            job_latency_ns,
+            0.999,
+        ),
         SloSpec::latency("ttfg_p99", "vista_first_result_ns", ttfg_ns, 0.99),
+        SloSpec::latency("ttfg_p999", "vista_first_result_ns", ttfg_ns, 0.999),
         SloSpec::error_ratio(
             "job_errors",
             "sched_jobs_done_total",
             "sched_jobs_failed_total",
             0.999,
+        ),
+        SloSpec::error_ratio(
+            "shed_ratio",
+            "sched_admitted_total",
+            "sched_shed_total",
+            0.99,
         ),
     ]
 }
@@ -457,7 +481,11 @@ mod tests {
         assert_eq!(st.fast_total, 100);
         assert_eq!(st.slow_total, 100);
         assert!((st.fast_bad_fraction - 0.10).abs() < 1e-12);
-        assert!((st.fast_burn - 10.0).abs() < 1e-9, "burn = {}", st.fast_burn);
+        assert!(
+            (st.fast_burn - 10.0).abs() < 1e-9,
+            "burn = {}",
+            st.fast_burn
+        );
         assert!((st.slow_burn - 10.0).abs() < 1e-9);
         assert!(st.firing);
     }
@@ -467,7 +495,7 @@ mod tests {
         let mut h = HistogramSnapshot::default();
         h.count = 2;
         h.buckets[10] = 2; // two samples in [1024, 2048)
-        // 1500 is inside bucket 10, so the whole bucket counts good.
+                           // 1500 is inside bucket 10, so the whole bucket counts good.
         assert_eq!(good_below(&h, 1500), 2);
         // 1023 is in bucket 9; bucket 10 is above it.
         assert_eq!(good_below(&h, 1023), 0);
@@ -491,11 +519,75 @@ mod tests {
                 e.target == "slo"
                     && !e.message.contains("resolved")
                     && e.fields.iter().any(|(k, v)| {
-                        k == "slo" && matches!(v, crate::event::Field::Str(s) if s == "edge_test_slo")
+                        k == "slo"
+                            && matches!(v, crate::event::Field::Str(s) if s == "edge_test_slo")
                     })
             })
             .collect();
-        assert_eq!(alerts.len(), 1, "re-evaluation while firing must stay silent");
+        assert_eq!(
+            alerts.len(),
+            1,
+            "re-evaluation while firing must stay silent"
+        );
+    }
+
+    #[test]
+    fn default_specs_cover_tails_and_shed_ratio() {
+        let specs = default_specs(1_000_000, 500_000);
+        let names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+        for expect in [
+            "job_latency_p99",
+            "job_latency_p999",
+            "ttfg_p99",
+            "ttfg_p999",
+            "job_errors",
+            "shed_ratio",
+        ] {
+            assert!(names.contains(&expect), "missing default spec {expect}");
+        }
+        let p999 = specs.iter().find(|s| s.name == "job_latency_p999").unwrap();
+        assert!((p999.objective - 0.999).abs() < 1e-12);
+        let shed = specs.iter().find(|s| s.name == "shed_ratio").unwrap();
+        match &shed.source {
+            SloSource::ErrorRatio {
+                good_total,
+                bad_total,
+            } => {
+                assert_eq!(good_total, "sched_admitted_total");
+                assert_eq!(bad_total, "sched_shed_total");
+            }
+            other => panic!("shed_ratio must be an error ratio, got {other:?}"),
+        }
+    }
+
+    /// An undersized-quota run: 80 admitted, 20 shed, objective 0.99.
+    /// Bad fraction 0.20 against a 0.01 budget burns at exactly 20×.
+    #[test]
+    fn shed_ratio_burns_when_quotas_shed() {
+        let mut db = Tsdb::new(TsdbConfig::default());
+        let d = MetricsDelta {
+            rank: 0,
+            seq: 1,
+            t_ns: 1,
+            counters: vec![
+                ("sched_admitted_total".into(), 80),
+                ("sched_shed_total".into(), 20),
+            ],
+            ..Default::default()
+        };
+        db.ingest(&d, 1_000);
+        let spec = SloSpec::error_ratio(
+            "shed_ratio",
+            "sched_admitted_total",
+            "sched_shed_total",
+            0.99,
+        );
+        let mut engine = SloEngine::new(vec![spec]);
+        let st = &engine.evaluate(&db, 2_000)[0];
+        assert_eq!(st.fast_total, 100);
+        assert!((st.fast_bad_fraction - 0.20).abs() < 1e-12);
+        assert!((st.fast_burn - 20.0).abs() < 1e-9);
+        assert!(st.firing);
     }
 
     #[test]
@@ -581,7 +673,10 @@ mod tests {
             Some(-42.0)
         );
         let slo = j.get("slo").and_then(|s| s.as_arr()).unwrap();
-        assert_eq!(slo[0].get("name").and_then(|v| v.as_str()), Some("job_latency_p99"));
+        assert_eq!(
+            slo[0].get("name").and_then(|v| v.as_str()),
+            Some("job_latency_p99")
+        );
         assert_eq!(slo[0].get("firing").and_then(|v| v.as_bool()), Some(false));
     }
 }

@@ -26,6 +26,27 @@ static STREAM_ITEMS: OnceLock<Arc<obs::Counter>> = OnceLock::new();
 static JOBS_COLLECTED: OnceLock<Arc<obs::Counter>> = OnceLock::new();
 static FIRST_RESULT_NS: OnceLock<Arc<obs::Histogram>> = OnceLock::new();
 static DUP_DROPPED: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static BUSY_REJECTIONS: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+static TTFG_COHORTS: OnceLock<Vec<Arc<obs::Histogram>>> = OnceLock::new();
+
+/// Session-cohort fan-out for the per-cohort TTFG histograms. Sessions
+/// hash onto a fixed small set of cohorts so the load plane gets
+/// per-session-class tail latency without a per-session metric family
+/// (ten thousand sessions would blow up the registry and the OBSD1
+/// deltas). Mirrors the scheduler's `sched_job_latency_cohort*_ns`.
+pub const SESSION_COHORTS: u64 = 4;
+
+/// Records one submit-to-first-geometry latency: the cluster-wide
+/// histogram plus the session's cohort histogram.
+fn record_first_result(session: u64, elapsed: Duration) {
+    obs::histogram_cached(&FIRST_RESULT_NS, "vista_first_result_ns").record_duration(elapsed);
+    let cohorts = TTFG_COHORTS.get_or_init(|| {
+        (0..SESSION_COHORTS)
+            .map(|k| obs::histogram(&format!("vista_ttfg_cohort{k}_ns")))
+            .collect()
+    });
+    cohorts[(session % SESSION_COHORTS) as usize].record_duration(elapsed);
+}
 
 /// A submission to the back-end.
 #[derive(Debug, Clone)]
@@ -80,12 +101,89 @@ pub struct JobOutcome {
     pub cancelled: bool,
 }
 
+/// Why the back-end rejected a submission before queueing it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Admission-control backpressure: the global queue or the session's
+    /// quota is full *right now*. Resubmitting after `retry_after_ms`
+    /// (the scheduler's hint, when present) is expected to succeed.
+    Busy {
+        message: String,
+        retry_after_ms: Option<u64>,
+        /// Scheduler queue depth at rejection time, for client-side
+        /// backoff scaling.
+        queue_depth: Option<u64>,
+    },
+    /// Permanent refusal (unknown command, unregistered dataset,
+    /// shutdown): resubmitting the same job cannot succeed.
+    Refused(String),
+}
+
+impl RejectReason {
+    /// Classifies a wire rejection. Frames carrying either busy field
+    /// are admission sheds; bare-string frames (validation refusals, and
+    /// everything from schedulers predating admission control) are
+    /// permanent.
+    pub fn from_wire(
+        reason: String,
+        retry_after_ms: Option<u64>,
+        queue_depth: Option<u64>,
+    ) -> RejectReason {
+        if retry_after_ms.is_some() || queue_depth.is_some() {
+            RejectReason::Busy {
+                message: reason,
+                retry_after_ms,
+                queue_depth,
+            }
+        } else {
+            RejectReason::Refused(reason)
+        }
+    }
+
+    /// The human-readable reason string from the wire.
+    pub fn message(&self) -> &str {
+        match self {
+            RejectReason::Busy { message, .. } => message,
+            RejectReason::Refused(message) => message,
+        }
+    }
+
+    /// The scheduler's resubmit hint, on busy rejections that carry one.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            RejectReason::Busy { retry_after_ms, .. } => *retry_after_ms,
+            RejectReason::Refused(_) => None,
+        }
+    }
+
+    /// True for transient admission-control sheds (worth resubmitting).
+    pub fn is_busy(&self) -> bool {
+        matches!(self, RejectReason::Busy { .. })
+    }
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::Busy {
+                message,
+                retry_after_ms,
+                ..
+            } => match retry_after_ms {
+                Some(ms) => write!(f, "{message} (busy, retry after {ms} ms)"),
+                None => write!(f, "{message} (busy)"),
+            },
+            RejectReason::Refused(message) => write!(f, "{message}"),
+        }
+    }
+}
+
 /// Client-side errors.
 #[derive(Debug)]
 pub enum ClientError {
     Comm(CommError),
     Protocol(ProtocolError),
-    Rejected(String),
+    Rejected(RejectReason),
     JobFailed(String),
 }
 
@@ -176,6 +274,29 @@ impl VistaClient {
         self.collect(job)
     }
 
+    /// Like [`run`](Self::run), but honours admission-control
+    /// backpressure: a `Busy` rejection is resubmitted (as a fresh job)
+    /// after sleeping the scheduler's `retry_after_ms` hint, up to
+    /// `max_retries` resubmissions. Permanent refusals and every other
+    /// error return immediately; exhausting the budget returns the last
+    /// `Busy` rejection.
+    pub fn run_with_retry(
+        &mut self,
+        spec: &SubmitSpec,
+        max_retries: u32,
+    ) -> Result<JobOutcome, ClientError> {
+        let mut resubmits = 0;
+        loop {
+            match self.run(spec) {
+                Err(ClientError::Rejected(r)) if r.is_busy() && resubmits < max_retries => {
+                    resubmits += 1;
+                    std::thread::sleep(Duration::from_millis(r.retry_after_ms().unwrap_or(1)));
+                }
+                other => return other,
+            }
+        }
+    }
+
     /// Sends the submit request; returns the job id for later
     /// collection.
     pub fn submit(&mut self, spec: &SubmitSpec) -> Result<JobId, ClientError> {
@@ -231,7 +352,8 @@ impl VistaClient {
 
     /// Asks the back-end to shut down.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
-        self.link.request(encode_request(&ClientRequest::Shutdown))?;
+        self.link
+            .request(encode_request(&ClientRequest::Shutdown))?;
         Ok(())
     }
 
@@ -265,10 +387,7 @@ impl VistaClient {
         // Install the job's trace context so the collect span (and any
         // events fired while assembling) land in the job's flight
         // recording; time-to-first-triangle is measured from submit.
-        let (ctx, submitted_at) = self
-            .traces
-            .remove(&job)
-            .unwrap_or((obs::current_ctx(), t0));
+        let (ctx, submitted_at) = self.traces.remove(&job).unwrap_or((obs::current_ctx(), t0));
         let _ctx_guard = obs::install_ctx(ctx);
         let mut span = obs::span("vista.collect", "vista").arg("job", job);
         let mut triangles = TriangleSoup::new();
@@ -287,7 +406,16 @@ impl VistaClient {
             let (header, payload) = self.next_event_for(job)?;
             match header {
                 EventHeader::JobAccepted { .. } => {}
-                EventHeader::JobRejected { reason, .. } => {
+                EventHeader::JobRejected {
+                    reason,
+                    retry_after_ms,
+                    queue_depth,
+                    ..
+                } => {
+                    let reason = RejectReason::from_wire(reason, retry_after_ms, queue_depth);
+                    if reason.is_busy() {
+                        obs::counter_cached(&BUSY_REJECTIONS, "vista_busy_rejections_total").inc();
+                    }
                     return Err(ClientError::Rejected(reason));
                 }
                 EventHeader::Partial {
@@ -311,8 +439,7 @@ impl VistaClient {
                     cumulative += n_items as u64;
                     if n_items > 0 && first.is_none() {
                         first = Some(elapsed);
-                        obs::histogram_cached(&FIRST_RESULT_NS, "vista_first_result_ns")
-                            .record_duration(elapsed);
+                        record_first_result(self.session, elapsed);
                         // Time-to-first-triangle span, measured from
                         // submit — the critical-path analyzer reads it
                         // as the job's ttft.
@@ -350,8 +477,7 @@ impl VistaClient {
                     Self::ingest(kind, payload, &mut triangles, &mut polylines)?;
                     if n_items > 0 && first.is_none() {
                         first = Some(elapsed);
-                        obs::histogram_cached(&FIRST_RESULT_NS, "vista_first_result_ns")
-                            .record_duration(elapsed);
+                        record_first_result(self.session, elapsed);
                         // Time-to-first-triangle span, measured from
                         // submit — the critical-path analyzer reads it
                         // as the job's ttft.
@@ -446,7 +572,11 @@ mod tests {
 
     fn one_tri() -> TriangleSoup {
         let mut s = TriangleSoup::new();
-        s.push_tri(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0));
+        s.push_tri(
+            Vec3::ZERO,
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+        );
         s
     }
 
@@ -534,6 +664,8 @@ mod tests {
                     &EventHeader::JobRejected {
                         job,
                         reason: "unknown command".into(),
+                        retry_after_ms: None,
+                        queue_depth: None,
                     },
                     Bytes::new(),
                 ))
@@ -541,8 +673,119 @@ mod tests {
         });
         let mut client = VistaClient::new(client_side);
         match client.run(&spec()) {
-            Err(ClientError::Rejected(r)) => assert_eq!(r, "unknown command"),
+            Err(ClientError::Rejected(r)) => {
+                // A bare-reason frame (validation refusal, or any frame
+                // from a scheduler predating admission control) is a
+                // permanent refusal, never a busy shed.
+                assert_eq!(r, RejectReason::Refused("unknown command".into()));
+                assert!(!r.is_busy());
+                assert_eq!(r.message(), "unknown command");
+                assert_eq!(r.retry_after_ms(), None);
+            }
             other => panic!("expected rejection, got {other:?}"),
+        }
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn busy_rejection_is_structured() {
+        let (client_side, server_side) = client_server_link();
+        let h = std::thread::spawn(move || {
+            let frame = server_side.next_request().unwrap();
+            let ClientRequest::Submit { job, .. } = decode_request(frame).unwrap() else {
+                panic!("expected submit");
+            };
+            server_side
+                .emit(encode_event(
+                    &EventHeader::JobRejected {
+                        job,
+                        reason: "busy: queue full".into(),
+                        retry_after_ms: Some(40),
+                        queue_depth: Some(16),
+                    },
+                    Bytes::new(),
+                ))
+                .unwrap();
+        });
+        let mut client = VistaClient::new(client_side);
+        match client.run(&spec()) {
+            Err(ClientError::Rejected(r)) => {
+                assert!(r.is_busy());
+                assert_eq!(r.retry_after_ms(), Some(40));
+                assert_eq!(r.message(), "busy: queue full");
+                assert!(r.to_string().contains("retry after 40 ms"));
+            }
+            other => panic!("expected busy rejection, got {other:?}"),
+        }
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn run_with_retry_resubmits_after_a_busy_shed() {
+        // First submit is shed with a 1 ms hint; the resubmission (a
+        // fresh job id) is accepted and finishes.
+        let (client_side, server_side) = client_server_link();
+        let h = std::thread::spawn(move || {
+            let frame = server_side.next_request().unwrap();
+            let ClientRequest::Submit { job: first, .. } = decode_request(frame).unwrap() else {
+                panic!("expected submit");
+            };
+            server_side
+                .emit(encode_event(
+                    &EventHeader::JobRejected {
+                        job: first,
+                        reason: "busy: queue full".into(),
+                        retry_after_ms: Some(1),
+                        queue_depth: Some(8),
+                    },
+                    Bytes::new(),
+                ))
+                .unwrap();
+            let frame = server_side.next_request().unwrap();
+            let ClientRequest::Submit { job: second, .. } = decode_request(frame).unwrap() else {
+                panic!("expected resubmit");
+            };
+            assert_eq!(second, first + 1, "resubmission is a fresh job");
+            server_side
+                .emit(encode_event(
+                    &EventHeader::Final {
+                        job: second,
+                        kind: PayloadKind::None,
+                        n_items: 0,
+                        report: JobReport::default(),
+                    },
+                    Bytes::new(),
+                ))
+                .unwrap();
+        });
+        let mut client = VistaClient::new(client_side);
+        let out = client.run_with_retry(&spec(), 3).unwrap();
+        h.join().unwrap();
+        assert_eq!(out.job, 2);
+
+        // A permanent refusal is never retried, even with budget left.
+        let (client_side, server_side) = client_server_link();
+        let h = std::thread::spawn(move || {
+            let frame = server_side.next_request().unwrap();
+            let ClientRequest::Submit { job, .. } = decode_request(frame).unwrap() else {
+                panic!("expected submit");
+            };
+            server_side
+                .emit(encode_event(
+                    &EventHeader::JobRejected {
+                        job,
+                        reason: "unknown command".into(),
+                        retry_after_ms: None,
+                        queue_depth: None,
+                    },
+                    Bytes::new(),
+                ))
+                .unwrap();
+        });
+        let mut client = VistaClient::new(client_side);
+        match client.run_with_retry(&spec(), 3) {
+            Err(ClientError::Rejected(r)) => assert!(!r.is_busy()),
+            other => panic!("expected refusal, got {other:?}"),
         }
         h.join().unwrap();
     }
@@ -566,7 +809,10 @@ mod tests {
                 .unwrap();
         });
         let mut client = VistaClient::new(client_side);
-        assert!(matches!(client.run(&spec()), Err(ClientError::JobFailed(_))));
+        assert!(matches!(
+            client.run(&spec()),
+            Err(ClientError::JobFailed(_))
+        ));
         h.join().unwrap();
     }
 

@@ -20,10 +20,12 @@ pub mod client;
 pub mod protocol;
 pub mod session;
 
-pub use client::{ClientError, JobOutcome, PacketRecord, ProgressRecord, SubmitSpec, VistaClient};
-pub use session::{SessionLog, SessionRecord, SessionSummary, StreamSession};
-pub use protocol::{
-    decode_event, decode_polylines, decode_request, encode_event, encode_polylines,
-    encode_request, triangle_packet, ClientRequest, CommandParams, EventHeader, JobId, JobReport,
-    PayloadKind, ProtocolError,
+pub use client::{
+    ClientError, JobOutcome, PacketRecord, ProgressRecord, RejectReason, SubmitSpec, VistaClient,
 };
+pub use protocol::{
+    decode_event, decode_polylines, decode_request, encode_event, encode_polylines, encode_request,
+    triangle_packet, ClientRequest, CommandParams, EventHeader, JobId, JobReport, PayloadKind,
+    ProtocolError,
+};
+pub use session::{SessionLog, SessionRecord, SessionSummary, StreamSession};

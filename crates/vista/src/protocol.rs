@@ -181,6 +181,17 @@ pub enum EventHeader {
     JobRejected {
         job: JobId,
         reason: String,
+        /// Admission-control busy rejection: resubmit after roughly this
+        /// many milliseconds. Absent on permanent refusals (unknown
+        /// command, unregistered dataset, shutdown) and in frames from
+        /// older schedulers → `None`.
+        #[serde(default)]
+        retry_after_ms: Option<u64>,
+        /// Scheduler queue depth at the moment of a busy rejection, so
+        /// clients can scale their own backoff. Absent alongside
+        /// `retry_after_ms`.
+        #[serde(default)]
+        queue_depth: Option<u64>,
     },
     /// A streamed partial result; the payload follows in the same frame.
     Partial {
@@ -263,9 +274,13 @@ fn encode_frame<T: Serialize>(header: &T, payload: &Bytes) -> Bytes {
     buf.freeze()
 }
 
-fn decode_frame<T: for<'de> Deserialize<'de>>(mut frame: Bytes) -> Result<(T, Bytes), ProtocolError> {
+fn decode_frame<T: for<'de> Deserialize<'de>>(
+    mut frame: Bytes,
+) -> Result<(T, Bytes), ProtocolError> {
     if frame.remaining() < 4 {
-        return Err(ProtocolError::Malformed("frame shorter than header length".into()));
+        return Err(ProtocolError::Malformed(
+            "frame shorter than header length".into(),
+        ));
     }
     let len = frame.get_u32_le() as usize;
     if frame.remaining() < len {
@@ -358,7 +373,9 @@ mod tests {
             job: 7,
             command: "IsoDataMan".into(),
             dataset: "Engine".into(),
-            params: CommandParams::new().set("iso", 0.5).set_vec3("viewpoint", [1.0, 2.0, 3.0]),
+            params: CommandParams::new()
+                .set("iso", 0.5)
+                .set_vec3("viewpoint", [1.0, 2.0, 3.0]),
             workers: 8,
             session: 3,
             trace_id: 0xabcd,
@@ -441,6 +458,59 @@ mod tests {
     }
 
     #[test]
+    fn rejection_without_busy_fields_decodes_as_permanent_refusal() {
+        // JobRejected frames from schedulers predating admission
+        // control carry only the bare reason string; the busy fields
+        // are #[serde(default)] and must come back `None`.
+        let ev = EventHeader::JobRejected {
+            job: 3,
+            reason: "unknown command 'Nope'".into(),
+            retry_after_ms: Some(25),
+            queue_depth: Some(7),
+        };
+        let mut v = serde_json::to_value(&ev).unwrap();
+        let obj = v
+            .as_object_mut()
+            .unwrap()
+            .get_mut("JobRejected")
+            .unwrap()
+            .as_object_mut()
+            .unwrap();
+        obj.remove("retry_after_ms");
+        obj.remove("queue_depth");
+        let back: EventHeader = serde_json::from_value(v).unwrap();
+        match back {
+            EventHeader::JobRejected {
+                job,
+                reason,
+                retry_after_ms,
+                queue_depth,
+            } => {
+                assert_eq!(job, 3);
+                assert_eq!(reason, "unknown command 'Nope'");
+                assert_eq!(retry_after_ms, None);
+                assert_eq!(queue_depth, None);
+            }
+            other => panic!("wrong header {other:?}"),
+        }
+    }
+
+    #[test]
+    fn busy_rejection_roundtrips_through_event_frame() {
+        let ev = EventHeader::JobRejected {
+            job: 12,
+            reason: "busy: queue full".into(),
+            retry_after_ms: Some(100),
+            queue_depth: Some(64),
+        };
+        let frame = encode_event(&ev, Bytes::new());
+        let (h, payload) = decode_event(frame).unwrap();
+        assert!(payload.is_empty());
+        assert_eq!(h, ev);
+        assert_eq!(h.job(), 12);
+    }
+
+    #[test]
     fn params_typed_accessors() {
         let p = CommandParams::new()
             .set("iso", 0.25)
@@ -459,7 +529,11 @@ mod tests {
     #[test]
     fn event_roundtrip_with_payload() {
         let mut soup = TriangleSoup::new();
-        soup.push_tri(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0));
+        soup.push_tri(
+            Vec3::ZERO,
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+        );
         let frame = triangle_packet(3, 11, 2, &soup);
         let (header, payload) = decode_event(frame).unwrap();
         match header {
@@ -577,7 +651,10 @@ mod tests {
     #[test]
     fn ack_and_resume_roundtrip() {
         for req in [
-            ClientRequest::Ack { job: 4, up_to_seq: 17 },
+            ClientRequest::Ack {
+                job: 4,
+                up_to_seq: 17,
+            },
             ClientRequest::Resume { job: 4 },
         ] {
             assert_eq!(decode_request(encode_request(&req)).unwrap(), req);
